@@ -1,0 +1,117 @@
+//===- bench/BenchCommon.h - Shared bench harness helpers -----------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the per-table/figure bench binaries. Every bench is
+/// a plain executable that prints the corresponding table/figure rows;
+/// absolute numbers differ from the paper (CPU-miniature scale), but the
+/// qualitative shape must match (see EXPERIMENTS.md).
+///
+/// Trained full models are cached under ./wootz_cache so that rerunning
+/// the suite (or individual benches) skips the expensive preparation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_BENCH_BENCHCOMMON_H
+#define WOOTZ_BENCH_BENCHCOMMON_H
+
+#include "src/support/Stopwatch.h"
+#include "src/wootz/wootz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace wootz {
+namespace bench {
+
+/// The shared training configuration of the bench suite.
+inline TrainMeta defaultMeta() {
+  TrainMeta Meta;
+  Meta.FullModelSteps = 1200;
+  Meta.FullModelLearningRate = 0.02f;
+  // Halve the rate every 400 steps during full-model preparation: the
+  // teachers converge to nearly seed-independent accuracies, which keeps
+  // the Table 2-5 shapes stable across runs. Fine-tuning budgets are
+  // far below 400 steps, so the decay never fires there.
+  Meta.LrDecayEvery = 400;
+  Meta.LrDecayFactor = 0.5f;
+  Meta.PretrainSteps = 80;
+  Meta.PretrainLearningRate = 0.08f;
+  Meta.FinetuneSteps = 60;
+  Meta.FinetuneLearningRate = 0.01f;
+  Meta.BatchSize = 8;
+  Meta.EvalEvery = 10;
+  Meta.EarlyStopPatience = 2;
+  return Meta;
+}
+
+/// Full-model cache directory (override with WOOTZ_CACHE_DIR).
+inline std::string cacheDir() {
+  if (const char *FromEnv = std::getenv("WOOTZ_CACHE_DIR"))
+    return FromEnv;
+  return "wootz_cache";
+}
+
+inline double median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  std::sort(Values.begin(), Values.end());
+  const size_t Mid = Values.size() / 2;
+  if (Values.size() % 2 == 1)
+    return Values[Mid];
+  return 0.5 * (Values[Mid - 1] + Values[Mid]);
+}
+
+/// Runs one pipeline; aborts the bench on error (bench inputs are fixed
+/// and trusted).
+inline PipelineResult runPipeline(const ModelSpec &Spec,
+                                  const Dataset &Data,
+                                  const std::vector<PruneConfig> &Subspace,
+                                  const TrainMeta &Meta,
+                                  PipelineOptions Options, uint64_t Seed,
+                                  bool KeepCurves = false) {
+  Options.CacheDir = cacheDir();
+  Options.KeepCurves = KeepCurves;
+  Rng Generator(Seed);
+  Result<PipelineResult> Run =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator);
+  if (!Run) {
+    std::fprintf(stderr, "bench pipeline error: %s\n",
+                 Run.message().c_str());
+    std::exit(1);
+  }
+  return Run.take();
+}
+
+/// Builds the standard model with the dataset's class count.
+inline ModelSpec modelFor(StandardModel Which, const Dataset &Data) {
+  Result<ModelSpec> Spec = makeStandardModel(Which, Data.Classes);
+  if (!Spec) {
+    std::fprintf(stderr, "bench model error: %s\n", Spec.message().c_str());
+    std::exit(1);
+  }
+  return Spec.take();
+}
+
+/// The per-dataset subspaces used across benches: deterministic in the
+/// dataset name so every bench sees the same configurations.
+inline std::vector<PruneConfig> benchSubspace(const ModelSpec &Spec,
+                                              const Dataset &Data,
+                                              int Count) {
+  uint64_t Seed = 0x5eed;
+  for (char C : Data.Name)
+    Seed = Seed * 131 + static_cast<unsigned char>(C);
+  Rng Generator(Seed);
+  return sampleSubspace(Spec.moduleCount(), Count, standardRates(),
+                        Generator);
+}
+
+} // namespace bench
+} // namespace wootz
+
+#endif // WOOTZ_BENCH_BENCHCOMMON_H

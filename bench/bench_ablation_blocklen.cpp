@@ -1,0 +1,111 @@
+//===- bench/bench_ablation_blocklen.cpp - tuning-block length ablation ----------===//
+//
+// The §5 trade-off behind the identifier's heuristics: "A pre-trained
+// sequence typically has a larger impact than its subsequences all
+// together have on the quality of a network; however, the extra benefits
+// are usually modest" (the paper quotes +3.1% initial accuracy for
+// 4-module vs 1-module ResNet blocks) "...[and] a longer sequence usually
+// has a lower chance to be reused." This bench pre-trains blocks of
+// length 1, 2, 3 and 6 modules for uniform-rate configurations of the
+// 6-module ResNet analogue and reports the assembled networks' initial
+// accuracy plus the pre-training cost per block set.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "src/train/Assembly.h"
+#include "src/train/ModelZoo.h"
+#include "src/train/Pretrainer.h"
+
+using namespace wootz;
+using namespace wootz::bench;
+
+int main() {
+  std::printf("=== Ablation: tuning-block length vs init+ and "
+              "pre-training cost ===\n\n");
+  const TrainMeta Meta = defaultMeta();
+  const Dataset Data = generateSynthetic(standardDatasetSpecs()[1]);
+  Result<ModelSpec> Parsed =
+      makeStandardModel(StandardModel::ResNetB, Data.Classes);
+  if (!Parsed) {
+    std::fprintf(stderr, "%s\n", Parsed.message().c_str());
+    return 1;
+  }
+  const ModelSpec Spec = Parsed.take();
+  const MultiplexingModel Model(Spec);
+  const int ModuleCount = Spec.moduleCount();
+
+  Rng Generator(81);
+  Result<FullModel> Full =
+      prepareFullModel(Model, Data, Meta, cacheDir(), Generator);
+  if (!Full) {
+    std::fprintf(stderr, "%s\n", Full.message().c_str());
+    return 1;
+  }
+  std::printf("model %s on %s (full accuracy %.3f, %d modules)\n\n",
+              Spec.Name.c_str(), Data.Name.c_str(), Full->Accuracy,
+              ModuleCount);
+
+  Table Out({"block length", "rate", "blocks", "groups", "pretrain (s)",
+             "init+", "init (no blocks)"});
+  for (float Rate : {0.5f, 0.7f}) {
+    const PruneConfig Config(ModuleCount, Rate);
+    // Reference: the default network's initial accuracy.
+    Rng AssembleGen(82);
+    Result<AssembledNetwork> Default = buildPrunedNetwork(
+        Model, Config, Full->Network, "full", nullptr, nullptr,
+        AssembleGen);
+    if (!Default) {
+      std::fprintf(stderr, "%s\n", Default.message().c_str());
+      return 1;
+    }
+    const double DefaultInit =
+        evaluateAccuracy(Default->Network, Default->InputNode,
+                         Default->LogitsNode, Data.Test);
+
+    for (int Length : {1, 2, 3, ModuleCount}) {
+      if (ModuleCount % Length != 0)
+        continue;
+      std::vector<TuningBlock> Blocks;
+      for (int First = 0; First < ModuleCount; First += Length)
+        Blocks.push_back(
+            TuningBlock{First, std::vector<float>(Length, Rate)});
+
+      CheckpointStore Store;
+      Rng PretrainGen(83);
+      Result<PretrainStats> Stats =
+          pretrainBlocks(Model, Full->Network, "full", Blocks, Data, Meta,
+                         Store, PretrainGen);
+      if (!Stats) {
+        std::fprintf(stderr, "%s\n", Stats.message().c_str());
+        return 1;
+      }
+      Rng BlockGen(84);
+      Result<AssembledNetwork> BlockTrained =
+          buildPrunedNetwork(Model, Config, Full->Network, "full", &Store,
+                             &Blocks, BlockGen);
+      if (!BlockTrained) {
+        std::fprintf(stderr, "%s\n", BlockTrained.message().c_str());
+        return 1;
+      }
+      const double InitPlus = evaluateAccuracy(
+          BlockTrained->Network, BlockTrained->InputNode,
+          BlockTrained->LogitsNode, Data.Test);
+      Out.addRow({std::to_string(Length), formatDouble(Rate, 1),
+                  std::to_string(Blocks.size()),
+                  std::to_string(Stats->GroupCount),
+                  formatDouble(Stats->Seconds, 2),
+                  formatDouble(InitPlus, 3),
+                  formatDouble(DefaultInit, 3)});
+    }
+    Out.addSeparator();
+  }
+  std::printf("%s", Out.render().c_str());
+  std::printf("\npaper reference (section 5): 4-module blocks start ~3%% "
+              "higher than 1-module blocks, at more pre-training cost "
+              "per distinct block and fewer reuse chances — the reason "
+              "the identifier prefers small blocks unless a long "
+              "sequence repeats as often as its parts.\n");
+  return 0;
+}

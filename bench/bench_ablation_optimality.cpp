@@ -1,0 +1,77 @@
+//===- bench/bench_ablation_optimality.cpp - heuristic vs exact blocks -----------===//
+//
+// §5 quantified: the Optimal Tuning Block Definition Problem is NP-hard,
+// so Wootz uses the Sequitur heuristic and claims it "gives a reasonable
+// trade-off" (§7.3). This ablation measures that claim under the
+// explicit cost model of identifier/Optimal.h: over random tiny
+// instances (where the exact exponential search is feasible) it reports
+// the cost of (a) no pre-training, (b) per-module blocks, (c) the
+// hierarchical heuristic, and (d) the exact optimum — plus the heuristic
+// to optimum ratio and the sizes of the searches.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <cmath>
+
+using namespace wootz;
+using namespace wootz::bench;
+
+int main() {
+  std::printf("=== Ablation: Sequitur heuristic vs exact optimal tuning "
+              "blocks (section 5 cost model) ===\n\n");
+  const std::vector<float> Rates{0.0f, 0.3f, 0.5f, 0.7f};
+  const BlockCostModel Model; // 1/module pretrain, 4 base, 0.5 saving.
+
+  Table Out({"instance", "modules", "networks", "candidates", "subsets",
+             "cost none", "cost per-module", "cost heuristic",
+             "cost optimal", "heuristic/optimal"});
+  double LogRatioSum = 0.0;
+  int Instances = 0;
+  double WorstRatio = 0.0;
+
+  for (uint64_t Seed = 1; Seed <= 10; ++Seed) {
+    const int ModuleCount = 3 + static_cast<int>(Seed % 2);
+    const int NetworkCount = 3 + static_cast<int>(Seed % 3);
+    Rng Generator(Seed * 31);
+    const std::vector<PruneConfig> Subspace =
+        sampleSubspace(ModuleCount, NetworkCount, Rates, Generator);
+    Result<OptimalBlocksResult> Optimal =
+        solveOptimalBlocks(Subspace, Model, /*MaxCandidates=*/22);
+    if (!Optimal)
+      continue; // Candidate pool too large for exactness; skip.
+
+    const IdentifierResult Heuristic =
+        identifyTuningBlocks(ModuleCount, Subspace, Rates);
+    const double CostNone = evaluateBlockSetCost(Subspace, {}, Model);
+    const double CostPerModule =
+        evaluateBlockSetCost(Subspace, perModuleBlocks(Subspace), Model);
+    const double CostHeuristic =
+        evaluateBlockSetCost(Subspace, Heuristic.Blocks, Model);
+    const double Ratio =
+        Optimal->Cost > 0 ? CostHeuristic / Optimal->Cost : 1.0;
+    LogRatioSum += std::log(Ratio);
+    WorstRatio = std::max(WorstRatio, Ratio);
+    ++Instances;
+
+    Out.addRow({std::to_string(Seed), std::to_string(ModuleCount),
+                std::to_string(Subspace.size()),
+                std::to_string(Optimal->CandidateCount),
+                std::to_string(Optimal->SubsetsSearched),
+                formatDouble(CostNone, 1), formatDouble(CostPerModule, 1),
+                formatDouble(CostHeuristic, 1),
+                formatDouble(Optimal->Cost, 1), formatDouble(Ratio, 2)});
+  }
+  std::printf("%s", Out.render().c_str());
+  if (Instances > 0)
+    std::printf("\n%d instances: geometric-mean heuristic/optimal %.3f, "
+                "worst %.2f\n",
+                Instances, std::exp(LogRatioSum / Instances), WorstRatio);
+  std::printf("\nexpected shape: the linear-time heuristic lands close "
+              "to the exponential-search optimum (ratio near 1.0) while "
+              "visiting none of the 2^candidates subsets — the \"simple "
+              "and efficient ... reasonable trade-off\" the paper "
+              "claims.\n");
+  return 0;
+}

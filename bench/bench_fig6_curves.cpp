@@ -1,0 +1,68 @@
+//===- bench/bench_fig6_curves.cpp - Figure 6 reproduction -----------------------===//
+//
+// Figure 6 of the paper: accuracy-vs-steps curves of the default and the
+// block-trained network on the CUB200 analogue, for the configuration
+// with 70% of the least important filters pruned at every convolution
+// module, on the ResNet and Inception analogues.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace wootz;
+using namespace wootz::bench;
+
+static void runModel(StandardModel Which, const Dataset &Data) {
+  const ModelSpec Spec = modelFor(Which, Data);
+  TrainMeta Meta = defaultMeta();
+  Meta.FinetuneSteps = 120;
+  Meta.EvalEvery = 10;        // Dense curve for the figure.
+  Meta.EarlyStopPatience = 0; // Show the full curves, as the paper does.
+
+  // One configuration: every module pruned at 70%.
+  const std::vector<PruneConfig> Subspace{
+      PruneConfig(Spec.moduleCount(), 0.7f)};
+
+  PipelineOptions Baseline;
+  const PipelineResult Base = runPipeline(Spec, Data, Subspace, Meta,
+                                          Baseline, 21, /*Curves=*/true);
+  PipelineOptions Composability;
+  Composability.UseComposability = true;
+  const PipelineResult Comp = runPipeline(Spec, Data, Subspace, Meta,
+                                          Composability, 21,
+                                          /*Curves=*/true);
+
+  std::printf("--- %s on %s (70%% pruned everywhere; full model %.3f) "
+              "---\n",
+              standardModelName(Which), Data.Name.c_str(),
+              Base.FullAccuracy);
+  Table Curve({"step", "default", "block-trained"});
+  const std::vector<AccuracyPoint> &B = Base.Evaluations[0].Curve;
+  const std::vector<AccuracyPoint> &C = Comp.Evaluations[0].Curve;
+  for (size_t I = 0; I < B.size() && I < C.size(); ++I)
+    Curve.addRow({std::to_string(B[I].Step),
+                  formatDouble(B[I].Accuracy, 3),
+                  formatDouble(C[I].Accuracy, 3)});
+  std::printf("%s", Curve.render().c_str());
+  std::printf("init %.3f vs init+ %.3f; final %.3f vs final+ %.3f; "
+              "steps-to-best %d vs %d\n\n",
+              Base.Evaluations[0].InitAccuracy,
+              Comp.Evaluations[0].InitAccuracy,
+              Base.Evaluations[0].FinalAccuracy,
+              Comp.Evaluations[0].FinalAccuracy,
+              Base.Evaluations[0].StepsToBest,
+              Comp.Evaluations[0].StepsToBest);
+}
+
+int main() {
+  std::printf("=== Figure 6: accuracy curves of default vs block-trained "
+              "networks (CUB200 analogue) ===\n\n");
+  const Dataset Data = generateSynthetic(standardDatasetSpecs()[1]);
+  runModel(StandardModel::ResNetA, Data);
+  runModel(StandardModel::InceptionB, Data);
+  std::printf("paper reference (Figure 6 shape): default starts near "
+              "zero, block-trained starts at 0.40-0.53\nand stays above "
+              "the default curve throughout, converging higher and "
+              "sooner.\n");
+  return 0;
+}

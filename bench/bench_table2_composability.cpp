@@ -1,0 +1,73 @@
+//===- bench/bench_table2_composability.cpp - Table 2 reproduction ---------------===//
+//
+// Table 2 of the paper: median initial and final accuracies of default
+// networks (init, final) and block-trained networks (init+, final+) for
+// every model on every dataset — the empirical validation of the
+// composability hypothesis (§7.2). Tuning blocks are the convolution
+// modules (the paper's setting for this table).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace wootz;
+using namespace wootz::bench;
+
+int main() {
+  std::printf("=== Table 2: median accuracies, default vs block-trained "
+              "===\n");
+  const int ConfigCount = 8;
+  std::printf("(%d pruned networks per cell; the paper uses 500)\n\n",
+              ConfigCount);
+
+  const TrainMeta Meta = defaultMeta();
+  Table Out({"model", "accuracy", "flowers102", "cub200", "cars", "dogs"});
+
+  for (StandardModel Which : standardModels()) {
+    std::vector<std::string> Init{"", "init"};
+    std::vector<std::string> InitPlus{"", "init+"};
+    std::vector<std::string> Final{"", "final"};
+    std::vector<std::string> FinalPlus{"", "final+"};
+    Init[0] = standardModelName(Which);
+
+    for (const SyntheticSpec &DataSpec : standardDatasetSpecs()) {
+      const Dataset Data = generateSynthetic(DataSpec);
+      const ModelSpec Spec = modelFor(Which, Data);
+      const std::vector<PruneConfig> Subspace =
+          benchSubspace(Spec, Data, ConfigCount);
+
+      PipelineOptions Baseline;
+      const PipelineResult Base =
+          runPipeline(Spec, Data, Subspace, Meta, Baseline, 11);
+      PipelineOptions Composability;
+      Composability.UseComposability = true;
+      const PipelineResult Comp =
+          runPipeline(Spec, Data, Subspace, Meta, Composability, 11);
+
+      std::vector<double> I, IP, F, FP;
+      for (const EvaluatedConfig &E : Base.Evaluations) {
+        I.push_back(E.InitAccuracy);
+        F.push_back(E.FinalAccuracy);
+      }
+      for (const EvaluatedConfig &E : Comp.Evaluations) {
+        IP.push_back(E.InitAccuracy);
+        FP.push_back(E.FinalAccuracy);
+      }
+      Init.push_back(formatDouble(median(I), 3));
+      InitPlus.push_back(formatDouble(median(IP), 3));
+      Final.push_back(formatDouble(median(F), 3));
+      FinalPlus.push_back(formatDouble(median(FP), 3));
+    }
+    Out.addRow(Init);
+    Out.addRow(InitPlus);
+    Out.addRow(Final);
+    Out.addRow(FinalPlus);
+    Out.addSeparator();
+  }
+  std::printf("%s", Out.render().c_str());
+  std::printf(
+      "\npaper reference (Table 2 shape): init ~0.01-0.04 (near chance), "
+      "init+ 0.54-0.93,\nfinal+ above final by 1-4%% in every cell. "
+      "Expected here: init+ >> init, final+ >= final.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- bench/bench_table3_speedups.cpp - Table 3 reproduction --------------------===//
+//
+// Table 3 of the paper: speedups and configuration savings of
+// composability-based pruning over the baseline at various tolerable
+// accuracy-drop rates (alpha) with 1, 4, and 16 machines, for the ResNet
+// and Inception analogues on all four datasets. Each (model, dataset)
+// pair trains the subspace once per method; every (alpha, #nodes) row is
+// a replay of the measured per-configuration costs through the paper's
+// static schedule (see explore/Cluster.h).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace wootz;
+using namespace wootz::bench;
+
+int main() {
+  std::printf("=== Table 3: speedups and configuration savings by "
+              "composability-based pruning ===\n");
+  const int SubspaceSize = 32;
+  std::printf("(%d-configuration subspaces; the paper uses 500)\n\n",
+              SubspaceSize);
+
+  const TrainMeta Meta = defaultMeta();
+  const std::vector<double> Alphas{-0.01, 0.0, 0.01, 0.04, 0.06};
+  const std::vector<int> NodeCounts{1, 4, 16};
+
+  for (StandardModel Which :
+       {StandardModel::ResNetA, StandardModel::InceptionB}) {
+    for (const SyntheticSpec &DataSpec : standardDatasetSpecs()) {
+      const Dataset Data = generateSynthetic(DataSpec);
+      const ModelSpec Spec = modelFor(Which, Data);
+      const std::vector<PruneConfig> Subspace =
+          benchSubspace(Spec, Data, SubspaceSize);
+
+      PipelineOptions Baseline;
+      const PipelineResult Base =
+          runPipeline(Spec, Data, Subspace, Meta, Baseline, 41);
+      PipelineOptions Composability;
+      Composability.UseComposability = true;
+      const PipelineResult Comp =
+          runPipeline(Spec, Data, Subspace, Meta, Composability, 41);
+
+      std::printf("--- %s on %s (full accuracy %.3f) ---\n",
+                  standardModelName(Which), Data.Name.c_str(),
+                  Comp.FullAccuracy);
+      Table Out({"alpha", "thr_acc", "#nodes", "configs base", "configs comp",
+                 "time base(s)", "time comp(s)", "size base%", "size comp%",
+                 "speedup", "overhead"});
+      for (double Alpha : Alphas) {
+        const double Threshold = Comp.FullAccuracy - Alpha;
+        const PruningObjective Objective =
+            smallestMeetingAccuracy(Threshold);
+        for (int Nodes : NodeCounts) {
+          const ExplorationSummary B =
+              summarizeExploration(Base, Objective, Nodes);
+          const ExplorationSummary C =
+              summarizeExploration(Comp, Objective, Nodes);
+          const double Speedup =
+              C.Seconds > 0.0 ? B.Seconds / C.Seconds : 0.0;
+          auto sizeText = [](const ExplorationSummary &S) {
+            return S.WinnerIndex < 0
+                       ? std::string("-")
+                       : formatDouble(100.0 * S.WinnerSizeFraction, 1);
+          };
+          Out.addRow({formatDouble(100.0 * Alpha, 0) + "%",
+                      formatDouble(Threshold, 3), std::to_string(Nodes),
+                      std::to_string(B.ConfigsEvaluated),
+                      std::to_string(C.ConfigsEvaluated),
+                      formatDouble(B.Seconds, 2),
+                      formatDouble(C.Seconds, 2), sizeText(B),
+                      sizeText(C), formatDouble(Speedup, 1) + "x",
+                      formatDouble(100.0 * C.OverheadFraction, 0) + "%"});
+        }
+        Out.addSeparator();
+      }
+      std::printf("%s\n", Out.render().c_str());
+    }
+  }
+  std::printf("paper reference (Table 3 shape): comp explores far fewer "
+              "configurations at mid alphas,\nspeedups 1.5-186x growing "
+              "as the threshold gets harder for the baseline, comp "
+              "winners\nno larger than base winners, overhead share "
+              "shrinking as total time grows.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- bench/bench_table4_subspace.cpp - Table 4 reproduction --------------------===//
+//
+// Table 4 of the paper: speedups of composability-based pruning as the
+// promising-subspace size grows. Pre-training cost amortizes over more
+// configurations, so the speedup rises with the subspace size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace wootz;
+using namespace wootz::bench;
+
+int main() {
+  std::printf("=== Table 4: speedups vs subspace size ===\n");
+  const std::vector<int> Sizes{4, 12, 32};
+  std::printf("(subspace sizes 4/12/32; the paper sweeps 4..256)\n\n");
+
+  const TrainMeta Meta = defaultMeta();
+  struct Setting {
+    StandardModel Model;
+    int DatasetIndex;
+    double Alpha;
+  };
+  const std::vector<Setting> Settings{
+      // The paper pairs Flowers102 with alpha 0%; at our scale the
+      // flowers analogue saturates (full accuracy 1.0), so the cars
+      // analogue stands in for the "easy dataset, tight threshold" cell.
+      {StandardModel::ResNetA, 2, 0.0},    // cars, alpha 0%.
+      {StandardModel::InceptionB, 2, 0.0}, // cars, alpha 0%.
+      {StandardModel::ResNetA, 1, 0.03},   // cub, alpha 3%.
+      {StandardModel::InceptionB, 1, 0.03},
+  };
+
+  for (const Setting &S : Settings) {
+    const Dataset Data =
+        generateSynthetic(standardDatasetSpecs()[S.DatasetIndex]);
+    const ModelSpec Spec = modelFor(S.Model, Data);
+    std::printf("--- %s on %s, alpha %.0f%% ---\n",
+                standardModelName(S.Model), Data.Name.c_str(),
+                100.0 * S.Alpha);
+    Table Out({"subspace", "base time(s)", "comp time(s)", "speedup",
+               "blocks", "overhead"});
+    // Nested subspaces (size-4 is a subset of size-12 is a subset of
+    // size-32) so the sweep varies only the amount of exploration, not
+    // which configurations exist — the paper's independent samples need
+    // 500-config scale to smooth that sampling noise out.
+    const std::vector<PruneConfig> FullSubspace =
+        benchSubspace(Spec, Data, Sizes.back());
+    for (int Size : Sizes) {
+      const std::vector<PruneConfig> Subspace(
+          FullSubspace.begin(),
+          FullSubspace.begin() +
+              std::min<size_t>(Size, FullSubspace.size()));
+      PipelineOptions Baseline;
+      const PipelineResult Base =
+          runPipeline(Spec, Data, Subspace, Meta, Baseline, 51);
+      PipelineOptions Composability;
+      Composability.UseComposability = true;
+      const PipelineResult Comp =
+          runPipeline(Spec, Data, Subspace, Meta, Composability, 51);
+      const PruningObjective Objective =
+          smallestMeetingAccuracy(Comp.FullAccuracy - S.Alpha);
+      const ExplorationSummary B = summarizeExploration(Base, Objective, 1);
+      const ExplorationSummary C = summarizeExploration(Comp, Objective, 1);
+      Out.addRow({std::to_string(Subspace.size()),
+                  formatDouble(B.Seconds, 2), formatDouble(C.Seconds, 2),
+                  formatDouble(C.Seconds > 0 ? B.Seconds / C.Seconds : 0,
+                               1) +
+                      "x",
+                  std::to_string(Comp.Blocks.size()),
+                  formatDouble(100.0 * C.OverheadFraction, 0) + "%"});
+    }
+    std::printf("%s\n", Out.render().c_str());
+  }
+  std::printf("paper reference (Table 4 shape): speedups grow with the "
+              "subspace size (1.7x at 4 configs\nup to 108x at 256) as "
+              "pre-training amortizes; even 4-config subspaces usually "
+              "profit.\n");
+  return 0;
+}

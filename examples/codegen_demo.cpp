@@ -1,0 +1,56 @@
+//===- examples/codegen_demo.cpp - Wootz compiler artifacts ----------------------===//
+//
+// Shows the compiler half of Wootz: a Prototxt model goes in, and out
+// come (a) the TF-Slim-style Python multiplexing model, (b) the solver
+// meta data, and (c) the multi-node task assignment file the exploration
+// scripts use. Nothing is trained; this is pure code generation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/wootz/wootz.h"
+
+#include <cstdio>
+
+using namespace wootz;
+
+int main(int ArgCount, char **Args) {
+  const bool Inception = ArgCount > 1 &&
+                         std::string(Args[1]) == "--inception";
+  const StandardModel Which =
+      Inception ? StandardModel::InceptionA : StandardModel::ResNetA;
+
+  const std::string Prototxt = standardModelPrototxt(Which, 6);
+  std::printf("=== Input: Caffe Prototxt (with the `module` extension) "
+              "===\n%s\n",
+              Prototxt.substr(0, 600).c_str());
+  std::printf("... (%zu bytes total)\n\n", Prototxt.size());
+
+  Result<ModelSpec> Spec = parseModelSpec(Prototxt);
+  if (!Spec) {
+    std::fprintf(stderr, "parse error: %s\n", Spec.message().c_str());
+    return 1;
+  }
+
+  std::printf("=== Structural analysis ===\n");
+  for (const ModuleSpec &M : Spec->Modules)
+    std::printf("module %-4s layers [%2d, %2d]  input=%s  output=%s\n",
+                M.Name.c_str(), M.FirstLayer, M.LastLayer,
+                M.ExternalInput.c_str(), M.OutputLayer.c_str());
+  int PrunableCount = 0;
+  for (bool Flag : Spec->Prunable)
+    PrunableCount += Flag;
+  std::printf("prunable convolutions: %d\n\n", PrunableCount);
+
+  std::printf("=== Generated multiplexing model (TensorFlow-Slim) "
+              "===\n%s\n",
+              emitMultiplexingScript(*Spec).c_str());
+
+  TrainMeta Meta;
+  Meta.Nodes = 4;
+  std::printf("=== Solver meta data ===\n%s\n",
+              printTrainMeta(Meta).c_str());
+
+  std::printf("=== Task assignment (16 configs over 4 nodes) ===\n%s",
+              taskAssignmentFile(16, 4).c_str());
+  return 0;
+}

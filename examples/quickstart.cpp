@@ -1,0 +1,101 @@
+//===- examples/quickstart.cpp - 60-second tour of the Wootz API ----------------===//
+//
+// Builds a miniature ResNet from Prototxt, samples a promising subspace,
+// runs CNN pruning with and without composability, and prints the best
+// network found under a "smallest model above an accuracy threshold"
+// objective. Runs in well under a minute on one CPU core.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/wootz/wootz.h"
+
+#include <cstdio>
+
+using namespace wootz;
+
+int main() {
+  // 1. A dataset (stand-in for CUB200 et al. — see data/Synthetic.h).
+  const Dataset Data = generateSynthetic(standardDatasetSpecs(0.5)[1]);
+
+  // 2. The to-be-pruned CNN model, in Caffe Prototxt with the `module`
+  //    extension (Figure 2's first input). Any Prototxt source works;
+  //    here we generate one of the standard miniature models, with as
+  //    many output classes as the dataset has.
+  const std::string Prototxt =
+      standardModelPrototxt(StandardModel::ResNetA, Data.Classes);
+  Result<ModelSpec> Spec = parseModelSpec(Prototxt);
+  if (!Spec) {
+    std::fprintf(stderr, "model error: %s\n", Spec.message().c_str());
+    return 1;
+  }
+  std::printf("model: %s (%d conv modules, %zu layers)\n",
+              Spec->Name.c_str(), Spec->moduleCount(), Spec->Layers.size());
+
+  // 3. Training meta data in the Caffe-solver-like format.
+  std::printf("dataset: %s\n", describeDataset(Data).c_str());
+  Result<TrainMeta> Meta = parseTrainMeta("full_model_steps: 600\n"
+                                          "pretrain_steps: 40\n"
+                                          "finetune_steps: 60\n"
+                                          "batch_size: 8\n"
+                                          "eval_every: 20\n");
+  if (!Meta) {
+    std::fprintf(stderr, "meta error: %s\n", Meta.message().c_str());
+    return 1;
+  }
+
+  // 4. The promising subspace (Figure 3a) — here sampled randomly.
+  Rng Generator(42);
+  const std::vector<PruneConfig> Subspace =
+      sampleSubspace(Spec->moduleCount(), 8, standardRates(), Generator);
+  std::printf("subspace: %zu configurations\n%s\n", Subspace.size(),
+              printSubspaceSpec(Subspace).c_str());
+
+  // 5. Run the pipeline twice: baseline vs composability-based.
+  auto runOnce = [&](bool Composability) {
+    PipelineOptions Options;
+    Options.UseComposability = Composability;
+    Rng PipelineGen(7);
+    Result<PipelineResult> Run = runPruningPipeline(
+        *Spec, Data, Subspace, *Meta, Options, PipelineGen);
+    if (!Run) {
+      std::fprintf(stderr, "pipeline error: %s\n", Run.message().c_str());
+      std::exit(1);
+    }
+    return Run.take();
+  };
+  const PipelineResult Base = runOnce(false);
+  const PipelineResult Comp = runOnce(true);
+  std::printf("\nfull model accuracy: %.3f (%zu weights)\n",
+              Base.FullAccuracy, Base.FullWeightCount);
+
+  // 6. Pick the best network under the Figure 3(b) objective.
+  Result<PruningObjective> Objective = parseObjective(
+      "min ModelSize\nconstraint Accuracy >= " +
+      formatDouble(Base.FullAccuracy - 0.05, 4) + "\n");
+  if (!Objective) {
+    std::fprintf(stderr, "objective error: %s\n",
+                 Objective.message().c_str());
+    return 1;
+  }
+
+  for (const auto &[Name, Run] :
+       {std::pair<const char *, const PipelineResult &>("baseline", Base),
+        std::pair<const char *, const PipelineResult &>("wootz", Comp)}) {
+    const ExplorationSummary Summary =
+        summarizeExploration(Run, *Objective, /*Nodes=*/1);
+    if (Summary.WinnerIndex < 0) {
+      std::printf("%-8s: no configuration met the objective "
+                  "(%d evaluated, %.1fs)\n",
+                  Name, Summary.ConfigsEvaluated, Summary.Seconds);
+      continue;
+    }
+    const EvaluatedConfig &Winner = Run.Evaluations[Summary.WinnerIndex];
+    std::printf("%-8s: best %s  size %.1f%%  accuracy %.3f  "
+                "(%d configs explored, %.1fs, overhead %.0f%%)\n",
+                Name, formatConfig(Winner.Config).c_str(),
+                100.0 * Winner.SizeFraction, Winner.FinalAccuracy,
+                Summary.ConfigsEvaluated, Summary.Seconds,
+                100.0 * Summary.OverheadFraction);
+  }
+  return 0;
+}

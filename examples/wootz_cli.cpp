@@ -1,0 +1,160 @@
+//===- examples/wootz_cli.cpp - file-driven Wootz tool ---------------------------===//
+//
+// A small command-line front end over the whole framework, driven
+// entirely by the four Figure-2 input files:
+//
+//   wootz_cli [model.prototxt subspace.txt meta.txt objective.txt [outdir]]
+//
+// With no arguments it writes a self-contained sample input set to
+// ./wootz_run/inputs and runs on that. Outputs (in outdir, default
+// ./wootz_run): report.md, evaluations.csv, the generated Python
+// multiplexing model and wrapper scripts, the task-assignment file, and
+// the pre-trained tuning block checkpoints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/explore/Report.h"
+#include "src/support/File.h"
+#include "src/wootz/wootz.h"
+
+#include <cstdio>
+
+using namespace wootz;
+
+namespace {
+/// Exits with the error message when a result failed (tool code: fail
+/// fast, like ExitOnError).
+template <typename T> T orDie(Result<T> Value, const char *What) {
+  if (!Value) {
+    std::fprintf(stderr, "wootz_cli: %s: %s\n", What,
+                 Value.message().c_str());
+    std::exit(1);
+  }
+  return Value.take();
+}
+
+void orDie(Error E, const char *What) {
+  if (E) {
+    std::fprintf(stderr, "wootz_cli: %s: %s\n", What, E.message().c_str());
+    std::exit(1);
+  }
+}
+
+/// Writes the sample input files and returns their paths.
+std::vector<std::string> writeSampleInputs(const std::string &Directory) {
+  const std::string ModelPath = Directory + "/model.prototxt";
+  const std::string SubspacePath = Directory + "/subspace.txt";
+  const std::string MetaPath = Directory + "/meta.txt";
+  const std::string ObjectivePath = Directory + "/objective.txt";
+  orDie(writeFile(ModelPath, standardModelPrototxt(StandardModel::ResNetA,
+                                                   14)),
+        "writing sample model");
+  Rng Generator(2718);
+  orDie(writeFile(SubspacePath,
+                  "# promising subspace (Figure 3a format)\n" +
+                      printSubspaceSpec(sampleSubspace(
+                          4, 10, standardRates(), Generator)) +
+                      "\n"),
+        "writing sample subspace");
+  TrainMeta Meta;
+  Meta.FullModelSteps = 600;
+  Meta.FinetuneSteps = 50;
+  Meta.EvalEvery = 10;
+  Meta.EarlyStopPatience = 2;
+  Meta.Nodes = 4;
+  orDie(writeFile(MetaPath, printTrainMeta(Meta)), "writing sample meta");
+  orDie(writeFile(ObjectivePath,
+                  "# pruning objective (Figure 3b format)\n"
+                  "min ModelSize\nconstraint Accuracy >= 0.78\n"),
+        "writing sample objective");
+  return {ModelPath, SubspacePath, MetaPath, ObjectivePath};
+}
+} // namespace
+
+int main(int ArgCount, char **Args) {
+  std::string OutDir = "wootz_run";
+  std::vector<std::string> Inputs;
+  if (ArgCount >= 5) {
+    Inputs = {Args[1], Args[2], Args[3], Args[4]};
+    if (ArgCount >= 6)
+      OutDir = Args[5];
+  } else {
+    std::printf("no input files given; writing samples under %s/inputs\n",
+                OutDir.c_str());
+    Inputs = writeSampleInputs(OutDir + "/inputs");
+  }
+
+  // Parse the four inputs.
+  const ModelSpec Spec = orDie(
+      parseModelSpec(orDie(readFile(Inputs[0]), "reading model")),
+      "parsing model");
+  const std::vector<PruneConfig> Subspace = orDie(
+      parseSubspaceSpec(orDie(readFile(Inputs[1]), "reading subspace")),
+      "parsing subspace");
+  const TrainMeta Meta = orDie(
+      parseTrainMeta(orDie(readFile(Inputs[2]), "reading meta")),
+      "parsing meta");
+  const std::string ObjectiveText =
+      orDie(readFile(Inputs[3]), "reading objective");
+  const PruningObjective Objective =
+      orDie(parseObjective(ObjectiveText), "parsing objective");
+
+  std::printf("model %s: %d modules, %zu layers\n", Spec.Name.c_str(),
+              Spec.moduleCount(), Spec.Layers.size());
+  std::printf("subspace: %zu configurations; objective:\n%s",
+              Subspace.size(), printObjective(Objective).c_str());
+
+  // The dataset: the CUB200 analogue sized to the model's class count.
+  const Dataset Data = generateSynthetic([&] {
+    SyntheticSpec DataSpec = standardDatasetSpecs(0.5)[1];
+    DataSpec.Classes = Spec.Layers.back().NumOutput;
+    return DataSpec;
+  }());
+
+  // Emit the compiler artifacts.
+  orDie(writeFile(OutDir + "/generated/" + pythonIdentifier(Spec.Name) +
+                      ".py",
+                  emitMultiplexingScript(Spec)),
+        "writing multiplexing model");
+  orDie(writeFile(OutDir + "/generated/pretrain_wrapper.py",
+                  emitPretrainWrapper(Spec, Meta)),
+        "writing pretrain wrapper");
+  orDie(writeFile(OutDir + "/generated/explore_wrapper.py",
+                  emitExplorationWrapper(Spec, Meta, ObjectiveText)),
+        "writing exploration wrapper");
+  orDie(writeFile(OutDir + "/generated/task_assignment.txt",
+                  taskAssignmentFile(static_cast<int>(Subspace.size()),
+                                     Meta.Nodes)),
+        "writing task assignment");
+
+  // Run composability-based pruning.
+  PipelineOptions Options;
+  Options.UseComposability = true;
+  Options.UseIdentifier = true;
+  Options.CacheDir = OutDir + "/cache";
+  Rng Generator(Meta.Seed);
+  const PipelineResult Run = orDie(
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator),
+      "running the pipeline");
+
+  orDie(writeFile(OutDir + "/evaluations.csv", renderEvaluationsCsv(Run)),
+        "writing evaluations CSV");
+  orDie(writeFile(OutDir + "/report.md",
+                  renderRunReport(Run, Objective, Meta.Nodes)),
+        "writing report");
+
+  const ExplorationSummary Summary =
+      summarizeExploration(Run, Objective, Meta.Nodes);
+  if (Summary.WinnerIndex >= 0) {
+    const EvaluatedConfig &Winner = Run.Evaluations[Summary.WinnerIndex];
+    std::printf("\nwinner %s: size %.1f%%, accuracy %.3f "
+                "(%d configs, %.1fs on %d nodes)\n",
+                formatConfig(Winner.Config).c_str(),
+                100.0 * Winner.SizeFraction, Winner.FinalAccuracy,
+                Summary.ConfigsEvaluated, Summary.Seconds, Meta.Nodes);
+  } else {
+    std::printf("\nno configuration met the objective\n");
+  }
+  std::printf("outputs written under %s/\n", OutDir.c_str());
+  return 0;
+}

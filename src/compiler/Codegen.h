@@ -1,0 +1,58 @@
+//===- compiler/Codegen.h - Multiplexing-model code emission ----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Emits the multiplexing model as TensorFlow-Slim-style Python source —
+/// the textual artifact the paper's compiler generates from a Prototxt
+/// model ("generates calls to TensorFlow-Slim API to add various CNN
+/// layers based on the parsing results of the Prototxt specifications",
+/// §6.2). The emitted function takes `inputs`, `mode_to_use` and
+/// `prune_info`, mirrors the three build modes of MultiplexingModel, and
+/// reads per-module filter depths from `prune_info` so one function
+/// serves every pruning setting.
+///
+/// The in-process runtime never executes this code; it exists to
+/// reproduce (and test, via golden checks) the code-generation half of
+/// the Wootz compiler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_COMPILER_CODEGEN_H
+#define WOOTZ_COMPILER_CODEGEN_H
+
+#include "src/compiler/Solver.h"
+#include "src/proto/ModelSpec.h"
+
+#include <string>
+
+namespace wootz {
+
+/// Emits the complete Python multiplexing-model source for \p Spec.
+std::string emitMultiplexingScript(const ModelSpec &Spec);
+
+/// Emits the pre-training wrapper (the paper's third component): the
+/// generic pre-training entry point adapted to \p Spec and the training
+/// meta data — it registers the model with the nets factory, partitions
+/// the tuning blocks into non-overlapping groups, and trains one group
+/// per invocation, storing checkpoints.
+std::string emitPretrainWrapper(const ModelSpec &Spec,
+                                const TrainMeta &Meta);
+
+/// Emits the exploration wrapper (the paper's fourth component): it
+/// orders the configurations by the objective's metric, assigns the
+/// i + p*j-th model to node i, fine-tunes each block-trained network and
+/// reports the best network found.
+std::string emitExplorationWrapper(const ModelSpec &Spec,
+                                   const TrainMeta &Meta,
+                                   const std::string &ObjectiveSpec);
+
+/// Python-identifier form of a model name ("mini-resnet-a" ->
+/// "mini_resnet_a").
+std::string pythonIdentifier(const std::string &Name);
+
+} // namespace wootz
+
+#endif // WOOTZ_COMPILER_CODEGEN_H

@@ -1,0 +1,171 @@
+//===- compiler/Multiplexing.cpp ---------------------------------------------===//
+
+#include "src/compiler/Multiplexing.h"
+
+#include "src/nn/Layers.h"
+
+using namespace wootz;
+
+/// Instantiates the runtime layer for \p L with input extents \p In and
+/// planned output channels \p OutChannels.
+static std::unique_ptr<Layer> makeLayer(const LayerSpec &L,
+                                        const LayerExtents &In,
+                                        int OutChannels) {
+  switch (L.Kind) {
+  case LayerKind::Convolution: {
+    ConvGeometry Geometry;
+    Geometry.InChannels = In.Channels;
+    Geometry.OutChannels = OutChannels;
+    Geometry.KernelSize = L.KernelSize;
+    Geometry.Stride = L.Stride;
+    Geometry.Pad = L.Pad;
+    return std::make_unique<Conv2D>(Geometry, L.BiasTerm);
+  }
+  case LayerKind::BatchNorm:
+    return std::make_unique<BatchNorm2D>(In.Channels);
+  case LayerKind::ReLU:
+    return std::make_unique<ReLU>();
+  case LayerKind::Pooling:
+    if (L.GlobalPooling)
+      return std::make_unique<GlobalAvgPool>();
+    return std::make_unique<Pool2D>(L.PoolMax ? Pool2D::Mode::Max
+                                              : Pool2D::Mode::Average,
+                                    L.KernelSize, L.Stride, L.Pad);
+  case LayerKind::InnerProduct:
+    return std::make_unique<Dense>(In.Channels * In.Height * In.Width,
+                                   L.NumOutput);
+  case LayerKind::Concat:
+    return std::make_unique<Concat>();
+  case LayerKind::Eltwise:
+    return std::make_unique<Add>();
+  }
+  reportFatalError("unhandled layer kind in makeLayer");
+}
+
+Result<std::string> MultiplexingModel::buildRange(
+    Graph &Target, const ChannelPlan &Plan, int FirstLayer, int LastLayer,
+    const std::string &Prefix, const std::string &ExternalPrefix,
+    Rng &Generator) const {
+  std::string LastNode;
+  for (int I = FirstLayer; I <= LastLayer; ++I) {
+    const LayerSpec &L = Spec.Layers[I];
+    std::vector<std::string> Inputs;
+    for (const std::string &Bottom : L.Bottoms) {
+      if (Bottom == Spec.InputName) {
+        Inputs.push_back(Spec.InputName);
+        continue;
+      }
+      const int BottomIndex = Spec.layerIndex(Bottom);
+      const bool Internal = BottomIndex >= FirstLayer &&
+                            BottomIndex <= LastLayer;
+      Inputs.push_back((Internal ? Prefix : ExternalPrefix) + "/" + Bottom);
+      if (!Target.hasNode(Inputs.back()))
+        return Error::failure("node '" + Inputs.back() +
+                              "' required by '" + L.Name +
+                              "' does not exist");
+    }
+    // Input extents come from the producing layer's plan entry (the
+    // external producer is always full-width at a module boundary, and
+    // the plan's rates are zero outside the built range, so the plan is
+    // valid for both).
+    const int Bottom0 = Spec.layerIndex(L.Bottoms[0]);
+    const LayerExtents In =
+        Bottom0 < 0 ? LayerExtents{Spec.InputChannels, Spec.InputHeight,
+                                   Spec.InputWidth}
+                    : Plan.Extents[Bottom0];
+    std::unique_ptr<Layer> NodeLayer =
+        makeLayer(L, In, Plan.OutChannels[I]);
+    NodeLayer->initParams(Generator);
+    LastNode = Prefix + "/" + L.Name;
+    Target.addNode(LastNode, std::move(NodeLayer), Inputs);
+  }
+  return LastNode;
+}
+
+std::vector<std::string>
+MultiplexingModel::blockLayerNames(const TuningBlock &Block) const {
+  assert(Block.FirstModule >= 0 &&
+         Block.lastModule() < Spec.moduleCount() &&
+         "block module range out of bounds");
+  const int First = Spec.Modules[Block.FirstModule].FirstLayer;
+  const int Last = Spec.Modules[Block.lastModule()].LastLayer;
+  std::vector<std::string> Names;
+  for (int I = First; I <= Last; ++I)
+    Names.push_back(Spec.Layers[I].Name);
+  return Names;
+}
+
+Result<BuildResult> MultiplexingModel::build(Graph &Target, BuildMode Mode,
+                                             const PruneInfo &Info,
+                                             const std::string &Prefix,
+                                             Rng &Generator) const {
+  if (!Target.hasNode(Spec.InputName))
+    Target.addInput(Spec.InputName);
+  BuildResult Out;
+  Out.InputNode = Spec.InputName;
+
+  const int LayerCount = static_cast<int>(Spec.Layers.size());
+  switch (Mode) {
+  case BuildMode::FullModel:
+  case BuildMode::FineTune: {
+    const PruneConfig Config = Mode == BuildMode::FullModel
+                                   ? unprunedConfig(Spec)
+                                   : Info.Config;
+    Result<ChannelPlan> Plan = planChannels(Spec, Config);
+    if (!Plan)
+      return Plan.takeError();
+    Result<std::string> LastNode = buildRange(
+        Target, *Plan, 0, LayerCount - 1, Prefix, Prefix, Generator);
+    if (!LastNode)
+      return LastNode.takeError();
+    Out.LogitsNode = *LastNode;
+    return Out;
+  }
+  case BuildMode::PreTrain: {
+    // Teacher: the frozen full model.
+    Result<ChannelPlan> FullPlan = planChannels(Spec, unprunedConfig(Spec));
+    if (!FullPlan)
+      return FullPlan.takeError();
+    Result<std::string> Teacher = buildRange(
+        Target, *FullPlan, 0, LayerCount - 1, Prefix, Prefix, Generator);
+    if (!Teacher)
+      return Teacher.takeError();
+    for (const LayerSpec &L : Spec.Layers)
+      Target.setTrainable(Prefix + "/" + L.Name, false);
+
+    // Students: one pruned block per entry of Info.Blocks, fed by and
+    // targeting the teacher's activations at the block boundaries.
+    for (size_t K = 0; K < Info.Blocks.size(); ++K) {
+      const TuningBlock &Block = Info.Blocks[K];
+      if (Block.lastModule() >= Spec.moduleCount())
+        return Error::failure("tuning block '" + Block.id() +
+                              "' exceeds the model's module count");
+      assert(!Block.isIdentity() &&
+             "identity blocks need no pre-training");
+      PruneConfig BlockConfig = unprunedConfig(Spec);
+      for (int M = 0; M < Block.moduleCount(); ++M)
+        BlockConfig[Block.FirstModule + M] = Block.Rates[M];
+      Result<ChannelPlan> Plan = planChannels(Spec, BlockConfig);
+      if (!Plan)
+        return Plan.takeError();
+
+      BlockPort Port;
+      Port.Block = Block;
+      Port.Prefix = Prefix + ".b" + std::to_string(K);
+      Port.Layers = blockLayerNames(Block);
+      const ModuleSpec &FirstModule = Spec.Modules[Block.FirstModule];
+      const ModuleSpec &LastModule = Spec.Modules[Block.lastModule()];
+      Result<std::string> StudentOut = buildRange(
+          Target, *Plan, FirstModule.FirstLayer, LastModule.LastLayer,
+          Port.Prefix, Prefix, Generator);
+      if (!StudentOut)
+        return StudentOut.takeError();
+      Port.StudentOut = Port.Prefix + "/" + LastModule.OutputLayer;
+      Port.TeacherOut = Prefix + "/" + LastModule.OutputLayer;
+      Out.Ports.push_back(std::move(Port));
+    }
+    return Out;
+  }
+  }
+  reportFatalError("unhandled build mode");
+}

@@ -1,0 +1,102 @@
+//===- compiler/Multiplexing.h - The multiplexing model ---------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime form of the paper's *multiplexing model* (§6.2): one
+/// builder that, depending on `mode_to_use` and `prune_info`, materializes
+///
+///  * BuildMode::FullModel — the original network;
+///  * BuildMode::FineTune  — a pruned network for a configuration; or
+///  * BuildMode::PreTrain  — the Teacher-Student structure: the frozen
+///    full model with the requested pruned tuning blocks attached side by
+///    side, each fed by the full model's activation at the block's input
+///    boundary and targeting its unpruned counterpart's output activation
+///    (Figure 5 a/b).
+///
+/// Nodes are created as "<prefix>/<layer>"; the dataset input placeholder
+/// is shared under the model's input name so teacher and students see the
+/// same batch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_COMPILER_MULTIPLEXING_H
+#define WOOTZ_COMPILER_MULTIPLEXING_H
+
+#include "src/identifier/TuningBlock.h"
+#include "src/nn/Graph.h"
+#include "src/pruning/ChannelPlan.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// The paper's mode_to_use argument.
+enum class BuildMode { FullModel, PreTrain, FineTune };
+
+/// The paper's prune_info argument: a configuration for FineTune builds,
+/// a tuning-block set for PreTrain builds.
+struct PruneInfo {
+  PruneConfig Config;
+  std::vector<TuningBlock> Blocks;
+};
+
+/// Where a pruned tuning block plugs into the teacher, for wiring the
+/// reconstruction losses.
+struct BlockPort {
+  TuningBlock Block;
+  std::string Prefix;     ///< Node prefix of the student block.
+  std::string StudentOut; ///< Student output node (pruned activations).
+  std::string TeacherOut; ///< Counterpart node in the full model.
+  /// Layer names (spec-relative) the block instantiated.
+  std::vector<std::string> Layers;
+};
+
+/// What a build produced.
+struct BuildResult {
+  std::string InputNode;
+  /// Classifier output ("<prefix>/logits"); empty for PreTrain builds.
+  std::string LogitsNode;
+  /// One port per pruned block (PreTrain builds only).
+  std::vector<BlockPort> Ports;
+};
+
+/// A compiled model: builds any of the three modes into a Graph.
+class MultiplexingModel {
+public:
+  explicit MultiplexingModel(ModelSpec Spec) : Spec(std::move(Spec)) {}
+
+  const ModelSpec &spec() const { return Spec; }
+
+  /// Materializes \p Mode into \p Target under \p Prefix. For PreTrain
+  /// the full model is built (frozen) under \p Prefix and each block of
+  /// \p Info under "<Prefix>.bK". Parameters are freshly initialized
+  /// from \p Generator; load real weights afterwards.
+  Result<BuildResult> build(Graph &Target, BuildMode Mode,
+                            const PruneInfo &Info,
+                            const std::string &Prefix,
+                            Rng &Generator) const;
+
+  /// The layer names (spec-relative) belonging to the modules of
+  /// \p Block.
+  std::vector<std::string> blockLayerNames(const TuningBlock &Block) const;
+
+private:
+  /// Adds the layers [FirstLayer, LastLayer] (all layers when the range
+  /// is the whole model) under \p Prefix, resolving any bottom outside
+  /// the range via \p ExternalPrefix.
+  Result<std::string> buildRange(Graph &Target, const ChannelPlan &Plan,
+                                 int FirstLayer, int LastLayer,
+                                 const std::string &Prefix,
+                                 const std::string &ExternalPrefix,
+                                 Rng &Generator) const;
+
+  ModelSpec Spec;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_COMPILER_MULTIPLEXING_H

@@ -1,0 +1,28 @@
+//===- compiler/NetsFactory.cpp ------------------------------------------------===//
+
+#include "src/compiler/NetsFactory.h"
+
+using namespace wootz;
+
+Result<std::string>
+NetsFactory::registerModel(const std::string &PrototxtSource) {
+  Result<ModelSpec> Spec = parseModelSpec(PrototxtSource);
+  if (!Spec)
+    return Spec.takeError();
+  return registerModel(Spec.take());
+}
+
+Result<std::string> NetsFactory::registerModel(ModelSpec Spec) {
+  const std::string Name = Spec.Name;
+  if (Models.count(Name))
+    return Error::failure("model '" + Name + "' is already registered");
+  Models.emplace(Name,
+                 std::make_unique<MultiplexingModel>(std::move(Spec)));
+  Order.push_back(Name);
+  return Name;
+}
+
+const MultiplexingModel *NetsFactory::lookup(const std::string &Name) const {
+  auto It = Models.find(Name);
+  return It == Models.end() ? nullptr : It->second.get();
+}

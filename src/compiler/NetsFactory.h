@@ -1,0 +1,51 @@
+//===- compiler/NetsFactory.h - Model registry --------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper registers each generated multiplexing model "at the nets
+/// factory in Slim Model Library with its unique model name ... a
+/// dictionary mapping a model name to its corresponding model function".
+/// NetsFactory is that dictionary: compiled models are registered by
+/// name and retrieved by the pre-training and exploration scripts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_COMPILER_NETSFACTORY_H
+#define WOOTZ_COMPILER_NETSFACTORY_H
+
+#include "src/compiler/Multiplexing.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// A name -> MultiplexingModel registry.
+class NetsFactory {
+public:
+  /// Compiles \p PrototxtSource and registers the model under its own
+  /// name. Fails on parse errors or duplicate names.
+  Result<std::string> registerModel(const std::string &PrototxtSource);
+
+  /// Registers an already-built spec.
+  Result<std::string> registerModel(ModelSpec Spec);
+
+  /// Looks up a registered model; null when absent.
+  const MultiplexingModel *lookup(const std::string &Name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const { return Order; }
+
+private:
+  std::map<std::string, std::unique_ptr<MultiplexingModel>> Models;
+  std::vector<std::string> Order;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_COMPILER_NETSFACTORY_H

@@ -1,0 +1,83 @@
+//===- compiler/Solver.cpp ----------------------------------------------------===//
+
+#include "src/compiler/Solver.h"
+
+#include "src/proto/Prototxt.h"
+#include "src/support/StringUtils.h"
+
+using namespace wootz;
+
+Result<TrainMeta> wootz::parseTrainMeta(const std::string &Source) {
+  Result<PrototxtMessage> Parsed = parsePrototxt(Source);
+  if (!Parsed)
+    return Parsed.takeError();
+  const PrototxtMessage &Msg = *Parsed;
+
+  TrainMeta Meta;
+  for (const std::string &Field : Msg.fieldOrder()) {
+    auto intField = [&](int &Target) {
+      Target = static_cast<int>(Msg.intOr(Field, Target));
+    };
+    auto floatField = [&](float &Target) {
+      Target = static_cast<float>(Msg.doubleOr(Field, Target));
+    };
+    if (Field == "full_model_steps")
+      intField(Meta.FullModelSteps);
+    else if (Field == "full_model_lr")
+      floatField(Meta.FullModelLearningRate);
+    else if (Field == "early_stop_patience")
+      intField(Meta.EarlyStopPatience);
+    else if (Field == "lr_decay_every")
+      intField(Meta.LrDecayEvery);
+    else if (Field == "lr_decay_factor")
+      floatField(Meta.LrDecayFactor);
+    else if (Field == "pretrain_steps")
+      intField(Meta.PretrainSteps);
+    else if (Field == "pretrain_lr")
+      floatField(Meta.PretrainLearningRate);
+    else if (Field == "finetune_steps")
+      intField(Meta.FinetuneSteps);
+    else if (Field == "finetune_lr")
+      floatField(Meta.FinetuneLearningRate);
+    else if (Field == "batch_size")
+      intField(Meta.BatchSize);
+    else if (Field == "momentum")
+      floatField(Meta.Momentum);
+    else if (Field == "weight_decay")
+      floatField(Meta.WeightDecay);
+    else if (Field == "eval_every")
+      intField(Meta.EvalEvery);
+    else if (Field == "nodes")
+      intField(Meta.Nodes);
+    else if (Field == "seed")
+      Meta.Seed = static_cast<uint64_t>(Msg.intOr(Field, 7));
+    else
+      return Error::failure("unknown meta-data key '" + Field + "'");
+  }
+  if (Meta.BatchSize <= 0 || Meta.Nodes <= 0 || Meta.EvalEvery <= 0)
+    return Error::failure("batch_size, nodes and eval_every must be "
+                          "positive");
+  return Meta;
+}
+
+std::string wootz::printTrainMeta(const TrainMeta &Meta) {
+  std::string Out;
+  Out += "full_model_steps: " + std::to_string(Meta.FullModelSteps) + "\n";
+  Out += "full_model_lr: " + formatDouble(Meta.FullModelLearningRate, 4) +
+         "\n";
+  Out += "early_stop_patience: " + std::to_string(Meta.EarlyStopPatience) +
+         "\n";
+  Out += "lr_decay_every: " + std::to_string(Meta.LrDecayEvery) + "\n";
+  Out += "lr_decay_factor: " + formatDouble(Meta.LrDecayFactor, 4) + "\n";
+  Out += "pretrain_steps: " + std::to_string(Meta.PretrainSteps) + "\n";
+  Out += "pretrain_lr: " + formatDouble(Meta.PretrainLearningRate, 4) + "\n";
+  Out += "finetune_steps: " + std::to_string(Meta.FinetuneSteps) + "\n";
+  Out += "finetune_lr: " + formatDouble(Meta.FinetuneLearningRate, 4) + "\n";
+  Out += "batch_size: " + std::to_string(Meta.BatchSize) + "\n";
+  Out += "momentum: " + formatDouble(Meta.Momentum, 4) + "\n";
+  Out += "weight_decay: " + formatDouble(Meta.WeightDecay, 6) + "\n";
+  Out += "eval_every: " + std::to_string(Meta.EvalEvery) + "\n";
+  Out += "nodes: " + std::to_string(Meta.Nodes) + "\n";
+  Out += "seed: " + std::to_string(Meta.Seed) + "\n";
+  return Out;
+}

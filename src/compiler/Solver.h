@@ -1,0 +1,83 @@
+//===- compiler/Solver.h - Training meta data --------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The training meta data Wootz takes alongside the model ("learning
+/// rates, maximum training steps ... following the format used in Caffe
+/// Solver Prototxt", §4). TrainMeta carries the knobs for both phases —
+/// tuning-block pre-training and global fine-tuning — plus the node count
+/// for distributed exploration. parseTrainMeta() reads the solver-style
+/// text format; defaults are tuned for the miniature models.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_COMPILER_SOLVER_H
+#define WOOTZ_COMPILER_SOLVER_H
+
+#include "src/support/Error.h"
+
+#include <string>
+
+namespace wootz {
+
+/// Training configuration for the whole pipeline.
+struct TrainMeta {
+  // Full-model preparation (the "trained on the dataset of interest"
+  // precondition of CNN pruning).
+  int FullModelSteps = 400;
+  float FullModelLearningRate = 0.02f;
+
+  // Tuning-block pre-training (paper: 10k steps for ResNets, 20k for
+  // Inceptions, lr 0.2 / 0.08).
+  int PretrainSteps = 80;
+  float PretrainLearningRate = 0.08f;
+
+  // Global fine-tuning / baseline training (paper: 30k steps max,
+  // lr 0.001).
+  int FinetuneSteps = 40;
+  float FinetuneLearningRate = 0.01f;
+
+  int BatchSize = 8;
+  float Momentum = 0.9f;
+  float WeightDecay = 1e-4f;
+
+  /// Test-set evaluation cadence during fine-tuning, in steps.
+  int EvalEvery = 15;
+
+  /// Step learning-rate decay: multiply the rate by LrDecayFactor every
+  /// LrDecayEvery steps (0 disables — the paper settled on fixed rates
+  /// but "experimented with dynamic decay schemes", section 7.1).
+  int LrDecayEvery = 0;
+  float LrDecayFactor = 0.5f;
+
+  /// Early stopping: end a training run once the best test accuracy has
+  /// not improved for this many consecutive evaluations (0 disables).
+  /// Gives block-trained networks their "reaches the final accuracy in
+  /// fewer iterations" time advantage (paper section 7.2).
+  int EarlyStopPatience = 0;
+
+  /// Machines used for concurrent pre-training / exploration.
+  int Nodes = 1;
+
+  uint64_t Seed = 7;
+};
+
+/// Parses solver-style meta data, e.g.:
+/// \code
+///   pretrain_steps: 60
+///   finetune_lr: 0.02
+///   batch_size: 8
+///   nodes: 4
+/// \endcode
+/// Unknown keys are rejected; omitted keys keep their defaults.
+Result<TrainMeta> parseTrainMeta(const std::string &Source);
+
+/// Prints \p Meta in the format parseTrainMeta() accepts.
+std::string printTrainMeta(const TrainMeta &Meta);
+
+} // namespace wootz
+
+#endif // WOOTZ_COMPILER_SOLVER_H

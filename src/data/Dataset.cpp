@@ -1,0 +1,54 @@
+//===- data/Dataset.cpp ----------------------------------------------------===//
+
+#include "src/data/Dataset.h"
+
+#include <cassert>
+#include <cstring>
+#include <numeric>
+
+using namespace wootz;
+
+Batch Split::gather(const std::vector<int> &Indices) const {
+  assert(!Images.empty() && "gather from an empty split");
+  const Shape &Full = Images.shape();
+  const size_t Sample =
+      static_cast<size_t>(Full[1]) * Full[2] * Full[3];
+  Batch Out;
+  Out.Images = Tensor(
+      Shape{static_cast<int>(Indices.size()), Full[1], Full[2], Full[3]});
+  Out.Labels.reserve(Indices.size());
+  for (size_t I = 0; I < Indices.size(); ++I) {
+    const int Index = Indices[I];
+    assert(Index >= 0 && Index < exampleCount() && "gather index range");
+    std::memcpy(Out.Images.data() + I * Sample,
+                Images.data() + static_cast<size_t>(Index) * Sample,
+                sizeof(float) * Sample);
+    Out.Labels.push_back(Labels[Index]);
+  }
+  return Out;
+}
+
+BatchSampler::BatchSampler(const Split &Source, int BatchSize, Rng Generator)
+    : Source(Source), BatchSize(BatchSize), Generator(Generator) {
+  assert(BatchSize > 0 && "batch size must be positive");
+  assert(Source.exampleCount() > 0 && "cannot sample an empty split");
+  reshuffle();
+}
+
+void BatchSampler::reshuffle() {
+  Order.resize(Source.exampleCount());
+  std::iota(Order.begin(), Order.end(), 0);
+  Generator.shuffle(Order);
+  Cursor = 0;
+}
+
+Batch BatchSampler::next() {
+  std::vector<int> Indices;
+  Indices.reserve(BatchSize);
+  while (static_cast<int>(Indices.size()) < BatchSize) {
+    if (Cursor == Order.size())
+      reshuffle();
+    Indices.push_back(Order[Cursor++]);
+  }
+  return Source.gather(Indices);
+}

@@ -1,0 +1,76 @@
+//===- data/Dataset.h - In-memory classification dataset -------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-memory image-classification dataset with train/test splits and a
+/// deterministic mini-batch sampler. Stands in for the fine-grained
+/// recognition datasets (Flowers102, CUB200, Cars, Dogs) of the paper's
+/// Table 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_DATA_DATASET_H
+#define WOOTZ_DATA_DATASET_H
+
+#include "src/support/Rng.h"
+#include "src/tensor/Tensor.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// One labeled mini-batch.
+struct Batch {
+  Tensor Images; ///< NCHW.
+  std::vector<int> Labels;
+};
+
+/// A dataset split: images plus labels.
+struct Split {
+  Tensor Images; ///< NCHW over the whole split.
+  std::vector<int> Labels;
+
+  /// Number of examples in the split.
+  int exampleCount() const {
+    return Images.empty() ? 0 : Images.shape()[0];
+  }
+
+  /// Copies the examples at \p Indices into a batch.
+  Batch gather(const std::vector<int> &Indices) const;
+};
+
+/// A named dataset with train and test splits.
+struct Dataset {
+  std::string Name;
+  int Classes = 0;
+  Split Train;
+  Split Test;
+};
+
+/// Draws shuffled mini-batches, reshuffling at each epoch boundary.
+class BatchSampler {
+public:
+  /// Samples from \p Source (kept by reference) with the given batch size.
+  BatchSampler(const Split &Source, int BatchSize, Rng Generator);
+
+  /// Returns the next mini-batch (always exactly BatchSize examples;
+  /// the tail of an epoch wraps into the next one).
+  Batch next();
+
+private:
+  void reshuffle();
+
+  const Split &Source;
+  int BatchSize;
+  Rng Generator;
+  std::vector<int> Order;
+  size_t Cursor = 0;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_DATA_DATASET_H

@@ -1,0 +1,66 @@
+//===- explore/Cluster.cpp ------------------------------------------------------===//
+
+#include "src/explore/Cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace wootz;
+
+ExplorationOutcome
+wootz::simulateExploration(const std::vector<double> &SecondsPerConfig,
+                           const std::vector<bool> &Satisfies, int Nodes) {
+  assert(Nodes >= 1 && "at least one node required");
+  assert(SecondsPerConfig.size() == Satisfies.size() &&
+         "times and satisfaction flags must align");
+  const int ConfigCount = static_cast<int>(SecondsPerConfig.size());
+
+  ExplorationOutcome Outcome;
+  for (int I = 0; I < ConfigCount; ++I) {
+    if (Satisfies[I]) {
+      Outcome.WinnerIndex = I;
+      break;
+    }
+  }
+
+  // Rounds completed before stopping: all of them when there is no
+  // winner, otherwise up to and including the winner's round.
+  const int Rounds = Outcome.WinnerIndex < 0
+                         ? (ConfigCount + Nodes - 1) / Nodes
+                         : Outcome.WinnerIndex / Nodes + 1;
+  Outcome.ConfigsEvaluated = std::min(ConfigCount, Rounds * Nodes);
+
+  double Makespan = 0.0;
+  for (int Node = 0; Node < Nodes; ++Node) {
+    double NodeTotal = 0.0;
+    for (int Round = 0; Round < Rounds; ++Round) {
+      const int Index = Node + Round * Nodes;
+      if (Index < ConfigCount)
+        NodeTotal += SecondsPerConfig[Index];
+    }
+    Makespan = std::max(Makespan, NodeTotal);
+  }
+  Outcome.Seconds = Makespan;
+  return Outcome;
+}
+
+double wootz::pretrainMakespan(const std::vector<double> &GroupSeconds,
+                               int Nodes) {
+  assert(Nodes >= 1 && "at least one node required");
+  std::vector<double> NodeTotals(Nodes, 0.0);
+  for (size_t Group = 0; Group < GroupSeconds.size(); ++Group)
+    NodeTotals[Group % Nodes] += GroupSeconds[Group];
+  return *std::max_element(NodeTotals.begin(), NodeTotals.end());
+}
+
+std::string wootz::taskAssignmentFile(int ConfigCount, int Nodes) {
+  std::string Out = "# Wootz exploration task assignment\n";
+  Out += "# node i evaluates the (i + p*j)-th model in exploration order\n";
+  for (int Node = 0; Node < Nodes; ++Node) {
+    Out += "node " + std::to_string(Node) + ":";
+    for (int Index = Node; Index < ConfigCount; Index += Nodes)
+      Out += " " + std::to_string(Index);
+    Out += "\n";
+  }
+  return Out;
+}

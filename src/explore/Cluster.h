@@ -1,0 +1,57 @@
+//===- explore/Cluster.h - Multi-node exploration schedule ---------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper distributes exploration over machines through MPI with a
+/// static assignment: "the i-th node will evaluate the (i + p*j)-th
+/// smallest (or largest) model" (§6.2). We reproduce that schedule as a
+/// simulation over measured per-configuration training times (see
+/// DESIGN.md §2): configurations run in rounds of p, and exploration
+/// stops at the end of the round in which the first satisfying
+/// configuration completes — giving Table 3's per-node-count
+/// configuration counts and makespans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_EXPLORE_CLUSTER_H
+#define WOOTZ_EXPLORE_CLUSTER_H
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// Result of simulating one exploration schedule.
+struct ExplorationOutcome {
+  /// Configurations evaluated before exploration stopped (all of them
+  /// when nothing satisfies the objective).
+  int ConfigsEvaluated = 0;
+  /// Makespan: the time at which every node finished its share of the
+  /// completed rounds.
+  double Seconds = 0.0;
+  /// Index (into the exploration order) of the first satisfying
+  /// configuration, or -1.
+  int WinnerIndex = -1;
+};
+
+/// Simulates the paper's schedule. \p SecondsPerConfig and
+/// \p Satisfies are indexed in exploration order; \p Nodes >= 1.
+ExplorationOutcome
+simulateExploration(const std::vector<double> &SecondsPerConfig,
+                    const std::vector<bool> &Satisfies, int Nodes);
+
+/// Round-robin makespan for the pre-training groups: group g runs on
+/// node g % Nodes; the makespan is the largest per-node total.
+double pretrainMakespan(const std::vector<double> &GroupSeconds, int Nodes);
+
+/// Renders the task assignment file the Wootz compiler generates for
+/// concurrent exploration: one line per node listing the exploration-
+/// order indices it evaluates.
+std::string taskAssignmentFile(int ConfigCount, int Nodes);
+
+} // namespace wootz
+
+#endif // WOOTZ_EXPLORE_CLUSTER_H

@@ -1,0 +1,109 @@
+//===- explore/Iterative.cpp ---------------------------------------------------===//
+
+#include "src/explore/Iterative.h"
+
+#include "src/support/Stopwatch.h"
+#include "src/train/Assembly.h"
+#include "src/train/ModelZoo.h"
+#include "src/train/Pretrainer.h"
+
+#include <algorithm>
+
+using namespace wootz;
+
+Result<IterativeResult> wootz::runIterativeExploration(
+    const ModelSpec &Spec, const Dataset &Data, const TrainMeta &Meta,
+    const IterativeOptions &Options, Rng &Generator) {
+  if (Options.Rates.size() < 2 || Options.Rates.front() != 0.0f)
+    return Error::failure("the rate alphabet must start at 0 and contain "
+                          "at least one pruned rate");
+  if (!std::is_sorted(Options.Rates.begin(), Options.Rates.end()))
+    return Error::failure("the rate alphabet must be ascending");
+
+  Stopwatch Timer;
+  const MultiplexingModel Model(Spec);
+  IterativeResult Out;
+
+  Result<FullModel> Full =
+      prepareFullModel(Model, Data, Meta, Options.CacheDir, Generator);
+  if (!Full)
+    return Full.takeError();
+  Out.FullAccuracy = Full->Accuracy;
+  Out.FullWeightCount = modelWeightCount(Spec, unprunedConfig(Spec));
+
+  CheckpointStore Store;
+  const int ModuleCount = Spec.moduleCount();
+  std::vector<int> RateIndex(ModuleCount, 0); // Index into Options.Rates.
+  PruneConfig Current = unprunedConfig(Spec);
+  Out.BestConfig = Current;
+  Out.BestAccuracy = Full->Accuracy;
+  Out.BestWeightCount = Out.FullWeightCount;
+
+  for (int Iteration = 0; Iteration < Options.MaxIterations; ++Iteration) {
+    IterativeStep Step;
+    double BestCandidateAccuracy = -1.0;
+    int BestModule = -1;
+    PruneConfig BestCandidate;
+
+    for (int Module = 0; Module < ModuleCount; ++Module) {
+      if (RateIndex[Module] + 1 >= static_cast<int>(Options.Rates.size()))
+        continue; // Already at the heaviest rate.
+      PruneConfig Candidate = Current;
+      const float NewRate = Options.Rates[RateIndex[Module] + 1];
+      Candidate[Module] = NewRate;
+      ++Step.CandidatesTried;
+      ++Out.TotalCandidates;
+
+      // Composability harvest: pre-train only the blocks this candidate
+      // is missing; everything already in the store is reused.
+      std::vector<TuningBlock> Composite;
+      for (int M = 0; M < ModuleCount; ++M)
+        if (Candidate[M] != 0.0f)
+          Composite.push_back(TuningBlock{M, {Candidate[M]}});
+      Result<PretrainStats> Stats =
+          pretrainBlocks(Model, Full->Network, "full", Composite, Data,
+                         Meta, Store, Generator);
+      if (!Stats)
+        return Stats.takeError();
+      const int Reused =
+          static_cast<int>(Composite.size()) - Stats->BlockCount;
+      Step.BlocksTrained += Stats->BlockCount;
+      Out.TotalBlocksTrained += Stats->BlockCount;
+      Step.BlocksReused += Reused;
+      Out.TotalBlockReuses += Reused;
+
+      Result<AssembledNetwork> Assembled =
+          buildPrunedNetwork(Model, Candidate, Full->Network, "full",
+                             &Store, &Composite, Generator);
+      if (!Assembled)
+        return Assembled.takeError();
+      const TrainResult Trial = trainClassifier(
+          Assembled->Network, Assembled->InputNode, Assembled->LogitsNode,
+          Data, Meta, Meta.FinetuneSteps, Meta.FinetuneLearningRate,
+          Generator);
+      if (Trial.FinalAccuracy >= Options.AccuracyThreshold &&
+          Trial.FinalAccuracy > BestCandidateAccuracy) {
+        BestCandidateAccuracy = Trial.FinalAccuracy;
+        BestModule = Module;
+        BestCandidate = Candidate;
+      }
+    }
+
+    if (BestModule < 0)
+      break; // No bump keeps the constraint: the search has converged.
+    ++RateIndex[BestModule];
+    Current = BestCandidate;
+    Step.Config = Current;
+    Step.Module = BestModule;
+    Step.Rate = Options.Rates[RateIndex[BestModule]];
+    Step.Accuracy = BestCandidateAccuracy;
+    Step.WeightCount = modelWeightCount(Spec, Current);
+    Out.Trajectory.push_back(Step);
+
+    Out.BestConfig = Current;
+    Out.BestAccuracy = BestCandidateAccuracy;
+    Out.BestWeightCount = Step.WeightCount;
+  }
+  Out.Seconds = Timer.seconds();
+  return Out;
+}

@@ -1,0 +1,79 @@
+//===- explore/Iterative.h - Subspace-free iterative pruning ----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The extension the paper flags as future work (§4): "There are methods
+/// that do not provide the subspace explicitly. They, however, still
+/// need to tune the pruning rate for each layer and the exploration could
+/// also contain potentially avoidable computations. Extending Wootz to
+/// harvest those opportunities is a direction worth future exploration."
+///
+/// runIterativeExploration() is that extension: a greedy sensitivity
+/// search that generates configurations on the fly. Starting from the
+/// unpruned configuration, each iteration tries bumping every module's
+/// rate to the next alphabet value, evaluates each candidate as a
+/// block-trained network, and commits the bump that keeps accuracy
+/// highest while it stays above the threshold. The composability
+/// machinery pays off across candidates: a (module, rate) tuning block
+/// is pre-trained the first time any candidate needs it and reused by
+/// every later candidate that shares it — the cross-evaluation reuse the
+/// paper's subspace pipeline gets, harvested without a subspace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_EXPLORE_ITERATIVE_H
+#define WOOTZ_EXPLORE_ITERATIVE_H
+
+#include "src/explore/Pipeline.h"
+
+namespace wootz {
+
+/// Knobs for the iterative search.
+struct IterativeOptions {
+  /// Candidates whose fine-tuned accuracy falls below this are rejected.
+  double AccuracyThreshold = 0.0;
+  /// Ascending pruning-rate alphabet including 0 (the starting rate).
+  std::vector<float> Rates = {0.0f, 0.3f, 0.5f, 0.7f};
+  /// Upper bound on committed bumps (<= modules * (rates-1)).
+  int MaxIterations = 64;
+  /// Full-model cache directory (empty disables caching).
+  std::string CacheDir;
+};
+
+/// One committed step of the trajectory.
+struct IterativeStep {
+  PruneConfig Config; ///< Configuration after the commit.
+  int Module = 0;     ///< Module whose rate was bumped.
+  float Rate = 0.0f;  ///< New rate of that module.
+  double Accuracy = 0.0;
+  size_t WeightCount = 0;
+  int CandidatesTried = 0; ///< Candidates evaluated this iteration.
+  int BlocksReused = 0;    ///< Candidate evaluations served from cache.
+  int BlocksTrained = 0;   ///< Blocks pre-trained this iteration.
+};
+
+/// The search outcome.
+struct IterativeResult {
+  std::vector<IterativeStep> Trajectory;
+  PruneConfig BestConfig;
+  double BestAccuracy = 0.0;
+  size_t BestWeightCount = 0;
+  double FullAccuracy = 0.0;
+  size_t FullWeightCount = 0;
+  int TotalCandidates = 0;
+  int TotalBlocksTrained = 0;
+  int TotalBlockReuses = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs the greedy block-reusing search on \p Data.
+Result<IterativeResult> runIterativeExploration(
+    const ModelSpec &Spec, const Dataset &Data, const TrainMeta &Meta,
+    const IterativeOptions &Options, Rng &Generator);
+
+} // namespace wootz
+
+#endif // WOOTZ_EXPLORE_ITERATIVE_H

@@ -1,0 +1,129 @@
+//===- explore/Objective.cpp ----------------------------------------------------===//
+
+#include "src/explore/Objective.h"
+
+#include "src/support/StringUtils.h"
+
+using namespace wootz;
+
+bool ObjectiveConstraint::holds(size_t ModelSize, double Accuracy) const {
+  const double Observed = Which == Metric::ModelSize
+                              ? static_cast<double>(ModelSize)
+                              : Accuracy;
+  switch (Op) {
+  case CompareOp::LT:
+    return Observed < Value;
+  case CompareOp::GT:
+    return Observed > Value;
+  case CompareOp::LE:
+    return Observed <= Value;
+  case CompareOp::GE:
+    return Observed >= Value;
+  }
+  return false;
+}
+
+bool PruningObjective::satisfied(size_t ModelSize, double Accuracy) const {
+  for (const ObjectiveConstraint &C : Constraints)
+    if (!C.holds(ModelSize, Accuracy))
+      return false;
+  return true;
+}
+
+PruningObjective wootz::smallestMeetingAccuracy(double AccuracyThreshold) {
+  PruningObjective Objective;
+  Objective.Minimize = true;
+  Objective.Optimize = Metric::ModelSize;
+  Objective.Constraints.push_back(
+      {Metric::Accuracy, CompareOp::GE, AccuracyThreshold});
+  return Objective;
+}
+
+static Result<Metric> parseMetric(std::string_view Text) {
+  if (Text == "ModelSize")
+    return Metric::ModelSize;
+  if (Text == "Accuracy")
+    return Metric::Accuracy;
+  return Error::failure("unknown metric '" + std::string(Text) +
+                        "' (expected ModelSize or Accuracy)");
+}
+
+Result<PruningObjective> wootz::parseObjective(const std::string &Text) {
+  PruningObjective Objective;
+  bool SawOptimize = false;
+  for (const std::string &RawLine : splitLines(Text)) {
+    std::string_view Line = trim(RawLine);
+    if (const size_t Hash = Line.find('#'); Hash != std::string_view::npos)
+      Line = trim(Line.substr(0, Hash));
+    if (Line.empty())
+      continue;
+    std::vector<std::string> Words;
+    for (const std::string &Word : split(Line, ' '))
+      if (!trim(Word).empty())
+        Words.emplace_back(trim(Word));
+
+    if (Words[0] == "min" || Words[0] == "max") {
+      if (SawOptimize)
+        return Error::failure("duplicate min/max line");
+      if (Words.size() != 2)
+        return Error::failure("expected 'min|max <Metric>'");
+      Result<Metric> M = parseMetric(Words[1]);
+      if (!M)
+        return M.takeError();
+      Objective.Minimize = Words[0] == "min";
+      Objective.Optimize = *M;
+      SawOptimize = true;
+      continue;
+    }
+    if (Words[0] == "constraint") {
+      if (Words.size() != 4)
+        return Error::failure(
+            "expected 'constraint <Metric> <op> <value>'");
+      Result<Metric> M = parseMetric(Words[1]);
+      if (!M)
+        return M.takeError();
+      CompareOp Op;
+      if (Words[2] == "<")
+        Op = CompareOp::LT;
+      else if (Words[2] == ">")
+        Op = CompareOp::GT;
+      else if (Words[2] == "<=")
+        Op = CompareOp::LE;
+      else if (Words[2] == ">=")
+        Op = CompareOp::GE;
+      else
+        return Error::failure("unknown comparison '" + Words[2] + "'");
+      Result<double> Value = parseDouble(Words[3]);
+      if (!Value)
+        return Value.takeError();
+      Objective.Constraints.push_back({*M, Op, *Value});
+      continue;
+    }
+    return Error::failure("unrecognized objective line '" +
+                          std::string(Line) + "'");
+  }
+  if (!SawOptimize)
+    return Error::failure("objective needs a 'min <Metric>' or "
+                          "'max <Metric>' line");
+  return Objective;
+}
+
+std::string wootz::printObjective(const PruningObjective &Objective) {
+  auto metricName = [](Metric M) {
+    return M == Metric::ModelSize ? "ModelSize" : "Accuracy";
+  };
+  std::string Out = std::string(Objective.Minimize ? "min" : "max") + " " +
+                    metricName(Objective.Optimize) + "\n";
+  for (const ObjectiveConstraint &C : Objective.Constraints) {
+    const char *Op = "<";
+    if (C.Op == CompareOp::GT)
+      Op = ">";
+    else if (C.Op == CompareOp::LE)
+      Op = "<=";
+    else if (C.Op == CompareOp::GE)
+      Op = ">=";
+    Out += std::string("constraint ") + metricName(C.Which) + " " + Op +
+           " " + formatDouble(C.Value, 4) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- explore/Objective.h - Pruning objective specifications ------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pruning-objective specification of Figure 3(b):
+///
+/// \code
+///   # Format:
+///   [min, max] [ModelSize, Accuracy]
+///   constraint [ModelSize, Accuracy] [<, >, <=, >=] [Value]
+///   # Example:
+///   min ModelSize
+///   constraint Accuracy > 0.8
+/// \endcode
+///
+/// The objective drives the exploration order (§6.2): minimizing
+/// ModelSize explores smallest models first; maximizing Accuracy explores
+/// largest first "as a larger model tends to give a higher accuracy".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_EXPLORE_OBJECTIVE_H
+#define WOOTZ_EXPLORE_OBJECTIVE_H
+
+#include "src/support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// The metrics an objective can reference.
+enum class Metric { ModelSize, Accuracy };
+
+/// Comparison operators for constraints.
+enum class CompareOp { LT, GT, LE, GE };
+
+/// One "constraint <metric> <op> <value>" line.
+struct ObjectiveConstraint {
+  Metric Which = Metric::Accuracy;
+  CompareOp Op = CompareOp::GE;
+  double Value = 0.0;
+
+  /// Evaluates the constraint for a candidate network.
+  bool holds(size_t ModelSize, double Accuracy) const;
+};
+
+/// A full pruning objective.
+struct PruningObjective {
+  bool Minimize = true;
+  Metric Optimize = Metric::ModelSize;
+  std::vector<ObjectiveConstraint> Constraints;
+
+  /// True if a candidate meets every constraint.
+  bool satisfied(size_t ModelSize, double Accuracy) const;
+
+  /// True when exploration should proceed from the smallest model
+  /// upwards (§6.2's order selection).
+  bool exploreSmallestFirst() const {
+    return !(Optimize == Metric::Accuracy && !Minimize);
+  }
+};
+
+/// The conventional objective of the evaluation: the smallest network
+/// whose accuracy is at least \p AccuracyThreshold.
+PruningObjective smallestMeetingAccuracy(double AccuracyThreshold);
+
+/// Parses the Figure 3(b) format. '#' comments and blank lines are
+/// ignored.
+Result<PruningObjective> parseObjective(const std::string &Text);
+
+/// Prints in the format parseObjective() accepts.
+std::string printObjective(const PruningObjective &Objective);
+
+} // namespace wootz
+
+#endif // WOOTZ_EXPLORE_OBJECTIVE_H

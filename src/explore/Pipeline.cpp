@@ -1,0 +1,187 @@
+//===- explore/Pipeline.cpp -----------------------------------------------------===//
+
+#include "src/explore/Pipeline.h"
+
+#include "src/identifier/Identifier.h"
+#include "src/support/ThreadPool.h"
+
+#include <algorithm>
+#include <mutex>
+
+using namespace wootz;
+
+/// Distinct rates used by \p Subspace (always including 0), the rate
+/// alphabet handed to the identifier.
+static std::vector<float>
+rateAlphabet(const std::vector<PruneConfig> &Subspace) {
+  std::vector<float> Rates{0.0f};
+  for (const PruneConfig &Config : Subspace)
+    for (float Rate : Config)
+      if (std::find(Rates.begin(), Rates.end(), Rate) == Rates.end())
+        Rates.push_back(Rate);
+  std::sort(Rates.begin(), Rates.end());
+  return Rates;
+}
+
+Result<PipelineResult> wootz::runPruningPipeline(
+    const ModelSpec &Spec, const Dataset &Data,
+    std::vector<PruneConfig> Subspace, const TrainMeta &Meta,
+    const PipelineOptions &Options, Rng &Generator) {
+  if (Subspace.empty())
+    return Error::failure("the promising subspace is empty");
+  const MultiplexingModel Model(Spec);
+  PipelineResult Run;
+
+  // Phase 0: the trained full model every pruned network derives from.
+  Result<FullModel> Full =
+      prepareFullModel(Model, Data, Meta, Options.CacheDir, Generator);
+  if (!Full)
+    return Full.takeError();
+  Run.FullAccuracy = Full->Accuracy;
+  Run.FullWeightCount = modelWeightCount(Spec, unprunedConfig(Spec));
+
+  // Filter importances are a property of the trained full model; score
+  // once and reuse for every configuration and tuning block.
+  Result<FilterScores> Scores = scoreFilters(
+      Spec, Full->Network, "full", Options.Criterion, &Data);
+  if (!Scores)
+    return Scores.takeError();
+
+  // Exploration order: ascending model size (min-ModelSize objective).
+  std::sort(Subspace.begin(), Subspace.end(),
+            [&](const PruneConfig &A, const PruneConfig &B) {
+              return modelWeightCount(Spec, A) < modelWeightCount(Spec, B);
+            });
+
+  // Phase 1 (composability only): choose and pre-train tuning blocks.
+  CheckpointStore Store;
+  std::vector<std::vector<int>> CompositeVectors;
+  if (Options.UseComposability) {
+    if (Options.UseIdentifier) {
+      IdentifierResult Identified = identifyTuningBlocks(
+          Spec.moduleCount(), Subspace, rateAlphabet(Subspace));
+      Run.Blocks = std::move(Identified.Blocks);
+      CompositeVectors = std::move(Identified.CompositeVectors);
+    } else {
+      Run.Blocks = perModuleBlocks(Subspace);
+      CompositeVectors = coverWithBlocks(Subspace, Run.Blocks);
+    }
+    Result<PretrainStats> Stats =
+        pretrainBlocks(Model, Full->Network, "full", Run.Blocks, Data,
+                       Meta, Store, Generator, &*Scores);
+    if (!Stats)
+      return Stats.takeError();
+    Run.Pretrain = *Stats;
+  }
+
+  // Phase 2: evaluate every configuration in exploration order. Seeds
+  // are drawn up front so serial and parallel runs produce identical
+  // results.
+  const size_t ConfigCount = Subspace.size();
+  std::vector<uint64_t> Seeds(ConfigCount);
+  for (uint64_t &Seed : Seeds)
+    Seed = Generator.next();
+  Run.Evaluations.resize(ConfigCount);
+  std::mutex ErrorMutex;
+  std::string FirstError;
+
+  auto evaluateOne = [&](size_t Index) {
+    const PruneConfig &Config = Subspace[Index];
+    std::vector<TuningBlock> Composite;
+    if (Options.UseComposability)
+      for (int BlockIndex : CompositeVectors[Index])
+        Composite.push_back(Run.Blocks[BlockIndex]);
+
+    Rng ConfigGen(Seeds[Index]);
+    Result<AssembledNetwork> Assembled = buildPrunedNetwork(
+        Model, Config, Full->Network, "full",
+        Options.UseComposability ? &Store : nullptr,
+        Options.UseComposability ? &Composite : nullptr, ConfigGen,
+        &*Scores);
+    if (!Assembled) {
+      std::lock_guard<std::mutex> Lock(ErrorMutex);
+      if (FirstError.empty())
+        FirstError = Assembled.message();
+      return;
+    }
+
+    const TrainResult Trained =
+        Options.DistillAlpha > 0.0f
+            ? trainClassifierDistilled(
+                  Assembled->Network, Assembled->InputNode,
+                  Assembled->LogitsNode, Full->Network, Assembled->InputNode,
+                  "full/" + Spec.Layers.back().Name, Data, Meta,
+                  Meta.FinetuneSteps, Meta.FinetuneLearningRate,
+                  Options.DistillAlpha, Options.DistillTemperature,
+                  ConfigGen)
+            : trainClassifier(Assembled->Network, Assembled->InputNode,
+                              Assembled->LogitsNode, Data, Meta,
+                              Meta.FinetuneSteps,
+                              Meta.FinetuneLearningRate, ConfigGen);
+
+    EvaluatedConfig Evaluated;
+    Evaluated.Config = Config;
+    Evaluated.WeightCount = modelWeightCount(Spec, Config);
+    Evaluated.SizeFraction = static_cast<double>(Evaluated.WeightCount) /
+                             static_cast<double>(Run.FullWeightCount);
+    Evaluated.InitAccuracy = Trained.InitialAccuracy;
+    Evaluated.FinalAccuracy = Trained.FinalAccuracy;
+    Evaluated.StepsToBest = Trained.StepsToBest;
+    Evaluated.TrainSeconds = Trained.Seconds;
+    if (Options.KeepCurves)
+      Evaluated.Curve = Trained.Curve;
+    Evaluated.BlocksUsed = Assembled->BlocksUsed;
+    Run.Evaluations[Index] = std::move(Evaluated);
+  };
+
+  // Distillation shares the teacher graph's activation buffers across
+  // evaluations, so it must stay on one thread.
+  if (Options.Workers > 1 && Options.DistillAlpha == 0.0f) {
+    ThreadPool Pool(static_cast<unsigned>(Options.Workers));
+    Pool.parallelFor(ConfigCount, evaluateOne);
+  } else {
+    for (size_t Index = 0; Index < ConfigCount; ++Index)
+      evaluateOne(Index);
+  }
+  if (!FirstError.empty())
+    return Error::failure(FirstError);
+  for (const EvaluatedConfig &E : Run.Evaluations)
+    Run.EvaluationSeconds += E.TrainSeconds;
+  return Run;
+}
+
+ExplorationSummary
+wootz::summarizeExploration(const PipelineResult &Run,
+                            const PruningObjective &Objective, int Nodes) {
+  const size_t Count = Run.Evaluations.size();
+  std::vector<double> Seconds(Count);
+  std::vector<bool> Satisfies(Count);
+  // Evaluations are stored smallest-first; a max-Accuracy objective
+  // walks them from the other end.
+  const bool SmallestFirst = Objective.exploreSmallestFirst();
+  for (size_t I = 0; I < Count; ++I) {
+    const EvaluatedConfig &E =
+        Run.Evaluations[SmallestFirst ? I : Count - 1 - I];
+    Seconds[I] = E.TrainSeconds;
+    Satisfies[I] = Objective.satisfied(E.WeightCount, E.FinalAccuracy);
+  }
+
+  const ExplorationOutcome Outcome =
+      simulateExploration(Seconds, Satisfies, Nodes);
+  ExplorationSummary Summary;
+  Summary.ConfigsEvaluated = Outcome.ConfigsEvaluated;
+  Summary.WinnerIndex = Outcome.WinnerIndex;
+  Summary.PretrainSeconds = pretrainMakespan(Run.Pretrain.GroupSeconds,
+                                             Nodes);
+  Summary.Seconds = Outcome.Seconds + Summary.PretrainSeconds;
+  Summary.OverheadFraction =
+      Summary.Seconds > 0.0 ? Summary.PretrainSeconds / Summary.Seconds
+                            : 0.0;
+  if (Outcome.WinnerIndex >= 0) {
+    const size_t Index = SmallestFirst
+                             ? Outcome.WinnerIndex
+                             : Count - 1 - Outcome.WinnerIndex;
+    Summary.WinnerSizeFraction = Run.Evaluations[Index].SizeFraction;
+  }
+  return Summary;
+}

@@ -1,0 +1,111 @@
+//===- explore/Pipeline.h - End-to-end pruning pipeline ------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The end-to-end pipeline behind the evaluation section: prepare the
+/// full model, (optionally) identify and pre-train tuning blocks, then
+/// evaluate every configuration of the promising subspace in exploration
+/// order — as the baseline ("default networks") or the composability-
+/// based method ("block-trained networks"). Per-configuration results
+/// feed summarizeExploration(), which replays the paper's multi-node
+/// schedule against an objective to produce Table 3/4/5 rows without
+/// retraining anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_EXPLORE_PIPELINE_H
+#define WOOTZ_EXPLORE_PIPELINE_H
+
+#include "src/explore/Cluster.h"
+#include "src/explore/Objective.h"
+#include "src/train/Assembly.h"
+#include "src/train/ModelZoo.h"
+#include "src/train/Pretrainer.h"
+
+namespace wootz {
+
+/// One evaluated configuration of the promising subspace.
+struct EvaluatedConfig {
+  PruneConfig Config;
+  size_t WeightCount = 0;
+  double SizeFraction = 0.0; ///< WeightCount / full model's.
+  double InitAccuracy = 0.0; ///< Before fine-tuning (init / init+).
+  double FinalAccuracy = 0.0;
+  int StepsToBest = 0;
+  double TrainSeconds = 0.0;
+  std::vector<AccuracyPoint> Curve; ///< Kept when Options.KeepCurves.
+  std::vector<std::string> BlocksUsed;
+};
+
+/// Pipeline knobs.
+struct PipelineOptions {
+  /// false: baseline (train default networks); true: composability-based.
+  bool UseComposability = false;
+  /// Blocks from the hierarchical identifier instead of one block per
+  /// pruned module (only meaningful with UseComposability).
+  bool UseIdentifier = false;
+  /// Directory for the trained-full-model cache; empty disables caching.
+  std::string CacheDir;
+  /// Filter-importance criterion for weight inheritance and block
+  /// initialization (the paper uses l1 norms; §8 surveys the others).
+  ImportanceCriterion Criterion = ImportanceCriterion::L1Norm;
+  /// Weight of the knowledge-distillation term during fine-tuning
+  /// (0 disables; the trained full model is the teacher). The §8-cited
+  /// whole-network Teacher-Student scheme, composable with block
+  /// pre-training.
+  float DistillAlpha = 0.0f;
+  float DistillTemperature = 2.0f;
+  /// Retain per-config accuracy curves (Figure 6/7 benches).
+  bool KeepCurves = false;
+  /// Worker threads for configuration evaluation (the in-process
+  /// substitute for the paper's MPI exploration ranks). Results are
+  /// identical to the serial run (per-configuration seeds are drawn up
+  /// front); per-configuration *timings* reflect contention when workers
+  /// exceed physical cores, so keep Workers = 1 when the measured costs
+  /// feed summarizeExploration() on an oversubscribed machine.
+  int Workers = 1;
+};
+
+/// Everything a pipeline run produced.
+struct PipelineResult {
+  double FullAccuracy = 0.0;
+  size_t FullWeightCount = 0;
+  /// Evaluations sorted by ascending model size — the §6.2 exploration
+  /// order for the min-ModelSize objective.
+  std::vector<EvaluatedConfig> Evaluations;
+  /// Tuning blocks pre-trained (empty for the baseline).
+  std::vector<TuningBlock> Blocks;
+  PretrainStats Pretrain;
+  double EvaluationSeconds = 0.0; ///< Total fine-tuning time, all configs.
+};
+
+/// Runs the pipeline for \p Subspace on \p Data.
+Result<PipelineResult> runPruningPipeline(const ModelSpec &Spec,
+                                          const Dataset &Data,
+                                          std::vector<PruneConfig> Subspace,
+                                          const TrainMeta &Meta,
+                                          const PipelineOptions &Options,
+                                          Rng &Generator);
+
+/// A Table 3-style row derived from a pipeline run.
+struct ExplorationSummary {
+  int ConfigsEvaluated = 0;
+  double Seconds = 0.0; ///< Exploration makespan + pre-training share.
+  int WinnerIndex = -1;
+  double WinnerSizeFraction = 0.0; ///< 0 when no winner.
+  double PretrainSeconds = 0.0;    ///< This run's share (already counted).
+  double OverheadFraction = 0.0;   ///< PretrainSeconds / Seconds.
+};
+
+/// Replays the multi-node exploration schedule over \p Run's measured
+/// per-configuration times against \p Objective.
+ExplorationSummary summarizeExploration(const PipelineResult &Run,
+                                        const PruningObjective &Objective,
+                                        int Nodes);
+
+} // namespace wootz
+
+#endif // WOOTZ_EXPLORE_PIPELINE_H

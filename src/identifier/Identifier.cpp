@@ -1,0 +1,216 @@
+//===- identifier/Identifier.cpp ----------------------------------------------===//
+
+#include "src/identifier/Identifier.h"
+
+#include "src/support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+using namespace wootz;
+
+namespace {
+/// Encodes/decodes (module, rate) pairs and per-network end markers as
+/// Sequitur terminals.
+class SymbolCoder {
+public:
+  SymbolCoder(int ModuleCount, std::vector<float> Rates)
+      : ModuleCount(ModuleCount), Rates(std::move(Rates)) {}
+
+  int rateIndex(float Rate) const {
+    for (size_t I = 0; I < Rates.size(); ++I)
+      if (Rates[I] == Rate)
+        return static_cast<int>(I);
+    reportFatalError("subspace uses a rate outside the rate alphabet");
+  }
+
+  int encode(int Module, float Rate) const {
+    return Module * static_cast<int>(Rates.size()) + rateIndex(Rate);
+  }
+
+  int endMarker(int NetworkIndex) const {
+    return ModuleCount * static_cast<int>(Rates.size()) + NetworkIndex;
+  }
+
+  bool isEndMarker(int Terminal) const {
+    return Terminal >= ModuleCount * static_cast<int>(Rates.size());
+  }
+
+  int moduleOf(int Terminal) const {
+    assert(!isEndMarker(Terminal) && "end markers carry no module");
+    return Terminal / static_cast<int>(Rates.size());
+  }
+
+  float rateOf(int Terminal) const {
+    assert(!isEndMarker(Terminal) && "end markers carry no rate");
+    return Rates[Terminal % Rates.size()];
+  }
+
+  /// Figure 4 notation: "3(.5)" for module 3 at 50%, "#k" for markers.
+  std::string name(int Terminal) const {
+    if (isEndMarker(Terminal))
+      return "#" + std::to_string(Terminal -
+                                  ModuleCount *
+                                      static_cast<int>(Rates.size()));
+    const float Rate = rateOf(Terminal);
+    std::string RateText =
+        Rate == 0.0f ? "0" : formatDouble(Rate, 1).substr(1);
+    return std::to_string(moduleOf(Terminal)) + "(" + RateText + ")";
+  }
+
+private:
+  int ModuleCount;
+  std::vector<float> Rates;
+};
+} // namespace
+
+std::vector<std::vector<int>>
+wootz::coverWithBlocks(const std::vector<PruneConfig> &Subspace,
+                       const std::vector<TuningBlock> &Blocks) {
+  std::vector<std::vector<int>> Vectors;
+  Vectors.reserve(Subspace.size());
+  for (const PruneConfig &Config : Subspace) {
+    std::vector<int> Cover;
+    int Module = 0;
+    const int ModuleCount = static_cast<int>(Config.size());
+    while (Module < ModuleCount) {
+      // Longest block anchored at this module whose rates match.
+      int Best = -1;
+      int BestLength = 0;
+      for (size_t I = 0; I < Blocks.size(); ++I) {
+        const TuningBlock &Block = Blocks[I];
+        if (Block.FirstModule != Module || !Block.matchesConfigAt(Config))
+          continue;
+        if (Block.moduleCount() > BestLength) {
+          Best = static_cast<int>(I);
+          BestLength = Block.moduleCount();
+        }
+      }
+      if (Best < 0) {
+        ++Module; // Uncovered module: falls back to inherited weights.
+        continue;
+      }
+      Cover.push_back(Best);
+      Module += BestLength;
+    }
+    Vectors.push_back(std::move(Cover));
+  }
+  return Vectors;
+}
+
+IdentifierResult
+wootz::identifyTuningBlocks(int ModuleCount,
+                            const std::vector<PruneConfig> &Subspace,
+                            const std::vector<float> &Rates) {
+  assert(!Subspace.empty() && "identifier requires a subspace");
+  SymbolCoder Coder(ModuleCount, Rates);
+
+  // Step 1-2: concatenate the networks and compress.
+  Sequitur Compressor;
+  for (size_t Network = 0; Network < Subspace.size(); ++Network) {
+    const PruneConfig &Config = Subspace[Network];
+    assert(static_cast<int>(Config.size()) == ModuleCount &&
+           "subspace configs disagree with the module count");
+    for (int Module = 0; Module < ModuleCount; ++Module)
+      Compressor.append(Coder.encode(Module, Config[Module]));
+    Compressor.append(Coder.endMarker(static_cast<int>(Network)));
+  }
+
+  IdentifierResult Result;
+  Result.RuleGrammar = Compressor.grammar();
+  const Grammar &G = Result.RuleGrammar;
+  for (const GrammarRule &Rule : G.Rules)
+    for (const GrammarSymbol &Symbol : Rule.Body)
+      if (!Symbol.IsRule &&
+          !Result.TerminalNames.count(Symbol.Value))
+        Result.TerminalNames[Symbol.Value] = Coder.name(Symbol.Value);
+
+  // Step 3: post-order walk with the two heuristics. Build the
+  // children-before-parents order via a Kahn pass from the start rule.
+  const size_t RuleCount = G.Rules.size();
+  std::vector<std::set<int>> Children(RuleCount);
+  std::vector<int> PendingParents(RuleCount, 0);
+  for (const GrammarRule &Rule : G.Rules)
+    for (const GrammarSymbol &Symbol : Rule.Body)
+      if (Symbol.IsRule && Children[Rule.Id].insert(Symbol.Value).second)
+        ++PendingParents[Symbol.Value];
+  std::vector<int> TopoOrder;
+  std::vector<int> Ready{0};
+  while (!Ready.empty()) {
+    const int Current = Ready.back();
+    Ready.pop_back();
+    TopoOrder.push_back(Current);
+    for (int Child : Children[Current])
+      if (--PendingParents[Child] == 0)
+        Ready.push_back(Child);
+  }
+  assert(TopoOrder.size() == RuleCount && "grammar DAG must be acyclic");
+
+  enum class Mark { Unmarked, Potential, DeadEnd };
+  std::vector<Mark> Marks(RuleCount, Mark::Unmarked);
+  for (auto It = TopoOrder.rbegin(); It != TopoOrder.rend(); ++It) {
+    const int RuleId = *It;
+    if (RuleId == 0) {
+      Marks[RuleId] = Mark::DeadEnd; // The start rule appears once.
+      continue;
+    }
+    // Heuristic 1: a rule appearing in only one network is worthless.
+    if (G.Rules[RuleId].Frequency <= 1) {
+      Marks[RuleId] = Mark::DeadEnd;
+      continue;
+    }
+    long long ChildMax = 0;
+    bool AnyChildDead = false;
+    for (int Child : Children[RuleId]) {
+      ChildMax = std::max(ChildMax, G.Rules[Child].Frequency);
+      AnyChildDead = AnyChildDead || Marks[Child] == Mark::DeadEnd;
+    }
+    if (AnyChildDead) {
+      Marks[RuleId] = Mark::DeadEnd;
+      continue;
+    }
+    if (Children[RuleId].empty()) {
+      Marks[RuleId] = Mark::Potential;
+      continue;
+    }
+    // Heuristic 2: prefer the parent only when it appears as often as
+    // its most frequent descendant.
+    if (G.Rules[RuleId].Frequency == ChildMax) {
+      Marks[RuleId] = Mark::Potential;
+      for (int Child : Children[RuleId])
+        if (Marks[Child] == Mark::Potential)
+          Marks[Child] = Mark::Unmarked;
+    } else {
+      Marks[RuleId] = Mark::DeadEnd;
+    }
+  }
+
+  // Step 4: marked rules become tuning blocks.
+  std::set<TuningBlock> Unique;
+  for (size_t RuleId = 0; RuleId < RuleCount; ++RuleId) {
+    if (Marks[RuleId] != Mark::Potential)
+      continue;
+    const std::vector<int> Terminals =
+        G.expand(static_cast<int>(RuleId));
+    TuningBlock Block;
+    bool Valid = !Terminals.empty();
+    for (size_t I = 0; Valid && I < Terminals.size(); ++I) {
+      if (Coder.isEndMarker(Terminals[I])) {
+        Valid = false;
+        break;
+      }
+      const int Module = Coder.moduleOf(Terminals[I]);
+      if (I == 0)
+        Block.FirstModule = Module;
+      else if (Module != Block.FirstModule + static_cast<int>(I))
+        Valid = false; // Crosses a network boundary.
+      Block.Rates.push_back(Coder.rateOf(Terminals[I]));
+    }
+    if (Valid && !Block.isIdentity())
+      Unique.insert(std::move(Block));
+  }
+  Result.Blocks.assign(Unique.begin(), Unique.end());
+  Result.CompositeVectors = coverWithBlocks(Subspace, Result.Blocks);
+  return Result;
+}

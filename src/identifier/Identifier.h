@@ -1,0 +1,70 @@
+//===- identifier/Identifier.h - Hierarchical tuning block identifier -------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §5 hierarchical compression-based algorithm. Choosing the
+/// optimal tuning-block set is NP-hard, so Wootz:
+///
+///  1. encodes every network of the promising subspace as a string of
+///     (module, rate) symbols and concatenates the strings with unique
+///     end markers (Figure 4);
+///  2. runs Sequitur to obtain a CFG whose rules are repeated layer
+///     sequences, viewed as a DAG (multi-edges combined);
+///  3. walks the DAG post-order applying two heuristics — a rule is kept
+///     only if it appears in more than one place, and a rule is preferred
+///     over its children only if it appears as often as its most frequent
+///     descendant — marking potential tuning blocks and dead ends;
+///  4. emits the marked rules as tuning blocks plus, per network, the
+///     *composite vector* of blocks it can be assembled from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_IDENTIFIER_IDENTIFIER_H
+#define WOOTZ_IDENTIFIER_IDENTIFIER_H
+
+#include "src/identifier/TuningBlock.h"
+#include "src/sequitur/Sequitur.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// Output of the identifier.
+struct IdentifierResult {
+  /// The chosen tuning-block set S (pruned blocks only; identity blocks
+  /// are dropped since they need no pre-training).
+  std::vector<TuningBlock> Blocks;
+  /// Per network of the subspace: indices into Blocks giving a
+  /// non-overlapping cover of that network's pruned modules (greedy
+  /// longest-match materialization of the paper's composite vectors).
+  std::vector<std::vector<int>> CompositeVectors;
+  /// The Sequitur grammar, for inspection (Figure 4 rendering).
+  Grammar RuleGrammar;
+  /// Human-readable names of the grammar terminals (e.g. "3(.5)" for
+  /// module 3 pruned at 50%, matching Figure 4's notation).
+  std::map<int, std::string> TerminalNames;
+};
+
+/// Runs the hierarchical identifier over \p Subspace (all configurations
+/// must have \p ModuleCount rates drawn from \p Rates).
+IdentifierResult
+identifyTuningBlocks(int ModuleCount,
+                     const std::vector<PruneConfig> &Subspace,
+                     const std::vector<float> &Rates);
+
+/// Computes composite vectors for \p Subspace against an externally
+/// chosen block set (used by the per-module "basic benefits" mode):
+/// greedy left-to-right longest match; uncovered pruned modules are
+/// simply not block-initialized.
+std::vector<std::vector<int>>
+coverWithBlocks(const std::vector<PruneConfig> &Subspace,
+                const std::vector<TuningBlock> &Blocks);
+
+} // namespace wootz
+
+#endif // WOOTZ_IDENTIFIER_IDENTIFIER_H

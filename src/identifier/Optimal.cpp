@@ -1,0 +1,91 @@
+//===- identifier/Optimal.cpp --------------------------------------------------===//
+
+#include "src/identifier/Optimal.h"
+
+#include "src/identifier/Identifier.h"
+
+#include <set>
+
+using namespace wootz;
+
+double wootz::evaluateBlockSetCost(const std::vector<PruneConfig> &Subspace,
+                                   const std::vector<TuningBlock> &Blocks,
+                                   const BlockCostModel &Model) {
+  double Cost = 0.0;
+  for (const TuningBlock &Block : Blocks)
+    Cost += Model.PretrainCostPerModule * Block.moduleCount();
+
+  const std::vector<std::vector<int>> Covers =
+      coverWithBlocks(Subspace, Blocks);
+  for (size_t N = 0; N < Subspace.size(); ++N) {
+    int PrunedModules = 0;
+    for (float Rate : Subspace[N])
+      PrunedModules += Rate != 0.0f;
+    int CoveredModules = 0;
+    for (int Index : Covers[N])
+      for (int M = 0; M < Blocks[Index].moduleCount(); ++M)
+        CoveredModules +=
+            Blocks[Index].Rates[M] != 0.0f; // Identity spans save nothing.
+    const double Covered =
+        PrunedModules == 0
+            ? 1.0
+            : static_cast<double>(CoveredModules) / PrunedModules;
+    Cost += Model.FinetuneBaseCost * (1.0 - Model.SavingFactor * Covered);
+  }
+  return Cost;
+}
+
+std::vector<TuningBlock>
+wootz::enumerateCandidateBlocks(const std::vector<PruneConfig> &Subspace) {
+  std::set<TuningBlock> Unique;
+  for (const PruneConfig &Config : Subspace) {
+    const int ModuleCount = static_cast<int>(Config.size());
+    for (int First = 0; First < ModuleCount; ++First) {
+      if (Config[First] == 0.0f)
+        continue; // Blocks starting at an unpruned module save nothing.
+      for (int Last = First; Last < ModuleCount; ++Last) {
+        if (Config[Last] == 0.0f)
+          break; // Keep candidates to fully-pruned runs.
+        TuningBlock Block;
+        Block.FirstModule = First;
+        Block.Rates.assign(Config.begin() + First,
+                           Config.begin() + Last + 1);
+        Unique.insert(std::move(Block));
+      }
+    }
+  }
+  return {Unique.begin(), Unique.end()};
+}
+
+Result<OptimalBlocksResult>
+wootz::solveOptimalBlocks(const std::vector<PruneConfig> &Subspace,
+                          const BlockCostModel &Model, int MaxCandidates) {
+  const std::vector<TuningBlock> Candidates =
+      enumerateCandidateBlocks(Subspace);
+  const int CandidateCount = static_cast<int>(Candidates.size());
+  if (CandidateCount > MaxCandidates)
+    return Error::failure(
+        "exact search over " + std::to_string(CandidateCount) +
+        " candidate blocks exceeds the limit of " +
+        std::to_string(MaxCandidates) +
+        " (the problem is NP-hard; use identifyTuningBlocks instead)");
+
+  OptimalBlocksResult Out;
+  Out.CandidateCount = CandidateCount;
+  Out.Cost = evaluateBlockSetCost(Subspace, {}, Model);
+  const size_t SubsetCount = size_t(1) << CandidateCount;
+  Out.SubsetsSearched = SubsetCount;
+  std::vector<TuningBlock> Subset;
+  for (size_t Mask = 1; Mask < SubsetCount; ++Mask) {
+    Subset.clear();
+    for (int Bit = 0; Bit < CandidateCount; ++Bit)
+      if (Mask & (size_t(1) << Bit))
+        Subset.push_back(Candidates[Bit]);
+    const double Cost = evaluateBlockSetCost(Subspace, Subset, Model);
+    if (Cost < Out.Cost) {
+      Out.Cost = Cost;
+      Out.Blocks = Subset;
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- identifier/Optimal.h - Exact tuning-block selection -------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper defines the *Optimal Tuning Block Definition Problem* (§5):
+/// choose the block set B minimizing total pre-training time plus the
+/// block-trained training times of all networks, proves it NP-hard, and
+/// answers with the linear-time Sequitur heuristic. This header makes
+/// the trade-off measurable: an explicit cost model over a block set and
+/// an exhaustive exact minimizer for tiny instances, against which the
+/// heuristic can be scored (tests and the identifier-optimality ablation
+/// bench do exactly that).
+///
+/// Cost model (the paper computes T(.) by actually training; a closed
+/// form keeps the exact search feasible and mirrors the empirical §5
+/// observations — pre-training cost grows with block length, and a
+/// network's training shrinks with how much of it is block-initialized):
+///
+///   cost(S) = Σ_{B in S} PretrainCostPerModule * |B|
+///           + Σ_n FinetuneBaseCost * (1 - SavingFactor * covered(n, S))
+///
+/// where covered(n, S) is the fraction of network n's pruned modules
+/// initialized by blocks of S under the runtime's greedy cover.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_IDENTIFIER_OPTIMAL_H
+#define WOOTZ_IDENTIFIER_OPTIMAL_H
+
+#include "src/identifier/TuningBlock.h"
+
+namespace wootz {
+
+/// Coefficients of the block-set cost model.
+struct BlockCostModel {
+  /// Pre-training cost per module contained in a block (each distinct
+  /// block trains once).
+  double PretrainCostPerModule = 1.0;
+  /// Fine-tuning cost of one network with no block initialization.
+  double FinetuneBaseCost = 4.0;
+  /// Fraction of the fine-tuning cost a fully block-initialized network
+  /// saves (the paper's §7.2 measurements put this at 1/3 to 1/2).
+  double SavingFactor = 0.5;
+};
+
+/// Evaluates cost(S) for \p Blocks over \p Subspace.
+double evaluateBlockSetCost(const std::vector<PruneConfig> &Subspace,
+                            const std::vector<TuningBlock> &Blocks,
+                            const BlockCostModel &Model = {});
+
+/// Every distinct run of consecutive pruned modules occurring in
+/// \p Subspace — the candidate pool of the exact search (condition 1 of
+/// the paper's problem statement: every block is part of some network).
+std::vector<TuningBlock>
+enumerateCandidateBlocks(const std::vector<PruneConfig> &Subspace);
+
+/// Result of the exact search.
+struct OptimalBlocksResult {
+  std::vector<TuningBlock> Blocks;
+  double Cost = 0.0;
+  int CandidateCount = 0;
+  /// Subsets visited (2^candidates); reported so callers see the cost of
+  /// exactness.
+  size_t SubsetsSearched = 0;
+};
+
+/// Exhaustively minimizes cost(S) over all subsets of the candidate
+/// pool. Fails when the pool exceeds \p MaxCandidates (the search is
+/// exponential — the NP-hardness the paper proves is why the heuristic
+/// exists).
+Result<OptimalBlocksResult>
+solveOptimalBlocks(const std::vector<PruneConfig> &Subspace,
+                   const BlockCostModel &Model = {},
+                   int MaxCandidates = 18);
+
+} // namespace wootz
+
+#endif // WOOTZ_IDENTIFIER_OPTIMAL_H

@@ -1,0 +1,87 @@
+//===- identifier/TuningBlock.cpp --------------------------------------------===//
+
+#include "src/identifier/TuningBlock.h"
+
+#include "src/support/StringUtils.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace wootz;
+
+bool TuningBlock::isIdentity() const {
+  for (float Rate : Rates)
+    if (Rate != 0.0f)
+      return false;
+  return true;
+}
+
+std::string TuningBlock::id() const {
+  std::string Out = "m" + std::to_string(FirstModule);
+  if (moduleCount() > 1)
+    Out += "-m" + std::to_string(lastModule());
+  Out += '@';
+  for (size_t I = 0; I < Rates.size(); ++I) {
+    if (I != 0)
+      Out += ',';
+    Out += Rates[I] == 0.0f ? "0" : formatDouble(Rates[I], 1);
+  }
+  return Out;
+}
+
+bool TuningBlock::matchesConfigAt(const PruneConfig &Config) const {
+  if (lastModule() >= static_cast<int>(Config.size()))
+    return false;
+  for (int I = 0; I < moduleCount(); ++I)
+    if (Config[FirstModule + I] != Rates[I])
+      return false;
+  return true;
+}
+
+bool TuningBlock::operator<(const TuningBlock &Other) const {
+  if (FirstModule != Other.FirstModule)
+    return FirstModule < Other.FirstModule;
+  if (Rates.size() != Other.Rates.size())
+    return Rates.size() < Other.Rates.size();
+  return Rates < Other.Rates;
+}
+
+std::vector<TuningBlock>
+wootz::perModuleBlocks(const std::vector<PruneConfig> &Subspace) {
+  std::set<TuningBlock> Blocks;
+  for (const PruneConfig &Config : Subspace)
+    for (size_t Module = 0; Module < Config.size(); ++Module) {
+      if (Config[Module] == 0.0f)
+        continue;
+      TuningBlock Block;
+      Block.FirstModule = static_cast<int>(Module);
+      Block.Rates = {Config[Module]};
+      Blocks.insert(std::move(Block));
+    }
+  return {Blocks.begin(), Blocks.end()};
+}
+
+std::vector<std::vector<TuningBlock>>
+wootz::partitionIntoGroups(std::vector<TuningBlock> Blocks) {
+  // "B.sort() — sort by the contained lowest conv layers" (§6.2).
+  std::sort(Blocks.begin(), Blocks.end());
+  std::vector<std::vector<TuningBlock>> Groups;
+  for (TuningBlock &Block : Blocks) {
+    bool Placed = false;
+    for (std::vector<TuningBlock> &Group : Groups) {
+      const bool Conflicts =
+          std::any_of(Group.begin(), Group.end(),
+                      [&](const TuningBlock &Member) {
+                        return Member.overlaps(Block);
+                      });
+      if (!Conflicts) {
+        Group.push_back(Block);
+        Placed = true;
+        break;
+      }
+    }
+    if (!Placed)
+      Groups.push_back({Block});
+  }
+  return Groups;
+}

@@ -1,0 +1,75 @@
+//===- identifier/TuningBlock.h - Tuning block representation ---------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A *tuning block* (paper §5) is "a sequence of consecutive CNN layers
+/// pruned at certain rates [...] taken as a unit for pre-training". With
+/// per-module pruning rates, a block is a run of consecutive convolution
+/// modules together with each module's rate. This header defines the
+/// block value type plus two §6.2 utilities: the default
+/// one-block-per-pruned-module set (the paper's "basic benefits"
+/// experiments) and the partition of a block set into non-overlapping
+/// groups for concurrent pre-training.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_IDENTIFIER_TUNINGBLOCK_H
+#define WOOTZ_IDENTIFIER_TUNINGBLOCK_H
+
+#include "src/pruning/PruneConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// A run of consecutive modules with per-module pruning rates.
+struct TuningBlock {
+  int FirstModule = 0;
+  /// One rate per module starting at FirstModule.
+  std::vector<float> Rates;
+
+  int moduleCount() const { return static_cast<int>(Rates.size()); }
+  int lastModule() const { return FirstModule + moduleCount() - 1; }
+
+  /// True when every module is unpruned; identity blocks reuse the full
+  /// model's weights and need no pre-training.
+  bool isIdentity() const;
+
+  /// Canonical id, e.g. "m2-m3@0.5,0.3" (single-module: "m2@0.5").
+  /// Used as the checkpoint key.
+  std::string id() const;
+
+  /// True if the two blocks share any module index.
+  bool overlaps(const TuningBlock &Other) const {
+    return FirstModule <= Other.lastModule() &&
+           Other.FirstModule <= lastModule();
+  }
+
+  /// True if \p Config uses exactly this block's rates at its modules.
+  bool matchesConfigAt(const PruneConfig &Config) const;
+
+  bool operator==(const TuningBlock &Other) const {
+    return FirstModule == Other.FirstModule && Rates == Other.Rates;
+  }
+  bool operator<(const TuningBlock &Other) const;
+};
+
+/// The default tuning-block set: every pruned (module, rate) pair that
+/// occurs anywhere in \p Subspace, one block per pair. Identity (rate-0)
+/// variants are omitted — they need no pre-training.
+std::vector<TuningBlock>
+perModuleBlocks(const std::vector<PruneConfig> &Subspace);
+
+/// §6.2's partition algorithm: sorts blocks by their lowest module and
+/// first-fits each block into a group with no overlapping member. Each
+/// group can be pre-trained concurrently against one teacher execution.
+std::vector<std::vector<TuningBlock>>
+partitionIntoGroups(std::vector<TuningBlock> Blocks);
+
+} // namespace wootz
+
+#endif // WOOTZ_IDENTIFIER_TUNINGBLOCK_H

@@ -1,0 +1,111 @@
+//===- models/MiniModels.cpp -----------------------------------------------===//
+
+#include "src/models/MiniModels.h"
+
+#include "src/models/ProtoWriter.h"
+
+using namespace wootz;
+
+std::vector<StandardModel> wootz::standardModels() {
+  return {StandardModel::ResNetA, StandardModel::ResNetB,
+          StandardModel::InceptionA, StandardModel::InceptionB};
+}
+
+const char *wootz::standardModelName(StandardModel Model) {
+  switch (Model) {
+  case StandardModel::ResNetA:
+    return "mini-resnet-a";
+  case StandardModel::ResNetB:
+    return "mini-resnet-b";
+  case StandardModel::InceptionA:
+    return "mini-inception-a";
+  case StandardModel::InceptionB:
+    return "mini-inception-b";
+  }
+  return "unknown";
+}
+
+using wootz::models_detail::ProtoWriter;
+
+std::string wootz::miniResNetPrototxt(const std::string &Name,
+                                      int ModuleCount, int StemChannels,
+                                      int Bottleneck, int Classes) {
+  ProtoWriter Writer(Name, 3, 8, 8);
+  std::string Previous =
+      Writer.convBnRelu("stem", "data", "", StemChannels, 3, 1);
+  for (int M = 1; M <= ModuleCount; ++M) {
+    const std::string Module = "m" + std::to_string(M);
+    const std::string P = Module + "_";
+    // Bottleneck: 1x1 reduce, 3x3, 1x1 expand, identity shortcut.
+    std::string Branch =
+        Writer.convBnRelu(P + "conv1", Previous, Module, Bottleneck, 1, 0);
+    Branch =
+        Writer.convBnRelu(P + "conv2", Branch, Module, Bottleneck, 3, 1);
+    Writer.conv(P + "conv3", Branch, Module, StemChannels, 1, 0);
+    Writer.batchNorm(P + "conv3_bn", P + "conv3", Module);
+    Writer.eltwiseSum(P + "add", {Previous, P + "conv3_bn"}, Module);
+    Writer.relu(P + "out", P + "add", Module);
+    Previous = P + "out";
+  }
+  Writer.globalPool("pool", Previous);
+  Writer.dense("logits", "pool", Classes);
+  return Writer.take();
+}
+
+std::string wootz::miniInceptionPrototxt(const std::string &Name,
+                                         int ModuleCount, int StemChannels,
+                                         int ReduceChannels, int Classes) {
+  assert(StemChannels % 3 == 0 &&
+         "inception module width must split into three branches");
+  const int BranchOut = StemChannels / 3;
+  ProtoWriter Writer(Name, 3, 8, 8);
+  std::string Previous =
+      Writer.convBnRelu("stem", "data", "", StemChannels, 3, 1);
+  for (int M = 1; M <= ModuleCount; ++M) {
+    const std::string Module = "m" + std::to_string(M);
+    const std::string P = Module + "_";
+    // Branches carry their capacity in prunable 1x1/3x3 stacks and end
+    // in a thin 1x1 projection that pins the concat width (the module's
+    // unpruned top layers, mirroring Inception's projection-heavy
+    // design).
+    // Branch 1: 1x1 reduce -> 3x3 -> 1x1 projection.
+    std::string B1 = Writer.convBnRelu(P + "b1_reduce", Previous, Module,
+                                       ReduceChannels, 1, 0);
+    B1 = Writer.convBnRelu(P + "b1_conv", B1, Module, ReduceChannels, 3, 1);
+    B1 = Writer.convBnRelu(P + "b1_proj", B1, Module, BranchOut, 1, 0);
+    // Branch 2: 1x1 reduce -> 3x3 -> 3x3 -> 1x1 projection.
+    std::string B2 = Writer.convBnRelu(P + "b2_reduce", Previous, Module,
+                                       ReduceChannels, 1, 0);
+    B2 = Writer.convBnRelu(P + "b2_mid", B2, Module, ReduceChannels, 3, 1);
+    B2 = Writer.convBnRelu(P + "b2_conv", B2, Module, ReduceChannels, 3, 1);
+    B2 = Writer.convBnRelu(P + "b2_proj", B2, Module, BranchOut, 1, 0);
+    // Branch 3: average pool -> 1x1 projection.
+    Writer.avePool(P + "b3_pool", Previous, Module, 3, 1, 1);
+    const std::string B3 = Writer.convBnRelu(P + "b3_proj", P + "b3_pool",
+                                             Module, BranchOut, 1, 0);
+    Writer.concat(P + "out", {B1, B2, B3}, Module);
+    Previous = P + "out";
+  }
+  Writer.globalPool("pool", Previous);
+  Writer.dense("logits", "pool", Classes);
+  return Writer.take();
+}
+
+std::string wootz::standardModelPrototxt(StandardModel Model, int Classes) {
+  switch (Model) {
+  case StandardModel::ResNetA:
+    return miniResNetPrototxt("mini-resnet-a", 4, 12, 8, Classes);
+  case StandardModel::ResNetB:
+    return miniResNetPrototxt("mini-resnet-b", 6, 12, 8, Classes);
+  case StandardModel::InceptionA:
+    return miniInceptionPrototxt("mini-inception-a", 3, 12, 6, Classes);
+  case StandardModel::InceptionB:
+    return miniInceptionPrototxt("mini-inception-b", 4, 12, 6, Classes);
+  }
+  reportFatalError("unknown standard model");
+}
+
+Result<ModelSpec> wootz::makeStandardModel(StandardModel Model,
+                                           int Classes) {
+  return parseModelSpec(standardModelPrototxt(Model, Classes));
+}

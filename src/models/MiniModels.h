@@ -1,0 +1,75 @@
+//===- models/MiniModels.h - Miniature ResNet/Inception models -------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the four standard models of the evaluation — miniature
+/// analogues of ResNet-50/101 and Inception-V2/V3 (DESIGN.md §2). Both
+/// families follow the paper's structural trend: "several layers are
+/// encapsulated into a generic module of a fixed structure — which we
+/// call convolution module — and a network is built by stacking many such
+/// modules together". The builders emit Prototxt (with the `module`
+/// extension) so the Wootz compiler consumes the same input format as in
+/// the paper; parse the text with parseModelSpec().
+///
+/// Residual module (bottleneck, identity shortcut):
+///   in -> conv1 1x1 (prunable) -> conv2 3x3 (prunable) -> conv3 1x1 -> (+in)
+/// Inception module (three branches joined by channel concat):
+///   b1: 1x1 reduce (prunable) -> 3x3
+///   b2: 1x1 reduce (prunable) -> 3x3 (prunable) -> 3x3
+///   b3: 3x3 average pool -> 1x1 projection
+/// Module outputs keep the full channel width, so pruned modules remain
+/// dimension-compatible — the property tuning-block composability relies
+/// on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_MODELS_MINIMODELS_H
+#define WOOTZ_MODELS_MINIMODELS_H
+
+#include "src/proto/ModelSpec.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// The four standard evaluation models.
+enum class StandardModel {
+  ResNetA,    ///< ResNet-50 analogue (4 residual modules).
+  ResNetB,    ///< ResNet-101 analogue (6 residual modules).
+  InceptionA, ///< Inception-V2 analogue (3 inception modules).
+  InceptionB, ///< Inception-V3 analogue (4 inception modules).
+};
+
+/// All four standard models in the paper's order.
+std::vector<StandardModel> standardModels();
+
+/// Human-readable name ("mini-resnet-a", ...).
+const char *standardModelName(StandardModel Model);
+
+/// Emits Prototxt for a residual network with \p ModuleCount bottleneck
+/// modules, stem width \p StemChannels, bottleneck width \p Bottleneck
+/// and \p Classes output classes.
+std::string miniResNetPrototxt(const std::string &Name, int ModuleCount,
+                               int StemChannels, int Bottleneck,
+                               int Classes);
+
+/// Emits Prototxt for an inception-style network with \p ModuleCount
+/// modules of three branches each; the module width is \p StemChannels
+/// (must be divisible by 3) and reduce layers use \p ReduceChannels.
+std::string miniInceptionPrototxt(const std::string &Name, int ModuleCount,
+                                  int StemChannels, int ReduceChannels,
+                                  int Classes);
+
+/// Emits Prototxt for \p Model with \p Classes output classes.
+std::string standardModelPrototxt(StandardModel Model, int Classes);
+
+/// Builds and analyzes the ModelSpec of \p Model (parses the Prototxt).
+Result<ModelSpec> makeStandardModel(StandardModel Model, int Classes);
+
+} // namespace wootz
+
+#endif // WOOTZ_MODELS_MINIMODELS_H

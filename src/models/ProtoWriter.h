@@ -1,0 +1,128 @@
+//===- models/ProtoWriter.h - Internal Prototxt emitter ---------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal helper shared by the model builders in this directory: an
+/// incremental Prototxt emitter. Private to models/ — include only from
+/// its .cpp files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_MODELS_PROTOWRITER_H
+#define WOOTZ_MODELS_PROTOWRITER_H
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+namespace models_detail {
+
+/// Incremental Prototxt emitter shared by the two families.
+class ProtoWriter {
+public:
+  ProtoWriter(const std::string &Name, int Channels, int Height, int Width) {
+    Out += "name: \"" + Name + "\"\n";
+    Out += "input: \"data\"\n";
+    Out += "input_dim: 1\n";
+    Out += "input_dim: " + std::to_string(Channels) + "\n";
+    Out += "input_dim: " + std::to_string(Height) + "\n";
+    Out += "input_dim: " + std::to_string(Width) + "\n";
+  }
+
+  void conv(const std::string &Name, const std::string &Bottom,
+            const std::string &Module, int NumOutput, int Kernel, int Pad) {
+    open(Name, "Convolution", {Bottom}, Module);
+    Out += "  convolution_param {\n";
+    Out += "    num_output: " + std::to_string(NumOutput) + "\n";
+    Out += "    kernel_size: " + std::to_string(Kernel) + "\n";
+    Out += "    stride: 1\n";
+    Out += "    pad: " + std::to_string(Pad) + "\n";
+    Out += "    bias_term: false\n";
+    Out += "  }\n}\n";
+  }
+
+  void batchNorm(const std::string &Name, const std::string &Bottom,
+                 const std::string &Module) {
+    open(Name, "BatchNorm", {Bottom}, Module);
+    Out += "}\n";
+  }
+
+  void relu(const std::string &Name, const std::string &Bottom,
+            const std::string &Module) {
+    open(Name, "ReLU", {Bottom}, Module);
+    Out += "}\n";
+  }
+
+  void avePool(const std::string &Name, const std::string &Bottom,
+               const std::string &Module, int Kernel, int Stride, int Pad) {
+    open(Name, "Pooling", {Bottom}, Module);
+    Out += "  pooling_param {\n    pool: AVE\n";
+    Out += "    kernel_size: " + std::to_string(Kernel) + "\n";
+    Out += "    stride: " + std::to_string(Stride) + "\n";
+    Out += "    pad: " + std::to_string(Pad) + "\n  }\n}\n";
+  }
+
+  void globalPool(const std::string &Name, const std::string &Bottom) {
+    open(Name, "Pooling", {Bottom}, "");
+    Out += "  pooling_param {\n    pool: AVE\n    global_pooling: true\n"
+           "  }\n}\n";
+  }
+
+  void eltwiseSum(const std::string &Name,
+                  const std::vector<std::string> &Bottoms,
+                  const std::string &Module) {
+    open(Name, "Eltwise", Bottoms, Module);
+    Out += "  eltwise_param {\n    operation: SUM\n  }\n}\n";
+  }
+
+  void concat(const std::string &Name,
+              const std::vector<std::string> &Bottoms,
+              const std::string &Module) {
+    open(Name, "Concat", Bottoms, Module);
+    Out += "}\n";
+  }
+
+  void dense(const std::string &Name, const std::string &Bottom,
+             int NumOutput) {
+    open(Name, "InnerProduct", {Bottom}, "");
+    Out += "  inner_product_param {\n";
+    Out += "    num_output: " + std::to_string(NumOutput) + "\n  }\n}\n";
+  }
+
+  /// Emits a conv -> batchnorm -> relu stack; returns the relu name.
+  std::string convBnRelu(const std::string &Prefix,
+                         const std::string &Bottom,
+                         const std::string &Module, int NumOutput,
+                         int Kernel, int Pad) {
+    conv(Prefix, Bottom, Module, NumOutput, Kernel, Pad);
+    batchNorm(Prefix + "_bn", Prefix, Module);
+    relu(Prefix + "_relu", Prefix + "_bn", Module);
+    return Prefix + "_relu";
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  void open(const std::string &Name, const std::string &Type,
+            const std::vector<std::string> &Bottoms,
+            const std::string &Module) {
+    Out += "layer {\n";
+    Out += "  name: \"" + Name + "\"\n";
+    Out += "  type: \"" + Type + "\"\n";
+    for (const std::string &Bottom : Bottoms)
+      Out += "  bottom: \"" + Bottom + "\"\n";
+    Out += "  top: \"" + Name + "\"\n";
+    if (!Module.empty())
+      Out += "  module: \"" + Module + "\"\n";
+  }
+
+  std::string Out;
+};
+
+} // namespace models_detail
+} // namespace wootz
+
+#endif // WOOTZ_MODELS_PROTOWRITER_H

@@ -1,0 +1,97 @@
+//===- models/RandomModels.cpp -----------------------------------------------===//
+
+#include "src/models/RandomModels.h"
+
+#include "src/models/ProtoWriter.h"
+
+using namespace wootz;
+using wootz::models_detail::ProtoWriter;
+
+/// Emits one residual bottleneck module; returns the output layer name.
+static std::string emitResidualModule(ProtoWriter &Writer,
+                                      const std::string &Module,
+                                      const std::string &Input, int Width,
+                                      Rng &Generator) {
+  const std::string P = Module + "_";
+  const int Bottleneck =
+      static_cast<int>(Generator.nextInRange(3, std::max(3, Width - 2)));
+  // Randomize the middle kernel (1x1 or 3x3) and an optional extra stage.
+  const int MidKernel = Generator.nextBernoulli(0.7) ? 3 : 1;
+  std::string Branch =
+      Writer.convBnRelu(P + "conv1", Input, Module, Bottleneck, 1, 0);
+  Branch = Writer.convBnRelu(P + "conv2", Branch, Module, Bottleneck,
+                             MidKernel, MidKernel / 2);
+  if (Generator.nextBernoulli(0.35))
+    Branch = Writer.convBnRelu(P + "conv2b", Branch, Module, Bottleneck, 3,
+                               1);
+  Writer.conv(P + "conv3", Branch, Module, Width, 1, 0);
+  Writer.batchNorm(P + "conv3_bn", P + "conv3", Module);
+  Writer.eltwiseSum(P + "add", {Input, P + "conv3_bn"}, Module);
+  Writer.relu(P + "out", P + "add", Module);
+  return P + "out";
+}
+
+/// Emits one three-branch concat module; returns the output layer name.
+static std::string emitConcatModule(ProtoWriter &Writer,
+                                    const std::string &Module,
+                                    const std::string &Input, int Width,
+                                    Rng &Generator) {
+  const std::string P = Module + "_";
+  const int BranchOut = Width / 3;
+  const int Reduce =
+      static_cast<int>(Generator.nextInRange(3, std::max(3, Width / 2)));
+  std::string B1 =
+      Writer.convBnRelu(P + "b1_reduce", Input, Module, Reduce, 1, 0);
+  B1 = Writer.convBnRelu(P + "b1_conv", B1, Module, Reduce, 3, 1);
+  B1 = Writer.convBnRelu(P + "b1_proj", B1, Module, BranchOut, 1, 0);
+  std::string B2 =
+      Writer.convBnRelu(P + "b2_reduce", Input, Module, Reduce, 1, 0);
+  if (Generator.nextBernoulli(0.5))
+    B2 = Writer.convBnRelu(P + "b2_mid", B2, Module, Reduce, 3, 1);
+  B2 = Writer.convBnRelu(P + "b2_proj", B2, Module, BranchOut, 1, 0);
+  // Spatial-preserving pooled branch (3x3 / stride 1 / pad 1) so the
+  // concat inputs agree on extents.
+  Writer.avePool(P + "b3_pool", Input, Module, 3, 1, 1);
+  const std::string B3 = Writer.convBnRelu(
+      P + "b3_proj", P + "b3_pool", Module, Width - 2 * BranchOut, 1, 0);
+  Writer.concat(P + "out", {B1, B2, B3}, Module);
+  return P + "out";
+}
+
+std::string wootz::randomModelPrototxt(const std::string &Name,
+                                       Rng &Generator,
+                                       const RandomModelOptions &Options) {
+  assert(Options.MinModules >= 1 &&
+         Options.MaxModules >= Options.MinModules &&
+         Options.MinWidth >= 6 && Options.MaxWidth >= Options.MinWidth &&
+         "invalid random-model bounds");
+  const int ModuleCount = static_cast<int>(
+      Generator.nextInRange(Options.MinModules, Options.MaxModules));
+  int Width = static_cast<int>(
+      Generator.nextInRange(Options.MinWidth, Options.MaxWidth));
+  Width -= Width % 3; // Concat modules split the width into 3 branches.
+  const int Classes = static_cast<int>(
+      Generator.nextInRange(Options.MinClasses, Options.MaxClasses));
+
+  ProtoWriter Writer(Name, 3, Options.ImageSize, Options.ImageSize);
+  std::string Previous = Writer.convBnRelu(
+      "stem", "data", "", Width, Generator.nextBernoulli(0.5) ? 3 : 1,
+      Generator.nextBernoulli(0.5) ? 1 : 0);
+  for (int M = 1; M <= ModuleCount; ++M) {
+    const std::string Module = "m" + std::to_string(M);
+    Previous = Generator.nextBernoulli(0.5)
+                   ? emitResidualModule(Writer, Module, Previous, Width,
+                                        Generator)
+                   : emitConcatModule(Writer, Module, Previous, Width,
+                                      Generator);
+  }
+  Writer.globalPool("pool", Previous);
+  Writer.dense("logits", "pool", Classes);
+  return Writer.take();
+}
+
+Result<ModelSpec> wootz::makeRandomModel(const std::string &Name,
+                                         Rng &Generator,
+                                         const RandomModelOptions &Options) {
+  return parseModelSpec(randomModelPrototxt(Name, Generator, Options));
+}

@@ -1,0 +1,49 @@
+//===- models/RandomModels.h - Random module-structured models --------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generator of random module-structured CNNs for property-based
+/// testing. Every generated model follows the structural contract the
+/// Wootz machinery relies on — contiguous convolution modules with a
+/// single input boundary, a single output boundary, and full-width module
+/// outputs — while randomizing everything else: module family (residual
+/// bottleneck or multi-branch concat), depth, widths, kernel sizes, and
+/// the stem/head shape. The generator emits Prototxt, so it doubles as a
+/// fuzzer for the parser and the structural analyses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_MODELS_RANDOMMODELS_H
+#define WOOTZ_MODELS_RANDOMMODELS_H
+
+#include "src/proto/ModelSpec.h"
+#include "src/support/Rng.h"
+
+namespace wootz {
+
+/// Bounds for the random generator.
+struct RandomModelOptions {
+  int MinModules = 2;
+  int MaxModules = 5;
+  int MinWidth = 6;   ///< Module (stem) width; rounded to a multiple of 3.
+  int MaxWidth = 15;
+  int MinClasses = 2;
+  int MaxClasses = 8;
+  int ImageSize = 8;
+};
+
+/// Emits the Prototxt of a random model named \p Name.
+std::string randomModelPrototxt(const std::string &Name, Rng &Generator,
+                                const RandomModelOptions &Options = {});
+
+/// Generates and parses a random model (asserts the generator only
+/// produces parseable models — the property under test).
+Result<ModelSpec> makeRandomModel(const std::string &Name, Rng &Generator,
+                                  const RandomModelOptions &Options = {});
+
+} // namespace wootz
+
+#endif // WOOTZ_MODELS_RANDOMMODELS_H

@@ -1,0 +1,252 @@
+//===- nn/Graph.cpp --------------------------------------------------------===//
+
+#include "src/nn/Graph.h"
+
+#include "src/support/Error.h"
+
+using namespace wootz;
+
+void Graph::addInput(const std::string &Name) {
+  assert(!hasNode(Name) && "duplicate node name");
+  Node N;
+  N.Name = Name;
+  NameToIndex[Name] = static_cast<int>(Nodes.size());
+  Nodes.push_back(std::move(N));
+  CarriesValid = false;
+}
+
+int Graph::addNode(const std::string &Name, std::unique_ptr<Layer> NodeLayer,
+                   const std::vector<std::string> &InputNames) {
+  assert(!hasNode(Name) && "duplicate node name");
+  assert(NodeLayer && "addNode requires a layer");
+  Node N;
+  N.Name = Name;
+  N.NodeLayer = std::move(NodeLayer);
+  for (const std::string &InputName : InputNames) {
+    const int Index = indexOf(InputName);
+    assert(Index >= 0 && "node input must be defined before use");
+    N.Inputs.push_back(Index);
+  }
+  const int Index = static_cast<int>(Nodes.size());
+  NameToIndex[Name] = Index;
+  Nodes.push_back(std::move(N));
+  CarriesValid = false;
+  return Index;
+}
+
+bool Graph::hasNode(const std::string &Name) const {
+  return NameToIndex.count(Name) != 0;
+}
+
+Layer &Graph::layer(const std::string &Name) {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  assert(Nodes[Index].NodeLayer && "input placeholders have no layer");
+  return *Nodes[Index].NodeLayer;
+}
+
+int Graph::indexOf(const std::string &Name) const {
+  auto It = NameToIndex.find(Name);
+  return It == NameToIndex.end() ? -1 : It->second;
+}
+
+void Graph::setInput(const std::string &Name, const Tensor &Value) {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && !Nodes[Index].NodeLayer &&
+         "setInput target must be an input placeholder");
+  Nodes[Index].Activation = Value;
+}
+
+void Graph::forward(bool Training) {
+  ++PassId;
+  std::vector<const Tensor *> Inputs;
+  std::vector<Shape> InputShapes;
+  for (Node &N : Nodes) {
+    if (!N.NodeLayer) {
+      assert(!N.Activation.empty() && "input placeholder was never bound");
+      continue;
+    }
+    Inputs.clear();
+    InputShapes.clear();
+    for (int Index : N.Inputs) {
+      Inputs.push_back(&Nodes[Index].Activation);
+      InputShapes.push_back(Nodes[Index].Activation.shape());
+    }
+    const Shape OutShape = N.NodeLayer->outputShape(InputShapes);
+    if (N.Activation.shape() != OutShape || N.Activation.empty())
+      N.Activation = Tensor(OutShape);
+    N.NodeLayer->forward(Inputs, N.Activation, N.Scratch, Training);
+  }
+}
+
+const Tensor &Graph::activation(const std::string &Name) const {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  return Nodes[Index].Activation;
+}
+
+const Tensor *Graph::outputGradient(const std::string &Name) const {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  const Node &N = Nodes[Index];
+  return N.GradPassId == PassId ? &N.GradOut : nullptr;
+}
+
+void Graph::zeroGrads() {
+  for (Node &N : Nodes) {
+    if (!N.NodeLayer)
+      continue;
+    for (Param *P : N.NodeLayer->params())
+      P->Grad.zero();
+  }
+}
+
+void Graph::ensureGradBuffer(Node &N) {
+  if (N.GradPassId == PassId)
+    return;
+  if (N.GradOut.shape() != N.Activation.shape() || N.GradOut.empty())
+    N.GradOut = Tensor(N.Activation.shape());
+  else
+    N.GradOut.zero();
+  N.GradPassId = PassId;
+}
+
+void Graph::seedGradient(const std::string &Name, const Tensor &Grad) {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  Node &N = Nodes[Index];
+  assert(Grad.shape() == N.Activation.shape() &&
+         "gradient seed shape must match the activation");
+  ensureGradBuffer(N);
+  for (size_t I = 0; I < Grad.size(); ++I)
+    N.GradOut[I] += Grad[I];
+}
+
+void Graph::updateCarries() {
+  if (CarriesValid)
+    return;
+  Carries.assign(Nodes.size(), false);
+  for (size_t I = 0; I < Nodes.size(); ++I) {
+    Node &N = Nodes[I];
+    bool NodeCarries =
+        N.Trainable && N.NodeLayer && !N.NodeLayer->params().empty();
+    for (int Input : N.Inputs)
+      NodeCarries = NodeCarries || Carries[Input];
+    Carries[I] = NodeCarries;
+  }
+  CarriesValid = true;
+}
+
+void Graph::backward() {
+  updateCarries();
+  std::vector<const Tensor *> Inputs;
+  std::vector<Tensor *> GradInputs;
+  for (size_t I = Nodes.size(); I-- > 0;) {
+    Node &N = Nodes[I];
+    // Only nodes whose output gradient was produced this pass take part.
+    if (!N.NodeLayer || N.GradPassId != PassId)
+      continue;
+    Inputs.clear();
+    GradInputs.clear();
+    for (int Input : N.Inputs) {
+      Node &Producer = Nodes[Input];
+      Inputs.push_back(&Producer.Activation);
+      if (Carries[Input] && Producer.NodeLayer) {
+        ensureGradBuffer(Producer);
+        GradInputs.push_back(&Producer.GradOut);
+      } else {
+        GradInputs.push_back(nullptr);
+      }
+    }
+    N.NodeLayer->backward(Inputs, N.Activation, N.GradOut, N.Scratch,
+                          GradInputs);
+  }
+}
+
+void Graph::setTrainable(const std::string &Name, bool Trainable) {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  Nodes[Index].Trainable = Trainable;
+  CarriesValid = false;
+}
+
+void Graph::setAllTrainable(bool Trainable) {
+  for (Node &N : Nodes)
+    N.Trainable = Trainable;
+  CarriesValid = false;
+}
+
+std::vector<Param *> Graph::trainableParams() {
+  std::vector<Param *> Params;
+  for (Node &N : Nodes) {
+    if (!N.NodeLayer || !N.Trainable)
+      continue;
+    for (Param *P : N.NodeLayer->params())
+      Params.push_back(P);
+  }
+  return Params;
+}
+
+std::map<std::string, Param *> Graph::namedState() {
+  std::map<std::string, Param *> State;
+  for (Node &N : Nodes) {
+    if (!N.NodeLayer)
+      continue;
+    const std::vector<Param *> NodeState = N.NodeLayer->state();
+    for (size_t I = 0; I < NodeState.size(); ++I)
+      State[N.Name + "/s" + std::to_string(I)] = NodeState[I];
+  }
+  return State;
+}
+
+void Graph::initParams(Rng &Generator) {
+  for (Node &N : Nodes)
+    if (N.NodeLayer)
+      N.NodeLayer->initParams(Generator);
+}
+
+size_t Graph::paramCount() {
+  size_t Count = 0;
+  for (Node &N : Nodes)
+    if (N.NodeLayer)
+      Count += N.NodeLayer->paramCount();
+  return Count;
+}
+
+std::string Graph::toDot(const std::string &GraphName) const {
+  std::string Out = "digraph \"" + GraphName + "\" {\n";
+  Out += "  rankdir=TB;\n  node [shape=box, fontsize=10];\n";
+  auto quoted = [](const std::string &Name) {
+    return "\"" + Name + "\"";
+  };
+  for (const Node &N : Nodes) {
+    Out += "  " + quoted(N.Name) + " [label=\"" + N.Name;
+    if (N.NodeLayer) {
+      Out += "\\n" + N.NodeLayer->kind();
+      const size_t Params = N.NodeLayer->paramCount();
+      if (Params > 0)
+        Out += " (" + std::to_string(Params) + ")";
+    } else {
+      Out += "\\ninput";
+    }
+    Out += "\"";
+    if (N.NodeLayer && !N.Trainable)
+      Out += ", style=dashed";
+    if (!N.NodeLayer)
+      Out += ", shape=ellipse";
+    Out += "];\n";
+  }
+  for (const Node &N : Nodes)
+    for (int Input : N.Inputs)
+      Out += "  " + quoted(Nodes[Input].Name) + " -> " + quoted(N.Name) +
+             ";\n";
+  return Out + "}\n";
+}
+
+std::vector<std::string> Graph::nodeNames() const {
+  std::vector<std::string> Names;
+  Names.reserve(Nodes.size());
+  for (const Node &N : Nodes)
+    Names.push_back(N.Name);
+  return Names;
+}

@@ -1,0 +1,145 @@
+//===- nn/Graph.h - DAG network runtime ------------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directed-acyclic network of layers, the runtime counterpart of the
+/// multiplexing model the Wootz compiler generates. A single Graph can
+/// host the full (teacher) model and several pruned tuning blocks side by
+/// side: nodes are individually freezable, and backward propagation stops
+/// automatically at frozen subgraphs, which is exactly what Teacher-
+/// Student pre-training needs (§6.1 of the paper).
+///
+/// Usage for one training step:
+/// \code
+///   G.setInput("input", Batch);
+///   G.forward(/*Training=*/true);
+///   G.zeroGrads();
+///   double Loss = softmaxCrossEntropy(G.activation("logits"), Labels, Grad);
+///   G.seedGradient("logits", Grad);
+///   G.backward();
+///   Optimizer.step(G.trainableParams());
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_NN_GRAPH_H
+#define WOOTZ_NN_GRAPH_H
+
+#include "src/nn/Layer.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// A DAG of named layer nodes with forward/backward execution.
+class Graph {
+public:
+  /// Declares an input placeholder named \p Name.
+  void addInput(const std::string &Name);
+
+  /// Adds a layer node consuming the named producer nodes, which must
+  /// already exist (so insertion order is a topological order). Returns
+  /// the node's index.
+  int addNode(const std::string &Name, std::unique_ptr<Layer> NodeLayer,
+              const std::vector<std::string> &InputNames);
+
+  /// True if a node with this name exists.
+  bool hasNode(const std::string &Name) const;
+
+  /// The layer behind \p Name; asserts that the node exists and is not an
+  /// input placeholder.
+  Layer &layer(const std::string &Name);
+
+  /// Binds \p Value to the input placeholder \p Name (copies the tensor).
+  void setInput(const std::string &Name, const Tensor &Value);
+
+  /// Runs every node in topological order.
+  void forward(bool Training);
+
+  /// The most recent activation of node \p Name. Valid after forward().
+  const Tensor &activation(const std::string &Name) const;
+
+  /// The gradient of the loss w.r.t. node \p Name's output from the most
+  /// recent backward() pass, or null if none flowed there this pass.
+  /// Used by data-driven filter-importance criteria (pruning/Importance).
+  const Tensor *outputGradient(const std::string &Name) const;
+
+  /// Zeroes all parameter gradients.
+  void zeroGrads();
+
+  /// Accumulates \p Grad into the output gradient of node \p Name.
+  /// Shapes must match the node's current activation.
+  void seedGradient(const std::string &Name, const Tensor &Grad);
+
+  /// Propagates all seeded gradients back to every trainable parameter.
+  /// Frozen subgraphs (no trainable ancestors) are skipped entirely.
+  void backward();
+
+  /// Marks node \p Name (not) trainable. Frozen nodes keep their
+  /// parameters fixed and do not receive gradient flow from below.
+  void setTrainable(const std::string &Name, bool Trainable);
+
+  /// Marks every node (not) trainable.
+  void setAllTrainable(bool Trainable);
+
+  /// Parameters of all currently trainable nodes.
+  std::vector<Param *> trainableParams();
+
+  /// All persistent state keyed by "node/sK" (layer state index K);
+  /// includes non-trainable state such as batchnorm running stats.
+  std::map<std::string, Param *> namedState();
+
+  /// Randomly initializes every layer's parameters.
+  void initParams(Rng &Generator);
+
+  /// Total trainable scalar count over the whole graph (the paper's
+  /// "model size" metric counts Conv/Dense weights; see
+  /// pruning/ModelSize.h for that accounting).
+  size_t paramCount();
+
+  /// Names of all nodes in topological order.
+  std::vector<std::string> nodeNames() const;
+
+  /// Renders the graph in Graphviz dot format: one node per layer
+  /// (labelled with its kind and parameter count; frozen nodes dashed),
+  /// one edge per data dependency. Debugging/visualization aid for the
+  /// multiplexing structures (`dot -Tsvg`).
+  std::string toDot(const std::string &GraphName = "wootz") const;
+
+private:
+  struct Node {
+    std::string Name;
+    std::unique_ptr<Layer> NodeLayer; ///< Null for input placeholders.
+    std::vector<int> Inputs;
+    bool Trainable = true;
+
+    Tensor Activation;
+    Tensor GradOut;
+    uint64_t GradPassId = 0; ///< Pass in which GradOut was last zeroed.
+    LayerScratch Scratch;
+  };
+
+  int indexOf(const std::string &Name) const;
+  /// Lazily recomputes the carries-gradient flags after topology or
+  /// trainability changes.
+  void updateCarries();
+  /// Ensures \p N's GradOut matches its activation and is zeroed for the
+  /// current pass.
+  void ensureGradBuffer(Node &N);
+
+  std::vector<Node> Nodes;
+  std::map<std::string, int> NameToIndex;
+  std::vector<bool> Carries; ///< Node has a trainable ancestor-or-self.
+  bool CarriesValid = false;
+  uint64_t PassId = 0;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_NN_GRAPH_H

@@ -1,0 +1,97 @@
+//===- nn/Layer.h - Layer interface ----------------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The layer abstraction under the Graph network runtime. A Layer is a
+/// stateless-by-default operator over tensors; stateful layers (Conv2D,
+/// Dense, BatchNorm) expose their parameters as Param objects so the
+/// optimizer and the checkpoint store can reach them uniformly.
+///
+/// Layers implement forward() and backward() over explicit input/output
+/// tensors; the Graph owns all activations and gradient buffers. This is
+/// the minimal substrate the Wootz pipeline needs from a DNN framework:
+/// train, evaluate, freeze, and read intermediate activations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_NN_LAYER_H
+#define WOOTZ_NN_LAYER_H
+
+#include "src/support/Rng.h"
+#include "src/tensor/Tensor.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// A trainable parameter: value plus gradient accumulator.
+struct Param {
+  /// Creates a parameter of the given shape (zero value and gradient).
+  explicit Param(Shape ParamShape)
+      : Value(ParamShape), Grad(ParamShape) {}
+
+  Tensor Value;
+  Tensor Grad;
+};
+
+/// Per-layer context for one forward/backward pass, owned by the Graph.
+///
+/// Layers may stash pass-local state here (e.g. im2col buffers, batchnorm
+/// statistics) so that a single Layer object can be evaluated on several
+/// graphs or batch sizes without aliasing.
+struct LayerScratch {
+  std::vector<Tensor> Buffers;
+};
+
+/// Abstract network layer.
+class Layer {
+public:
+  virtual ~Layer();
+
+  /// A short operator name ("conv", "relu", ...) for diagnostics and for
+  /// the code emitter.
+  virtual std::string kind() const = 0;
+
+  /// Computes the output shape for the given input shapes. Asserts if
+  /// the inputs are incompatible with the layer.
+  virtual Shape outputShape(const std::vector<Shape> &InputShapes) const = 0;
+
+  /// Runs the layer. \p Out has already been allocated to outputShape().
+  /// \p Training selects training semantics (e.g. batchnorm batch stats).
+  virtual void forward(const std::vector<const Tensor *> &Inputs,
+                       Tensor &Out, LayerScratch &Scratch,
+                       bool Training) = 0;
+
+  /// Accumulates parameter gradients and writes input gradients.
+  ///
+  /// \p GradInputs holds one tensor per input, already allocated and
+  /// zero-filled; entries that are nullptr do not need a gradient (their
+  /// producer subgraph is frozen) and must be skipped.
+  virtual void backward(const std::vector<const Tensor *> &Inputs,
+                        const Tensor &Out, const Tensor &GradOut,
+                        LayerScratch &Scratch,
+                        const std::vector<Tensor *> &GradInputs) = 0;
+
+  /// The layer's trainable parameters; empty for stateless layers.
+  virtual std::vector<Param *> params() { return {}; }
+
+  /// All persistent state, trainable or not. Defaults to params();
+  /// BatchNorm2D additionally exposes its running statistics so that
+  /// checkpoints capture them.
+  virtual std::vector<Param *> state() { return params(); }
+
+  /// Randomly initializes the parameters (no-op for stateless layers).
+  virtual void initParams(Rng &Generator) { (void)Generator; }
+
+  /// Number of trainable scalars in this layer.
+  size_t paramCount();
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_NN_LAYER_H

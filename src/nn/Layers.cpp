@@ -1,0 +1,725 @@
+//===- nn/Layers.cpp -------------------------------------------------------===//
+
+#include "src/nn/Layers.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace wootz;
+
+Layer::~Layer() = default;
+
+size_t Layer::paramCount() {
+  size_t Count = 0;
+  for (Param *P : params())
+    Count += P->Value.size();
+  return Count;
+}
+
+//===----------------------------------------------------------------------===//
+// Conv2D
+//===----------------------------------------------------------------------===//
+
+Conv2D::Conv2D(ConvGeometry Geometry, bool HasBias)
+    : Geometry(Geometry), HasBias(HasBias),
+      Weight(Shape{Geometry.OutChannels, Geometry.InChannels,
+                   Geometry.KernelSize, Geometry.KernelSize}),
+      Bias(Shape{Geometry.OutChannels}) {
+  assert(Geometry.InChannels > 0 && Geometry.OutChannels > 0 &&
+         Geometry.KernelSize > 0 && Geometry.Stride > 0 &&
+         "invalid convolution geometry");
+}
+
+Shape Conv2D::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && InputShapes[0].rank() == 4 &&
+         "conv expects one NCHW input");
+  const Shape &In = InputShapes[0];
+  assert(In[1] == Geometry.InChannels && "conv input channel mismatch");
+  return Shape{In[0], Geometry.OutChannels, Geometry.outExtent(In[2]),
+               Geometry.outExtent(In[3])};
+}
+
+void Conv2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                     LayerScratch &Scratch, bool Training) {
+  (void)Training;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  const int Height = In.shape()[2];
+  const int Width = In.shape()[3];
+  const int OutH = Geometry.outExtent(Height);
+  const int OutW = Geometry.outExtent(Width);
+  const int ColRows =
+      Geometry.InChannels * Geometry.KernelSize * Geometry.KernelSize;
+  const int ColCols = OutH * OutW;
+
+  // Keep the whole batch's im2col expansion so backward can reuse it.
+  if (Scratch.Buffers.empty())
+    Scratch.Buffers.emplace_back();
+  Tensor &Cols = Scratch.Buffers[0];
+  const Shape ColsShape{Batch, 1, ColRows, ColCols};
+  if (Cols.shape() != ColsShape)
+    Cols = Tensor(ColsShape);
+
+  const size_t InPlane = static_cast<size_t>(Geometry.InChannels) * Height *
+                         Width;
+  const size_t OutPlane =
+      static_cast<size_t>(Geometry.OutChannels) * ColCols;
+  const size_t ColsPlane = static_cast<size_t>(ColRows) * ColCols;
+
+  for (int N = 0; N < Batch; ++N) {
+    float *SampleCols = Cols.data() + N * ColsPlane;
+    im2col(In.data() + N * InPlane, Geometry.InChannels, Height, Width,
+           Geometry, SampleCols);
+    gemm(Weight.Value.data(), SampleCols, Out.data() + N * OutPlane,
+         Geometry.OutChannels, ColRows, ColCols);
+    if (!HasBias)
+      continue;
+    float *OutSample = Out.data() + N * OutPlane;
+    for (int O = 0; O < Geometry.OutChannels; ++O) {
+      const float BiasVal = Bias.Value[O];
+      float *Plane = OutSample + static_cast<size_t>(O) * ColCols;
+      for (int I = 0; I < ColCols; ++I)
+        Plane[I] += BiasVal;
+    }
+  }
+}
+
+void Conv2D::backward(const std::vector<const Tensor *> &Inputs,
+                      const Tensor &Out, const Tensor &GradOut,
+                      LayerScratch &Scratch,
+                      const std::vector<Tensor *> &GradInputs) {
+  (void)Out;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  const int Height = In.shape()[2];
+  const int Width = In.shape()[3];
+  const int OutH = Geometry.outExtent(Height);
+  const int OutW = Geometry.outExtent(Width);
+  const int ColRows =
+      Geometry.InChannels * Geometry.KernelSize * Geometry.KernelSize;
+  const int ColCols = OutH * OutW;
+
+  assert(!Scratch.Buffers.empty() &&
+         "conv backward requires the forward pass's im2col buffer");
+  Tensor &Cols = Scratch.Buffers[0];
+  const size_t ColsPlane = static_cast<size_t>(ColRows) * ColCols;
+  const size_t OutPlane =
+      static_cast<size_t>(Geometry.OutChannels) * ColCols;
+  const size_t InPlane = static_cast<size_t>(Geometry.InChannels) * Height *
+                         Width;
+
+  Tensor *GradIn = GradInputs[0];
+  std::vector<float> GradCols;
+  if (GradIn)
+    GradCols.resize(ColsPlane);
+
+  for (int N = 0; N < Batch; ++N) {
+    const float *SampleCols = Cols.data() + N * ColsPlane;
+    const float *GradOutSample = GradOut.data() + N * OutPlane;
+    // dW += dOut * cols^T.
+    gemmTransposeB(GradOutSample, SampleCols, Weight.Grad.data(),
+                   Geometry.OutChannels, ColCols, ColRows,
+                   /*Accumulate=*/true);
+    if (HasBias) {
+      for (int O = 0; O < Geometry.OutChannels; ++O) {
+        const float *Plane = GradOutSample + static_cast<size_t>(O) * ColCols;
+        float Total = 0.0f;
+        for (int I = 0; I < ColCols; ++I)
+          Total += Plane[I];
+        Bias.Grad[O] += Total;
+      }
+    }
+    if (!GradIn)
+      continue;
+    // dCols = W^T * dOut, then scatter back with col2im.
+    gemmTransposeA(Weight.Value.data(), GradOutSample, GradCols.data(),
+                   ColRows, Geometry.OutChannels, ColCols);
+    col2im(GradCols.data(), Geometry.InChannels, Height, Width, Geometry,
+           GradIn->data() + N * InPlane);
+  }
+}
+
+std::vector<Param *> Conv2D::params() {
+  if (HasBias)
+    return {&Weight, &Bias};
+  return {&Weight};
+}
+
+void Conv2D::initParams(Rng &Generator) {
+  const float StdDev =
+      std::sqrt(2.0f / static_cast<float>(Geometry.InChannels *
+                                          Geometry.KernelSize *
+                                          Geometry.KernelSize));
+  for (size_t I = 0; I < Weight.Value.size(); ++I)
+    Weight.Value[I] = StdDev * Generator.nextGaussian();
+  Bias.Value.zero();
+}
+
+//===----------------------------------------------------------------------===//
+// BatchNorm2D
+//===----------------------------------------------------------------------===//
+
+BatchNorm2D::BatchNorm2D(int Channels, float Momentum, float Epsilon)
+    : Channels(Channels), Momentum(Momentum), Epsilon(Epsilon),
+      Gamma(Shape{Channels}), Beta(Shape{Channels}),
+      RunningMean(Shape{Channels}), RunningVar(Shape{Channels}) {
+  Gamma.Value.fill(1.0f);
+  RunningVar.Value.fill(1.0f);
+}
+
+Shape BatchNorm2D::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && InputShapes[0].rank() == 4 &&
+         InputShapes[0][1] == Channels && "batchnorm channel mismatch");
+  return InputShapes[0];
+}
+
+void BatchNorm2D::forward(const std::vector<const Tensor *> &Inputs,
+                          Tensor &Out, LayerScratch &Scratch, bool Training) {
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  const int Height = In.shape()[2];
+  const int Width = In.shape()[3];
+  const int Spatial = Height * Width;
+  const size_t PerSample = static_cast<size_t>(Channels) * Spatial;
+
+  // Scratch: [0] normalized activations, [1] inverse stddev, [2] mean.
+  if (Scratch.Buffers.size() < 3)
+    Scratch.Buffers.resize(3);
+  Tensor &XHat = Scratch.Buffers[0];
+  if (XHat.shape() != In.shape())
+    XHat = Tensor(In.shape());
+  Tensor &InvStd = Scratch.Buffers[1];
+  Tensor &BatchMean = Scratch.Buffers[2];
+  if (InvStd.empty()) {
+    InvStd = Tensor(Shape{Channels});
+    BatchMean = Tensor(Shape{Channels});
+  }
+
+  const double Count = static_cast<double>(Batch) * Spatial;
+  for (int C = 0; C < Channels; ++C) {
+    double Mean;
+    double Var;
+    if (Training) {
+      double Total = 0.0;
+      double TotalSq = 0.0;
+      for (int N = 0; N < Batch; ++N) {
+        const float *Plane =
+            In.data() + N * PerSample + static_cast<size_t>(C) * Spatial;
+        for (int I = 0; I < Spatial; ++I) {
+          Total += Plane[I];
+          TotalSq += static_cast<double>(Plane[I]) * Plane[I];
+        }
+      }
+      Mean = Total / Count;
+      Var = TotalSq / Count - Mean * Mean;
+      if (Var < 0.0)
+        Var = 0.0;
+      RunningMean.Value[C] = Momentum * RunningMean.Value[C] +
+                             (1.0f - Momentum) * static_cast<float>(Mean);
+      RunningVar.Value[C] = Momentum * RunningVar.Value[C] +
+                            (1.0f - Momentum) * static_cast<float>(Var);
+    } else {
+      Mean = RunningMean.Value[C];
+      Var = RunningVar.Value[C];
+    }
+    const float InvStdC =
+        1.0f / std::sqrt(static_cast<float>(Var) + Epsilon);
+    InvStd[C] = InvStdC;
+    BatchMean[C] = static_cast<float>(Mean);
+    const float GammaC = Gamma.Value[C];
+    const float BetaC = Beta.Value[C];
+    for (int N = 0; N < Batch; ++N) {
+      const size_t Offset = N * PerSample + static_cast<size_t>(C) * Spatial;
+      const float *InPlane = In.data() + Offset;
+      float *XHatPlane = XHat.data() + Offset;
+      float *OutPlane = Out.data() + Offset;
+      for (int I = 0; I < Spatial; ++I) {
+        const float Norm =
+            (InPlane[I] - static_cast<float>(Mean)) * InvStdC;
+        XHatPlane[I] = Norm;
+        OutPlane[I] = GammaC * Norm + BetaC;
+      }
+    }
+  }
+}
+
+void BatchNorm2D::backward(const std::vector<const Tensor *> &Inputs,
+                           const Tensor &Out, const Tensor &GradOut,
+                           LayerScratch &Scratch,
+                           const std::vector<Tensor *> &GradInputs) {
+  (void)Out;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  const int Spatial = In.shape()[2] * In.shape()[3];
+  const size_t PerSample = static_cast<size_t>(Channels) * Spatial;
+  const Tensor &XHat = Scratch.Buffers[0];
+  const Tensor &InvStd = Scratch.Buffers[1];
+  Tensor *GradIn = GradInputs[0];
+  const float Count = static_cast<float>(Batch * Spatial);
+
+  for (int C = 0; C < Channels; ++C) {
+    float DGamma = 0.0f;
+    float DBeta = 0.0f;
+    for (int N = 0; N < Batch; ++N) {
+      const size_t Offset = N * PerSample + static_cast<size_t>(C) * Spatial;
+      const float *GradPlane = GradOut.data() + Offset;
+      const float *XHatPlane = XHat.data() + Offset;
+      for (int I = 0; I < Spatial; ++I) {
+        DGamma += GradPlane[I] * XHatPlane[I];
+        DBeta += GradPlane[I];
+      }
+    }
+    Gamma.Grad[C] += DGamma;
+    Beta.Grad[C] += DBeta;
+    if (!GradIn)
+      continue;
+    const float ScaleFactor = Gamma.Value[C] * InvStd[C] / Count;
+    for (int N = 0; N < Batch; ++N) {
+      const size_t Offset = N * PerSample + static_cast<size_t>(C) * Spatial;
+      const float *GradPlane = GradOut.data() + Offset;
+      const float *XHatPlane = XHat.data() + Offset;
+      float *GradInPlane = GradIn->data() + Offset;
+      for (int I = 0; I < Spatial; ++I)
+        GradInPlane[I] += ScaleFactor * (Count * GradPlane[I] - DBeta -
+                                         XHatPlane[I] * DGamma);
+    }
+  }
+}
+
+std::vector<Param *> BatchNorm2D::params() { return {&Gamma, &Beta}; }
+
+std::vector<Param *> BatchNorm2D::state() {
+  return {&Gamma, &Beta, &RunningMean, &RunningVar};
+}
+
+void BatchNorm2D::initParams(Rng &Generator) {
+  (void)Generator;
+  Gamma.Value.fill(1.0f);
+  Beta.Value.zero();
+  RunningMean.Value.zero();
+  RunningVar.Value.fill(1.0f);
+}
+
+//===----------------------------------------------------------------------===//
+// ReLU
+//===----------------------------------------------------------------------===//
+
+Shape ReLU::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && "relu expects one input");
+  return InputShapes[0];
+}
+
+void ReLU::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                   LayerScratch &Scratch, bool Training) {
+  (void)Scratch;
+  (void)Training;
+  const Tensor &In = *Inputs[0];
+  for (size_t I = 0; I < In.size(); ++I)
+    Out[I] = In[I] > 0.0f ? In[I] : 0.0f;
+}
+
+void ReLU::backward(const std::vector<const Tensor *> &Inputs,
+                    const Tensor &Out, const Tensor &GradOut,
+                    LayerScratch &Scratch,
+                    const std::vector<Tensor *> &GradInputs) {
+  (void)Inputs;
+  (void)Scratch;
+  Tensor *GradIn = GradInputs[0];
+  if (!GradIn)
+    return;
+  for (size_t I = 0; I < Out.size(); ++I)
+    if (Out[I] > 0.0f)
+      (*GradIn)[I] += GradOut[I];
+}
+
+//===----------------------------------------------------------------------===//
+// Pool2D
+//===----------------------------------------------------------------------===//
+
+Pool2D::Pool2D(Mode PoolMode, int Window, int Stride, int Pad)
+    : PoolMode(PoolMode), Window(Window), Stride(Stride), Pad(Pad) {
+  assert(Window > 0 && Stride > 0 && Pad >= 0 && "invalid pooling geometry");
+}
+
+Shape Pool2D::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && InputShapes[0].rank() == 4 &&
+         "pooling expects one NCHW input");
+  const Shape &In = InputShapes[0];
+  const int OutH = (In[2] + 2 * Pad - Window) / Stride + 1;
+  const int OutW = (In[3] + 2 * Pad - Window) / Stride + 1;
+  assert(OutH > 0 && OutW > 0 && "pooling window larger than input");
+  return Shape{In[0], In[1], OutH, OutW};
+}
+
+void Pool2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                     LayerScratch &Scratch, bool Training) {
+  (void)Training;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  const int Chans = In.shape()[1];
+  const int Height = In.shape()[2];
+  const int Width = In.shape()[3];
+  const int OutH = Out.shape()[2];
+  const int OutW = Out.shape()[3];
+
+  // For max pooling remember the winning input offset for backward.
+  Tensor *ArgMax = nullptr;
+  if (PoolMode == Mode::Max) {
+    if (Scratch.Buffers.empty())
+      Scratch.Buffers.emplace_back();
+    if (Scratch.Buffers[0].shape() != Out.shape())
+      Scratch.Buffers[0] = Tensor(Out.shape());
+    ArgMax = &Scratch.Buffers[0];
+  }
+
+  size_t OutIndex = 0;
+  for (int N = 0; N < Batch; ++N) {
+    for (int C = 0; C < Chans; ++C) {
+      const float *Plane =
+          In.data() + (static_cast<size_t>(N) * Chans + C) * Height * Width;
+      for (int OH = 0; OH < OutH; ++OH) {
+        for (int OW = 0; OW < OutW; ++OW, ++OutIndex) {
+          const int H0 = OH * Stride - Pad;
+          const int W0 = OW * Stride - Pad;
+          if (PoolMode == Mode::Max) {
+            float Best = -3.4e38f;
+            int BestOffset = -1;
+            for (int KH = 0; KH < Window; ++KH) {
+              const int IH = H0 + KH;
+              if (IH < 0 || IH >= Height)
+                continue;
+              for (int KW = 0; KW < Window; ++KW) {
+                const int IW = W0 + KW;
+                if (IW < 0 || IW >= Width)
+                  continue;
+                const int Offset = IH * Width + IW;
+                if (Plane[Offset] > Best) {
+                  Best = Plane[Offset];
+                  BestOffset = Offset;
+                }
+              }
+            }
+            assert(BestOffset >= 0 && "empty pooling window");
+            Out[OutIndex] = Best;
+            (*ArgMax)[OutIndex] = static_cast<float>(BestOffset);
+          } else {
+            float Total = 0.0f;
+            for (int KH = 0; KH < Window; ++KH) {
+              const int IH = H0 + KH;
+              if (IH < 0 || IH >= Height)
+                continue;
+              for (int KW = 0; KW < Window; ++KW) {
+                const int IW = W0 + KW;
+                if (IW >= 0 && IW < Width)
+                  Total += Plane[IH * Width + IW];
+              }
+            }
+            Out[OutIndex] =
+                Total / static_cast<float>(Window * Window);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Pool2D::backward(const std::vector<const Tensor *> &Inputs,
+                      const Tensor &Out, const Tensor &GradOut,
+                      LayerScratch &Scratch,
+                      const std::vector<Tensor *> &GradInputs) {
+  Tensor *GradIn = GradInputs[0];
+  if (!GradIn)
+    return;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  const int Chans = In.shape()[1];
+  const int Height = In.shape()[2];
+  const int Width = In.shape()[3];
+  const int OutH = Out.shape()[2];
+  const int OutW = Out.shape()[3];
+
+  size_t OutIndex = 0;
+  for (int N = 0; N < Batch; ++N) {
+    for (int C = 0; C < Chans; ++C) {
+      float *GradPlane =
+          GradIn->data() +
+          (static_cast<size_t>(N) * Chans + C) * Height * Width;
+      for (int OH = 0; OH < OutH; ++OH) {
+        for (int OW = 0; OW < OutW; ++OW, ++OutIndex) {
+          const float Grad = GradOut[OutIndex];
+          if (PoolMode == Mode::Max) {
+            const int Offset =
+                static_cast<int>(Scratch.Buffers[0][OutIndex]);
+            GradPlane[Offset] += Grad;
+            continue;
+          }
+          const float Share = Grad / static_cast<float>(Window * Window);
+          const int H0 = OH * Stride - Pad;
+          const int W0 = OW * Stride - Pad;
+          for (int KH = 0; KH < Window; ++KH) {
+            const int IH = H0 + KH;
+            if (IH < 0 || IH >= Height)
+              continue;
+            for (int KW = 0; KW < Window; ++KW) {
+              const int IW = W0 + KW;
+              if (IW >= 0 && IW < Width)
+                GradPlane[IH * Width + IW] += Share;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// GlobalAvgPool
+//===----------------------------------------------------------------------===//
+
+Shape GlobalAvgPool::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && InputShapes[0].rank() == 4 &&
+         "global pooling expects one NCHW input");
+  return Shape{InputShapes[0][0], InputShapes[0][1], 1, 1};
+}
+
+void GlobalAvgPool::forward(const std::vector<const Tensor *> &Inputs,
+                            Tensor &Out, LayerScratch &Scratch,
+                            bool Training) {
+  (void)Scratch;
+  (void)Training;
+  const Tensor &In = *Inputs[0];
+  const int Planes = In.shape()[0] * In.shape()[1];
+  const int Spatial = In.shape()[2] * In.shape()[3];
+  for (int P = 0; P < Planes; ++P) {
+    const float *Plane = In.data() + static_cast<size_t>(P) * Spatial;
+    float Total = 0.0f;
+    for (int I = 0; I < Spatial; ++I)
+      Total += Plane[I];
+    Out[P] = Total / static_cast<float>(Spatial);
+  }
+}
+
+void GlobalAvgPool::backward(const std::vector<const Tensor *> &Inputs,
+                             const Tensor &Out, const Tensor &GradOut,
+                             LayerScratch &Scratch,
+                             const std::vector<Tensor *> &GradInputs) {
+  (void)Out;
+  (void)Scratch;
+  Tensor *GradIn = GradInputs[0];
+  if (!GradIn)
+    return;
+  const Tensor &In = *Inputs[0];
+  const int Planes = In.shape()[0] * In.shape()[1];
+  const int Spatial = In.shape()[2] * In.shape()[3];
+  for (int P = 0; P < Planes; ++P) {
+    const float Share = GradOut[P] / static_cast<float>(Spatial);
+    float *Plane = GradIn->data() + static_cast<size_t>(P) * Spatial;
+    for (int I = 0; I < Spatial; ++I)
+      Plane[I] += Share;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dense
+//===----------------------------------------------------------------------===//
+
+Dense::Dense(int InFeatures, int OutFeatures)
+    : InFeatures(InFeatures), OutFeatures(OutFeatures),
+      Weight(Shape{OutFeatures, InFeatures}), Bias(Shape{OutFeatures}) {
+  assert(InFeatures > 0 && OutFeatures > 0 && "invalid dense extents");
+}
+
+Shape Dense::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && "dense expects one input");
+  const Shape &In = InputShapes[0];
+  const size_t Features = In.elementCount() / In[0];
+  assert(Features == static_cast<size_t>(InFeatures) &&
+         "dense input feature mismatch");
+  (void)Features;
+  return Shape{In[0], OutFeatures};
+}
+
+void Dense::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                    LayerScratch &Scratch, bool Training) {
+  (void)Scratch;
+  (void)Training;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  gemmTransposeB(In.data(), Weight.Value.data(), Out.data(), Batch,
+                 InFeatures, OutFeatures);
+  for (int N = 0; N < Batch; ++N)
+    axpy(1.0f, Bias.Value.data(),
+         Out.data() + static_cast<size_t>(N) * OutFeatures, OutFeatures);
+}
+
+void Dense::backward(const std::vector<const Tensor *> &Inputs,
+                     const Tensor &Out, const Tensor &GradOut,
+                     LayerScratch &Scratch,
+                     const std::vector<Tensor *> &GradInputs) {
+  (void)Out;
+  (void)Scratch;
+  const Tensor &In = *Inputs[0];
+  const int Batch = In.shape()[0];
+  // dW += dOut^T * X.
+  gemmTransposeA(GradOut.data(), In.data(), Weight.Grad.data(), OutFeatures,
+                 Batch, InFeatures, /*Accumulate=*/true);
+  for (int N = 0; N < Batch; ++N)
+    axpy(1.0f, GradOut.data() + static_cast<size_t>(N) * OutFeatures,
+         Bias.Grad.data(), OutFeatures);
+  Tensor *GradIn = GradInputs[0];
+  if (!GradIn)
+    return;
+  // dX += dOut * W.
+  gemm(GradOut.data(), Weight.Value.data(), GradIn->data(), Batch,
+       OutFeatures, InFeatures, /*Accumulate=*/true);
+}
+
+std::vector<Param *> Dense::params() { return {&Weight, &Bias}; }
+
+void Dense::initParams(Rng &Generator) {
+  const float StdDev = std::sqrt(2.0f / static_cast<float>(InFeatures));
+  for (size_t I = 0; I < Weight.Value.size(); ++I)
+    Weight.Value[I] = StdDev * Generator.nextGaussian();
+  Bias.Value.zero();
+}
+
+//===----------------------------------------------------------------------===//
+// Concat
+//===----------------------------------------------------------------------===//
+
+Shape Concat::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(!InputShapes.empty() && "concat needs at least one input");
+  const Shape &First = InputShapes[0];
+  assert(First.rank() == 4 && "concat expects NCHW inputs");
+  int Channels = 0;
+  for (const Shape &In : InputShapes) {
+    assert(In[0] == First[0] && In[2] == First[2] && In[3] == First[3] &&
+           "concat inputs must agree on batch and spatial dims");
+    Channels += In[1];
+  }
+  return Shape{First[0], Channels, First[2], First[3]};
+}
+
+void Concat::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                     LayerScratch &Scratch, bool Training) {
+  (void)Scratch;
+  (void)Training;
+  const int Batch = Out.shape()[0];
+  const int Spatial = Out.shape()[2] * Out.shape()[3];
+  const size_t OutSample = static_cast<size_t>(Out.shape()[1]) * Spatial;
+  for (int N = 0; N < Batch; ++N) {
+    size_t Offset = 0;
+    for (const Tensor *In : Inputs) {
+      const size_t Chunk = static_cast<size_t>(In->shape()[1]) * Spatial;
+      std::memcpy(Out.data() + N * OutSample + Offset,
+                  In->data() + N * Chunk, sizeof(float) * Chunk);
+      Offset += Chunk;
+    }
+  }
+}
+
+void Concat::backward(const std::vector<const Tensor *> &Inputs,
+                      const Tensor &Out, const Tensor &GradOut,
+                      LayerScratch &Scratch,
+                      const std::vector<Tensor *> &GradInputs) {
+  (void)Scratch;
+  const int Batch = Out.shape()[0];
+  const int Spatial = Out.shape()[2] * Out.shape()[3];
+  const size_t OutSample = static_cast<size_t>(Out.shape()[1]) * Spatial;
+  for (int N = 0; N < Batch; ++N) {
+    size_t Offset = 0;
+    for (size_t Slot = 0; Slot < Inputs.size(); ++Slot) {
+      const size_t Chunk =
+          static_cast<size_t>(Inputs[Slot]->shape()[1]) * Spatial;
+      if (Tensor *GradIn = GradInputs[Slot])
+        axpy(1.0f, GradOut.data() + N * OutSample + Offset,
+             GradIn->data() + N * Chunk, Chunk);
+      Offset += Chunk;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Dropout
+//===----------------------------------------------------------------------===//
+
+Dropout::Dropout(float DropRate, uint64_t Seed)
+    : DropRate(DropRate), Generator(Seed) {
+  assert(DropRate >= 0.0f && DropRate < 1.0f && "drop rate out of [0, 1)");
+}
+
+Shape Dropout::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() == 1 && "dropout expects one input");
+  return InputShapes[0];
+}
+
+void Dropout::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                      LayerScratch &Scratch, bool Training) {
+  const Tensor &In = *Inputs[0];
+  if (!Training || DropRate == 0.0f) {
+    std::memcpy(Out.data(), In.data(), sizeof(float) * In.size());
+    return;
+  }
+  // Scratch buffer 0 stores the mask for backward.
+  if (Scratch.Buffers.empty())
+    Scratch.Buffers.emplace_back();
+  Tensor &Mask = Scratch.Buffers[0];
+  if (Mask.shape() != In.shape())
+    Mask = Tensor(In.shape());
+  const float KeepScale = 1.0f / (1.0f - DropRate);
+  for (size_t I = 0; I < In.size(); ++I) {
+    const bool Keep = !Generator.nextBernoulli(DropRate);
+    Mask[I] = Keep ? KeepScale : 0.0f;
+    Out[I] = In[I] * Mask[I];
+  }
+}
+
+void Dropout::backward(const std::vector<const Tensor *> &Inputs,
+                       const Tensor &Out, const Tensor &GradOut,
+                       LayerScratch &Scratch,
+                       const std::vector<Tensor *> &GradInputs) {
+  (void)Inputs;
+  (void)Out;
+  Tensor *GradIn = GradInputs[0];
+  if (!GradIn)
+    return;
+  // The mask is present only when the last forward ran in training mode.
+  const bool Masked =
+      !Scratch.Buffers.empty() &&
+      Scratch.Buffers[0].shape() == GradOut.shape() && DropRate > 0.0f;
+  for (size_t I = 0; I < GradOut.size(); ++I)
+    (*GradIn)[I] += Masked ? GradOut[I] * Scratch.Buffers[0][I]
+                           : GradOut[I];
+}
+
+//===----------------------------------------------------------------------===//
+// Add
+//===----------------------------------------------------------------------===//
+
+Shape Add::outputShape(const std::vector<Shape> &InputShapes) const {
+  assert(InputShapes.size() >= 2 && "add needs at least two inputs");
+  for (const Shape &In : InputShapes)
+    assert(In == InputShapes[0] && "add inputs must have equal shapes");
+  return InputShapes[0];
+}
+
+void Add::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+                  LayerScratch &Scratch, bool Training) {
+  (void)Scratch;
+  (void)Training;
+  std::memcpy(Out.data(), Inputs[0]->data(), sizeof(float) * Out.size());
+  for (size_t Slot = 1; Slot < Inputs.size(); ++Slot)
+    axpy(1.0f, Inputs[Slot]->data(), Out.data(), Out.size());
+}
+
+void Add::backward(const std::vector<const Tensor *> &Inputs,
+                   const Tensor &Out, const Tensor &GradOut,
+                   LayerScratch &Scratch,
+                   const std::vector<Tensor *> &GradInputs) {
+  (void)Inputs;
+  (void)Out;
+  (void)Scratch;
+  for (Tensor *GradIn : GradInputs)
+    if (GradIn)
+      axpy(1.0f, GradOut.data(), GradIn->data(), GradOut.size());
+}

@@ -1,0 +1,206 @@
+//===- nn/Layers.h - Concrete layers ---------------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete layer zoo used by the miniature ResNet/Inception models:
+/// Conv2D, BatchNorm2D, ReLU, max/average/global-average pooling, Dense,
+/// channel Concat and elementwise Add. All convolutional tensors are
+/// NCHW; filters are OIHW.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_NN_LAYERS_H
+#define WOOTZ_NN_LAYERS_H
+
+#include "src/nn/Layer.h"
+#include "src/tensor/Ops.h"
+
+namespace wootz {
+
+/// 2-D convolution with optional bias (square kernels).
+class Conv2D : public Layer {
+public:
+  /// \p Geometry fixes channel counts, kernel size, stride and padding.
+  explicit Conv2D(ConvGeometry Geometry, bool HasBias = true);
+
+  std::string kind() const override { return "conv"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+  std::vector<Param *> params() override;
+  void initParams(Rng &Generator) override;
+
+  const ConvGeometry &geometry() const { return Geometry; }
+  Param &weight() { return Weight; }
+  Param *bias() { return HasBias ? &Bias : nullptr; }
+
+private:
+  ConvGeometry Geometry;
+  bool HasBias;
+  Param Weight; ///< OIHW.
+  Param Bias;   ///< [O]; unused when HasBias is false.
+};
+
+/// Per-channel batch normalization with running statistics.
+class BatchNorm2D : public Layer {
+public:
+  explicit BatchNorm2D(int Channels, float Momentum = 0.9f,
+                       float Epsilon = 1e-5f);
+
+  std::string kind() const override { return "batchnorm"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+  std::vector<Param *> params() override;
+  std::vector<Param *> state() override;
+  void initParams(Rng &Generator) override;
+
+  int channels() const { return Channels; }
+  /// Running statistics are exposed as (non-trainable) Params so that
+  /// checkpoints capture them.
+  Param &runningMean() { return RunningMean; }
+  Param &runningVar() { return RunningVar; }
+
+private:
+  int Channels;
+  float Momentum;
+  float Epsilon;
+  Param Gamma;
+  Param Beta;
+  Param RunningMean;
+  Param RunningVar;
+};
+
+/// Elementwise rectified linear unit.
+class ReLU : public Layer {
+public:
+  std::string kind() const override { return "relu"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+};
+
+/// Spatial pooling (max or average) with square windows.
+class Pool2D : public Layer {
+public:
+  enum class Mode { Max, Average };
+
+  Pool2D(Mode PoolMode, int Window, int Stride, int Pad = 0);
+
+  std::string kind() const override {
+    return PoolMode == Mode::Max ? "maxpool" : "avgpool";
+  }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+
+private:
+  Mode PoolMode;
+  int Window;
+  int Stride;
+  int Pad;
+};
+
+/// Global average pooling: NCHW -> NC11.
+class GlobalAvgPool : public Layer {
+public:
+  std::string kind() const override { return "globalavgpool"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+};
+
+/// Fully connected layer; rank-4 inputs are flattened per sample.
+class Dense : public Layer {
+public:
+  Dense(int InFeatures, int OutFeatures);
+
+  std::string kind() const override { return "dense"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+  std::vector<Param *> params() override;
+  void initParams(Rng &Generator) override;
+
+  int inFeatures() const { return InFeatures; }
+  int outFeatures() const { return OutFeatures; }
+  Param &weight() { return Weight; }
+  Param &bias() { return Bias; }
+
+private:
+  int InFeatures;
+  int OutFeatures;
+  Param Weight; ///< [Out, In].
+  Param Bias;   ///< [Out].
+};
+
+/// Concatenates inputs along the channel axis (Inception branches).
+class Concat : public Layer {
+public:
+  std::string kind() const override { return "concat"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+};
+
+/// Inverted dropout: in training mode each activation is zeroed with
+/// probability DropRate and survivors are scaled by 1/(1-DropRate); in
+/// evaluation mode it is the identity. Deterministic in its seed.
+class Dropout : public Layer {
+public:
+  explicit Dropout(float DropRate, uint64_t Seed = 0xd20b);
+
+  std::string kind() const override { return "dropout"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+
+  float dropRate() const { return DropRate; }
+
+private:
+  float DropRate;
+  Rng Generator;
+};
+
+/// Elementwise addition (ResNet shortcut joins).
+class Add : public Layer {
+public:
+  std::string kind() const override { return "add"; }
+  Shape outputShape(const std::vector<Shape> &InputShapes) const override;
+  void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
+               LayerScratch &Scratch, bool Training) override;
+  void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
+                const Tensor &GradOut, LayerScratch &Scratch,
+                const std::vector<Tensor *> &GradInputs) override;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_NN_LAYERS_H

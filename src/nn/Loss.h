@@ -1,0 +1,52 @@
+//===- nn/Loss.h - Loss functions ------------------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two losses the Wootz pipeline needs:
+///  * softmax cross-entropy for full-network training / fine-tuning, and
+///  * the activation-map reconstruction loss min ||O - O'||^2 used by the
+///    Teacher-Student tuning-block pre-training (§6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_NN_LOSS_H
+#define WOOTZ_NN_LOSS_H
+
+#include "src/tensor/Tensor.h"
+
+#include <vector>
+
+namespace wootz {
+
+/// Computes the mean softmax cross-entropy of \p Logits (shape
+/// [Batch, Classes]) against integer \p Labels and writes the gradient
+/// with respect to the logits into \p GradLogits (resized as needed).
+double softmaxCrossEntropy(const Tensor &Logits,
+                           const std::vector<int> &Labels,
+                           Tensor &GradLogits);
+
+/// Fraction of rows whose argmax equals the label.
+double accuracyFromLogits(const Tensor &Logits,
+                          const std::vector<int> &Labels);
+
+/// Computes 0.5 * mean((Pred - Target)^2) and the gradient with respect
+/// to \p Pred. This is the reconstruction error between the pruned
+/// tuning block's activation maps and its unpruned counterpart's.
+double l2Reconstruction(const Tensor &Pred, const Tensor &Target,
+                        Tensor &GradPred);
+
+/// Knowledge-distillation loss (Hinton et al., cited by the paper's §8):
+/// temperature-softened cross-entropy between \p StudentLogits and
+/// \p TeacherLogits, scaled by Temperature^2 so its gradients stay
+/// comparable to the hard-label loss. Writes d(loss)/d(student logits)
+/// into \p GradStudent.
+double distillationLoss(const Tensor &StudentLogits,
+                        const Tensor &TeacherLogits, float Temperature,
+                        Tensor &GradStudent);
+
+} // namespace wootz
+
+#endif // WOOTZ_NN_LOSS_H

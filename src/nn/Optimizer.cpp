@@ -1,0 +1,21 @@
+//===- nn/Optimizer.cpp ----------------------------------------------------===//
+
+#include "src/nn/Optimizer.h"
+
+using namespace wootz;
+
+void SgdOptimizer::step(const std::vector<Param *> &Params) {
+  for (Param *P : Params) {
+    const size_t Count = P->Value.size();
+    std::vector<float> &V = Velocity[P];
+    if (V.size() != Count)
+      V.assign(Count, 0.0f);
+    float *Value = P->Value.data();
+    const float *Grad = P->Grad.data();
+    for (size_t I = 0; I < Count; ++I) {
+      const float Update = Grad[I] + WeightDecay * Value[I];
+      V[I] = Momentum * V[I] + Update;
+      Value[I] -= LearningRate * V[I];
+    }
+  }
+}

@@ -1,0 +1,55 @@
+//===- nn/Optimizer.h - SGD with momentum ----------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stochastic gradient descent with classical momentum and decoupled L2
+/// weight decay — the training configuration the paper uses (fixed
+/// learning rate, weight decay, momentum via TF's MomentumOptimizer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_NN_OPTIMIZER_H
+#define WOOTZ_NN_OPTIMIZER_H
+
+#include "src/nn/Layer.h"
+
+#include <map>
+#include <vector>
+
+namespace wootz {
+
+/// SGD + momentum + weight decay over an explicit parameter set.
+class SgdOptimizer {
+public:
+  /// \p LearningRate and \p WeightDecay mirror the paper's meta data;
+  /// \p Momentum defaults to the common 0.9.
+  explicit SgdOptimizer(float LearningRate, float Momentum = 0.9f,
+                        float WeightDecay = 0.0f)
+      : LearningRate(LearningRate), Momentum(Momentum),
+        WeightDecay(WeightDecay) {}
+
+  /// Applies one update to every parameter in \p Params using the
+  /// gradients currently accumulated in them. Velocity buffers are keyed
+  /// by parameter identity, so the same optimizer can drive several
+  /// parameter subsets (e.g. per-block pre-training) without mixing state.
+  void step(const std::vector<Param *> &Params);
+
+  /// Drops all velocity state (e.g. when switching training phases).
+  void resetState() { Velocity.clear(); }
+
+  float learningRate() const { return LearningRate; }
+  void setLearningRate(float Rate) { LearningRate = Rate; }
+
+private:
+  float LearningRate;
+  float Momentum;
+  float WeightDecay;
+  std::map<Param *, std::vector<float>> Velocity;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_NN_OPTIMIZER_H

@@ -1,0 +1,141 @@
+//===- nn/Serialize.cpp ----------------------------------------------------===//
+
+#include "src/nn/Serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+using namespace wootz;
+
+static const char Magic[8] = {'W', 'O', 'O', 'T', 'Z', 'C', 'K', '1'};
+
+static void appendU32(std::string &Out, uint32_t Value) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((Value >> (8 * I)) & 0xff));
+}
+
+static void appendU64(std::string &Out, uint64_t Value) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((Value >> (8 * I)) & 0xff));
+}
+
+namespace {
+/// Cursor over the serialized byte string with bounds-checked reads.
+class Reader {
+public:
+  explicit Reader(const std::string &Bytes) : Bytes(Bytes) {}
+
+  bool readU32(uint32_t &Value) {
+    if (Offset + 4 > Bytes.size())
+      return false;
+    Value = 0;
+    for (int I = 0; I < 4; ++I)
+      Value |= static_cast<uint32_t>(
+                   static_cast<unsigned char>(Bytes[Offset + I]))
+               << (8 * I);
+    Offset += 4;
+    return true;
+  }
+
+  bool readU64(uint64_t &Value) {
+    if (Offset + 8 > Bytes.size())
+      return false;
+    Value = 0;
+    for (int I = 0; I < 8; ++I)
+      Value |= static_cast<uint64_t>(
+                   static_cast<unsigned char>(Bytes[Offset + I]))
+               << (8 * I);
+    Offset += 8;
+    return true;
+  }
+
+  bool readBytes(void *Out, size_t Count) {
+    if (Offset + Count > Bytes.size())
+      return false;
+    std::memcpy(Out, Bytes.data() + Offset, Count);
+    Offset += Count;
+    return true;
+  }
+
+private:
+  const std::string &Bytes;
+  size_t Offset = 0;
+};
+} // namespace
+
+std::string wootz::serializeTensors(const TensorBundle &Bundle) {
+  std::string Out;
+  Out.append(Magic, sizeof(Magic));
+  appendU64(Out, Bundle.size());
+  for (const auto &[Name, Value] : Bundle) {
+    appendU32(Out, static_cast<uint32_t>(Name.size()));
+    Out += Name;
+    appendU32(Out, static_cast<uint32_t>(Value.shape().rank()));
+    for (int Axis = 0; Axis < Value.shape().rank(); ++Axis)
+      appendU32(Out, static_cast<uint32_t>(Value.shape()[Axis]));
+    const size_t ByteCount = Value.size() * sizeof(float);
+    Out.append(reinterpret_cast<const char *>(Value.data()), ByteCount);
+  }
+  return Out;
+}
+
+Result<TensorBundle> wootz::deserializeTensors(const std::string &Bytes) {
+  if (Bytes.size() < sizeof(Magic) ||
+      std::memcmp(Bytes.data(), Magic, sizeof(Magic)) != 0)
+    return Error::failure("not a wootz checkpoint: bad magic");
+  Reader Cursor(Bytes);
+  char Skipped[sizeof(Magic)];
+  Cursor.readBytes(Skipped, sizeof(Magic));
+  uint64_t EntryCount = 0;
+  if (!Cursor.readU64(EntryCount))
+    return Error::failure("checkpoint truncated in header");
+
+  TensorBundle Bundle;
+  for (uint64_t Entry = 0; Entry < EntryCount; ++Entry) {
+    uint32_t NameLength = 0;
+    if (!Cursor.readU32(NameLength))
+      return Error::failure("checkpoint truncated before entry name");
+    std::string Name(NameLength, '\0');
+    if (!Cursor.readBytes(Name.data(), NameLength))
+      return Error::failure("checkpoint truncated in entry name");
+    uint32_t Rank = 0;
+    if (!Cursor.readU32(Rank) || Rank == 0 || Rank > 4)
+      return Error::failure("checkpoint entry '" + Name +
+                            "' has invalid rank");
+    std::vector<int> Dims(Rank);
+    for (uint32_t Axis = 0; Axis < Rank; ++Axis) {
+      uint32_t Extent = 0;
+      if (!Cursor.readU32(Extent) || Extent == 0)
+        return Error::failure("checkpoint entry '" + Name +
+                              "' has invalid extent");
+      Dims[Axis] = static_cast<int>(Extent);
+    }
+    Tensor Value{Shape(Dims)};
+    if (!Cursor.readBytes(Value.data(), Value.size() * sizeof(float)))
+      return Error::failure("checkpoint truncated in entry '" + Name + "'");
+    Bundle.emplace(std::move(Name), std::move(Value));
+  }
+  return Bundle;
+}
+
+Error wootz::saveTensors(const std::string &Path,
+                         const TensorBundle &Bundle) {
+  std::ofstream Stream(Path, std::ios::binary | std::ios::trunc);
+  if (!Stream)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  const std::string Bytes = serializeTensors(Bundle);
+  Stream.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  if (!Stream)
+    return Error::failure("write to '" + Path + "' failed");
+  return Error::success();
+}
+
+Result<TensorBundle> wootz::loadTensors(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return Error::failure("cannot open '" + Path + "' for reading");
+  std::string Bytes((std::istreambuf_iterator<char>(Stream)),
+                    std::istreambuf_iterator<char>());
+  return deserializeTensors(Bytes);
+}

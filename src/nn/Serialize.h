@@ -1,0 +1,43 @@
+//===- nn/Serialize.h - Tensor (de)serialization ---------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal binary format mapping names to tensors — the equivalent of
+/// TensorFlow checkpoints the paper stores pre-trained tuning blocks in.
+/// Layout: magic, entry count, then per entry: name, rank, extents, data.
+/// All integers are little-endian uint32/uint64.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_NN_SERIALIZE_H
+#define WOOTZ_NN_SERIALIZE_H
+
+#include "src/support/Error.h"
+#include "src/tensor/Tensor.h"
+
+#include <map>
+#include <string>
+
+namespace wootz {
+
+/// A named tensor bundle, the in-memory form of a checkpoint file.
+using TensorBundle = std::map<std::string, Tensor>;
+
+/// Serializes \p Bundle into a byte string.
+std::string serializeTensors(const TensorBundle &Bundle);
+
+/// Parses a byte string produced by serializeTensors().
+Result<TensorBundle> deserializeTensors(const std::string &Bytes);
+
+/// Writes \p Bundle to \p Path; returns an error on I/O failure.
+Error saveTensors(const std::string &Path, const TensorBundle &Bundle);
+
+/// Reads a bundle from \p Path.
+Result<TensorBundle> loadTensors(const std::string &Path);
+
+} // namespace wootz
+
+#endif // WOOTZ_NN_SERIALIZE_H

@@ -1,0 +1,350 @@
+//===- proto/ModelSpec.cpp -------------------------------------------------===//
+
+#include "src/proto/ModelSpec.h"
+
+#include "src/support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace wootz;
+
+const char *wootz::layerKindName(LayerKind Kind) {
+  switch (Kind) {
+  case LayerKind::Convolution:
+    return "Convolution";
+  case LayerKind::BatchNorm:
+    return "BatchNorm";
+  case LayerKind::ReLU:
+    return "ReLU";
+  case LayerKind::Pooling:
+    return "Pooling";
+  case LayerKind::InnerProduct:
+    return "InnerProduct";
+  case LayerKind::Concat:
+    return "Concat";
+  case LayerKind::Eltwise:
+    return "Eltwise";
+  }
+  return "Unknown";
+}
+
+int ModelSpec::layerIndex(const std::string &Name) const {
+  for (size_t I = 0; I < Layers.size(); ++I)
+    if (Layers[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Structural analysis
+//===----------------------------------------------------------------------===//
+
+/// True for layers that preserve the channel count of their sole input.
+static bool preservesChannels(LayerKind Kind) {
+  return Kind == LayerKind::BatchNorm || Kind == LayerKind::ReLU ||
+         Kind == LayerKind::Pooling;
+}
+
+Error ModelSpec::analyze() {
+  // Pass 1: name uniqueness and defined-before-use bottoms.
+  std::set<std::string> Defined{InputName};
+  for (const LayerSpec &L : Layers) {
+    if (L.Name.empty())
+      return Error::failure("model '" + Name + "' has an unnamed layer");
+    if (Defined.count(L.Name))
+      return Error::failure("duplicate layer name '" + L.Name + "'");
+    if (L.Bottoms.empty())
+      return Error::failure("layer '" + L.Name + "' has no bottom");
+    for (const std::string &Bottom : L.Bottoms)
+      if (!Defined.count(Bottom))
+        return Error::failure("layer '" + L.Name + "' uses undefined bottom '" +
+                              Bottom + "'");
+    Defined.insert(L.Name);
+  }
+
+  // Pass 2: contiguous module runs.
+  Modules.clear();
+  LayerModule.assign(Layers.size(), -1);
+  std::set<std::string> ClosedModules;
+  for (size_t I = 0; I < Layers.size(); ++I) {
+    const std::string &Label = Layers[I].Module;
+    if (Label.empty())
+      continue;
+    if (!Modules.empty() && Modules.back().Name == Label &&
+        Modules.back().LastLayer == static_cast<int>(I) - 1) {
+      Modules.back().LastLayer = static_cast<int>(I);
+    } else {
+      if (ClosedModules.count(Label))
+        return Error::failure("module '" + Label +
+                              "' is not a contiguous layer run");
+      if (!Modules.empty())
+        ClosedModules.insert(Modules.back().Name);
+      Modules.push_back({Label, static_cast<int>(I), static_cast<int>(I)});
+    }
+    LayerModule[I] = static_cast<int>(Modules.size()) - 1;
+  }
+
+  // Pass 3: each module consumes exactly one external producer and is
+  // consumed through exactly one of its layers (the block boundaries).
+  for (ModuleSpec &M : Modules) {
+    std::set<std::string> External;
+    for (int I = M.FirstLayer; I <= M.LastLayer; ++I) {
+      for (const std::string &Bottom : Layers[I].Bottoms) {
+        const int BottomIndex = layerIndex(Bottom);
+        const bool Internal = BottomIndex >= M.FirstLayer &&
+                              BottomIndex <= M.LastLayer;
+        if (!Internal)
+          External.insert(Bottom);
+      }
+    }
+    if (External.size() != 1)
+      return Error::failure("module '" + M.Name + "' must have exactly one "
+                            "external input, found " +
+                            std::to_string(External.size()));
+    M.ExternalInput = *External.begin();
+
+    std::set<std::string> Outputs;
+    for (size_t I = 0; I < Layers.size(); ++I) {
+      const bool Internal = static_cast<int>(I) >= M.FirstLayer &&
+                            static_cast<int>(I) <= M.LastLayer;
+      if (Internal)
+        continue;
+      for (const std::string &Bottom : Layers[I].Bottoms) {
+        const int BottomIndex = layerIndex(Bottom);
+        if (BottomIndex >= M.FirstLayer && BottomIndex <= M.LastLayer)
+          Outputs.insert(Bottom);
+      }
+    }
+    if (Outputs.size() != 1)
+      return Error::failure("module '" + M.Name + "' must be consumed "
+                            "through exactly one layer, found " +
+                            std::to_string(Outputs.size()));
+    M.OutputLayer = *Outputs.begin();
+  }
+
+  // Pass 4: prunability. Build the consumer lists once.
+  std::map<std::string, std::vector<int>> Consumers;
+  for (size_t I = 0; I < Layers.size(); ++I)
+    for (const std::string &Bottom : Layers[I].Bottoms)
+      Consumers[Bottom].push_back(static_cast<int>(I));
+
+  Prunable.assign(Layers.size(), false);
+  for (size_t I = 0; I < Layers.size(); ++I) {
+    if (Layers[I].Kind != LayerKind::Convolution || LayerModule[I] < 0)
+      continue;
+    const int Module = LayerModule[I];
+    // Walk forward through shape-preserving layers; pruning this conv is
+    // safe iff every path ends at another convolution of the same module.
+    bool Safe = true;
+    std::vector<int> Worklist{static_cast<int>(I)};
+    std::set<int> Visited;
+    while (Safe && !Worklist.empty()) {
+      const int Current = Worklist.back();
+      Worklist.pop_back();
+      if (!Visited.insert(Current).second)
+        continue;
+      auto It = Consumers.find(Layers[Current].Name);
+      if (It == Consumers.end() || It->second.empty()) {
+        Safe = false; // Feeds the network output.
+        break;
+      }
+      for (int Consumer : It->second) {
+        if (LayerModule[Consumer] != Module) {
+          Safe = false;
+          break;
+        }
+        if (Layers[Consumer].Kind == LayerKind::Convolution)
+          continue; // The consuming conv absorbs the channel change.
+        if (preservesChannels(Layers[Consumer].Kind)) {
+          Worklist.push_back(Consumer);
+          continue;
+        }
+        Safe = false; // Concat/Eltwise/InnerProduct pin the channel count.
+        break;
+      }
+    }
+    Prunable[I] = Safe;
+  }
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Prototxt binding
+//===----------------------------------------------------------------------===//
+
+static Result<LayerKind> layerKindFromName(const std::string &TypeName) {
+  if (TypeName == "Convolution")
+    return LayerKind::Convolution;
+  if (TypeName == "BatchNorm")
+    return LayerKind::BatchNorm;
+  if (TypeName == "ReLU")
+    return LayerKind::ReLU;
+  if (TypeName == "Pooling")
+    return LayerKind::Pooling;
+  if (TypeName == "InnerProduct")
+    return LayerKind::InnerProduct;
+  if (TypeName == "Concat")
+    return LayerKind::Concat;
+  if (TypeName == "Eltwise")
+    return LayerKind::Eltwise;
+  return Error::failure("unsupported layer type '" + TypeName + "'");
+}
+
+static Result<LayerSpec> layerFromMessage(const PrototxtMessage &Msg) {
+  LayerSpec L;
+  L.Name = Msg.scalarOr("name", "");
+  Result<LayerKind> Kind = layerKindFromName(Msg.scalarOr("type", ""));
+  if (!Kind)
+    return Error::failure("layer '" + L.Name + "': " + Kind.message());
+  L.Kind = *Kind;
+  for (const PrototxtValue &Bottom : Msg.values("bottom"))
+    L.Bottoms.push_back(Bottom.text());
+  // We require in-place-free graphs where each layer's top is its name;
+  // this keeps the data-flow analysis trivial, matching the structure the
+  // Wootz compiler emits.
+  const std::string Top = Msg.scalarOr("top", L.Name);
+  if (Top != L.Name)
+    return Error::failure("layer '" + L.Name +
+                          "': top must equal the layer name");
+  L.Module = Msg.scalarOr("module", "");
+
+  if (L.Kind == LayerKind::Convolution) {
+    if (!Msg.has("convolution_param"))
+      return Error::failure("layer '" + L.Name +
+                            "': missing convolution_param");
+    const PrototxtMessage &P = Msg.values("convolution_param")[0].message();
+    L.NumOutput = static_cast<int>(P.intOr("num_output", 0));
+    L.KernelSize = static_cast<int>(P.intOr("kernel_size", 1));
+    L.Stride = static_cast<int>(P.intOr("stride", 1));
+    L.Pad = static_cast<int>(P.intOr("pad", 0));
+    L.BiasTerm = P.boolOr("bias_term", true);
+    if (L.NumOutput <= 0)
+      return Error::failure("layer '" + L.Name +
+                            "': num_output must be positive");
+  } else if (L.Kind == LayerKind::InnerProduct) {
+    if (!Msg.has("inner_product_param"))
+      return Error::failure("layer '" + L.Name +
+                            "': missing inner_product_param");
+    const PrototxtMessage &P =
+        Msg.values("inner_product_param")[0].message();
+    L.NumOutput = static_cast<int>(P.intOr("num_output", 0));
+    if (L.NumOutput <= 0)
+      return Error::failure("layer '" + L.Name +
+                            "': num_output must be positive");
+  } else if (L.Kind == LayerKind::Pooling) {
+    if (Msg.has("pooling_param")) {
+      const PrototxtMessage &P = Msg.values("pooling_param")[0].message();
+      const std::string Pool = P.scalarOr("pool", "MAX");
+      if (Pool != "MAX" && Pool != "AVE")
+        return Error::failure("layer '" + L.Name +
+                              "': unsupported pool method '" + Pool + "'");
+      L.PoolMax = Pool == "MAX";
+      L.KernelSize = static_cast<int>(P.intOr("kernel_size", 2));
+      L.Stride = static_cast<int>(P.intOr("stride", L.KernelSize));
+      L.Pad = static_cast<int>(P.intOr("pad", 0));
+      L.GlobalPooling = P.boolOr("global_pooling", false);
+    }
+  } else if (L.Kind == LayerKind::Eltwise) {
+    if (Msg.has("eltwise_param")) {
+      const PrototxtMessage &P = Msg.values("eltwise_param")[0].message();
+      const std::string Operation = P.scalarOr("operation", "SUM");
+      if (Operation != "SUM")
+        return Error::failure("layer '" + L.Name +
+                              "': only SUM eltwise is supported");
+    }
+  }
+  return L;
+}
+
+Result<ModelSpec> wootz::parseModelSpec(const std::string &PrototxtSource) {
+  Result<PrototxtMessage> Parsed = parsePrototxt(PrototxtSource);
+  if (!Parsed)
+    return Parsed.takeError();
+  const PrototxtMessage &Top = *Parsed;
+
+  ModelSpec Spec;
+  Spec.Name = Top.scalarOr("name", "model");
+  if (Top.has("input"))
+    Spec.InputName = Top.scalarOr("input", "data");
+  const std::vector<PrototxtValue> &Dims = Top.values("input_dim");
+  if (Dims.size() != 4)
+    return Error::failure("expected 4 input_dim entries (N C H W), found " +
+                          std::to_string(Dims.size()));
+  // input_dim order is N, C, H, W; the batch extent is ignored (batches
+  // are runtime-sized).
+  auto dimAt = [&](int Index) -> Result<long long> {
+    return parseInteger(Dims[Index].text());
+  };
+  Result<long long> C = dimAt(1);
+  Result<long long> H = dimAt(2);
+  Result<long long> W = dimAt(3);
+  if (!C || !H || !W)
+    return Error::failure("invalid input_dim value");
+  Spec.InputChannels = static_cast<int>(*C);
+  Spec.InputHeight = static_cast<int>(*H);
+  Spec.InputWidth = static_cast<int>(*W);
+
+  for (const PrototxtValue &LayerValue : Top.values("layer")) {
+    if (LayerValue.isScalar())
+      return Error::failure("'layer' must be a message");
+    Result<LayerSpec> L = layerFromMessage(LayerValue.message());
+    if (!L)
+      return L.takeError();
+    Spec.Layers.push_back(L.take());
+  }
+  if (Spec.Layers.empty())
+    return Error::failure("model '" + Spec.Name + "' has no layers");
+  if (Error E = Spec.analyze())
+    return std::move(E);
+  return Spec;
+}
+
+std::string wootz::printModelSpec(const ModelSpec &Spec) {
+  std::string Out;
+  Out += "name: \"" + Spec.Name + "\"\n";
+  Out += "input: \"" + Spec.InputName + "\"\n";
+  Out += "input_dim: 1\n";
+  Out += "input_dim: " + std::to_string(Spec.InputChannels) + "\n";
+  Out += "input_dim: " + std::to_string(Spec.InputHeight) + "\n";
+  Out += "input_dim: " + std::to_string(Spec.InputWidth) + "\n";
+  for (const LayerSpec &L : Spec.Layers) {
+    Out += "layer {\n";
+    Out += "  name: \"" + L.Name + "\"\n";
+    Out += "  type: \"" + std::string(layerKindName(L.Kind)) + "\"\n";
+    for (const std::string &Bottom : L.Bottoms)
+      Out += "  bottom: \"" + Bottom + "\"\n";
+    Out += "  top: \"" + L.Name + "\"\n";
+    if (!L.Module.empty())
+      Out += "  module: \"" + L.Module + "\"\n";
+    if (L.Kind == LayerKind::Convolution) {
+      Out += "  convolution_param {\n";
+      Out += "    num_output: " + std::to_string(L.NumOutput) + "\n";
+      Out += "    kernel_size: " + std::to_string(L.KernelSize) + "\n";
+      Out += "    stride: " + std::to_string(L.Stride) + "\n";
+      Out += "    pad: " + std::to_string(L.Pad) + "\n";
+      Out += std::string("    bias_term: ") +
+             (L.BiasTerm ? "true" : "false") + "\n";
+      Out += "  }\n";
+    } else if (L.Kind == LayerKind::InnerProduct) {
+      Out += "  inner_product_param {\n";
+      Out += "    num_output: " + std::to_string(L.NumOutput) + "\n";
+      Out += "  }\n";
+    } else if (L.Kind == LayerKind::Pooling) {
+      Out += "  pooling_param {\n";
+      Out += std::string("    pool: ") + (L.PoolMax ? "MAX" : "AVE") + "\n";
+      if (L.GlobalPooling) {
+        Out += "    global_pooling: true\n";
+      } else {
+        Out += "    kernel_size: " + std::to_string(L.KernelSize) + "\n";
+        Out += "    stride: " + std::to_string(L.Stride) + "\n";
+        Out += "    pad: " + std::to_string(L.Pad) + "\n";
+      }
+      Out += "  }\n";
+    } else if (L.Kind == LayerKind::Eltwise) {
+      Out += "  eltwise_param {\n    operation: SUM\n  }\n";
+    }
+    Out += "}\n";
+  }
+  return Out;
+}

@@ -1,0 +1,126 @@
+//===- proto/ModelSpec.h - CNN model description ---------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The typed model description the Wootz compiler works on, produced from
+/// Caffe Prototxt (with the paper's `module` extension marking the
+/// boundaries of convolution modules). ModelSpec also carries the two
+/// structural analyses the pruning machinery needs:
+///
+///  * the list of convolution modules (contiguous layer runs sharing a
+///    `module` label), each with a single external input — the unit that
+///    a pruning rate applies to and that tuning blocks are made of; and
+///  * which convolution layers are prunable. Following the paper
+///    (§7.1: "the top layer of a convolution module is kept unpruned; it
+///    helps ensure the dimension compatibility of the module"), a conv is
+///    prunable iff every consumer of its output, transitively through
+///    shape-preserving layers, is another convolution in the same module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_PROTO_MODELSPEC_H
+#define WOOTZ_PROTO_MODELSPEC_H
+
+#include "src/proto/Prototxt.h"
+#include "src/support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// The layer types the Wootz compiler understands.
+enum class LayerKind {
+  Convolution,
+  BatchNorm,
+  ReLU,
+  Pooling,
+  InnerProduct,
+  Concat,
+  Eltwise, ///< Elementwise sum (ResNet shortcut join).
+};
+
+/// Returns the Caffe type string ("Convolution", ...) for \p Kind.
+const char *layerKindName(LayerKind Kind);
+
+/// One layer of the model description.
+struct LayerSpec {
+  LayerKind Kind = LayerKind::ReLU;
+  std::string Name;
+  /// Producer layer names ("bottom" in Caffe terms); the model input is
+  /// referred to by the ModelSpec's InputName.
+  std::vector<std::string> Bottoms;
+  /// Convolution-module label (the paper's Prototxt extension); empty
+  /// for layers outside any module (stem / classifier head).
+  std::string Module;
+
+  // Convolution / InnerProduct.
+  int NumOutput = 0;
+  int KernelSize = 1;
+  int Stride = 1;
+  int Pad = 0;
+  bool BiasTerm = true;
+
+  // Pooling.
+  bool PoolMax = true; ///< MAX vs AVE.
+  bool GlobalPooling = false;
+};
+
+/// A convolution module: a contiguous run of layers sharing a label.
+struct ModuleSpec {
+  std::string Name;
+  int FirstLayer = 0; ///< Index into ModelSpec::Layers.
+  int LastLayer = 0;  ///< Inclusive.
+  /// The single producer outside the module that its layers consume —
+  /// the module's (and any tuning block's) input boundary.
+  std::string ExternalInput;
+  /// The single layer inside the module consumed from outside — the
+  /// module's output boundary (a Teacher-Student target).
+  std::string OutputLayer;
+};
+
+/// The whole model plus derived structural information.
+struct ModelSpec {
+  std::string Name;
+  std::string InputName = "data";
+  int InputChannels = 3;
+  int InputHeight = 8;
+  int InputWidth = 8;
+
+  std::vector<LayerSpec> Layers;
+
+  /// Derived: convolution modules in layer order.
+  std::vector<ModuleSpec> Modules;
+  /// Derived: for each layer, the module index or -1.
+  std::vector<int> LayerModule;
+  /// Derived: for each layer, true if it is a prunable convolution.
+  std::vector<bool> Prunable;
+
+  /// Index of the layer named \p Name, or -1.
+  int layerIndex(const std::string &Name) const;
+
+  /// Number of convolution modules.
+  int moduleCount() const { return static_cast<int>(Modules.size()); }
+
+  /// Recomputes Modules / LayerModule / Prunable. Called by the parser;
+  /// call again after editing Layers by hand.
+  ///
+  /// Fails if layers reference unknown bottoms, a module is
+  /// non-contiguous, or a module's layers consume more than one external
+  /// producer (tuning blocks need a single input boundary).
+  Error analyze();
+};
+
+/// Builds a ModelSpec from Prototxt source text.
+Result<ModelSpec> parseModelSpec(const std::string &PrototxtSource);
+
+/// Pretty-prints \p Spec back to Prototxt (round-trips with
+/// parseModelSpec).
+std::string printModelSpec(const ModelSpec &Spec);
+
+} // namespace wootz
+
+#endif // WOOTZ_PROTO_MODELSPEC_H

@@ -1,0 +1,101 @@
+//===- proto/Prototxt.h - Generic Prototxt parsing --------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A standalone parser for the Caffe Prototxt text format, which Wootz
+/// takes as its model-input format (§4: "Prototxt has a clean fixed
+/// format. It is easy for programmers to write and simple for our
+/// compiler to analyze."). The grammar handled here:
+///
+/// \code
+///   message := (field)*
+///   field   := IDENT ':' scalar | IDENT '{' message '}' | IDENT ':' '{' message '}'
+///   scalar  := STRING | NUMBER | IDENT        (identifiers cover enums/bools)
+/// \endcode
+///
+/// Comments run from '#' to end of line. Repeated fields accumulate in
+/// declaration order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_PROTO_PROTOTXT_H
+#define WOOTZ_PROTO_PROTOTXT_H
+
+#include "src/support/Error.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// One parsed field value: either a scalar (kept as its source text) or a
+/// nested message.
+class PrototxtValue;
+
+/// A parsed Prototxt message: an ordered multimap field-name -> values.
+class PrototxtMessage {
+public:
+  /// Appends a value under \p FieldName.
+  void add(const std::string &FieldName, PrototxtValue Value);
+
+  /// All values of \p FieldName in declaration order.
+  const std::vector<PrototxtValue> &
+  values(const std::string &FieldName) const;
+
+  /// True if \p FieldName occurs at least once.
+  bool has(const std::string &FieldName) const;
+
+  /// The sole scalar value of \p FieldName, or \p Default when absent.
+  /// Asserts if the field is repeated or is a message.
+  std::string scalarOr(const std::string &FieldName,
+                       const std::string &Default) const;
+
+  /// Integer convenience over scalarOr().
+  long long intOr(const std::string &FieldName, long long Default) const;
+
+  /// Double convenience over scalarOr().
+  double doubleOr(const std::string &FieldName, double Default) const;
+
+  /// Boolean convenience: accepts true/false.
+  bool boolOr(const std::string &FieldName, bool Default) const;
+
+  /// Field names in first-occurrence order.
+  const std::vector<std::string> &fieldOrder() const { return Order; }
+
+private:
+  std::map<std::string, std::vector<PrototxtValue>> Fields;
+  std::vector<std::string> Order;
+};
+
+class PrototxtValue {
+public:
+  /// Creates a scalar value from its source text (quotes stripped).
+  static PrototxtValue scalar(std::string Text);
+
+  /// Creates a message value.
+  static PrototxtValue message(PrototxtMessage Msg);
+
+  bool isScalar() const { return !Msg; }
+
+  /// Scalar text; asserts on message values.
+  const std::string &text() const;
+
+  /// Nested message; asserts on scalar values.
+  const PrototxtMessage &message() const;
+
+private:
+  std::string Text;
+  std::shared_ptr<PrototxtMessage> Msg; ///< Shared to keep values copyable.
+};
+
+/// Parses \p Source into a top-level message. Errors carry a line number.
+Result<PrototxtMessage> parsePrototxt(const std::string &Source);
+
+} // namespace wootz
+
+#endif // WOOTZ_PROTO_PROTOTXT_H

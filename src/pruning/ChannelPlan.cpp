@@ -1,0 +1,150 @@
+//===- pruning/ChannelPlan.cpp -----------------------------------------------===//
+
+#include "src/pruning/ChannelPlan.h"
+
+using namespace wootz;
+
+PruneConfig wootz::unprunedConfig(const ModelSpec &Spec) {
+  return PruneConfig(Spec.moduleCount(), 0.0f);
+}
+
+Result<ChannelPlan> wootz::planChannels(const ModelSpec &Spec,
+                                        const PruneConfig &Config) {
+  if (static_cast<int>(Config.size()) != Spec.moduleCount())
+    return Error::failure(
+        "configuration has " + std::to_string(Config.size()) +
+        " rates but model '" + Spec.Name + "' has " +
+        std::to_string(Spec.moduleCount()) + " modules");
+
+  ChannelPlan Plan;
+  Plan.Extents.resize(Spec.Layers.size());
+  Plan.OutChannels.resize(Spec.Layers.size());
+
+  auto extentsOfBottom =
+      [&](const std::string &Bottom) -> LayerExtents {
+    if (Bottom == Spec.InputName)
+      return {Spec.InputChannels, Spec.InputHeight, Spec.InputWidth};
+    const int Index = Spec.layerIndex(Bottom);
+    assert(Index >= 0 && "analyze() guarantees bottoms exist");
+    return Plan.Extents[Index];
+  };
+
+  for (size_t I = 0; I < Spec.Layers.size(); ++I) {
+    const LayerSpec &L = Spec.Layers[I];
+    const LayerExtents In = extentsOfBottom(L.Bottoms[0]);
+    LayerExtents Out = In;
+    switch (L.Kind) {
+    case LayerKind::Convolution: {
+      int Channels = L.NumOutput;
+      if (Spec.Prunable[I]) {
+        const float Rate = Config[Spec.LayerModule[I]];
+        Channels = keptFilters(L.NumOutput, Rate);
+      }
+      Out.Channels = Channels;
+      Out.Height = (In.Height + 2 * L.Pad - L.KernelSize) / L.Stride + 1;
+      Out.Width = (In.Width + 2 * L.Pad - L.KernelSize) / L.Stride + 1;
+      if (Out.Height <= 0 || Out.Width <= 0)
+        return Error::failure("layer '" + L.Name +
+                              "' shrinks the input to nothing");
+      break;
+    }
+    case LayerKind::BatchNorm:
+    case LayerKind::ReLU:
+      break;
+    case LayerKind::Pooling:
+      if (L.GlobalPooling) {
+        Out.Height = 1;
+        Out.Width = 1;
+      } else {
+        Out.Height = (In.Height + 2 * L.Pad - L.KernelSize) / L.Stride + 1;
+        Out.Width = (In.Width + 2 * L.Pad - L.KernelSize) / L.Stride + 1;
+        if (Out.Height <= 0 || Out.Width <= 0)
+          return Error::failure("layer '" + L.Name +
+                                "' pools the input to nothing");
+      }
+      break;
+    case LayerKind::InnerProduct:
+      Out.Channels = L.NumOutput;
+      Out.Height = 1;
+      Out.Width = 1;
+      break;
+    case LayerKind::Concat: {
+      int Channels = 0;
+      for (const std::string &Bottom : L.Bottoms) {
+        const LayerExtents BottomExtents = extentsOfBottom(Bottom);
+        if (BottomExtents.Height != In.Height ||
+            BottomExtents.Width != In.Width)
+          return Error::failure("concat '" + L.Name +
+                                "' inputs disagree on spatial extents");
+        Channels += BottomExtents.Channels;
+      }
+      Out.Channels = Channels;
+      break;
+    }
+    case LayerKind::Eltwise:
+      for (const std::string &Bottom : L.Bottoms) {
+        const LayerExtents BottomExtents = extentsOfBottom(Bottom);
+        if (BottomExtents.Channels != In.Channels ||
+            BottomExtents.Height != In.Height ||
+            BottomExtents.Width != In.Width)
+          return Error::failure("eltwise '" + L.Name +
+                                "' inputs disagree on extents");
+      }
+      break;
+    }
+    Plan.Extents[I] = Out;
+    Plan.OutChannels[I] = Out.Channels;
+  }
+  return Plan;
+}
+
+size_t wootz::modelWeightCount(const ModelSpec &Spec,
+                               const ChannelPlan &Plan) {
+  size_t Count = 0;
+  auto channelsOfBottom = [&](const std::string &Bottom) {
+    if (Bottom == Spec.InputName)
+      return Spec.InputChannels;
+    return Plan.OutChannels[Spec.layerIndex(Bottom)];
+  };
+  auto extentsOfBottom = [&](const std::string &Bottom) -> LayerExtents {
+    if (Bottom == Spec.InputName)
+      return {Spec.InputChannels, Spec.InputHeight, Spec.InputWidth};
+    return Plan.Extents[Spec.layerIndex(Bottom)];
+  };
+  for (size_t I = 0; I < Spec.Layers.size(); ++I) {
+    const LayerSpec &L = Spec.Layers[I];
+    switch (L.Kind) {
+    case LayerKind::Convolution: {
+      const int In = channelsOfBottom(L.Bottoms[0]);
+      const int Out = Plan.OutChannels[I];
+      Count += static_cast<size_t>(Out) * In * L.KernelSize * L.KernelSize;
+      if (L.BiasTerm)
+        Count += static_cast<size_t>(Out);
+      break;
+    }
+    case LayerKind::BatchNorm:
+      Count += 2 * static_cast<size_t>(Plan.OutChannels[I]);
+      break;
+    case LayerKind::InnerProduct: {
+      const LayerExtents In = extentsOfBottom(L.Bottoms[0]);
+      Count += static_cast<size_t>(L.NumOutput) * In.Channels * In.Height *
+               In.Width;
+      Count += static_cast<size_t>(L.NumOutput); // Bias.
+      break;
+    }
+    case LayerKind::ReLU:
+    case LayerKind::Pooling:
+    case LayerKind::Concat:
+    case LayerKind::Eltwise:
+      break;
+    }
+  }
+  return Count;
+}
+
+size_t wootz::modelWeightCount(const ModelSpec &Spec,
+                               const PruneConfig &Config) {
+  Result<ChannelPlan> Plan = planChannels(Spec, Config);
+  assert(Plan && "modelWeightCount on an invalid configuration");
+  return modelWeightCount(Spec, *Plan);
+}

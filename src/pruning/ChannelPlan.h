@@ -1,0 +1,63 @@
+//===- pruning/ChannelPlan.h - Shape/channel inference ----------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static shape inference over a ModelSpec under a pruning configuration.
+/// The plan records, per layer, the output channel count and spatial
+/// extents once the per-module pruning rates are applied to the prunable
+/// convolutions. It is the shared backbone of model-size accounting, of
+/// the multiplexing model builder in compiler/, and of weight transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_PRUNING_CHANNELPLAN_H
+#define WOOTZ_PRUNING_CHANNELPLAN_H
+
+#include "src/proto/ModelSpec.h"
+#include "src/pruning/PruneConfig.h"
+
+namespace wootz {
+
+/// Per-layer output extents under a pruning configuration.
+struct LayerExtents {
+  int Channels = 0;
+  int Height = 0;
+  int Width = 0;
+};
+
+/// The result of channel/shape planning.
+struct ChannelPlan {
+  /// Indexed like ModelSpec::Layers.
+  std::vector<LayerExtents> Extents;
+  /// Per layer: output channels actually built (kept filters for pruned
+  /// convolutions, NumOutput otherwise; pass-through layers inherit).
+  std::vector<int> OutChannels;
+
+  const LayerExtents &extentsOf(int LayerIndex) const {
+    return Extents[LayerIndex];
+  }
+};
+
+/// Computes the plan for \p Spec pruned per \p Config. \p Config must
+/// have one rate per module of \p Spec; pass an all-zero config (or use
+/// unprunedConfig()) for the full model.
+Result<ChannelPlan> planChannels(const ModelSpec &Spec,
+                                 const PruneConfig &Config);
+
+/// An all-zero configuration for \p Spec.
+PruneConfig unprunedConfig(const ModelSpec &Spec);
+
+/// Counts the trainable weights of the planned network: convolution and
+/// inner-product weights plus biases plus batchnorm scale/shift. This is
+/// the paper's "model size" metric.
+size_t modelWeightCount(const ModelSpec &Spec, const ChannelPlan &Plan);
+
+/// Convenience: weight count of \p Spec under \p Config.
+size_t modelWeightCount(const ModelSpec &Spec, const PruneConfig &Config);
+
+} // namespace wootz
+
+#endif // WOOTZ_PRUNING_CHANNELPLAN_H

@@ -1,0 +1,255 @@
+//===- pruning/Importance.cpp -------------------------------------------------===//
+
+#include "src/pruning/Importance.h"
+
+#include "src/nn/Layers.h"
+#include "src/nn/Loss.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace wootz;
+
+const char *wootz::importanceCriterionName(ImportanceCriterion Criterion) {
+  switch (Criterion) {
+  case ImportanceCriterion::L1Norm:
+    return "l1";
+  case ImportanceCriterion::L2Norm:
+    return "l2";
+  case ImportanceCriterion::Taylor:
+    return "taylor";
+  case ImportanceCriterion::Apoz:
+    return "apoz";
+  }
+  return "unknown";
+}
+
+Result<ImportanceCriterion>
+wootz::parseImportanceCriterion(const std::string &Name) {
+  if (Name == "l1")
+    return ImportanceCriterion::L1Norm;
+  if (Name == "l2")
+    return ImportanceCriterion::L2Norm;
+  if (Name == "taylor")
+    return ImportanceCriterion::Taylor;
+  if (Name == "apoz")
+    return ImportanceCriterion::Apoz;
+  return Error::failure("unknown importance criterion '" + Name +
+                        "' (expected l1, l2, taylor or apoz)");
+}
+
+/// Weight-magnitude scores: per-filter lp norm of the convolution weight.
+static void scoreByWeightNorm(const ModelSpec &Spec, Graph &FullGraph,
+                              const std::string &FullPrefix, int Power,
+                              FilterScores &Scores) {
+  for (const LayerSpec &L : Spec.Layers) {
+    if (L.Kind != LayerKind::Convolution)
+      continue;
+    Layer &Node = FullGraph.layer(FullPrefix + "/" + L.Name);
+    const Tensor &Weight = Node.state()[0]->Value;
+    const int Filters = Weight.shape()[0];
+    const size_t FilterSize = Weight.size() / Filters;
+    std::vector<double> &LayerScores = Scores[L.Name];
+    LayerScores.assign(Filters, 0.0);
+    for (int O = 0; O < Filters; ++O) {
+      const float *Filter = Weight.data() + O * FilterSize;
+      double Total = 0.0;
+      for (size_t J = 0; J < FilterSize; ++J)
+        Total += Power == 1 ? std::fabs(Filter[J])
+                            : static_cast<double>(Filter[J]) * Filter[J];
+      LayerScores[O] = Power == 1 ? Total : std::sqrt(Total);
+    }
+  }
+}
+
+/// The node whose activation represents a conv's post-nonlinearity
+/// output: the first ReLU reachable through pass-through layers, or the
+/// conv itself.
+static std::string postActivationNode(const ModelSpec &Spec,
+                                      const std::string &ConvName) {
+  std::string Current = ConvName;
+  for (int Hops = 0; Hops < 4; ++Hops) {
+    // Find a consumer of Current that is BatchNorm or ReLU.
+    bool Advanced = false;
+    for (const LayerSpec &L : Spec.Layers) {
+      if (std::find(L.Bottoms.begin(), L.Bottoms.end(), Current) ==
+          L.Bottoms.end())
+        continue;
+      if (L.Kind == LayerKind::ReLU)
+        return L.Name;
+      if (L.Kind == LayerKind::BatchNorm) {
+        Current = L.Name;
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      break;
+  }
+  return ConvName;
+}
+
+/// Data-driven scores over calibration batches.
+static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
+                               const std::string &FullPrefix,
+                               ImportanceCriterion Criterion,
+                               const Dataset &Calibration,
+                               int CalibrationBatches, int BatchSize,
+                               FilterScores &Scores) {
+  const bool Taylor = Criterion == ImportanceCriterion::Taylor;
+
+  // Conv layer -> node carrying its post-activation map (Apoz).
+  std::map<std::string, std::string> ActivationNode;
+  for (const LayerSpec &L : Spec.Layers) {
+    if (L.Kind != LayerKind::Convolution)
+      continue;
+    Scores[L.Name].assign(L.NumOutput, 0.0);
+    ActivationNode[L.Name] = postActivationNode(Spec, L.Name);
+  }
+
+  // Taylor scoring runs training-mode forwards (so batchnorm backward is
+  // exact); snapshot the running statistics to leave the teacher
+  // untouched.
+  std::map<std::string, Tensor> Snapshot;
+  if (Taylor)
+    for (auto &[Name, State] : FullGraph.namedState())
+      Snapshot[Name] = State->Value;
+
+  const std::string LogitsNode =
+      FullPrefix + "/" + Spec.Layers.back().Name;
+  BatchSampler Sampler(Calibration.Train, BatchSize, Rng(0xca11b));
+  Tensor GradLogits;
+  for (int BatchIndex = 0; BatchIndex < CalibrationBatches; ++BatchIndex) {
+    const Batch Mini = Sampler.next();
+    FullGraph.setInput(Spec.InputName, Mini.Images);
+    FullGraph.forward(/*Training=*/Taylor);
+    if (Taylor) {
+      FullGraph.zeroGrads();
+      softmaxCrossEntropy(FullGraph.activation(LogitsNode), Mini.Labels,
+                          GradLogits);
+      FullGraph.seedGradient(LogitsNode, GradLogits);
+      FullGraph.backward();
+    }
+    for (const LayerSpec &L : Spec.Layers) {
+      if (L.Kind != LayerKind::Convolution)
+        continue;
+      std::vector<double> &LayerScores = Scores[L.Name];
+      const int Channels = static_cast<int>(LayerScores.size());
+      if (Taylor) {
+        const std::string NodeName = FullPrefix + "/" + L.Name;
+        const Tensor &Activation = FullGraph.activation(NodeName);
+        const Tensor *Grad = FullGraph.outputGradient(NodeName);
+        if (!Grad)
+          return Error::failure("no gradient reached '" + NodeName +
+                                "' during Taylor calibration");
+        const int Batch = Activation.shape()[0];
+        const int Spatial = Activation.shape()[2] * Activation.shape()[3];
+        for (int C = 0; C < Channels; ++C) {
+          double Sum = 0.0;
+          for (int N = 0; N < Batch; ++N) {
+            const size_t Offset =
+                (static_cast<size_t>(N) * Channels + C) * Spatial;
+            for (int I = 0; I < Spatial; ++I)
+              Sum += static_cast<double>(Activation[Offset + I]) *
+                     (*Grad)[Offset + I];
+          }
+          LayerScores[C] += std::fabs(Sum);
+        }
+      } else {
+        // Apoz: score = fraction of *active* (nonzero) outputs.
+        const Tensor &Activation = FullGraph.activation(
+            FullPrefix + "/" + ActivationNode[L.Name]);
+        const int Batch = Activation.shape()[0];
+        const int Spatial = Activation.shape()[2] * Activation.shape()[3];
+        for (int C = 0; C < Channels; ++C) {
+          int Active = 0;
+          for (int N = 0; N < Batch; ++N) {
+            const size_t Offset =
+                (static_cast<size_t>(N) * Channels + C) * Spatial;
+            for (int I = 0; I < Spatial; ++I)
+              Active += Activation[Offset + I] > 0.0f;
+          }
+          LayerScores[C] +=
+              static_cast<double>(Active) / (Batch * Spatial);
+        }
+      }
+    }
+  }
+
+  if (Taylor)
+    for (auto &[Name, State] : FullGraph.namedState())
+      State->Value = Snapshot[Name];
+  return CalibrationBatches;
+}
+
+Result<FilterScores> wootz::scoreFilters(const ModelSpec &Spec,
+                                         Graph &FullGraph,
+                                         const std::string &FullPrefix,
+                                         ImportanceCriterion Criterion,
+                                         const Dataset *Calibration,
+                                         int CalibrationBatches,
+                                         int BatchSize) {
+  FilterScores Scores;
+  switch (Criterion) {
+  case ImportanceCriterion::L1Norm:
+    scoreByWeightNorm(Spec, FullGraph, FullPrefix, 1, Scores);
+    return Scores;
+  case ImportanceCriterion::L2Norm:
+    scoreByWeightNorm(Spec, FullGraph, FullPrefix, 2, Scores);
+    return Scores;
+  case ImportanceCriterion::Taylor:
+  case ImportanceCriterion::Apoz: {
+    if (!Calibration)
+      return Error::failure(
+          std::string("criterion '") + importanceCriterionName(Criterion) +
+          "' needs calibration data");
+    Result<int> Ran =
+        scoreByData(Spec, FullGraph, FullPrefix, Criterion, *Calibration,
+                    CalibrationBatches, BatchSize, Scores);
+    if (!Ran)
+      return Ran.takeError();
+    return Scores;
+  }
+  }
+  reportFatalError("unhandled importance criterion");
+}
+
+FilterSelections
+wootz::selectionsFromScores(const ModelSpec &Spec,
+                            const PruneConfig &Config,
+                            const FilterScores &Scores) {
+  assert(static_cast<int>(Config.size()) == Spec.moduleCount() &&
+         "config/module count mismatch");
+  FilterSelections Selections;
+  for (size_t I = 0; I < Spec.Layers.size(); ++I) {
+    const LayerSpec &L = Spec.Layers[I];
+    if (L.Kind != LayerKind::Convolution)
+      continue;
+    std::vector<int> Kept(L.NumOutput);
+    std::iota(Kept.begin(), Kept.end(), 0);
+    if (Spec.Prunable[I] && Config[Spec.LayerModule[I]] != 0.0f) {
+      const std::vector<double> &LayerScores = Scores.at(L.Name);
+      assert(static_cast<int>(LayerScores.size()) == L.NumOutput &&
+             "score vector width mismatch");
+      std::stable_sort(Kept.begin(), Kept.end(), [&](int A, int B) {
+        return LayerScores[A] > LayerScores[B];
+      });
+      Kept.resize(keptFilters(L.NumOutput, Config[Spec.LayerModule[I]]));
+      std::sort(Kept.begin(), Kept.end());
+    }
+    Selections[L.Name] = std::move(Kept);
+  }
+  return Selections;
+}
+
+Result<FilterSelections> wootz::selectFiltersByImportance(
+    const ModelSpec &Spec, const PruneConfig &Config, Graph &FullGraph,
+    const std::string &FullPrefix, ImportanceCriterion Criterion,
+    const Dataset *Calibration) {
+  Result<FilterScores> Scores =
+      scoreFilters(Spec, FullGraph, FullPrefix, Criterion, Calibration);
+  if (!Scores)
+    return Scores.takeError();
+  return selectionsFromScores(Spec, Config, *Scores);
+}

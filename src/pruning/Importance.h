@@ -1,0 +1,82 @@
+//===- pruning/Importance.h - Filter importance criteria --------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable filter-importance criteria. The paper follows Li et al.'s
+/// l1-norm ranking ("The importance of a filter is determined by its l1
+/// norm", §7.1) but surveys the alternatives in its related work; since
+/// the criterion is orthogonal to composability, Wootz can use any of
+/// them. Implemented here:
+///
+///  * L1Norm / L2Norm — weight-magnitude criteria (Li et al.);
+///  * Taylor — |activation x gradient| averaged over calibration batches
+///    (Molchanov et al.), a first-order estimate of the loss change from
+///    removing the filter;
+///  * Apoz — Average Percentage of Zeros of the filter's post-ReLU
+///    activations (Hu et al.); filters that are mostly inactive go first.
+///
+/// Data-driven criteria (Taylor, Apoz) run a few calibration batches
+/// through the trained full model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_PRUNING_IMPORTANCE_H
+#define WOOTZ_PRUNING_IMPORTANCE_H
+
+#include "src/data/Dataset.h"
+#include "src/pruning/Transfer.h"
+
+namespace wootz {
+
+/// The supported filter-importance criteria.
+enum class ImportanceCriterion {
+  L1Norm,
+  L2Norm,
+  Taylor,
+  Apoz,
+};
+
+/// Name for specs and diagnostics ("l1", "l2", "taylor", "apoz").
+const char *importanceCriterionName(ImportanceCriterion Criterion);
+
+/// Parses a criterion name.
+Result<ImportanceCriterion>
+parseImportanceCriterion(const std::string &Name);
+
+/// Per-convolution filter scores (higher = more important), indexed by
+/// layer name then filter.
+using FilterScores = std::map<std::string, std::vector<double>>;
+
+/// Scores every convolution's filters in \p FullGraph (nodes
+/// "<FullPrefix>/<layer>") under \p Criterion. \p Calibration supplies
+/// data for the data-driven criteria (required for Taylor/Apoz;
+/// ignored by L1/L2); \p CalibrationBatches and \p BatchSize bound its
+/// cost.
+Result<FilterScores> scoreFilters(const ModelSpec &Spec, Graph &FullGraph,
+                                  const std::string &FullPrefix,
+                                  ImportanceCriterion Criterion,
+                                  const Dataset *Calibration = nullptr,
+                                  int CalibrationBatches = 4,
+                                  int BatchSize = 16);
+
+/// Turns scores into kept-filter selections for \p Config (keeps the
+/// highest-scoring keptFilters() per pruned convolution, indices
+/// ascending).
+FilterSelections selectionsFromScores(const ModelSpec &Spec,
+                                      const PruneConfig &Config,
+                                      const FilterScores &Scores);
+
+/// One-call convenience: score with \p Criterion and select for
+/// \p Config.
+Result<FilterSelections>
+selectFiltersByImportance(const ModelSpec &Spec, const PruneConfig &Config,
+                          Graph &FullGraph, const std::string &FullPrefix,
+                          ImportanceCriterion Criterion,
+                          const Dataset *Calibration = nullptr);
+
+} // namespace wootz
+
+#endif // WOOTZ_PRUNING_IMPORTANCE_H

@@ -1,0 +1,171 @@
+//===- pruning/PruneConfig.cpp ----------------------------------------------===//
+
+#include "src/pruning/PruneConfig.h"
+
+#include "src/support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+using namespace wootz;
+
+std::vector<float> wootz::standardRates() { return {0.0f, 0.3f, 0.5f, 0.7f}; }
+
+int wootz::keptFilters(int FullCount, float Rate) {
+  assert(FullCount > 0 && "keptFilters on an empty layer");
+  assert(Rate >= 0.0f && Rate < 1.0f && "pruning rate out of [0, 1)");
+  const int Kept =
+      static_cast<int>(std::lround((1.0f - Rate) * FullCount));
+  return Kept < 1 ? 1 : Kept;
+}
+
+std::string wootz::formatConfig(const PruneConfig &Config) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Config.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    // Keep the compact "0"/"0.3" style of the paper's Figure 3(a).
+    if (Config[I] == 0.0f)
+      Out += "0";
+    else
+      Out += formatDouble(Config[I], 1);
+  }
+  return Out + "]";
+}
+
+std::vector<PruneConfig>
+wootz::sampleSubspace(int ModuleCount, int Count,
+                      const std::vector<float> &Rates, Rng &Generator) {
+  assert(ModuleCount > 0 && Count > 0 && !Rates.empty() &&
+         "invalid subspace request");
+  std::set<PruneConfig> Seen;
+  std::vector<PruneConfig> Subspace;
+  // Bound the attempts so a tiny configuration space cannot loop forever.
+  const int MaxAttempts = Count * 64;
+  for (int Attempt = 0; Attempt < MaxAttempts &&
+                        static_cast<int>(Subspace.size()) < Count;
+       ++Attempt) {
+    PruneConfig Config(ModuleCount);
+    bool AnyPruned = false;
+    for (float &Rate : Config) {
+      Rate = Generator.choice(Rates);
+      AnyPruned = AnyPruned || Rate != 0.0f;
+    }
+    // The all-zero configuration is the full model itself, not a pruned
+    // network; exploring it would be pointless.
+    if (AnyPruned && Seen.insert(Config).second)
+      Subspace.push_back(std::move(Config));
+  }
+  return Subspace;
+}
+
+std::vector<PruneConfig>
+wootz::sampleRunSubspace(int ModuleCount, int Count, int MaxRuns,
+                         const std::vector<float> &Rates, Rng &Generator) {
+  assert(MaxRuns >= 1 && "at least one run required");
+  std::set<PruneConfig> Seen;
+  std::vector<PruneConfig> Subspace;
+  const int MaxAttempts = Count * 64;
+  for (int Attempt = 0; Attempt < MaxAttempts &&
+                        static_cast<int>(Subspace.size()) < Count;
+       ++Attempt) {
+    const int Runs = static_cast<int>(Generator.nextInRange(
+        1, MaxRuns < ModuleCount ? MaxRuns : ModuleCount));
+    // Choose Runs-1 distinct interior breakpoints.
+    std::vector<int> Breaks;
+    for (int I = 1; I < ModuleCount; ++I)
+      Breaks.push_back(I);
+    Generator.shuffle(Breaks);
+    Breaks.resize(Runs - 1);
+    std::sort(Breaks.begin(), Breaks.end());
+    Breaks.push_back(ModuleCount);
+
+    PruneConfig Config(ModuleCount);
+    int Module = 0;
+    bool AnyPruned = false;
+    for (int Break : Breaks) {
+      const float Rate = Generator.choice(Rates);
+      AnyPruned = AnyPruned || Rate != 0.0f;
+      for (; Module < Break; ++Module)
+        Config[Module] = Rate;
+    }
+    if (AnyPruned && Seen.insert(Config).second)
+      Subspace.push_back(std::move(Config));
+  }
+  return Subspace;
+}
+
+Result<std::vector<PruneConfig>>
+wootz::parseSubspaceSpec(const std::string &Text) {
+  // Strip comments, then everything before an optional '='.
+  std::string Cleaned;
+  for (const std::string &Line : splitLines(Text)) {
+    const size_t Hash = Line.find('#');
+    Cleaned += Line.substr(0, Hash == std::string::npos ? Line.size() : Hash);
+    Cleaned += ' ';
+  }
+  std::string_view Body = trim(Cleaned);
+  if (const size_t Equals = Body.find('=');
+      Equals != std::string_view::npos) {
+    const std::string_view Head = trim(Body.substr(0, Equals));
+    if (Head != "configs")
+      return Error::failure("expected 'configs =', found '" +
+                            std::string(Head) + " ='");
+    Body = trim(Body.substr(Equals + 1));
+  }
+  if (!Body.empty() && Body.back() == ';')
+    Body = trim(Body.substr(0, Body.size() - 1));
+  if (Body.size() < 2 || Body.front() != '[' || Body.back() != ']')
+    return Error::failure("subspace spec must be a bracketed list");
+  Body = trim(Body.substr(1, Body.size() - 2));
+
+  std::vector<PruneConfig> Configs;
+  size_t Cursor = 0;
+  while (Cursor < Body.size()) {
+    if (Body[Cursor] == ',' ||
+        std::isspace(static_cast<unsigned char>(Body[Cursor]))) {
+      ++Cursor;
+      continue;
+    }
+    if (Body[Cursor] != '[')
+      return Error::failure("expected '[' starting a configuration");
+    const size_t Close = Body.find(']', Cursor);
+    if (Close == std::string_view::npos)
+      return Error::failure("unterminated configuration list");
+    PruneConfig Config;
+    for (const std::string &Piece :
+         split(Body.substr(Cursor + 1, Close - Cursor - 1), ',')) {
+      const std::string_view Trimmed = trim(Piece);
+      if (Trimmed.empty())
+        continue;
+      Result<double> Rate = parseDouble(Trimmed);
+      if (!Rate)
+        return Rate.takeError();
+      if (*Rate < 0.0 || *Rate >= 1.0)
+        return Error::failure("pruning rate " + std::string(Trimmed) +
+                              " out of [0, 1)");
+      Config.push_back(static_cast<float>(*Rate));
+    }
+    if (Config.empty())
+      return Error::failure("empty configuration in subspace spec");
+    if (!Configs.empty() && Configs[0].size() != Config.size())
+      return Error::failure("configurations disagree on module count");
+    Configs.push_back(std::move(Config));
+    Cursor = Close + 1;
+  }
+  if (Configs.empty())
+    return Error::failure("subspace spec contains no configurations");
+  return Configs;
+}
+
+std::string wootz::printSubspaceSpec(const std::vector<PruneConfig> &Configs) {
+  std::string Out = "configs = [";
+  for (size_t I = 0; I < Configs.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += formatConfig(Configs[I]);
+  }
+  return Out + "]";
+}

@@ -1,0 +1,70 @@
+//===- pruning/PruneConfig.h - Pruning configurations -----------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A pruning configuration assigns one pruning rate to every convolution
+/// module of a model (the paper's "typical practice is to use the same
+/// pruning rate for the convolutional layers in one convolution module").
+/// This file also provides the promising-subspace machinery: random
+/// sampling (the paper's §7.1 experimental setup), the rate-run sampling
+/// used by Table 5's "collection-2", and the textual subspace
+/// specification format of Figure 3(a).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_PRUNING_PRUNECONFIG_H
+#define WOOTZ_PRUNING_PRUNECONFIG_H
+
+#include "src/support/Error.h"
+#include "src/support/Rng.h"
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// One pruning rate per convolution module; 0 means unpruned.
+using PruneConfig = std::vector<float>;
+
+/// The paper's rate alphabet T = {30%, 50%, 70%} plus the unpruned 0%.
+std::vector<float> standardRates();
+
+/// Number of filters kept when pruning \p FullCount filters at \p Rate;
+/// never below one.
+int keptFilters(int FullCount, float Rate);
+
+/// Renders a config as "[0.3, 0, 0.5]".
+std::string formatConfig(const PruneConfig &Config);
+
+/// Samples \p Count distinct configurations over \p ModuleCount modules,
+/// drawing each module's rate uniformly from \p Rates. Sizes come out
+/// close to uniformly spread, matching the paper's subspace construction.
+std::vector<PruneConfig> sampleSubspace(int ModuleCount, int Count,
+                                        const std::vector<float> &Rates,
+                                        Rng &Generator);
+
+/// Samples configurations that use one rate per *run* of consecutive
+/// modules (at most \p MaxRuns runs) — the "collection-2" style of
+/// Table 5, which mirrors prior work's module-sequence-wise rates and
+/// creates longer repeated layer sequences for the identifier to exploit.
+std::vector<PruneConfig> sampleRunSubspace(int ModuleCount, int Count,
+                                           int MaxRuns,
+                                           const std::vector<float> &Rates,
+                                           Rng &Generator);
+
+/// Parses the Figure 3(a) subspace specification:
+///   configs = [[0.3, 0, 0.3, 0], [0.5, 0, 0.3, 0]]
+/// Whitespace, a trailing semicolon and '#' comments are tolerated; the
+/// "configs =" prefix is optional.
+Result<std::vector<PruneConfig>>
+parseSubspaceSpec(const std::string &Text);
+
+/// Prints a subspace in the same format parseSubspaceSpec() accepts.
+std::string printSubspaceSpec(const std::vector<PruneConfig> &Configs);
+
+} // namespace wootz
+
+#endif // WOOTZ_PRUNING_PRUNECONFIG_H

@@ -1,0 +1,228 @@
+//===- pruning/Transfer.cpp --------------------------------------------------===//
+
+#include "src/pruning/Transfer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace wootz;
+
+static std::vector<int> identitySelection(int Count) {
+  std::vector<int> Indices(Count);
+  std::iota(Indices.begin(), Indices.end(), 0);
+  return Indices;
+}
+
+FilterSelections wootz::selectFiltersByL1(const ModelSpec &Spec,
+                                          const PruneConfig &Config,
+                                          Graph &FullGraph,
+                                          const std::string &FullPrefix) {
+  assert(static_cast<int>(Config.size()) == Spec.moduleCount() &&
+         "config/module count mismatch");
+  FilterSelections Selections;
+  for (size_t I = 0; I < Spec.Layers.size(); ++I) {
+    const LayerSpec &L = Spec.Layers[I];
+    if (L.Kind != LayerKind::Convolution)
+      continue;
+    if (!Spec.Prunable[I] || Config[Spec.LayerModule[I]] == 0.0f) {
+      Selections[L.Name] = identitySelection(L.NumOutput);
+      continue;
+    }
+    Layer &Node = FullGraph.layer(FullPrefix + "/" + L.Name);
+    assert(Node.kind() == "conv" && "layer naming mismatch");
+    const Tensor &Weight = Node.state()[0]->Value;
+    assert(Weight.shape()[0] == L.NumOutput && "unexpected filter count");
+    const size_t FilterSize = Weight.size() / L.NumOutput;
+
+    std::vector<float> Norms(L.NumOutput, 0.0f);
+    for (int O = 0; O < L.NumOutput; ++O) {
+      const float *Filter = Weight.data() + O * FilterSize;
+      for (size_t J = 0; J < FilterSize; ++J)
+        Norms[O] += std::fabs(Filter[J]);
+    }
+    const int Kept =
+        keptFilters(L.NumOutput, Config[Spec.LayerModule[I]]);
+    std::vector<int> Order = identitySelection(L.NumOutput);
+    // Most important (largest l1 norm) first; ties broken by index so the
+    // selection is deterministic.
+    std::stable_sort(Order.begin(), Order.end(), [&](int A, int B) {
+      return Norms[A] > Norms[B];
+    });
+    Order.resize(Kept);
+    std::sort(Order.begin(), Order.end());
+    Selections[L.Name] = std::move(Order);
+  }
+  return Selections;
+}
+
+std::vector<int>
+wootz::outputChannelSelection(const ModelSpec &Spec,
+                              const FilterSelections &Selections,
+                              const std::string &ProducerName) {
+  if (ProducerName == Spec.InputName)
+    return identitySelection(Spec.InputChannels);
+  const int Index = Spec.layerIndex(ProducerName);
+  assert(Index >= 0 && "unknown producer layer");
+  const LayerSpec &L = Spec.Layers[Index];
+  switch (L.Kind) {
+  case LayerKind::Convolution: {
+    auto It = Selections.find(L.Name);
+    if (It != Selections.end())
+      return It->second;
+    return identitySelection(L.NumOutput);
+  }
+  case LayerKind::BatchNorm:
+  case LayerKind::ReLU:
+  case LayerKind::Pooling:
+  case LayerKind::Eltwise:
+    return outputChannelSelection(Spec, Selections, L.Bottoms[0]);
+  case LayerKind::Concat: {
+    // Offsets are in the *full* model's channel space.
+    std::vector<int> Combined;
+    int Offset = 0;
+    for (const std::string &Bottom : L.Bottoms) {
+      std::vector<int> Part =
+          outputChannelSelection(Spec, Selections, Bottom);
+      // Full width of this input: derived from the spec, not the
+      // selection (the selection may be pruned).
+      int FullWidth;
+      if (Bottom == Spec.InputName) {
+        FullWidth = Spec.InputChannels;
+      } else {
+        // Walk to the producing conv/concat to learn the full width.
+        const std::vector<int> FullPart =
+            outputChannelSelection(Spec, FilterSelections(), Bottom);
+        FullWidth = static_cast<int>(FullPart.size());
+      }
+      for (int Channel : Part)
+        Combined.push_back(Offset + Channel);
+      Offset += FullWidth;
+    }
+    return Combined;
+  }
+  case LayerKind::InnerProduct:
+    return identitySelection(L.NumOutput);
+  }
+  reportFatalError("unhandled layer kind in outputChannelSelection");
+}
+
+/// Slices a conv weight OIHW along output and input channels.
+static Tensor sliceConvWeight(const Tensor &Full,
+                              const std::vector<int> &OutSel,
+                              const std::vector<int> &InSel) {
+  const int Kernel = Full.shape()[2];
+  assert(Full.shape()[3] == Kernel && "square kernels expected");
+  Tensor Out(Shape{static_cast<int>(OutSel.size()),
+                   static_cast<int>(InSel.size()), Kernel, Kernel});
+  for (size_t O = 0; O < OutSel.size(); ++O)
+    for (size_t I = 0; I < InSel.size(); ++I)
+      for (int H = 0; H < Kernel; ++H)
+        for (int W = 0; W < Kernel; ++W)
+          Out.at(static_cast<int>(O), static_cast<int>(I), H, W) =
+              Full.at(OutSel[O], InSel[I], H, W);
+  return Out;
+}
+
+/// Slices a rank-1 per-channel tensor.
+static Tensor sliceChannels(const Tensor &Full,
+                            const std::vector<int> &Sel) {
+  Tensor Out(Shape{static_cast<int>(Sel.size())});
+  for (size_t I = 0; I < Sel.size(); ++I)
+    Out[I] = Full[Sel[I]];
+  return Out;
+}
+
+/// Slices a dense weight [Out, C*H*W] along the input-channel dimension.
+static Tensor sliceDenseWeight(const Tensor &Full,
+                               const std::vector<int> &InSel, int Height,
+                               int Width) {
+  const int OutFeatures = Full.shape()[0];
+  const int Spatial = Height * Width;
+  Tensor Out(Shape{OutFeatures,
+                   static_cast<int>(InSel.size()) * Spatial});
+  for (int O = 0; O < OutFeatures; ++O)
+    for (size_t C = 0; C < InSel.size(); ++C)
+      for (int S = 0; S < Spatial; ++S)
+        Out.at(O, static_cast<int>(C) * Spatial + S) =
+            Full.at(O, InSel[C] * Spatial + S);
+  return Out;
+}
+
+static void assignState(Param &Target, Tensor Value) {
+  assert(Target.Value.shape() == Value.shape() &&
+         "transfer shape mismatch; was the target built for this config?");
+  Target.Value = std::move(Value);
+}
+
+void wootz::transferWeights(const ModelSpec &Spec,
+                            const FilterSelections &Selections,
+                            Graph &Source, const std::string &SourcePrefix,
+                            Graph &Target, const std::string &TargetPrefix,
+                            const std::vector<std::string> *OnlyLayers) {
+  // The full-model plan gives spatial extents for dense-feature slicing.
+  Result<ChannelPlan> FullPlan = planChannels(Spec, unprunedConfig(Spec));
+  assert(FullPlan && "spec must plan cleanly");
+
+  auto wanted = [&](const std::string &Name) {
+    if (!OnlyLayers)
+      return true;
+    return std::find(OnlyLayers->begin(), OnlyLayers->end(), Name) !=
+           OnlyLayers->end();
+  };
+
+  for (size_t I = 0; I < Spec.Layers.size(); ++I) {
+    const LayerSpec &L = Spec.Layers[I];
+    if (!wanted(L.Name))
+      continue;
+    const std::string TargetName = TargetPrefix + "/" + L.Name;
+    if (!Target.hasNode(TargetName))
+      continue;
+    switch (L.Kind) {
+    case LayerKind::Convolution: {
+      Layer &From = Source.layer(SourcePrefix + "/" + L.Name);
+      Layer &To = Target.layer(TargetName);
+      const std::vector<int> OutSel =
+          outputChannelSelection(Spec, Selections, L.Name);
+      const std::vector<int> InSel =
+          outputChannelSelection(Spec, Selections, L.Bottoms[0]);
+      assignState(*To.state()[0],
+                  sliceConvWeight(From.state()[0]->Value, OutSel, InSel));
+      if (L.BiasTerm)
+        assignState(*To.state()[1],
+                    sliceChannels(From.state()[1]->Value, OutSel));
+      break;
+    }
+    case LayerKind::BatchNorm: {
+      Layer &From = Source.layer(SourcePrefix + "/" + L.Name);
+      Layer &To = Target.layer(TargetName);
+      const std::vector<int> Sel =
+          outputChannelSelection(Spec, Selections, L.Bottoms[0]);
+      // State order: gamma, beta, running mean, running var.
+      for (int S = 0; S < 4; ++S)
+        assignState(*To.state()[S],
+                    sliceChannels(From.state()[S]->Value, Sel));
+      break;
+    }
+    case LayerKind::InnerProduct: {
+      Layer &From = Source.layer(SourcePrefix + "/" + L.Name);
+      Layer &To = Target.layer(TargetName);
+      const std::vector<int> InSel =
+          outputChannelSelection(Spec, Selections, L.Bottoms[0]);
+      const int BottomIndex = Spec.layerIndex(L.Bottoms[0]);
+      assert(BottomIndex >= 0 && "inner product cannot consume the input");
+      const LayerExtents In = FullPlan->Extents[BottomIndex];
+      assignState(*To.state()[0],
+                  sliceDenseWeight(From.state()[0]->Value, InSel, In.Height,
+                                   In.Width));
+      assignState(*To.state()[1], From.state()[1]->Value);
+      break;
+    }
+    case LayerKind::ReLU:
+    case LayerKind::Pooling:
+    case LayerKind::Concat:
+    case LayerKind::Eltwise:
+      break; // Stateless.
+    }
+  }
+}

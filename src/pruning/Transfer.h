@@ -1,0 +1,67 @@
+//===- pruning/Transfer.h - Filter selection and weight inheritance ---------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Filter-importance ranking and weight inheritance. The paper follows
+/// Li et al.'s l1-norm criterion: "The importance of a filter is
+/// determined by its l1 norm" (§7.1), and the baseline creates a pruned
+/// model that "inherits the remaining parameters of the affected layers
+/// and the unaffected layers in the full model" (§7.1). These utilities
+/// implement both:
+///
+///  * selectFiltersByL1() ranks the trained full model's filters per
+///    prunable convolution and picks the kept subset for a configuration;
+///  * transferWeights() copies (slicing where pruned) every layer's state
+///    from a source graph into a target graph built for the pruned
+///    configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_PRUNING_TRANSFER_H
+#define WOOTZ_PRUNING_TRANSFER_H
+
+#include "src/nn/Graph.h"
+#include "src/pruning/ChannelPlan.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// Kept-filter indices (ascending, in full-model channel space) per
+/// convolution layer name. Unpruned convolutions map to the identity.
+using FilterSelections = std::map<std::string, std::vector<int>>;
+
+/// Ranks filters of every convolution by the l1 norm of its weights in
+/// \p FullGraph (whose nodes are named "<FullPrefix>/<layer>") and keeps
+/// the most important ones per \p Config.
+FilterSelections selectFiltersByL1(const ModelSpec &Spec,
+                                   const PruneConfig &Config,
+                                   Graph &FullGraph,
+                                   const std::string &FullPrefix);
+
+/// The kept channel indices of \p ProducerName's output (a layer name or
+/// the model input), derived by propagating conv selections through
+/// pass-through and concat layers.
+std::vector<int> outputChannelSelection(const ModelSpec &Spec,
+                                        const FilterSelections &Selections,
+                                        const std::string &ProducerName);
+
+/// Copies all layer state from \p Source into \p Target, slicing channel
+/// dimensions per \p Selections. When \p OnlyLayers is non-null only the
+/// named layers are transferred (used to initialize a tuning block inside
+/// a pre-training graph). Source nodes must hold full-model shapes;
+/// target nodes must match the pruned shapes implied by \p Selections.
+void transferWeights(const ModelSpec &Spec,
+                     const FilterSelections &Selections, Graph &Source,
+                     const std::string &SourcePrefix, Graph &Target,
+                     const std::string &TargetPrefix,
+                     const std::vector<std::string> *OnlyLayers = nullptr);
+
+} // namespace wootz
+
+#endif // WOOTZ_PRUNING_TRANSFER_H

@@ -1,0 +1,345 @@
+//===- sequitur/Sequitur.cpp ------------------------------------------------===//
+//
+// The builder follows the reference implementation structure from
+// Nevill-Manning & Witten's paper and released code: a doubly linked list
+// of symbols per rule (with a guard node), a digram index, and the two
+// invariants restored eagerly on every append. The digram index is a
+// std::map keyed on the symbol pair, which keeps behaviour fully
+// deterministic across platforms.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/sequitur/Sequitur.h"
+
+#include <cassert>
+#include <set>
+
+using namespace wootz;
+
+namespace {
+
+struct SeqRule;
+
+/// One list node: a guard, a terminal, or a nonterminal (rule reference).
+struct SeqNode {
+  SeqNode *Prev = nullptr;
+  SeqNode *Next = nullptr;
+  SeqRule *Owner = nullptr; ///< Non-null only on guard nodes.
+  SeqRule *Ref = nullptr;   ///< Non-null only on nonterminal symbols.
+  int Terminal = -1;
+
+  bool isGuard() const { return Owner != nullptr; }
+  bool isNonterminal() const { return Ref != nullptr; }
+};
+
+struct SeqRule {
+  long Id = 0;
+  int UseCount = 0;
+  SeqNode Guard;
+
+  SeqRule() {
+    Guard.Owner = this;
+    Guard.Prev = &Guard;
+    Guard.Next = &Guard;
+  }
+
+  SeqNode *first() { return Guard.Next; }
+  SeqNode *last() { return Guard.Prev; }
+};
+
+/// Digram key: (kind, value) per symbol, kind 1 for rules.
+using SymbolKey = std::pair<int, long>;
+using DigramKey = std::pair<SymbolKey, SymbolKey>;
+
+SymbolKey symbolKey(const SeqNode *N) {
+  if (N->isNonterminal())
+    return {1, N->Ref->Id};
+  return {0, N->Terminal};
+}
+
+bool sameSymbol(const SeqNode *A, const SeqNode *B) {
+  return symbolKey(A) == symbolKey(B);
+}
+
+} // namespace
+
+struct Sequitur::Impl {
+  SeqRule *Start = nullptr;
+  std::map<DigramKey, SeqNode *> Table;
+  std::set<SeqRule *> Alive;
+  long NextRuleId = 0;
+
+  Impl() { Start = newRule(); }
+
+  ~Impl() {
+    for (SeqRule *R : Alive) {
+      SeqNode *N = R->first();
+      while (!N->isGuard()) {
+        SeqNode *Next = N->Next;
+        delete N;
+        N = Next;
+      }
+      delete R;
+    }
+  }
+
+  SeqRule *newRule() {
+    auto *R = new SeqRule();
+    R->Id = NextRuleId++;
+    Alive.insert(R);
+    return R;
+  }
+
+  DigramKey keyAt(const SeqNode *N) const {
+    return {symbolKey(N), symbolKey(N->Next)};
+  }
+
+  /// Drops the index entry for the digram starting at \p N, if it is the
+  /// recorded occurrence.
+  void deleteDigram(SeqNode *N) {
+    if (N->isGuard() || N->Next->isGuard())
+      return;
+    auto It = Table.find(keyAt(N));
+    if (It != Table.end() && It->second == N)
+      Table.erase(It);
+  }
+
+  /// Links \p Left -> \p Right, maintaining the digram index. Mirrors
+  /// the reference implementation including its handling of overlapping
+  /// triples (e.g. "...aaa...": only the later pair is indexed, so when
+  /// relinking we must re-index the earlier one).
+  void join(SeqNode *Left, SeqNode *Right) {
+    if (Left->Next) {
+      deleteDigram(Left);
+      if (Right->Prev && Right->Next && sameSymbol(Right, Right->Prev) &&
+          sameSymbol(Right, Right->Next))
+        Table[keyAt(Right)] = Right;
+      if (Left->Prev && Left->Next && sameSymbol(Left, Left->Next) &&
+          sameSymbol(Left, Left->Prev))
+        Table[keyAt(Left->Prev)] = Left->Prev;
+    }
+    Left->Next = Right;
+    Right->Prev = Left;
+  }
+
+  void insertAfter(SeqNode *At, SeqNode *N) {
+    join(N, At->Next);
+    join(At, N);
+  }
+
+  /// Unlinks and frees \p N, releasing its digram and rule reference.
+  void deleteNode(SeqNode *N) {
+    assert(!N->isGuard() && "guards are owned by their rule");
+    join(N->Prev, N->Next);
+    deleteDigram(N);
+    if (N->isNonterminal())
+      --N->Ref->UseCount;
+    delete N;
+  }
+
+  SeqNode *makeNonterminal(SeqRule *R) {
+    auto *N = new SeqNode();
+    N->Ref = R;
+    ++R->UseCount;
+    return N;
+  }
+
+  SeqNode *makeCopy(const SeqNode *Source) {
+    if (Source->isNonterminal())
+      return makeNonterminal(Source->Ref);
+    auto *N = new SeqNode();
+    N->Terminal = Source->Terminal;
+    return N;
+  }
+
+  /// Checks the digram starting at \p N against the uniqueness
+  /// invariant; returns true if the digram matched an existing one.
+  bool check(SeqNode *N) {
+    if (N->isGuard() || N->Next->isGuard())
+      return false;
+    auto It = Table.find(keyAt(N));
+    if (It == Table.end()) {
+      Table[keyAt(N)] = N;
+      return false;
+    }
+    // Overlapping occurrences ("aaa") are left alone.
+    if (It->second->Next != N)
+      match(N, It->second);
+    return true;
+  }
+
+  /// Restores digram uniqueness: \p New duplicates \p Found.
+  void match(SeqNode *New, SeqNode *Found) {
+    SeqRule *R;
+    if (Found->Prev->isGuard() && Found->Next->Next->isGuard()) {
+      // The found occurrence is a whole rule body: reuse that rule.
+      R = Found->Prev->Owner;
+      substitute(New, R);
+    } else {
+      R = newRule();
+      insertAfter(R->last(), makeCopy(New));
+      insertAfter(R->last(), makeCopy(New->Next));
+      substitute(Found, R);
+      substitute(New, R);
+      Table[keyAt(R->first())] = R->first();
+    }
+    // Rule utility: inline a rule that is now used only once.
+    if (R->first()->isNonterminal() && R->first()->Ref->UseCount == 1)
+      expand(R->first());
+  }
+
+  /// Replaces the digram starting at \p D with a reference to \p R.
+  void substitute(SeqNode *D, SeqRule *R) {
+    SeqNode *Prev = D->Prev;
+    deleteNode(D->Next);
+    deleteNode(D);
+    SeqNode *N = makeNonterminal(R);
+    insertAfter(Prev, N);
+    if (!check(Prev))
+      check(N);
+  }
+
+  /// Inlines the once-used rule referenced by \p N in place.
+  void expand(SeqNode *N) {
+    assert(N->isNonterminal() && N->Ref->UseCount == 1 &&
+           "expand requires a once-used rule reference");
+    SeqRule *R = N->Ref;
+    SeqNode *Left = N->Prev;
+    SeqNode *Right = N->Next;
+    SeqNode *First = R->first();
+    SeqNode *Last = R->last();
+
+    deleteDigram(N);
+    delete N;
+    Alive.erase(R);
+    delete R;
+
+    join(Left, First);
+    join(Last, Right);
+    Table[keyAt(Last)] = Last;
+  }
+};
+
+Sequitur::Sequitur() : Implementation(new Impl()) {}
+
+Sequitur::~Sequitur() { delete Implementation; }
+
+void Sequitur::append(int Terminal) {
+  assert(Terminal >= 0 && "terminals must be non-negative");
+  Impl &I = *Implementation;
+  auto *N = new SeqNode();
+  N->Terminal = Terminal;
+  I.insertAfter(I.Start->last(), N);
+  if (I.Start->first() != N)
+    I.check(N->Prev);
+}
+
+Grammar Sequitur::grammar() const {
+  Impl &I = *Implementation;
+  Grammar G;
+  std::map<SeqRule *, int> Ids;
+
+  // Depth-first discovery from the start rule; reverse post-order gives a
+  // topological order (parents before children) for the frequency pass.
+  std::vector<SeqRule *> Order;
+  std::vector<SeqRule *> Stack{I.Start};
+  std::set<SeqRule *> Seen{I.Start};
+  while (!Stack.empty()) {
+    SeqRule *R = Stack.back();
+    Stack.pop_back();
+    Order.push_back(R);
+    for (SeqNode *N = R->first(); !N->isGuard(); N = N->Next)
+      if (N->isNonterminal() && Seen.insert(N->Ref).second)
+        Stack.push_back(N->Ref);
+  }
+  // Discovery order is already parents-before-first-reference; to get a
+  // true topological order, sort by creation id (children are always
+  // created after... not guaranteed after expansions) — instead compute
+  // frequencies iteratively below, which is exact for DAGs.
+  for (size_t Index = 0; Index < Order.size(); ++Index)
+    Ids[Order[Index]] = static_cast<int>(Index);
+
+  for (SeqRule *R : Order) {
+    GrammarRule Rule;
+    Rule.Id = Ids[R];
+    for (SeqNode *N = R->first(); !N->isGuard(); N = N->Next) {
+      GrammarSymbol Symbol;
+      if (N->isNonterminal()) {
+        Symbol.IsRule = true;
+        Symbol.Value = Ids[N->Ref];
+      } else {
+        Symbol.Value = N->Terminal;
+      }
+      Rule.Body.push_back(Symbol);
+    }
+    G.Rules.push_back(std::move(Rule));
+  }
+
+  // Frequency propagation over the DAG: start rule occurs once; each
+  // reference contributes the parent's frequency. Kahn-style pass over
+  // reference counts guarantees each rule is finalized before its
+  // children are charged.
+  const size_t RuleCount = G.Rules.size();
+  std::vector<int> PendingParents(RuleCount, 0);
+  for (const GrammarRule &Rule : G.Rules)
+    for (const GrammarSymbol &Symbol : Rule.Body)
+      if (Symbol.IsRule)
+        ++PendingParents[Symbol.Value];
+  std::vector<long long> Frequency(RuleCount, 0);
+  Frequency[0] = 1;
+  std::vector<int> Ready{0};
+  while (!Ready.empty()) {
+    const int Current = Ready.back();
+    Ready.pop_back();
+    for (const GrammarSymbol &Symbol : G.Rules[Current].Body) {
+      if (!Symbol.IsRule)
+        continue;
+      Frequency[Symbol.Value] += Frequency[Current];
+      if (--PendingParents[Symbol.Value] == 0)
+        Ready.push_back(Symbol.Value);
+    }
+  }
+  for (size_t Index = 0; Index < RuleCount; ++Index)
+    G.Rules[Index].Frequency = Frequency[Index];
+  return G;
+}
+
+std::vector<int> Grammar::expand(int RuleId) const {
+  assert(RuleId >= 0 && RuleId < static_cast<int>(Rules.size()) &&
+         "rule id out of range");
+  std::vector<int> Terminals;
+  for (const GrammarSymbol &Symbol : Rules[RuleId].Body) {
+    if (!Symbol.IsRule) {
+      Terminals.push_back(Symbol.Value);
+      continue;
+    }
+    const std::vector<int> Nested = expand(Symbol.Value);
+    Terminals.insert(Terminals.end(), Nested.begin(), Nested.end());
+  }
+  return Terminals;
+}
+
+int Grammar::expansionLength(int RuleId) const {
+  return static_cast<int>(expand(RuleId).size());
+}
+
+std::string
+Grammar::str(const std::map<int, std::string> &TerminalNames) const {
+  std::string Out;
+  for (const GrammarRule &Rule : Rules) {
+    Out += "r" + std::to_string(Rule.Id) + " (freq " +
+           std::to_string(Rule.Frequency) + ") ->";
+    for (const GrammarSymbol &Symbol : Rule.Body) {
+      Out += ' ';
+      if (Symbol.IsRule) {
+        Out += "r" + std::to_string(Symbol.Value);
+        continue;
+      }
+      auto It = TerminalNames.find(Symbol.Value);
+      Out += It == TerminalNames.end() ? std::to_string(Symbol.Value)
+                                       : It->second;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

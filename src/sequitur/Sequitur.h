@@ -1,0 +1,94 @@
+//===- sequitur/Sequitur.h - Linear-time grammar compression ----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequitur (Nevill-Manning & Witten, 1997): an online, linear-time
+/// algorithm that infers a context-free grammar from a symbol sequence by
+/// maintaining two invariants — *digram uniqueness* (no pair of adjacent
+/// symbols appears twice) and *rule utility* (every rule is used at least
+/// twice). Wootz's hierarchical tuning block identifier (§5) runs
+/// Sequitur over the concatenated layer sequences of the promising
+/// subspace and mines the resulting grammar for frequently shared layer
+/// sequences.
+///
+/// Terminals are non-negative integers supplied by the caller; the
+/// builder is incremental (append one symbol at a time) and the final
+/// grammar is extracted as plain data with per-rule corpus frequencies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SEQUITUR_SEQUITUR_H
+#define WOOTZ_SEQUITUR_SEQUITUR_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// One symbol of an extracted grammar body: either a terminal or a
+/// reference to another rule.
+struct GrammarSymbol {
+  bool IsRule = false;
+  /// Terminal value, or rule id when IsRule.
+  int Value = 0;
+
+  bool operator==(const GrammarSymbol &Other) const {
+    return IsRule == Other.IsRule && Value == Other.Value;
+  }
+};
+
+/// One extracted rule. Rule 0 is the start rule (the whole sequence).
+struct GrammarRule {
+  int Id = 0;
+  std::vector<GrammarSymbol> Body;
+  /// Number of times this rule's expansion occurs in the corpus: 1 for
+  /// the start rule, and for every other rule the sum over its parents of
+  /// parent frequency times occurrence count (Figure 4's "Freq" column).
+  long long Frequency = 0;
+};
+
+/// The extracted grammar: rules indexed by id, rule 0 first.
+struct Grammar {
+  std::vector<GrammarRule> Rules;
+
+  /// Fully expands \p RuleId back into terminals.
+  std::vector<int> expand(int RuleId) const;
+
+  /// Number of terminals in the expansion of \p RuleId.
+  int expansionLength(int RuleId) const;
+
+  /// Renders the grammar like Figure 4 ("r1 -> 2 r3 ...") with the given
+  /// terminal formatter.
+  std::string str(
+      const std::map<int, std::string> &TerminalNames = {}) const;
+};
+
+/// Incremental Sequitur builder.
+class Sequitur {
+public:
+  Sequitur();
+  ~Sequitur();
+
+  Sequitur(const Sequitur &) = delete;
+  Sequitur &operator=(const Sequitur &) = delete;
+
+  /// Appends one terminal (must be non-negative) to the sequence,
+  /// restoring both invariants.
+  void append(int Terminal);
+
+  /// Extracts the grammar (with frequencies). The builder can keep
+  /// appending afterwards; extraction is non-destructive.
+  Grammar grammar() const;
+
+private:
+  struct Impl;
+  Impl *Implementation;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_SEQUITUR_SEQUITUR_H

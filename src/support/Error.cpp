@@ -1,0 +1,12 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "src/support/Error.h"
+
+#include <cstdio>
+
+using namespace wootz;
+
+void wootz::reportFatalError(const std::string &Message) {
+  std::fprintf(stderr, "wootz fatal error: %s\n", Message.c_str());
+  std::abort();
+}

@@ -1,0 +1,153 @@
+//===- support/Error.h - Error handling without exceptions ---------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight error handling for library code. The library does not use
+/// exceptions (see DESIGN.md §7); fallible operations return Result<T>,
+/// which carries either a value or an Error with a human-readable message.
+/// Errors must be checked before destruction in asserts-enabled builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_ERROR_H
+#define WOOTZ_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+namespace wootz {
+
+/// A recoverable error with a diagnostic message.
+///
+/// Follows the LLVM style of diagnostics: lowercase first word, no
+/// trailing period. An Error is "checked" once its boolean conversion has
+/// been evaluated; destroying an unchecked failure aborts in asserts
+/// builds, which catches silently dropped errors early.
+class Error {
+public:
+  /// Creates a success value (no error).
+  Error() = default;
+
+  /// Creates a failure carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Failed = true;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  /// Creates a success value explicitly.
+  static Error success() { return Error(); }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  Error(Error &&Other) noexcept { moveFrom(std::move(Other)); }
+
+  Error &operator=(Error &&Other) noexcept {
+    assertChecked();
+    moveFrom(std::move(Other));
+    return *this;
+  }
+
+  ~Error() { assertChecked(); }
+
+  /// True if this is a failure. Evaluating this marks the error checked.
+  explicit operator bool() {
+    Checked = true;
+    return Failed;
+  }
+
+  /// The diagnostic message; empty for success values.
+  const std::string &message() const { return Message; }
+
+private:
+  void moveFrom(Error &&Other) {
+    Failed = Other.Failed;
+    Checked = Other.Checked;
+    Message = std::move(Other.Message);
+    // The moved-from error no longer owns the obligation to be checked.
+    Other.Failed = false;
+    Other.Checked = true;
+  }
+
+  void assertChecked() const {
+    assert((Checked || !Failed) && "unchecked wootz::Error dropped");
+  }
+
+  bool Failed = false;
+  bool Checked = false;
+  std::string Message;
+};
+
+/// Either a value of type \p T or an Error.
+///
+/// \p T must be default-constructible and movable (the failure state
+/// holds a default-constructed T; all library value types qualify).
+///
+/// Usage:
+/// \code
+///   Result<int> R = parseCount(Text);
+///   if (!R)
+///     return R.takeError();
+///   use(*R);
+/// \endcode
+template <typename T> class Result {
+public:
+  /// Constructs a success result holding \p Value.
+  Result(T Value) : HasValue(true), Value(std::move(Value)) {}
+
+  /// Constructs a failure result from \p E; \p E must be a failure.
+  Result(Error E) : HasValue(false) {
+    assert(E && "constructing Result from a success Error");
+    ErrMessage = E.message();
+  }
+
+  /// True if this result holds a value.
+  explicit operator bool() const { return HasValue; }
+
+  /// Accesses the contained value. Asserts on failure results.
+  T &operator*() {
+    assert(HasValue && "dereferencing a failed Result");
+    return Value;
+  }
+  const T &operator*() const {
+    assert(HasValue && "dereferencing a failed Result");
+    return Value;
+  }
+  T *operator->() { return &operator*(); }
+  const T *operator->() const { return &operator*(); }
+
+  /// Moves the contained value out. Asserts on failure results.
+  T take() {
+    assert(HasValue && "taking value of a failed Result");
+    return std::move(Value);
+  }
+
+  /// Extracts the error. Asserts on success results.
+  Error takeError() {
+    assert(!HasValue && "taking error of a successful Result");
+    return Error::failure(ErrMessage);
+  }
+
+  /// The diagnostic message; empty for success results.
+  const std::string &message() const { return ErrMessage; }
+
+private:
+  bool HasValue;
+  T Value{};
+  std::string ErrMessage;
+};
+
+/// Aborts the process with \p Message. Used for invariant violations that
+/// cannot be expressed as recoverable errors (mirrors report_fatal_error).
+[[noreturn]] void reportFatalError(const std::string &Message);
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_ERROR_H

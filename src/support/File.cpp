@@ -1,0 +1,39 @@
+//===- support/File.cpp ------------------------------------------------------===//
+
+#include "src/support/File.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace wootz;
+
+Result<std::string> wootz::readFile(const std::string &Path) {
+  std::ifstream Stream(Path, std::ios::binary);
+  if (!Stream)
+    return Error::failure("cannot open '" + Path + "' for reading");
+  std::string Contents((std::istreambuf_iterator<char>(Stream)),
+                       std::istreambuf_iterator<char>());
+  if (Stream.bad())
+    return Error::failure("read from '" + Path + "' failed");
+  return Contents;
+}
+
+Error wootz::writeFile(const std::string &Path,
+                       const std::string &Contents) {
+  const std::filesystem::path Target(Path);
+  if (Target.has_parent_path()) {
+    std::error_code FsError;
+    std::filesystem::create_directories(Target.parent_path(), FsError);
+    if (FsError)
+      return Error::failure("cannot create directories for '" + Path +
+                            "'");
+  }
+  std::ofstream Stream(Path, std::ios::binary | std::ios::trunc);
+  if (!Stream)
+    return Error::failure("cannot open '" + Path + "' for writing");
+  Stream.write(Contents.data(),
+               static_cast<std::streamsize>(Contents.size()));
+  if (!Stream)
+    return Error::failure("write to '" + Path + "' failed");
+  return Error::success();
+}

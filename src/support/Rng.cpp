@@ -1,0 +1,83 @@
+//===- support/Rng.cpp -----------------------------------------------------===//
+
+#include "src/support/Rng.h"
+
+#include <cmath>
+
+using namespace wootz;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ull;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+void Rng::reseed(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitMix64(S);
+  HasSpareGaussian = false;
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** by Blackman & Vigna (public domain).
+  const uint64_t Out = rotl(State[1] * 5, 7) * 9;
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Out;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound > 0 && "nextBelow bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "nextInRange bounds reversed");
+  return Lo + static_cast<int64_t>(
+                  nextBelow(static_cast<uint64_t>(Hi - Lo) + 1));
+}
+
+float Rng::nextFloat() {
+  return static_cast<float>(next() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::nextGaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  // Box-Muller on two uniforms; regenerate until the radius is nonzero.
+  float U1 = nextFloat();
+  while (U1 <= 1e-12f)
+    U1 = nextFloat();
+  const float U2 = nextFloat();
+  const float Radius = std::sqrt(-2.0f * std::log(U1));
+  const float Angle = 6.283185307179586f * U2;
+  SpareGaussian = Radius * std::sin(Angle);
+  HasSpareGaussian = true;
+  return Radius * std::cos(Angle);
+}
+
+Rng Rng::fork() { return Rng(next()); }

@@ -1,0 +1,81 @@
+//===- support/Rng.h - Deterministic random number generation ------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable PRNG (xoshiro256**) plus the distributions the
+/// library needs. All randomness in the library flows through Rng so that
+/// experiments are reproducible bit-for-bit from a seed; std::mt19937 is
+/// avoided because its streams differ across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_RNG_H
+#define WOOTZ_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace wootz {
+
+/// Deterministic PRNG with convenience distributions.
+class Rng {
+public:
+  /// Seeds the generator; equal seeds yield equal streams on every
+  /// platform.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) { reseed(Seed); }
+
+  /// Re-seeds the generator via SplitMix64 state expansion.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniform integer in [0, Bound). \p Bound must be positive.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniform integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniform float in [0, 1).
+  float nextFloat();
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble();
+
+  /// Returns a standard-normal sample (Box-Muller).
+  float nextGaussian();
+
+  /// Returns true with probability \p P.
+  bool nextBernoulli(double P) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffles \p Values in place.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+  /// Picks a uniformly random element of \p Values.
+  template <typename T> const T &choice(const std::vector<T> &Values) {
+    assert(!Values.empty() && "choice() on empty vector");
+    return Values[nextBelow(Values.size())];
+  }
+
+  /// Derives an independent child generator; useful for giving each
+  /// parallel task its own deterministic stream.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  float SpareGaussian = 0.0f;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_RNG_H

@@ -1,0 +1,40 @@
+//===- support/Stopwatch.h - Wall-clock timing -----------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wall-clock stopwatch used to measure per-configuration training costs,
+/// which feed the simulated multi-node scheduler (see explore/Cluster.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_STOPWATCH_H
+#define WOOTZ_SUPPORT_STOPWATCH_H
+
+#include <chrono>
+
+namespace wootz {
+
+/// Measures elapsed wall-clock time in seconds.
+class Stopwatch {
+public:
+  Stopwatch() { restart(); }
+
+  /// Resets the start point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_STOPWATCH_H

@@ -1,0 +1,90 @@
+//===- support/StringUtils.cpp ---------------------------------------------===//
+
+#include "src/support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace wootz;
+
+std::string_view wootz::trim(std::string_view Text) {
+  size_t Begin = 0;
+  while (Begin < Text.size() &&
+         std::isspace(static_cast<unsigned char>(Text[Begin])))
+    ++Begin;
+  size_t End = Text.size();
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Text[End - 1])))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> wootz::split(std::string_view Text, char Separator) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Separator) {
+      Pieces.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Pieces;
+}
+
+std::vector<std::string> wootz::splitLines(std::string_view Text) {
+  std::vector<std::string> Lines = split(Text, '\n');
+  for (std::string &Line : Lines)
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+  return Lines;
+}
+
+bool wootz::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}
+
+bool wootz::endsWith(std::string_view Text, std::string_view Suffix) {
+  return Text.size() >= Suffix.size() &&
+         Text.substr(Text.size() - Suffix.size()) == Suffix;
+}
+
+Result<long long> wootz::parseInteger(std::string_view Text) {
+  const std::string Owned(trim(Text));
+  if (Owned.empty())
+    return Error::failure("expected an integer, found empty text");
+  char *End = nullptr;
+  const long long Value = std::strtoll(Owned.c_str(), &End, 10);
+  if (End != Owned.c_str() + Owned.size())
+    return Error::failure("invalid integer '" + Owned + "'");
+  return Value;
+}
+
+Result<double> wootz::parseDouble(std::string_view Text) {
+  const std::string Owned(trim(Text));
+  if (Owned.empty())
+    return Error::failure("expected a number, found empty text");
+  char *End = nullptr;
+  const double Value = std::strtod(Owned.c_str(), &End);
+  if (End != Owned.c_str() + Owned.size())
+    return Error::failure("invalid number '" + Owned + "'");
+  return Value;
+}
+
+std::string wootz::join(const std::vector<std::string> &Pieces,
+                        std::string_view Separator) {
+  std::string Out;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I != 0)
+      Out += Separator;
+    Out += Pieces[I];
+  }
+  return Out;
+}
+
+std::string wootz::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}

@@ -1,0 +1,54 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared by the Prototxt parser, the objective-spec
+/// parser, and the subspace-spec parser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_STRINGUTILS_H
+#define WOOTZ_SUPPORT_STRINGUTILS_H
+
+#include "src/support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wootz {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// Splits \p Text on \p Separator; empty pieces are kept.
+std::vector<std::string> split(std::string_view Text, char Separator);
+
+/// Splits \p Text into lines, accepting both \\n and \\r\\n endings.
+std::vector<std::string> splitLines(std::string_view Text);
+
+/// True if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// True if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+/// Parses a decimal integer; rejects trailing garbage.
+Result<long long> parseInteger(std::string_view Text);
+
+/// Parses a floating-point number; rejects trailing garbage.
+Result<double> parseDouble(std::string_view Text);
+
+/// Joins \p Pieces with \p Separator between them.
+std::string join(const std::vector<std::string> &Pieces,
+                 std::string_view Separator);
+
+/// Formats \p Value with \p Digits digits after the decimal point.
+std::string formatDouble(double Value, int Digits);
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,61 @@
+//===- support/Table.cpp ---------------------------------------------------===//
+
+#include "src/support/Table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace wootz;
+
+Table::Table(std::vector<std::string> Headers) : Headers(std::move(Headers)) {
+  assert(!this->Headers.empty() && "a table needs at least one column");
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width != header width");
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() { Rows.emplace_back(); }
+
+size_t Table::rowCount() const {
+  size_t Count = 0;
+  for (const auto &Row : Rows)
+    if (!Row.empty())
+      ++Count;
+  return Count;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t I = 0; I < Headers.size(); ++I)
+    Widths[I] = Headers[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto renderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Line += ' ';
+      Line += Cells[I];
+      Line.append(Widths[I] - Cells[I].size(), ' ');
+      Line += " |";
+    }
+    Line += '\n';
+    return Line;
+  };
+
+  std::string Separator = "+";
+  for (size_t Width : Widths) {
+    Separator.append(Width + 2, '-');
+    Separator += '+';
+  }
+  Separator += '\n';
+
+  std::string Out = Separator + renderRow(Headers) + Separator;
+  for (const auto &Row : Rows)
+    Out += Row.empty() ? Separator : renderRow(Row);
+  Out += Separator;
+  return Out;
+}

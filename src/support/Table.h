@@ -1,0 +1,48 @@
+//===- support/Table.h - ASCII table printer ------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small column-aligned ASCII table used by the bench harnesses to print
+/// the rows of the paper's tables. Cells are strings; alignment is derived
+/// from content width.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_TABLE_H
+#define WOOTZ_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// Accumulates rows and renders them with aligned columns.
+class Table {
+public:
+  /// Creates a table with the given column \p Headers.
+  explicit Table(std::vector<std::string> Headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator row.
+  void addSeparator();
+
+  /// Renders the whole table, trailing newline included.
+  std::string render() const;
+
+  /// Number of data rows added so far (separators excluded).
+  size_t rowCount() const;
+
+private:
+  std::vector<std::string> Headers;
+  // A separator is represented by an empty row vector.
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_TABLE_H

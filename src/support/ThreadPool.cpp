@@ -1,0 +1,74 @@
+//===- support/ThreadPool.cpp ----------------------------------------------===//
+
+#include "src/support/ThreadPool.h"
+
+using namespace wootz;
+
+ThreadPool::ThreadPool(unsigned ThreadCount) : ThreadCount(ThreadCount) {
+  Workers.reserve(ThreadCount);
+  for (unsigned I = 0; I < ThreadCount; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  TaskAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> Task) {
+  if (ThreadCount == 0) {
+    Task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Tasks.push(std::move(Task));
+    ++InFlight;
+  }
+  TaskAvailable.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (ThreadCount == 0)
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  AllDone.wait(Lock, [this] { return InFlight == 0; });
+}
+
+void ThreadPool::parallelFor(size_t Count,
+                             const std::function<void(size_t)> &Body) {
+  if (ThreadCount <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+  for (size_t I = 0; I < Count; ++I)
+    enqueue([&Body, I] { Body(I); });
+  wait();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskAvailable.wait(Lock,
+                         [this] { return ShuttingDown || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // Shutting down with an empty queue.
+      Task = std::move(Tasks.front());
+      Tasks.pop();
+    }
+    Task();
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      if (--InFlight == 0)
+        AllDone.notify_all();
+    }
+  }
+}

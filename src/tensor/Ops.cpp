@@ -1,0 +1,138 @@
+//===- tensor/Ops.cpp ------------------------------------------------------===//
+
+#include "src/tensor/Ops.h"
+
+#include <cstring>
+
+using namespace wootz;
+
+void wootz::gemm(const float *A, const float *B, float *C, int M, int K,
+                 int N, bool Accumulate) {
+  if (!Accumulate)
+    std::memset(C, 0, sizeof(float) * static_cast<size_t>(M) * N);
+  // i-k-j loop order: the inner loop streams over B and C rows, which
+  // vectorizes well and avoids strided access.
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    for (int L = 0; L < K; ++L) {
+      const float AVal = ARow[L];
+      if (AVal == 0.0f)
+        continue;
+      const float *BRow = B + static_cast<size_t>(L) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AVal * BRow[J];
+    }
+  }
+}
+
+void wootz::gemmTransposeA(const float *A, const float *B, float *C, int M,
+                           int K, int N, bool Accumulate) {
+  if (!Accumulate)
+    std::memset(C, 0, sizeof(float) * static_cast<size_t>(M) * N);
+  for (int L = 0; L < K; ++L) {
+    const float *ARow = A + static_cast<size_t>(L) * M;
+    const float *BRow = B + static_cast<size_t>(L) * N;
+    for (int I = 0; I < M; ++I) {
+      const float AVal = ARow[I];
+      if (AVal == 0.0f)
+        continue;
+      float *CRow = C + static_cast<size_t>(I) * N;
+      for (int J = 0; J < N; ++J)
+        CRow[J] += AVal * BRow[J];
+    }
+  }
+}
+
+void wootz::gemmTransposeB(const float *A, const float *B, float *C, int M,
+                           int K, int N, bool Accumulate) {
+  if (!Accumulate)
+    std::memset(C, 0, sizeof(float) * static_cast<size_t>(M) * N);
+  for (int I = 0; I < M; ++I) {
+    const float *ARow = A + static_cast<size_t>(I) * K;
+    float *CRow = C + static_cast<size_t>(I) * N;
+    for (int J = 0; J < N; ++J) {
+      const float *BRow = B + static_cast<size_t>(J) * K;
+      float Total = 0.0f;
+      for (int L = 0; L < K; ++L)
+        Total += ARow[L] * BRow[L];
+      CRow[J] += Total;
+    }
+  }
+}
+
+void wootz::im2col(const float *Image, int Channels, int Height, int Width,
+                   const ConvGeometry &Geometry, float *Columns) {
+  const int OutH = Geometry.outExtent(Height);
+  const int OutW = Geometry.outExtent(Width);
+  const int Kernel = Geometry.KernelSize;
+  float *Out = Columns;
+  for (int C = 0; C < Channels; ++C) {
+    const float *Plane = Image + static_cast<size_t>(C) * Height * Width;
+    for (int KH = 0; KH < Kernel; ++KH) {
+      for (int KW = 0; KW < Kernel; ++KW) {
+        for (int OH = 0; OH < OutH; ++OH) {
+          const int IH = OH * Geometry.Stride - Geometry.Pad + KH;
+          if (IH < 0 || IH >= Height) {
+            std::memset(Out, 0, sizeof(float) * OutW);
+            Out += OutW;
+            continue;
+          }
+          const float *Row = Plane + static_cast<size_t>(IH) * Width;
+          for (int OW = 0; OW < OutW; ++OW) {
+            const int IW = OW * Geometry.Stride - Geometry.Pad + KW;
+            *Out++ = (IW >= 0 && IW < Width) ? Row[IW] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void wootz::col2im(const float *Columns, int Channels, int Height, int Width,
+                   const ConvGeometry &Geometry, float *Image) {
+  const int OutH = Geometry.outExtent(Height);
+  const int OutW = Geometry.outExtent(Width);
+  const int Kernel = Geometry.KernelSize;
+  const float *In = Columns;
+  for (int C = 0; C < Channels; ++C) {
+    float *Plane = Image + static_cast<size_t>(C) * Height * Width;
+    for (int KH = 0; KH < Kernel; ++KH) {
+      for (int KW = 0; KW < Kernel; ++KW) {
+        for (int OH = 0; OH < OutH; ++OH) {
+          const int IH = OH * Geometry.Stride - Geometry.Pad + KH;
+          if (IH < 0 || IH >= Height) {
+            In += OutW;
+            continue;
+          }
+          float *Row = Plane + static_cast<size_t>(IH) * Width;
+          for (int OW = 0; OW < OutW; ++OW) {
+            const int IW = OW * Geometry.Stride - Geometry.Pad + KW;
+            if (IW >= 0 && IW < Width)
+              Row[IW] += *In;
+            ++In;
+          }
+        }
+      }
+    }
+  }
+}
+
+void wootz::axpy(float Scale, const float *In, float *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] += Scale * In[I];
+}
+
+void wootz::scale(float Scale, float *Out, size_t Count) {
+  for (size_t I = 0; I < Count; ++I)
+    Out[I] *= Scale;
+}
+
+int wootz::argmax(const float *Values, int Count) {
+  assert(Count > 0 && "argmax over an empty range");
+  int Best = 0;
+  for (int I = 1; I < Count; ++I)
+    if (Values[I] > Values[Best])
+      Best = I;
+  return Best;
+}

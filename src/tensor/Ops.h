@@ -1,0 +1,71 @@
+//===- tensor/Ops.h - Tensor kernels ---------------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The numeric kernels under the nn layer implementations: GEMM,
+/// im2col/col2im for convolution, and the elementwise/axpy helpers.
+/// Everything is plain single-threaded CPU code with a small amount of
+/// loop restructuring for cache friendliness; speed only has to be good
+/// enough to train the miniature models quickly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_TENSOR_OPS_H
+#define WOOTZ_TENSOR_OPS_H
+
+#include "src/tensor/Tensor.h"
+
+namespace wootz {
+
+/// Parameters of a 2-D convolution (square kernel, same stride/pad in
+/// both spatial dimensions).
+struct ConvGeometry {
+  int InChannels = 0;
+  int OutChannels = 0;
+  int KernelSize = 1;
+  int Stride = 1;
+  int Pad = 0;
+
+  /// Output spatial extent for an input extent of \p In.
+  int outExtent(int In) const {
+    return (In + 2 * Pad - KernelSize) / Stride + 1;
+  }
+};
+
+/// C = A * B with A: MxK, B: KxN, C: MxN. \p Accumulate adds into C
+/// instead of overwriting it.
+void gemm(const float *A, const float *B, float *C, int M, int K, int N,
+          bool Accumulate = false);
+
+/// C = A^T * B with A: KxM, B: KxN, C: MxN.
+void gemmTransposeA(const float *A, const float *B, float *C, int M, int K,
+                    int N, bool Accumulate = false);
+
+/// C = A * B^T with A: MxK, B: NxK, C: MxN.
+void gemmTransposeB(const float *A, const float *B, float *C, int M, int K,
+                    int N, bool Accumulate = false);
+
+/// Expands one image (CHW, \p Image pointing at C*H*W floats) into
+/// columns: the result has (C*KH*KW) rows and (OutH*OutW) columns.
+void im2col(const float *Image, int Channels, int Height, int Width,
+            const ConvGeometry &Geometry, float *Columns);
+
+/// Inverse of im2col: accumulates columns back into the (zeroed) image.
+void col2im(const float *Columns, int Channels, int Height, int Width,
+            const ConvGeometry &Geometry, float *Image);
+
+/// Out[I] += Scale * In[I] over \p Count elements.
+void axpy(float Scale, const float *In, float *Out, size_t Count);
+
+/// Out[I] *= Scale over \p Count elements.
+void scale(float Scale, float *Out, size_t Count);
+
+/// Returns the index of the largest element in [Values, Values+Count).
+int argmax(const float *Values, int Count);
+
+} // namespace wootz
+
+#endif // WOOTZ_TENSOR_OPS_H

@@ -1,0 +1,90 @@
+//===- tensor/Tensor.cpp ---------------------------------------------------===//
+
+#include "src/tensor/Tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wootz;
+
+size_t Shape::elementCount() const {
+  if (Dims.empty())
+    return 0;
+  size_t Count = 1;
+  for (int Dim : Dims)
+    Count *= static_cast<size_t>(Dim);
+  return Count;
+}
+
+std::string Shape::str() const {
+  std::string Out = "[";
+  for (size_t I = 0; I < Dims.size(); ++I) {
+    if (I != 0)
+      Out += ", ";
+    Out += std::to_string(Dims[I]);
+  }
+  return Out + "]";
+}
+
+Tensor::Tensor(Shape Shape, std::vector<float> Values)
+    : TensorShape(std::move(Shape)), Data(std::move(Values)) {
+  assert(Data.size() == TensorShape.elementCount() &&
+         "tensor data size does not match shape");
+}
+
+float &Tensor::at(int N, int C, int H, int W) {
+  assert(TensorShape.rank() == 4 && "NCHW access requires rank 4");
+  assert(N >= 0 && N < TensorShape[0] && C >= 0 && C < TensorShape[1] &&
+         H >= 0 && H < TensorShape[2] && W >= 0 && W < TensorShape[3] &&
+         "NCHW index out of range");
+  const size_t Index =
+      ((static_cast<size_t>(N) * TensorShape[1] + C) * TensorShape[2] + H) *
+          TensorShape[3] +
+      W;
+  return Data[Index];
+}
+
+float Tensor::at(int N, int C, int H, int W) const {
+  return const_cast<Tensor *>(this)->at(N, C, H, W);
+}
+
+float &Tensor::at(int Row, int Col) {
+  assert(TensorShape.rank() == 2 && "matrix access requires rank 2");
+  assert(Row >= 0 && Row < TensorShape[0] && Col >= 0 &&
+         Col < TensorShape[1] && "matrix index out of range");
+  return Data[static_cast<size_t>(Row) * TensorShape[1] + Col];
+}
+
+float Tensor::at(int Row, int Col) const {
+  return const_cast<Tensor *>(this)->at(Row, Col);
+}
+
+void Tensor::fill(float Value) {
+  std::fill(Data.begin(), Data.end(), Value);
+}
+
+void Tensor::reshape(Shape NewShape) {
+  assert(NewShape.elementCount() == Data.size() &&
+         "reshape must preserve element count");
+  TensorShape = std::move(NewShape);
+}
+
+double Tensor::sum() const {
+  double Total = 0.0;
+  for (float Value : Data)
+    Total += Value;
+  return Total;
+}
+
+double Tensor::mean() const {
+  return Data.empty() ? 0.0 : sum() / static_cast<double>(Data.size());
+}
+
+double Tensor::rmsNorm() const {
+  if (Data.empty())
+    return 0.0;
+  double Total = 0.0;
+  for (float Value : Data)
+    Total += static_cast<double>(Value) * Value;
+  return std::sqrt(Total / static_cast<double>(Data.size()));
+}

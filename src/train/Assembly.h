@@ -1,0 +1,56 @@
+//===- train/Assembly.h - Assembling block-trained networks --------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The assembly step at the start of global fine-tuning (§6.1):
+/// "Physically, this step just needs to initialize the pruned networks
+/// in the promising subspace with the weights in the corresponding tuning
+/// blocks." buildPrunedNetwork() materializes a pruned network for a
+/// configuration, initializes it by l1 weight inheritance from the
+/// trained full model (the baseline's "default network" init), and —
+/// when a checkpoint store and composite vector are supplied — overlays
+/// the pre-trained tuning blocks to produce the block-trained network.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_TRAIN_ASSEMBLY_H
+#define WOOTZ_TRAIN_ASSEMBLY_H
+
+#include "src/compiler/Multiplexing.h"
+#include "src/pruning/Importance.h"
+#include "src/train/CheckpointStore.h"
+
+namespace wootz {
+
+/// A pruned network ready for training or evaluation.
+struct AssembledNetwork {
+  Graph Network;
+  std::string InputNode;
+  std::string LogitsNode;
+  /// Canonical ids of the tuning blocks that initialized it (empty for
+  /// default networks).
+  std::vector<std::string> BlocksUsed;
+};
+
+/// Builds the pruned network for \p Config under prefix "net".
+///
+/// \p FullTrained supplies the inherited weights (nodes
+/// "<FullPrefix>/<layer>"). If \p Store and \p CompositeBlocks are
+/// non-null, each listed block's checkpoint overwrites the corresponding
+/// layers, producing a block-trained network; otherwise the result is the
+/// baseline default network.
+/// Inherited filters are ranked by \p Scores when given, by l1 norms
+/// otherwise.
+Result<AssembledNetwork> buildPrunedNetwork(
+    const MultiplexingModel &Model, const PruneConfig &Config,
+    Graph &FullTrained, const std::string &FullPrefix,
+    const CheckpointStore *Store,
+    const std::vector<TuningBlock> *CompositeBlocks, Rng &Generator,
+    const FilterScores *Scores = nullptr);
+
+} // namespace wootz
+
+#endif // WOOTZ_TRAIN_ASSEMBLY_H

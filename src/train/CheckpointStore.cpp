@@ -1,0 +1,108 @@
+//===- train/CheckpointStore.cpp -----------------------------------------------===//
+
+#include "src/train/CheckpointStore.h"
+
+#include "src/support/StringUtils.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace wootz;
+
+std::string wootz::sanitizeCheckpointKey(const std::string &Key) {
+  std::string Out;
+  for (char C : Key) {
+    const bool Safe = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                      (C >= '0' && C <= '9') || C == '-' || C == '_' ||
+                      C == '.';
+    Out += Safe ? C : '_';
+  }
+  return Out;
+}
+
+void CheckpointStore::capture(const std::string &Key, Graph &Source,
+                              const std::string &Prefix,
+                              const std::vector<std::string> &Layers) {
+  TensorBundle Bundle;
+  for (const std::string &LayerName : Layers) {
+    Layer &L = Source.layer(Prefix + "/" + LayerName);
+    const std::vector<Param *> State = L.state();
+    for (size_t K = 0; K < State.size(); ++K)
+      Bundle[LayerName + "/s" + std::to_string(K)] = State[K]->Value;
+  }
+  Bundles[Key] = std::move(Bundle);
+}
+
+Error CheckpointStore::restore(const std::string &Key, Graph &Target,
+                               const std::string &Prefix) const {
+  auto It = Bundles.find(Key);
+  if (It == Bundles.end())
+    return Error::failure("no checkpoint stored under key '" + Key + "'");
+  for (const auto &[EntryName, Value] : It->second) {
+    const size_t Slash = EntryName.rfind("/s");
+    assert(Slash != std::string::npos && "malformed checkpoint entry");
+    const std::string LayerName = EntryName.substr(0, Slash);
+    Result<long long> StateIndex = parseInteger(EntryName.substr(Slash + 2));
+    assert(StateIndex && "malformed checkpoint state index");
+    const std::string NodeName = Prefix + "/" + LayerName;
+    if (!Target.hasNode(NodeName))
+      continue;
+    Param *State = Target.layer(NodeName).state()[*StateIndex];
+    if (State->Value.shape() != Value.shape())
+      return Error::failure("checkpoint '" + Key + "' entry '" + EntryName +
+                            "' has shape " + Value.shape().str() +
+                            " but the target expects " +
+                            State->Value.shape().str());
+    State->Value = Value;
+  }
+  return Error::success();
+}
+
+std::vector<std::string> CheckpointStore::keys() const {
+  std::vector<std::string> Out;
+  Out.reserve(Bundles.size());
+  for (const auto &[Key, Bundle] : Bundles)
+    Out.push_back(Key);
+  return Out;
+}
+
+Error CheckpointStore::saveTo(const std::string &Directory) const {
+  std::error_code FsError;
+  std::filesystem::create_directories(Directory, FsError);
+  if (FsError)
+    return Error::failure("cannot create checkpoint directory '" +
+                          Directory + "'");
+  std::string Manifest;
+  for (const auto &[Key, Bundle] : Bundles) {
+    const std::string FileName = sanitizeCheckpointKey(Key) + ".ckpt";
+    if (Error E = saveTensors(Directory + "/" + FileName, Bundle))
+      return E;
+    Manifest += Key + "\t" + FileName + "\n";
+  }
+  std::ofstream Stream(Directory + "/MANIFEST", std::ios::trunc);
+  if (!Stream)
+    return Error::failure("cannot write checkpoint manifest");
+  Stream << Manifest;
+  return Error::success();
+}
+
+Error CheckpointStore::loadFrom(const std::string &Directory) {
+  std::ifstream Stream(Directory + "/MANIFEST");
+  if (!Stream)
+    return Error::failure("cannot read manifest in '" + Directory + "'");
+  std::string Line;
+  while (std::getline(Stream, Line)) {
+    if (trim(Line).empty())
+      continue;
+    const size_t Tab = Line.find('\t');
+    if (Tab == std::string::npos)
+      return Error::failure("malformed manifest line '" + Line + "'");
+    const std::string Key = Line.substr(0, Tab);
+    Result<TensorBundle> Bundle =
+        loadTensors(Directory + "/" + Line.substr(Tab + 1));
+    if (!Bundle)
+      return Bundle.takeError();
+    Bundles[Key] = Bundle.take();
+  }
+  return Error::success();
+}

@@ -1,0 +1,73 @@
+//===- train/CheckpointStore.h - Pre-trained block storage ---------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage for pre-trained tuning blocks — the stand-in for the paper's
+/// TensorFlow checkpoints ("Executing the wrapper produces pre-trained
+/// tuning blocks that are stored as TensorFlow checkpoints. The mapping
+/// between the checkpoint files and trained tuning blocks are also
+/// recorded for the model variable initialization in the global
+/// fine-tuning phase", §6.2).
+///
+/// Bundles are keyed by the block's canonical id; tensor keys inside a
+/// bundle are "<layer>/s<K>" (layer state index K), independent of any
+/// particular graph prefix so a block trains in one graph and loads into
+/// another. The store works purely in memory and can mirror itself to a
+/// directory on disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_TRAIN_CHECKPOINTSTORE_H
+#define WOOTZ_TRAIN_CHECKPOINTSTORE_H
+
+#include "src/nn/Graph.h"
+#include "src/nn/Serialize.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// In-memory (optionally disk-backed) block checkpoint store.
+class CheckpointStore {
+public:
+  /// Captures the state of \p Layers (spec-relative names) from
+  /// \p Source's nodes "<Prefix>/<layer>" and stores it under \p Key.
+  void capture(const std::string &Key, Graph &Source,
+               const std::string &Prefix,
+               const std::vector<std::string> &Layers);
+
+  /// Restores a stored bundle into \p Target's nodes "<Prefix>/<layer>".
+  /// Missing target nodes are skipped; shape mismatches are fatal (they
+  /// indicate the target was built for a different configuration).
+  Error restore(const std::string &Key, Graph &Target,
+                const std::string &Prefix) const;
+
+  bool contains(const std::string &Key) const {
+    return Bundles.count(Key) != 0;
+  }
+
+  /// Stored keys in lexicographic order.
+  std::vector<std::string> keys() const;
+
+  /// Writes every bundle to "<Directory>/<sanitized key>.ckpt" plus a
+  /// MANIFEST mapping keys to files.
+  Error saveTo(const std::string &Directory) const;
+
+  /// Loads every bundle listed in "<Directory>/MANIFEST".
+  Error loadFrom(const std::string &Directory);
+
+private:
+  std::map<std::string, TensorBundle> Bundles;
+};
+
+/// Filesystem-safe form of a checkpoint key.
+std::string sanitizeCheckpointKey(const std::string &Key);
+
+} // namespace wootz
+
+#endif // WOOTZ_TRAIN_CHECKPOINTSTORE_H

@@ -1,0 +1,99 @@
+//===- train/ModelZoo.cpp -------------------------------------------------------===//
+
+#include "src/train/ModelZoo.h"
+
+#include "src/nn/Serialize.h"
+#include "src/support/StringUtils.h"
+
+#include <cstring>
+#include <filesystem>
+
+using namespace wootz;
+
+Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
+                                          const Dataset &Data,
+                                          const TrainMeta &Meta,
+                                          const std::string &CacheDir,
+                                          Rng &Generator) {
+  FullModel Out;
+  PruneInfo Info;
+  Result<BuildResult> Built = Model.build(Out.Network, BuildMode::FullModel,
+                                          Info, "full", Generator);
+  if (!Built)
+    return Built.takeError();
+  Out.InputNode = Built->InputNode;
+  Out.LogitsNode = Built->LogitsNode;
+
+  std::string CachePath;
+  if (!CacheDir.empty()) {
+    // The key fingerprints the dataset contents so that regenerated or
+    // retuned datasets never reuse stale weights.
+    uint64_t Fingerprint = 0xcbf29ce484222325ull;
+    auto mix = [&Fingerprint](uint64_t Value) {
+      Fingerprint = (Fingerprint ^ Value) * 0x100000001b3ull;
+    };
+    mix(Data.Train.Images.size());
+    mix(static_cast<uint64_t>(Data.Classes));
+    const size_t Stride = Data.Train.Images.size() / 64 + 1;
+    for (size_t I = 0; I < Data.Train.Images.size(); I += Stride) {
+      uint32_t Bits;
+      float Value = Data.Train.Images[I];
+      static_assert(sizeof(Bits) == sizeof(Value));
+      std::memcpy(&Bits, &Value, sizeof(Bits));
+      mix(Bits);
+    }
+    CachePath = CacheDir + "/" + Model.spec().Name + "_" + Data.Name + "_" +
+                std::to_string(Meta.FullModelSteps) + "_lr" +
+                formatDouble(Meta.FullModelLearningRate, 4) + "_" +
+                std::to_string(Fingerprint % 0xffffff) + ".ckpt";
+    if (std::filesystem::exists(CachePath)) {
+      Result<TensorBundle> Bundle = loadTensors(CachePath);
+      if (Bundle) {
+        bool Compatible = true;
+        const std::map<std::string, Param *> State =
+            Out.Network.namedState();
+        for (const auto &[Name, Value] : *Bundle) {
+          auto It = State.find(Name);
+          if (It == State.end() ||
+              It->second->Value.shape() != Value.shape()) {
+            Compatible = false;
+            break;
+          }
+          It->second->Value = Value;
+        }
+        if (Compatible) {
+          Out.Accuracy = evaluateAccuracy(Out.Network, Out.InputNode,
+                                          Out.LogitsNode, Data.Test);
+          Out.FromCache = true;
+          return Out;
+        }
+        // Stale cache (e.g. model shape changed): retrain below.
+      }
+    }
+  }
+
+  // The full model is trained to convergence (no early stopping): it is
+  // the teacher and the accuracy reference for every threshold.
+  TrainMeta FullMeta = Meta;
+  FullMeta.EarlyStopPatience = 0;
+  const TrainResult Trained = trainClassifier(
+      Out.Network, Out.InputNode, Out.LogitsNode, Data, FullMeta,
+      Meta.FullModelSteps, Meta.FullModelLearningRate, Generator);
+  Out.TrainSeconds = Trained.Seconds;
+  // Report the accuracy of the *final* weights (what a cache reload
+  // would measure), not the best point along the curve.
+  Out.Accuracy = evaluateAccuracy(Out.Network, Out.InputNode,
+                                  Out.LogitsNode, Data.Test);
+
+  if (!CachePath.empty()) {
+    std::error_code FsError;
+    std::filesystem::create_directories(CacheDir, FsError);
+    TensorBundle Bundle;
+    for (auto &[Name, State] : Out.Network.namedState())
+      Bundle[Name] = State->Value;
+    // A failed cache write is not fatal; the model is already trained.
+    if (Error E = saveTensors(CachePath, Bundle))
+      (void)static_cast<bool>(E);
+  }
+  return Out;
+}

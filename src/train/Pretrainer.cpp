@@ -1,0 +1,96 @@
+//===- train/Pretrainer.cpp -----------------------------------------------------===//
+
+#include "src/train/Pretrainer.h"
+
+#include "src/nn/Loss.h"
+#include "src/nn/Optimizer.h"
+#include "src/pruning/Transfer.h"
+#include "src/support/Stopwatch.h"
+
+using namespace wootz;
+
+Result<PretrainStats> wootz::pretrainBlocks(
+    const MultiplexingModel &Model, Graph &FullTrained,
+    const std::string &FullPrefix, const std::vector<TuningBlock> &Blocks,
+    const Dataset &Data, const TrainMeta &Meta, CheckpointStore &Store,
+    Rng &Generator, const FilterScores *Scores) {
+  const ModelSpec &Spec = Model.spec();
+  Stopwatch TotalTimer;
+  PretrainStats Stats;
+
+  // Identity blocks reuse the teacher's weights; already-stored blocks
+  // are shared across calls (the cross-network reuse the paper banks on).
+  std::vector<TuningBlock> Pending;
+  for (const TuningBlock &Block : Blocks)
+    if (!Block.isIdentity() && !Store.contains(Block.id()))
+      Pending.push_back(Block);
+  Stats.BlockCount = static_cast<int>(Pending.size());
+  if (Pending.empty())
+    return Stats;
+
+  const std::vector<std::vector<TuningBlock>> Groups =
+      partitionIntoGroups(std::move(Pending));
+  Stats.GroupCount = static_cast<int>(Groups.size());
+
+  for (const std::vector<TuningBlock> &Group : Groups) {
+    Stopwatch GroupTimer;
+    Graph Network;
+    PruneInfo Info;
+    Info.Blocks = Group;
+    Result<BuildResult> Built = Model.build(Network, BuildMode::PreTrain,
+                                            Info, "full", Generator);
+    if (!Built)
+      return Built.takeError();
+
+    // Teacher weights come from the trained full model; each student
+    // starts from its l1-inherited slice of the teacher.
+    transferWeights(Spec, FilterSelections(), FullTrained, FullPrefix,
+                    Network, "full");
+    for (const BlockPort &Port : Built->Ports) {
+      PruneConfig BlockConfig = unprunedConfig(Spec);
+      for (int M = 0; M < Port.Block.moduleCount(); ++M)
+        BlockConfig[Port.Block.FirstModule + M] = Port.Block.Rates[M];
+      const FilterSelections Selections =
+          Scores ? selectionsFromScores(Spec, BlockConfig, *Scores)
+                 : selectFiltersByL1(Spec, BlockConfig, FullTrained,
+                                     FullPrefix);
+      transferWeights(Spec, Selections, FullTrained, FullPrefix, Network,
+                      Port.Prefix, &Port.Layers);
+    }
+
+    BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
+    SgdOptimizer Optimizer(Meta.PretrainLearningRate, Meta.Momentum,
+                           Meta.WeightDecay);
+    const std::vector<Param *> Params = Network.trainableParams();
+    Tensor GradOut;
+
+    for (int Step = 1; Step <= Meta.PretrainSteps; ++Step) {
+      const Batch Mini = Sampler.next();
+      Network.setInput(Built->InputNode, Mini.Images);
+      Network.forward(/*Training=*/true);
+      Network.zeroGrads();
+      double StepLoss = 0.0;
+      for (const BlockPort &Port : Built->Ports) {
+        StepLoss += l2Reconstruction(Network.activation(Port.StudentOut),
+                                     Network.activation(Port.TeacherOut),
+                                     GradOut);
+        Network.seedGradient(Port.StudentOut, GradOut);
+      }
+      Network.backward();
+      Optimizer.step(Params);
+      StepLoss /= static_cast<double>(Built->Ports.size());
+      if (Step == 1)
+        Stats.FirstLoss += StepLoss;
+      if (Step == Meta.PretrainSteps)
+        Stats.LastLoss += StepLoss;
+    }
+
+    for (const BlockPort &Port : Built->Ports)
+      Store.capture(Port.Block.id(), Network, Port.Prefix, Port.Layers);
+    Stats.GroupSeconds.push_back(GroupTimer.seconds());
+  }
+  Stats.FirstLoss /= Stats.GroupCount;
+  Stats.LastLoss /= Stats.GroupCount;
+  Stats.Seconds = TotalTimer.seconds();
+  return Stats;
+}

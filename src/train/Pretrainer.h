@@ -1,0 +1,58 @@
+//===- train/Pretrainer.h - Teacher-Student block pre-training -----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The local training phase of composability-based pruning (§6.1): each
+/// pruned tuning block trains against the trained full model's activation
+/// maps (min ||O - O'||^2), with only the block's parameters updated.
+/// Blocks are partitioned into non-overlapping groups (§6.2) and each
+/// group trains concurrently against one teacher execution per step —
+/// the teacher's activations are computed once and reused by all blocks
+/// of the group, exactly the reuse Figure 5(b) describes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_TRAIN_PRETRAINER_H
+#define WOOTZ_TRAIN_PRETRAINER_H
+
+#include "src/compiler/NetsFactory.h"
+#include "src/compiler/Solver.h"
+#include "src/data/Dataset.h"
+#include "src/pruning/Importance.h"
+#include "src/train/CheckpointStore.h"
+
+namespace wootz {
+
+/// Cost accounting of a pre-training run.
+struct PretrainStats {
+  int BlockCount = 0;
+  int GroupCount = 0;
+  double Seconds = 0.0; ///< Total wall-clock pre-training time.
+  /// Wall-clock seconds per group, for the multi-node schedule
+  /// simulation (groups are distributed round-robin over nodes).
+  std::vector<double> GroupSeconds;
+  /// Mean reconstruction loss per block at the first and last step, for
+  /// verifying the blocks actually learned.
+  double FirstLoss = 0.0;
+  double LastLoss = 0.0;
+};
+
+/// Pre-trains \p Blocks with \p FullTrained (nodes "<FullPrefix>/...")
+/// as the teacher and stores each trained block in \p Store under its
+/// canonical id. Identity blocks are skipped (they reuse the teacher's
+/// weights directly). Blocks are initialized by weight inheritance
+/// before training — ranked by \p Scores when given, by l1 norms
+/// otherwise.
+Result<PretrainStats>
+pretrainBlocks(const MultiplexingModel &Model, Graph &FullTrained,
+               const std::string &FullPrefix,
+               const std::vector<TuningBlock> &Blocks, const Dataset &Data,
+               const TrainMeta &Meta, CheckpointStore &Store,
+               Rng &Generator, const FilterScores *Scores = nullptr);
+
+} // namespace wootz
+
+#endif // WOOTZ_TRAIN_PRETRAINER_H

@@ -1,0 +1,148 @@
+//===- train/Trainer.cpp -------------------------------------------------------===//
+
+#include "src/train/Trainer.h"
+
+#include "src/nn/Loss.h"
+#include "src/nn/Optimizer.h"
+#include "src/support/Stopwatch.h"
+
+using namespace wootz;
+
+double wootz::evaluateAccuracy(Graph &Network, const std::string &InputNode,
+                               const std::string &LogitsNode,
+                               const Split &Test, int BatchSize) {
+  const int Total = Test.exampleCount();
+  assert(Total > 0 && "evaluating on an empty split");
+  int Correct = 0;
+  std::vector<int> Indices;
+  for (int Begin = 0; Begin < Total; Begin += BatchSize) {
+    const int End = std::min(Begin + BatchSize, Total);
+    Indices.clear();
+    for (int I = Begin; I < End; ++I)
+      Indices.push_back(I);
+    const Batch Eval = Test.gather(Indices);
+    Network.setInput(InputNode, Eval.Images);
+    Network.forward(/*Training=*/false);
+    const Tensor &Logits = Network.activation(LogitsNode);
+    Correct += static_cast<int>(
+        accuracyFromLogits(Logits, Eval.Labels) * Eval.Labels.size() + 0.5);
+  }
+  return static_cast<double>(Correct) / Total;
+}
+
+TrainResult wootz::trainClassifierDistilled(
+    Graph &Student, const std::string &InputNode,
+    const std::string &LogitsNode, Graph &Teacher,
+    const std::string &TeacherInputNode,
+    const std::string &TeacherLogitsNode, const Dataset &Data,
+    const TrainMeta &Meta, int Steps, float LearningRate, float Alpha,
+    float Temperature, Rng &Generator) {
+  assert(Alpha >= 0.0f && Alpha <= 1.0f && "distillation weight in [0,1]");
+  Stopwatch Timer;
+  TrainResult Result;
+  Result.InitialAccuracy =
+      evaluateAccuracy(Student, InputNode, LogitsNode, Data.Test);
+  Result.Curve.push_back({0, Result.InitialAccuracy});
+  Result.FinalAccuracy = Result.InitialAccuracy;
+
+  BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
+  SgdOptimizer Optimizer(LearningRate, Meta.Momentum, Meta.WeightDecay);
+  const std::vector<Param *> Params = Student.trainableParams();
+  Tensor GradHard;
+  Tensor GradSoft;
+
+  for (int Step = 1; Step <= Steps; ++Step) {
+    if (Meta.LrDecayEvery > 0 && Step > 1 &&
+        (Step - 1) % Meta.LrDecayEvery == 0)
+      Optimizer.setLearningRate(Optimizer.learningRate() *
+                                Meta.LrDecayFactor);
+    const Batch Mini = Sampler.next();
+    Student.setInput(InputNode, Mini.Images);
+    Student.forward(/*Training=*/true);
+    // The teacher runs in evaluation mode: its soft targets must be
+    // stable and its running statistics untouched.
+    Teacher.setInput(TeacherInputNode, Mini.Images);
+    Teacher.forward(/*Training=*/false);
+
+    Student.zeroGrads();
+    const Tensor &StudentLogits = Student.activation(LogitsNode);
+    softmaxCrossEntropy(StudentLogits, Mini.Labels, GradHard);
+    distillationLoss(StudentLogits, Teacher.activation(TeacherLogitsNode),
+                     Temperature, GradSoft);
+    for (size_t I = 0; I < GradHard.size(); ++I)
+      GradHard[I] = (1.0f - Alpha) * GradHard[I] + Alpha * GradSoft[I];
+    Student.seedGradient(LogitsNode, GradHard);
+    Student.backward();
+    Optimizer.step(Params);
+
+    if (Step % Meta.EvalEvery == 0 || Step == Steps) {
+      const double Accuracy =
+          evaluateAccuracy(Student, InputNode, LogitsNode, Data.Test);
+      Result.Curve.push_back({Step, Accuracy});
+      if (Accuracy > Result.FinalAccuracy) {
+        Result.FinalAccuracy = Accuracy;
+        Result.StepsToBest = Step;
+      } else if (Meta.EarlyStopPatience > 0 &&
+                 Step - Result.StepsToBest >=
+                     Meta.EarlyStopPatience * Meta.EvalEvery) {
+        break;
+      }
+    }
+  }
+  Result.Seconds = Timer.seconds();
+  return Result;
+}
+
+TrainResult wootz::trainClassifier(Graph &Network,
+                                   const std::string &InputNode,
+                                   const std::string &LogitsNode,
+                                   const Dataset &Data,
+                                   const TrainMeta &Meta, int Steps,
+                                   float LearningRate, Rng &Generator) {
+  Stopwatch Timer;
+  TrainResult Result;
+  Result.InitialAccuracy =
+      evaluateAccuracy(Network, InputNode, LogitsNode, Data.Test);
+  Result.Curve.push_back({0, Result.InitialAccuracy});
+  Result.FinalAccuracy = Result.InitialAccuracy;
+  Result.StepsToBest = 0;
+
+  BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
+  SgdOptimizer Optimizer(LearningRate, Meta.Momentum, Meta.WeightDecay);
+  const std::vector<Param *> Params = Network.trainableParams();
+  Tensor GradLogits;
+
+  for (int Step = 1; Step <= Steps; ++Step) {
+    if (Meta.LrDecayEvery > 0 && Step > 1 &&
+        (Step - 1) % Meta.LrDecayEvery == 0)
+      Optimizer.setLearningRate(Optimizer.learningRate() *
+                                Meta.LrDecayFactor);
+    const Batch Mini = Sampler.next();
+    Network.setInput(InputNode, Mini.Images);
+    Network.forward(/*Training=*/true);
+    Network.zeroGrads();
+    softmaxCrossEntropy(Network.activation(LogitsNode), Mini.Labels,
+                        GradLogits);
+    Network.seedGradient(LogitsNode, GradLogits);
+    Network.backward();
+    Optimizer.step(Params);
+
+    if (Step % Meta.EvalEvery == 0 || Step == Steps) {
+      const double Accuracy =
+          evaluateAccuracy(Network, InputNode, LogitsNode, Data.Test);
+      Result.Curve.push_back({Step, Accuracy});
+      if (Accuracy > Result.FinalAccuracy) {
+        Result.FinalAccuracy = Accuracy;
+        Result.StepsToBest = Step;
+      } else if (Meta.EarlyStopPatience > 0 &&
+                 Step - Result.StepsToBest >=
+                     Meta.EarlyStopPatience * Meta.EvalEvery) {
+        // No improvement for the whole patience window: the network has
+        // converged (block-trained ones get here in fewer steps).
+        break;
+      }
+    }
+  }
+  Result.Seconds = Timer.seconds();
+  return Result;
+}

@@ -1,0 +1,30 @@
+# Runs wootz_cli into a scratch directory and byte-compiles every
+# generated Python script: the compiler's emitted code must be valid
+# Python, not just plausible-looking text.
+if(NOT DEFINED CLI OR NOT DEFINED PY)
+  message(FATAL_ERROR "usage: cmake -DCLI=<wootz_cli> -DPY=<python3> -P ...")
+endif()
+# Sample-input mode writes everything under ./wootz_run in the working
+# directory.
+file(REMOVE_RECURSE ${CMAKE_CURRENT_BINARY_DIR}/wootz_run)
+execute_process(
+  COMMAND ${CLI}
+  WORKING_DIRECTORY ${CMAKE_CURRENT_BINARY_DIR}
+  RESULT_VARIABLE RUN_RESULT
+  OUTPUT_QUIET)
+if(NOT RUN_RESULT EQUAL 0)
+  message(FATAL_ERROR "wootz_cli failed with ${RUN_RESULT}")
+endif()
+file(GLOB SCRIPTS ${CMAKE_CURRENT_BINARY_DIR}/wootz_run/generated/*.py)
+list(LENGTH SCRIPTS SCRIPT_COUNT)
+if(SCRIPT_COUNT LESS 3)
+  message(FATAL_ERROR "expected 3 generated scripts, found ${SCRIPT_COUNT}")
+endif()
+foreach(SCRIPT ${SCRIPTS})
+  execute_process(COMMAND ${PY} -m py_compile ${SCRIPT}
+                  RESULT_VARIABLE PY_RESULT)
+  if(NOT PY_RESULT EQUAL 0)
+    message(FATAL_ERROR "generated script does not compile: ${SCRIPT}")
+  endif()
+endforeach()
+message(STATUS "all ${SCRIPT_COUNT} generated scripts byte-compile")

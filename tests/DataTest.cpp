@@ -1,0 +1,171 @@
+//===- tests/DataTest.cpp - data/ unit tests ------------------------------------===//
+
+#include "src/data/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace wootz;
+
+namespace {
+
+TEST(SyntheticTest, ShapesAndCounts) {
+  SyntheticSpec Spec;
+  Spec.Classes = 4;
+  Spec.TrainPerClass = 10;
+  Spec.TestPerClass = 5;
+  const Dataset Data = generateSynthetic(Spec);
+  EXPECT_EQ(Data.Train.exampleCount(), 40);
+  EXPECT_EQ(Data.Test.exampleCount(), 20);
+  EXPECT_EQ(Data.Train.Images.shape(),
+            Shape({40, 3, Spec.Height, Spec.Width}));
+  EXPECT_EQ(Data.Classes, 4);
+}
+
+TEST(SyntheticTest, LabelsCoverAllClasses) {
+  const Dataset Data = generateSynthetic(SyntheticSpec());
+  std::set<int> Train(Data.Train.Labels.begin(), Data.Train.Labels.end());
+  std::set<int> Test(Data.Test.Labels.begin(), Data.Test.Labels.end());
+  EXPECT_EQ(static_cast<int>(Train.size()), Data.Classes);
+  EXPECT_EQ(static_cast<int>(Test.size()), Data.Classes);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticSpec Spec;
+  Spec.Seed = 99;
+  const Dataset A = generateSynthetic(Spec);
+  const Dataset B = generateSynthetic(Spec);
+  ASSERT_EQ(A.Train.Images.size(), B.Train.Images.size());
+  for (size_t I = 0; I < A.Train.Images.size(); I += 97)
+    EXPECT_EQ(A.Train.Images[I], B.Train.Images[I]);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticSpec Spec;
+  Spec.Seed = 1;
+  const Dataset A = generateSynthetic(Spec);
+  Spec.Seed = 2;
+  const Dataset B = generateSynthetic(Spec);
+  int Different = 0;
+  for (size_t I = 0; I < A.Train.Images.size(); I += 31)
+    Different += A.Train.Images[I] != B.Train.Images[I];
+  EXPECT_GT(Different, 0);
+}
+
+TEST(SyntheticTest, PixelValuesBoundedAndFinite) {
+  const Dataset Data = generateSynthetic(SyntheticSpec());
+  for (size_t I = 0; I < Data.Train.Images.size(); ++I) {
+    ASSERT_TRUE(std::isfinite(Data.Train.Images[I]));
+    ASSERT_LT(std::fabs(Data.Train.Images[I]), 10.0f);
+  }
+}
+
+TEST(SyntheticTest, ClassesAreStatisticallySeparable) {
+  // Per-class mean images must differ measurably (the class color
+  // balance survives the random texture shifts); otherwise no CNN could
+  // learn the dataset.
+  SyntheticSpec Spec;
+  Spec.Classes = 4;
+  Spec.TrainPerClass = 40;
+  Spec.Noise = 0.3f;
+  const Dataset Data = generateSynthetic(Spec);
+  const int Pixels = 3 * Spec.Height * Spec.Width;
+  std::vector<std::vector<double>> Means(
+      Spec.Classes, std::vector<double>(Pixels, 0.0));
+  std::vector<int> Counts(Spec.Classes, 0);
+  for (int N = 0; N < Data.Train.exampleCount(); ++N) {
+    const int Label = Data.Train.Labels[N];
+    ++Counts[Label];
+    for (int P = 0; P < Pixels; ++P)
+      Means[Label][P] +=
+          Data.Train.Images[static_cast<size_t>(N) * Pixels + P];
+  }
+  double MinDistance = 1e9;
+  for (int A = 0; A < Spec.Classes; ++A)
+    for (int B = A + 1; B < Spec.Classes; ++B) {
+      double Distance = 0.0;
+      for (int P = 0; P < Pixels; ++P) {
+        const double Diff =
+            Means[A][P] / Counts[A] - Means[B][P] / Counts[B];
+        Distance += Diff * Diff;
+      }
+      MinDistance = std::min(MinDistance, std::sqrt(Distance / Pixels));
+    }
+  EXPECT_GT(MinDistance, 0.01);
+}
+
+TEST(SyntheticTest, StandardSpecsMatchPaperOrdering) {
+  const std::vector<SyntheticSpec> Specs = standardDatasetSpecs();
+  ASSERT_EQ(Specs.size(), 4u);
+  EXPECT_EQ(Specs[0].Name, "flowers102");
+  EXPECT_EQ(Specs[1].Name, "cub200");
+  EXPECT_EQ(Specs[2].Name, "cars");
+  EXPECT_EQ(Specs[3].Name, "dogs");
+  // Difficulty ordering mirrors Table 1: flowers easiest, cub hardest.
+  EXPECT_LT(Specs[0].Noise, Specs[3].Noise);
+  EXPECT_LT(Specs[3].Noise, Specs[2].Noise);
+  EXPECT_LT(Specs[2].Noise, Specs[1].Noise);
+}
+
+TEST(SyntheticTest, ScaleShrinksDatasets) {
+  const std::vector<SyntheticSpec> Small = standardDatasetSpecs(0.25);
+  const std::vector<SyntheticSpec> Normal = standardDatasetSpecs(1.0);
+  EXPECT_LT(Small[0].TrainPerClass, Normal[0].TrainPerClass);
+  EXPECT_GE(Small[0].TrainPerClass, 4);
+}
+
+TEST(SplitTest, GatherCopiesRequestedExamples) {
+  SyntheticSpec Spec;
+  Spec.TrainPerClass = 5;
+  const Dataset Data = generateSynthetic(Spec);
+  const Batch Out = Data.Train.gather({0, 3, 7});
+  EXPECT_EQ(Out.Images.shape()[0], 3);
+  ASSERT_EQ(Out.Labels.size(), 3u);
+  EXPECT_EQ(Out.Labels[0], Data.Train.Labels[0]);
+  EXPECT_EQ(Out.Labels[2], Data.Train.Labels[7]);
+  const size_t Sample = Out.Images.size() / 3;
+  for (size_t I = 0; I < Sample; ++I)
+    ASSERT_EQ(Out.Images[Sample * 2 + I],
+              Data.Train.Images[Sample * 7 + I]);
+}
+
+TEST(BatchSamplerTest, BatchesHaveRequestedSize) {
+  const Dataset Data = generateSynthetic(SyntheticSpec());
+  BatchSampler Sampler(Data.Train, 7, Rng(5));
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(Sampler.next().Labels.size(), 7u);
+}
+
+TEST(BatchSamplerTest, EpochCoversEveryExample) {
+  SyntheticSpec Spec;
+  Spec.Classes = 2;
+  Spec.TrainPerClass = 8; // 16 examples total.
+  const Dataset Data = generateSynthetic(Spec);
+  BatchSampler Sampler(Data.Train, 4, Rng(6));
+  std::multiset<int> SeenLabels;
+  for (int B = 0; B < 4; ++B) { // Exactly one epoch.
+    const Batch Mini = Sampler.next();
+    SeenLabels.insert(Mini.Labels.begin(), Mini.Labels.end());
+  }
+  EXPECT_EQ(SeenLabels.count(0), 8u);
+  EXPECT_EQ(SeenLabels.count(1), 8u);
+}
+
+TEST(BatchSamplerTest, DeterministicInSeed) {
+  const Dataset Data = generateSynthetic(SyntheticSpec());
+  BatchSampler A(Data.Train, 4, Rng(11));
+  BatchSampler B(Data.Train, 4, Rng(11));
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(A.next().Labels, B.next().Labels);
+}
+
+TEST(DescribeDatasetTest, MentionsCounts) {
+  const Dataset Data = generateSynthetic(SyntheticSpec());
+  const std::string Text = describeDataset(Data);
+  EXPECT_NE(Text.find("classes=6"), std::string::npos);
+  EXPECT_NE(Text.find("train=360"), std::string::npos);
+}
+
+} // namespace

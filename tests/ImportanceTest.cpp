@@ -1,0 +1,172 @@
+//===- tests/ImportanceTest.cpp - pruning/Importance unit tests -------------------===//
+
+#include "src/compiler/Multiplexing.h"
+#include "src/data/Synthetic.h"
+#include "src/models/MiniModels.h"
+#include "src/nn/Layers.h"
+#include "src/pruning/Importance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace wootz;
+
+namespace {
+
+TEST(ImportanceNameTest, RoundTrip) {
+  for (ImportanceCriterion Criterion :
+       {ImportanceCriterion::L1Norm, ImportanceCriterion::L2Norm,
+        ImportanceCriterion::Taylor, ImportanceCriterion::Apoz}) {
+    Result<ImportanceCriterion> Parsed =
+        parseImportanceCriterion(importanceCriterionName(Criterion));
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+    EXPECT_EQ(*Parsed, Criterion);
+  }
+  EXPECT_FALSE(static_cast<bool>(parseImportanceCriterion("magnitude")));
+}
+
+class ImportanceFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SyntheticSpec DataSpec;
+    DataSpec.Classes = 4;
+    DataSpec.TrainPerClass = 16;
+    DataSpec.TestPerClass = 8;
+    DataSpec.Seed = 88;
+    Data = generateSynthetic(DataSpec);
+
+    Result<ModelSpec> Parsed = makeStandardModel(StandardModel::ResNetA, 4);
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+    Spec = Parsed.take();
+    Model = std::make_unique<MultiplexingModel>(Spec);
+    Rng Generator(91);
+    Result<BuildResult> Built = Model->build(Full, BuildMode::FullModel,
+                                             PruneInfo(), "full", Generator);
+    ASSERT_TRUE(static_cast<bool>(Built)) << Built.message();
+  }
+
+  Dataset Data;
+  ModelSpec Spec;
+  std::unique_ptr<MultiplexingModel> Model;
+  Graph Full;
+};
+
+TEST_F(ImportanceFixture, L1SelectionsMatchLegacyPath) {
+  PruneConfig Config = unprunedConfig(Spec);
+  Config[0] = 0.5f;
+  Config[2] = 0.7f;
+  Result<FilterSelections> ByImportance = selectFiltersByImportance(
+      Spec, Config, Full, "full", ImportanceCriterion::L1Norm);
+  ASSERT_TRUE(static_cast<bool>(ByImportance)) << ByImportance.message();
+  const FilterSelections Legacy =
+      selectFiltersByL1(Spec, Config, Full, "full");
+  EXPECT_EQ(*ByImportance, Legacy);
+}
+
+TEST_F(ImportanceFixture, WeightNormScoresOrderCraftedFilters) {
+  auto &Conv = static_cast<Conv2D &>(Full.layer("full/m1_conv1"));
+  Tensor &W = Conv.weight().Value;
+  const int Filters = W.shape()[0];
+  const size_t FilterSize = W.size() / Filters;
+  // Filter i has constant magnitude i+1 but alternating sign: l1 and l2
+  // must both rank by |i+1|.
+  for (int O = 0; O < Filters; ++O)
+    for (size_t J = 0; J < FilterSize; ++J)
+      W[O * FilterSize + J] = (J % 2 ? -1.0f : 1.0f) * (O + 1);
+
+  for (ImportanceCriterion Criterion :
+       {ImportanceCriterion::L1Norm, ImportanceCriterion::L2Norm}) {
+    Result<FilterScores> Scores =
+        scoreFilters(Spec, Full, "full", Criterion);
+    ASSERT_TRUE(static_cast<bool>(Scores)) << Scores.message();
+    const std::vector<double> &M1 = Scores->at("m1_conv1");
+    for (int O = 1; O < Filters; ++O)
+      EXPECT_GT(M1[O], M1[O - 1])
+          << importanceCriterionName(Criterion) << " filter " << O;
+  }
+}
+
+TEST_F(ImportanceFixture, DataDrivenCriteriaNeedCalibration) {
+  EXPECT_FALSE(static_cast<bool>(
+      scoreFilters(Spec, Full, "full", ImportanceCriterion::Taylor)));
+  EXPECT_FALSE(static_cast<bool>(
+      scoreFilters(Spec, Full, "full", ImportanceCriterion::Apoz)));
+}
+
+TEST_F(ImportanceFixture, TaylorScoresAreFiniteAndCoverAllConvs) {
+  Result<FilterScores> Scores = scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Taylor, &Data, 2, 8);
+  ASSERT_TRUE(static_cast<bool>(Scores)) << Scores.message();
+  int ConvCount = 0;
+  for (const LayerSpec &L : Spec.Layers)
+    ConvCount += L.Kind == LayerKind::Convolution;
+  EXPECT_EQ(static_cast<int>(Scores->size()), ConvCount);
+  for (const auto &[Name, LayerScores] : *Scores) {
+    double Total = 0.0;
+    for (double Score : LayerScores) {
+      EXPECT_TRUE(std::isfinite(Score)) << Name;
+      EXPECT_GE(Score, 0.0) << Name;
+      Total += Score;
+    }
+    EXPECT_GT(Total, 0.0) << Name << ": all-zero Taylor scores";
+  }
+}
+
+TEST_F(ImportanceFixture, TaylorLeavesTeacherStateUntouched) {
+  const auto Before = Full.namedState();
+  std::map<std::string, Tensor> Snapshot;
+  for (const auto &[Name, State] : Before)
+    Snapshot[Name] = State->Value;
+  ASSERT_TRUE(static_cast<bool>(scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Taylor, &Data, 2, 8)));
+  for (auto &[Name, State] : Full.namedState()) {
+    const Tensor &Old = Snapshot.at(Name);
+    ASSERT_EQ(Old.size(), State->Value.size());
+    for (size_t I = 0; I < Old.size(); ++I)
+      ASSERT_EQ(Old[I], State->Value[I]) << Name << " drifted at " << I;
+  }
+}
+
+TEST_F(ImportanceFixture, ApozScoresAreActiveFractions) {
+  Result<FilterScores> Scores = scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Apoz, &Data, 3, 8);
+  ASSERT_TRUE(static_cast<bool>(Scores)) << Scores.message();
+  for (const auto &[Name, LayerScores] : *Scores)
+    for (double Score : LayerScores) {
+      EXPECT_GE(Score, 0.0) << Name;
+      EXPECT_LE(Score, 3.0 + 1e-9) << Name; // Batches accumulate.
+    }
+}
+
+TEST_F(ImportanceFixture, SelectionsRespectKeptCounts) {
+  Result<FilterScores> Scores = scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Apoz, &Data, 2, 8);
+  ASSERT_TRUE(static_cast<bool>(Scores));
+  PruneConfig Config = unprunedConfig(Spec);
+  Config[1] = 0.7f;
+  const FilterSelections Selections =
+      selectionsFromScores(Spec, Config, *Scores);
+  EXPECT_EQ(Selections.at("m2_conv1").size(), 2u); // keep 2 of 8 at 70%.
+  EXPECT_EQ(Selections.at("m1_conv1").size(), 8u); // Unpruned module.
+  EXPECT_EQ(Selections.at("stem").size(), 12u);    // Never pruned.
+  // Ascending order for slicing.
+  const std::vector<int> &Kept = Selections.at("m2_conv1");
+  EXPECT_LT(Kept[0], Kept[1]);
+}
+
+TEST_F(ImportanceFixture, DeterministicAcrossCalls) {
+  Result<FilterScores> A = scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Taylor, &Data, 2, 8);
+  Result<FilterScores> B = scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Taylor, &Data, 2, 8);
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  for (const auto &[Name, ScoresA] : *A) {
+    const std::vector<double> &ScoresB = B->at(Name);
+    for (size_t I = 0; I < ScoresA.size(); ++I)
+      ASSERT_NEAR(ScoresA[I], ScoresB[I], 1e-12) << Name;
+  }
+}
+
+} // namespace

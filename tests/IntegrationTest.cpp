@@ -1,0 +1,288 @@
+//===- tests/IntegrationTest.cpp - end-to-end pipeline tests ----------------------===//
+//
+// Exercises the full Figure 2 flow — Prototxt in, best network out — and
+// asserts the paper-shaped relationships between the baseline and the
+// composability-based method at miniature scale.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/wootz/wootz.h"
+
+#include <gtest/gtest.h>
+
+using namespace wootz;
+
+namespace {
+
+class PipelineFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    // A hard dataset (CUB200-analogue noise level): inheritance alone
+    // must lose real accuracy or the baseline-vs-composability contrast
+    // the paper reports cannot show.
+    SyntheticSpec DataSpec;
+    DataSpec.Classes = 6;
+    DataSpec.TrainPerClass = 24;
+    DataSpec.TestPerClass = 12;
+    DataSpec.Noise = 0.9f;
+    DataSpec.Seed = 77;
+    Data = generateSynthetic(DataSpec);
+
+    Result<ModelSpec> Parsed = makeStandardModel(StandardModel::ResNetA, 6);
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+    Spec = Parsed.take();
+
+    Meta.FullModelSteps = 120;
+    Meta.PretrainSteps = 30;
+    Meta.FinetuneSteps = 36;
+    Meta.BatchSize = 8;
+    Meta.EvalEvery = 12;
+
+    Rng SampleGen(5);
+    Subspace = sampleSubspace(Spec.moduleCount(), 6, standardRates(),
+                              SampleGen);
+    ASSERT_EQ(Subspace.size(), 6u);
+  }
+
+  PipelineResult run(bool Composability, bool Identifier = false) {
+    PipelineOptions Options;
+    Options.UseComposability = Composability;
+    Options.UseIdentifier = Identifier;
+    Options.KeepCurves = true;
+    Rng Generator(99);
+    Result<PipelineResult> Run =
+        runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator);
+    EXPECT_TRUE(static_cast<bool>(Run)) << Run.message();
+    return Run.take();
+  }
+
+  Dataset Data;
+  ModelSpec Spec;
+  TrainMeta Meta;
+  std::vector<PruneConfig> Subspace;
+};
+
+TEST_F(PipelineFixture, BaselineEvaluatesWholeSubspace) {
+  const PipelineResult Base = run(false);
+  EXPECT_EQ(Base.Evaluations.size(), Subspace.size());
+  EXPECT_TRUE(Base.Blocks.empty());
+  EXPECT_EQ(Base.Pretrain.BlockCount, 0);
+  EXPECT_GT(Base.FullAccuracy, 0.5);
+  // Exploration order is ascending model size.
+  for (size_t I = 1; I < Base.Evaluations.size(); ++I)
+    EXPECT_LE(Base.Evaluations[I - 1].WeightCount,
+              Base.Evaluations[I].WeightCount);
+  // Every evaluated network is smaller than the full model.
+  for (const EvaluatedConfig &E : Base.Evaluations) {
+    EXPECT_LT(E.WeightCount, Base.FullWeightCount);
+    EXPECT_GT(E.SizeFraction, 0.0);
+    EXPECT_LT(E.SizeFraction, 1.0);
+  }
+}
+
+TEST_F(PipelineFixture, ComposabilityImprovesInitAccuracy) {
+  const PipelineResult Base = run(false);
+  const PipelineResult Comp = run(true);
+  ASSERT_EQ(Base.Evaluations.size(), Comp.Evaluations.size());
+  EXPECT_FALSE(Comp.Blocks.empty());
+  EXPECT_GT(Comp.Pretrain.BlockCount, 0);
+  EXPECT_LT(Comp.Pretrain.LastLoss, Comp.Pretrain.FirstLoss);
+
+  // §7.2's composability hypothesis: median init+ must clearly beat
+  // median init (paper reports 50-90% gaps; we require a solid margin).
+  double BaseInit = 0.0, CompInit = 0.0;
+  for (size_t I = 0; I < Base.Evaluations.size(); ++I) {
+    BaseInit += Base.Evaluations[I].InitAccuracy;
+    CompInit += Comp.Evaluations[I].InitAccuracy;
+  }
+  BaseInit /= Base.Evaluations.size();
+  CompInit /= Comp.Evaluations.size();
+  EXPECT_GT(CompInit, BaseInit + 0.08)
+      << "mean init " << BaseInit << " vs init+ " << CompInit;
+
+  // Final accuracy must not degrade on average.
+  double BaseFinal = 0.0, CompFinal = 0.0;
+  for (size_t I = 0; I < Base.Evaluations.size(); ++I) {
+    BaseFinal += Base.Evaluations[I].FinalAccuracy;
+    CompFinal += Comp.Evaluations[I].FinalAccuracy;
+  }
+  EXPECT_GE(CompFinal, BaseFinal - 0.02 * Base.Evaluations.size());
+}
+
+TEST_F(PipelineFixture, SummaryFindsSmallerOrEqualWinnerSooner) {
+  const PipelineResult Base = run(false);
+  const PipelineResult Comp = run(true);
+  // A mid-range threshold below the full accuracy.
+  const PruningObjective Objective =
+      smallestMeetingAccuracy(Comp.FullAccuracy - 0.1);
+  const ExplorationSummary BaseSummary =
+      summarizeExploration(Base, Objective, 1);
+  const ExplorationSummary CompSummary =
+      summarizeExploration(Comp, Objective, 1);
+  if (CompSummary.WinnerIndex >= 0 && BaseSummary.WinnerIndex >= 0) {
+    EXPECT_LE(CompSummary.WinnerIndex, BaseSummary.WinnerIndex);
+    EXPECT_LE(CompSummary.WinnerSizeFraction,
+              BaseSummary.WinnerSizeFraction + 1e-9);
+  }
+  // The composability run must at least find a winner when the baseline
+  // does (block-trained networks dominate default ones).
+  if (BaseSummary.WinnerIndex >= 0) {
+    EXPECT_GE(CompSummary.WinnerIndex, 0);
+  }
+  EXPECT_GT(CompSummary.PretrainSeconds, 0.0);
+  EXPECT_GT(CompSummary.OverheadFraction, 0.0);
+  EXPECT_LE(CompSummary.OverheadFraction, 1.0);
+}
+
+TEST_F(PipelineFixture, MultiNodeSummaryIsConsistent) {
+  const PipelineResult Comp = run(true);
+  const PruningObjective Objective =
+      smallestMeetingAccuracy(Comp.FullAccuracy - 0.1);
+  const ExplorationSummary OneNode =
+      summarizeExploration(Comp, Objective, 1);
+  const ExplorationSummary FourNodes =
+      summarizeExploration(Comp, Objective, 4);
+  EXPECT_GE(FourNodes.ConfigsEvaluated, OneNode.ConfigsEvaluated);
+  EXPECT_LE(FourNodes.Seconds, OneNode.Seconds + 1e-9);
+}
+
+TEST_F(PipelineFixture, IdentifierModeRuns) {
+  const PipelineResult Comp = run(true, /*Identifier=*/true);
+  EXPECT_EQ(Comp.Evaluations.size(), Subspace.size());
+  // Identifier blocks satisfy heuristic 1 (appear in >= 2 networks).
+  for (const TuningBlock &Block : Comp.Blocks) {
+    int Matches = 0;
+    for (const PruneConfig &Config : Subspace)
+      Matches += Block.matchesConfigAt(Config);
+    EXPECT_GE(Matches, 2) << Block.id();
+  }
+}
+
+TEST_F(PipelineFixture, CurvesAreRecordedWhenRequested) {
+  const PipelineResult Comp = run(true);
+  for (const EvaluatedConfig &E : Comp.Evaluations) {
+    ASSERT_GE(E.Curve.size(), 2u);
+    EXPECT_EQ(E.Curve.front().Step, 0);
+    EXPECT_DOUBLE_EQ(E.Curve.front().Accuracy, E.InitAccuracy);
+  }
+}
+
+TEST_F(PipelineFixture, RejectsEmptySubspace) {
+  PipelineOptions Options;
+  Rng Generator(1);
+  Result<PipelineResult> Run =
+      runPruningPipeline(Spec, Data, {}, Meta, Options, Generator);
+  EXPECT_FALSE(static_cast<bool>(Run));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Reports and parallel evaluation (appended tests)
+//===----------------------------------------------------------------------===//
+
+#include "src/explore/Report.h"
+
+namespace {
+
+TEST_F(PipelineFixture, CsvHasOneRowPerEvaluation) {
+  const PipelineResult Comp = run(true);
+  const std::string Csv = renderEvaluationsCsv(Comp);
+  const std::vector<std::string> Lines = splitLines(Csv);
+  // Header + one row per config (+ possible trailing empty line).
+  size_t DataLines = 0;
+  for (size_t I = 1; I < Lines.size(); ++I)
+    DataLines += !trim(Lines[I]).empty();
+  EXPECT_EQ(DataLines, Comp.Evaluations.size());
+  EXPECT_NE(Lines[0].find("init_accuracy"), std::string::npos);
+  // Config cells are quoted (they contain commas).
+  EXPECT_NE(Csv.find("\"["), std::string::npos);
+}
+
+TEST_F(PipelineFixture, RunReportNamesTheWinner) {
+  const PipelineResult Comp = run(true);
+  const PruningObjective Objective =
+      smallestMeetingAccuracy(Comp.FullAccuracy - 0.2);
+  const std::string Report = renderRunReport(Comp, Objective, 2);
+  EXPECT_NE(Report.find("# Wootz pruning run"), std::string::npos);
+  EXPECT_NE(Report.find("tuning blocks pre-trained"), std::string::npos);
+  const ExplorationSummary Summary =
+      summarizeExploration(Comp, Objective, 2);
+  if (Summary.WinnerIndex >= 0)
+    EXPECT_NE(
+        Report.find(formatConfig(
+            Comp.Evaluations[Summary.WinnerIndex].Config)),
+        std::string::npos);
+  else
+    EXPECT_NE(Report.find("No configuration met the objective"),
+              std::string::npos);
+}
+
+TEST_F(PipelineFixture, ParallelWorkersMatchSerialResults) {
+  PipelineOptions Serial;
+  Serial.UseComposability = true;
+  Rng G1(424);
+  Result<PipelineResult> A =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Serial, G1);
+  ASSERT_TRUE(static_cast<bool>(A)) << A.message();
+
+  PipelineOptions Parallel = Serial;
+  Parallel.Workers = 3;
+  Rng G2(424);
+  Result<PipelineResult> B =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Parallel, G2);
+  ASSERT_TRUE(static_cast<bool>(B)) << B.message();
+
+  ASSERT_EQ(A->Evaluations.size(), B->Evaluations.size());
+  for (size_t I = 0; I < A->Evaluations.size(); ++I) {
+    EXPECT_EQ(A->Evaluations[I].Config, B->Evaluations[I].Config);
+    EXPECT_DOUBLE_EQ(A->Evaluations[I].InitAccuracy,
+                     B->Evaluations[I].InitAccuracy);
+    EXPECT_DOUBLE_EQ(A->Evaluations[I].FinalAccuracy,
+                     B->Evaluations[I].FinalAccuracy);
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Distilled fine-tuning (appended tests)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST_F(PipelineFixture, DistilledPipelineRunsAndStaysComparable) {
+  PipelineOptions Options;
+  Options.UseComposability = true;
+  Options.DistillAlpha = 0.5f;
+  Rng Generator(515);
+  Result<PipelineResult> Run =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator);
+  ASSERT_TRUE(static_cast<bool>(Run)) << Run.message();
+  ASSERT_EQ(Run->Evaluations.size(), Subspace.size());
+  // Distillation must not collapse training: finals stay well above
+  // chance on every configuration.
+  for (const EvaluatedConfig &E : Run->Evaluations)
+    EXPECT_GT(E.FinalAccuracy, 1.5 / Data.Classes)
+        << formatConfig(E.Config);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Baseline report branch (appended tests)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST_F(PipelineFixture, BaselineReportSaysNoBlocks) {
+  const PipelineResult Base = run(false);
+  const PruningObjective Objective = smallestMeetingAccuracy(2.0);
+  const std::string Report = renderRunReport(Base, Objective, 1);
+  EXPECT_NE(Report.find("method: baseline (no tuning blocks)"),
+            std::string::npos);
+  EXPECT_NE(Report.find("No configuration met the objective"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,123 @@
+//===- tests/IterativeTest.cpp - explore/Iterative tests --------------------------===//
+
+#include "src/data/Synthetic.h"
+#include "src/explore/Iterative.h"
+#include "src/models/MiniModels.h"
+
+#include <gtest/gtest.h>
+
+using namespace wootz;
+
+namespace {
+
+class IterativeFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SyntheticSpec DataSpec;
+    DataSpec.Classes = 4;
+    DataSpec.TrainPerClass = 20;
+    DataSpec.TestPerClass = 10;
+    DataSpec.Noise = 0.4f;
+    DataSpec.Seed = 123;
+    Data = generateSynthetic(DataSpec);
+    Result<ModelSpec> Parsed = makeStandardModel(StandardModel::ResNetA, 4);
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+    Spec = Parsed.take();
+
+    Meta.FullModelSteps = 120;
+    Meta.PretrainSteps = 20;
+    Meta.FinetuneSteps = 20;
+    Meta.EvalEvery = 10;
+  }
+
+  Dataset Data;
+  ModelSpec Spec;
+  TrainMeta Meta;
+};
+
+TEST_F(IterativeFixture, RejectsBadRateAlphabets) {
+  IterativeOptions Options;
+  Rng Generator(1);
+  Options.Rates = {0.3f, 0.5f}; // Missing the leading 0.
+  EXPECT_FALSE(static_cast<bool>(
+      runIterativeExploration(Spec, Data, Meta, Options, Generator)));
+  Options.Rates = {0.0f, 0.5f, 0.3f}; // Not ascending.
+  EXPECT_FALSE(static_cast<bool>(
+      runIterativeExploration(Spec, Data, Meta, Options, Generator)));
+  Options.Rates = {0.0f}; // No pruned rate.
+  EXPECT_FALSE(static_cast<bool>(
+      runIterativeExploration(Spec, Data, Meta, Options, Generator)));
+}
+
+TEST_F(IterativeFixture, GreedySearchShrinksTheModel) {
+  IterativeOptions Options;
+  Options.Rates = {0.0f, 0.5f};
+  Options.MaxIterations = 3;
+  Options.AccuracyThreshold = 0.0; // Accept everything: 3 commits.
+  Rng Generator(2);
+  Result<IterativeResult> Run =
+      runIterativeExploration(Spec, Data, Meta, Options, Generator);
+  ASSERT_TRUE(static_cast<bool>(Run)) << Run.message();
+  ASSERT_EQ(Run->Trajectory.size(), 3u);
+  // Weight counts shrink monotonically along the trajectory.
+  size_t Previous = Run->FullWeightCount;
+  for (const IterativeStep &Step : Run->Trajectory) {
+    EXPECT_LT(Step.WeightCount, Previous);
+    Previous = Step.WeightCount;
+  }
+  EXPECT_EQ(Run->BestWeightCount, Previous);
+  // Each committed step bumps exactly one module.
+  EXPECT_EQ(Run->Trajectory[0].Rate, 0.5f);
+}
+
+TEST_F(IterativeFixture, BlockReuseGrowsAcrossIterations) {
+  IterativeOptions Options;
+  Options.Rates = {0.0f, 0.5f};
+  Options.MaxIterations = 3;
+  Options.AccuracyThreshold = 0.0;
+  Rng Generator(3);
+  Result<IterativeResult> Run =
+      runIterativeExploration(Spec, Data, Meta, Options, Generator);
+  ASSERT_TRUE(static_cast<bool>(Run)) << Run.message();
+  // Only one block per (module, rate) pair ever trains; every other
+  // appearance is a cache hit — the harvested reuse.
+  EXPECT_LE(Run->TotalBlocksTrained,
+            Spec.moduleCount()); // 4 variants at rate 0.5.
+  EXPECT_GT(Run->TotalBlockReuses, 0);
+  // Iteration 1's candidates each train their own fresh block; by
+  // iteration 2 the committed module's block is a guaranteed reuse.
+  EXPECT_GT(Run->Trajectory[1].BlocksReused,
+            Run->Trajectory[0].BlocksReused);
+}
+
+TEST_F(IterativeFixture, UnreachableThresholdStopsImmediately) {
+  IterativeOptions Options;
+  Options.Rates = {0.0f, 0.7f};
+  Options.MaxIterations = 4;
+  Options.AccuracyThreshold = 1.1; // Impossible.
+  Rng Generator(4);
+  Result<IterativeResult> Run =
+      runIterativeExploration(Spec, Data, Meta, Options, Generator);
+  ASSERT_TRUE(static_cast<bool>(Run)) << Run.message();
+  EXPECT_TRUE(Run->Trajectory.empty());
+  EXPECT_EQ(Run->BestConfig, unprunedConfig(Spec));
+  EXPECT_EQ(Run->BestWeightCount, Run->FullWeightCount);
+}
+
+TEST_F(IterativeFixture, StopsAtRateAlphabetCeiling) {
+  IterativeOptions Options;
+  Options.Rates = {0.0f, 0.7f};
+  Options.MaxIterations = 100; // More than modules * bumps available.
+  Options.AccuracyThreshold = 0.0;
+  Rng Generator(5);
+  Result<IterativeResult> Run =
+      runIterativeExploration(Spec, Data, Meta, Options, Generator);
+  ASSERT_TRUE(static_cast<bool>(Run)) << Run.message();
+  // Every module can be bumped exactly once.
+  EXPECT_EQ(Run->Trajectory.size(),
+            static_cast<size_t>(Spec.moduleCount()));
+  for (float Rate : Run->BestConfig)
+    EXPECT_FLOAT_EQ(Rate, 0.7f);
+}
+
+} // namespace

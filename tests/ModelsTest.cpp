@@ -1,0 +1,122 @@
+//===- tests/ModelsTest.cpp - models/ unit tests ----------------------------------===//
+
+#include "src/models/MiniModels.h"
+#include "src/pruning/ChannelPlan.h"
+
+#include <gtest/gtest.h>
+
+using namespace wootz;
+
+namespace {
+
+TEST(MiniModelsTest, AllStandardModelsParse) {
+  for (StandardModel Model : standardModels()) {
+    Result<ModelSpec> Spec = makeStandardModel(Model, 6);
+    ASSERT_TRUE(static_cast<bool>(Spec))
+        << standardModelName(Model) << ": " << Spec.message();
+    EXPECT_EQ(Spec->Name, standardModelName(Model));
+  }
+}
+
+TEST(MiniModelsTest, ModuleCountsMatchFamilies) {
+  EXPECT_EQ(makeStandardModel(StandardModel::ResNetA, 6)->moduleCount(), 4);
+  EXPECT_EQ(makeStandardModel(StandardModel::ResNetB, 6)->moduleCount(), 6);
+  EXPECT_EQ(makeStandardModel(StandardModel::InceptionA, 6)->moduleCount(),
+            3);
+  EXPECT_EQ(makeStandardModel(StandardModel::InceptionB, 6)->moduleCount(),
+            4);
+}
+
+TEST(MiniModelsTest, ResNetModuleHasTwoPrunableConvs) {
+  Result<ModelSpec> Spec = makeStandardModel(StandardModel::ResNetA, 6);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  int PrunableInM1 = 0;
+  for (size_t I = 0; I < Spec->Layers.size(); ++I)
+    if (Spec->LayerModule[I] == 0 && Spec->Prunable[I])
+      ++PrunableInM1;
+  EXPECT_EQ(PrunableInM1, 2); // conv1 and conv2; conv3 feeds the eltwise.
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m1_conv1")]);
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m1_conv2")]);
+  EXPECT_FALSE(Spec->Prunable[Spec->layerIndex("m1_conv3")]);
+}
+
+TEST(MiniModelsTest, InceptionModuleHasFivePrunableConvs) {
+  Result<ModelSpec> Spec = makeStandardModel(StandardModel::InceptionA, 6);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  int PrunableInM1 = 0;
+  for (size_t I = 0; I < Spec->Layers.size(); ++I)
+    if (Spec->LayerModule[I] == 0 && Spec->Prunable[I])
+      ++PrunableInM1;
+  // b1_reduce/b1_conv, b2_reduce/b2_mid/b2_conv; the 1x1 projections
+  // feed the concat and stay unpruned.
+  EXPECT_EQ(PrunableInM1, 5);
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m1_b1_reduce")]);
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m1_b1_conv")]);
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m1_b2_mid")]);
+  EXPECT_FALSE(Spec->Prunable[Spec->layerIndex("m1_b1_proj")]);
+  EXPECT_FALSE(Spec->Prunable[Spec->layerIndex("m1_b3_proj")]);
+}
+
+TEST(MiniModelsTest, ModuleBoundariesChainThroughTheNetwork) {
+  Result<ModelSpec> Spec = makeStandardModel(StandardModel::ResNetA, 6);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  EXPECT_EQ(Spec->Modules[0].ExternalInput, "stem_relu");
+  for (int M = 1; M < Spec->moduleCount(); ++M)
+    EXPECT_EQ(Spec->Modules[M].ExternalInput,
+              Spec->Modules[M - 1].OutputLayer);
+}
+
+TEST(MiniModelsTest, ModuleOutputsKeepFullWidth) {
+  // The dimension-compatibility invariant behind block composability:
+  // pruning must not change any module's output channel count.
+  for (StandardModel Model : standardModels()) {
+    Result<ModelSpec> Spec = makeStandardModel(Model, 6);
+    ASSERT_TRUE(static_cast<bool>(Spec));
+    Result<ChannelPlan> Full = planChannels(*Spec, unprunedConfig(*Spec));
+    PruneConfig Heavy(Spec->moduleCount(), 0.7f);
+    Result<ChannelPlan> Pruned = planChannels(*Spec, Heavy);
+    ASSERT_TRUE(static_cast<bool>(Full));
+    ASSERT_TRUE(static_cast<bool>(Pruned));
+    for (const ModuleSpec &M : Spec->Modules) {
+      const int Index = Spec->layerIndex(M.OutputLayer);
+      EXPECT_EQ(Full->OutChannels[Index], Pruned->OutChannels[Index])
+          << standardModelName(Model) << " module " << M.Name;
+    }
+  }
+}
+
+TEST(MiniModelsTest, PruningShrinksWeights) {
+  for (StandardModel Model : standardModels()) {
+    Result<ModelSpec> Spec = makeStandardModel(Model, 6);
+    ASSERT_TRUE(static_cast<bool>(Spec));
+    const size_t Full = modelWeightCount(*Spec, unprunedConfig(*Spec));
+    const size_t Pruned =
+        modelWeightCount(*Spec, PruneConfig(Spec->moduleCount(), 0.7f));
+    EXPECT_LT(Pruned, Full) << standardModelName(Model);
+    // At 70% everywhere the model should lose a sizable share.
+    EXPECT_LT(static_cast<double>(Pruned) / Full, 0.85);
+  }
+}
+
+TEST(MiniModelsTest, ClassCountReachesLogits) {
+  Result<ModelSpec> Spec = makeStandardModel(StandardModel::InceptionB, 9);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  EXPECT_EQ(Spec->Layers.back().Name, "logits");
+  EXPECT_EQ(Spec->Layers.back().NumOutput, 9);
+}
+
+TEST(MiniModelsTest, CustomDepthBuilder) {
+  const std::string Text = miniResNetPrototxt("deep", 8, 12, 8, 5);
+  Result<ModelSpec> Spec = parseModelSpec(Text);
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.message();
+  EXPECT_EQ(Spec->moduleCount(), 8);
+}
+
+TEST(MiniModelsTest, PrototxtUsesModuleExtension) {
+  const std::string Text =
+      standardModelPrototxt(StandardModel::ResNetA, 6);
+  EXPECT_NE(Text.find("module: \"m1\""), std::string::npos);
+  EXPECT_NE(Text.find("eltwise_param"), std::string::npos);
+}
+
+} // namespace

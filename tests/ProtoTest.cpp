@@ -1,0 +1,340 @@
+//===- tests/ProtoTest.cpp - proto/ unit tests -----------------------------------===//
+
+#include "src/proto/ModelSpec.h"
+#include "src/proto/Prototxt.h"
+
+#include <gtest/gtest.h>
+
+using namespace wootz;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Generic Prototxt parser
+//===----------------------------------------------------------------------===//
+
+TEST(PrototxtTest, ScalarsAndStrings) {
+  Result<PrototxtMessage> Msg = parsePrototxt(
+      "name: \"resnet\"\ncount: 42\nratio: 0.5\nflag: true\n");
+  ASSERT_TRUE(static_cast<bool>(Msg)) << Msg.message();
+  EXPECT_EQ(Msg->scalarOr("name", ""), "resnet");
+  EXPECT_EQ(Msg->intOr("count", 0), 42);
+  EXPECT_DOUBLE_EQ(Msg->doubleOr("ratio", 0), 0.5);
+  EXPECT_TRUE(Msg->boolOr("flag", false));
+  EXPECT_EQ(Msg->intOr("missing", -1), -1);
+}
+
+TEST(PrototxtTest, NestedMessages) {
+  Result<PrototxtMessage> Msg = parsePrototxt(
+      "layer { name: \"a\" inner { x: 1 } }\nlayer { name: \"b\" }\n");
+  ASSERT_TRUE(static_cast<bool>(Msg)) << Msg.message();
+  const auto &Layers = Msg->values("layer");
+  ASSERT_EQ(Layers.size(), 2u);
+  EXPECT_EQ(Layers[0].message().scalarOr("name", ""), "a");
+  EXPECT_EQ(Layers[0].message().values("inner")[0].message().intOr("x", 0),
+            1);
+  EXPECT_EQ(Layers[1].message().scalarOr("name", ""), "b");
+}
+
+TEST(PrototxtTest, ColonBeforeBraceIsOptional) {
+  Result<PrototxtMessage> A = parsePrototxt("block { x: 1 }");
+  Result<PrototxtMessage> B = parsePrototxt("block: { x: 1 }");
+  ASSERT_TRUE(static_cast<bool>(A));
+  ASSERT_TRUE(static_cast<bool>(B));
+  EXPECT_EQ(A->values("block")[0].message().intOr("x", 0),
+            B->values("block")[0].message().intOr("x", 0));
+}
+
+TEST(PrototxtTest, CommentsIgnored) {
+  Result<PrototxtMessage> Msg =
+      parsePrototxt("# header\nvalue: 3 # trailing\n# done\n");
+  ASSERT_TRUE(static_cast<bool>(Msg));
+  EXPECT_EQ(Msg->intOr("value", 0), 3);
+}
+
+TEST(PrototxtTest, RepeatedFieldsKeepOrder) {
+  Result<PrototxtMessage> Msg =
+      parsePrototxt("dim: 1\ndim: 3\ndim: 8\ndim: 8\n");
+  ASSERT_TRUE(static_cast<bool>(Msg));
+  const auto &Dims = Msg->values("dim");
+  ASSERT_EQ(Dims.size(), 4u);
+  EXPECT_EQ(Dims[1].text(), "3");
+}
+
+TEST(PrototxtTest, NegativeAndScientificNumbers) {
+  Result<PrototxtMessage> Msg = parsePrototxt("a: -3\nb: 1e-4\n");
+  ASSERT_TRUE(static_cast<bool>(Msg));
+  EXPECT_EQ(Msg->intOr("a", 0), -3);
+  EXPECT_DOUBLE_EQ(Msg->doubleOr("b", 0), 1e-4);
+}
+
+TEST(PrototxtTest, ErrorsCarryLineNumbers) {
+  Result<PrototxtMessage> Unterminated = parsePrototxt("a: \"oops\n");
+  ASSERT_FALSE(static_cast<bool>(Unterminated));
+  EXPECT_NE(Unterminated.message().find("line 1"), std::string::npos);
+
+  Result<PrototxtMessage> Unmatched = parsePrototxt("a: 1\n}\n");
+  ASSERT_FALSE(static_cast<bool>(Unmatched));
+  EXPECT_NE(Unmatched.message().find("line 2"), std::string::npos);
+
+  EXPECT_FALSE(static_cast<bool>(parsePrototxt("block { x: 1")));
+  EXPECT_FALSE(static_cast<bool>(parsePrototxt("name value")));
+}
+
+//===----------------------------------------------------------------------===//
+// ModelSpec
+//===----------------------------------------------------------------------===//
+
+/// A minimal valid two-module model used across the tests.
+static const char *TinyModel = R"proto(
+name: "tiny"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer {
+  name: "stem"
+  type: "Convolution"
+  bottom: "data"
+  top: "stem"
+  convolution_param { num_output: 6 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer {
+  name: "m1_conv1"
+  type: "Convolution"
+  bottom: "stem"
+  top: "m1_conv1"
+  module: "m1"
+  convolution_param { num_output: 4 kernel_size: 1 stride: 1 pad: 0 }
+}
+layer {
+  name: "m1_relu1"
+  type: "ReLU"
+  bottom: "m1_conv1"
+  top: "m1_relu1"
+  module: "m1"
+}
+layer {
+  name: "m1_conv2"
+  type: "Convolution"
+  bottom: "m1_relu1"
+  top: "m1_conv2"
+  module: "m1"
+  convolution_param { num_output: 6 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer {
+  name: "m2_conv1"
+  type: "Convolution"
+  bottom: "m1_conv2"
+  top: "m2_conv1"
+  module: "m2"
+  convolution_param { num_output: 4 kernel_size: 1 stride: 1 pad: 0 }
+}
+layer {
+  name: "m2_conv2"
+  type: "Convolution"
+  bottom: "m2_conv1"
+  top: "m2_conv2"
+  module: "m2"
+  convolution_param { num_output: 6 kernel_size: 3 stride: 1 pad: 1 }
+}
+layer {
+  name: "pool"
+  type: "Pooling"
+  bottom: "m2_conv2"
+  top: "pool"
+  pooling_param { pool: AVE global_pooling: true }
+}
+layer {
+  name: "logits"
+  type: "InnerProduct"
+  bottom: "pool"
+  top: "logits"
+  inner_product_param { num_output: 5 }
+}
+)proto";
+
+TEST(ModelSpecTest, ParsesTinyModel) {
+  Result<ModelSpec> Spec = parseModelSpec(TinyModel);
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.message();
+  EXPECT_EQ(Spec->Name, "tiny");
+  EXPECT_EQ(Spec->InputChannels, 3);
+  EXPECT_EQ(Spec->Layers.size(), 8u);
+  EXPECT_EQ(Spec->moduleCount(), 2);
+}
+
+TEST(ModelSpecTest, ModuleBoundaries) {
+  Result<ModelSpec> Spec = parseModelSpec(TinyModel);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  EXPECT_EQ(Spec->Modules[0].Name, "m1");
+  EXPECT_EQ(Spec->Modules[0].ExternalInput, "stem");
+  EXPECT_EQ(Spec->Modules[0].OutputLayer, "m1_conv2");
+  EXPECT_EQ(Spec->Modules[1].ExternalInput, "m1_conv2");
+  EXPECT_EQ(Spec->Modules[1].OutputLayer, "m2_conv2");
+}
+
+TEST(ModelSpecTest, PrunabilityFollowsPaperRule) {
+  Result<ModelSpec> Spec = parseModelSpec(TinyModel);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  // Internal convs (followed by a conv in the same module) are prunable;
+  // the top conv of each module and the stem are not.
+  EXPECT_FALSE(Spec->Prunable[Spec->layerIndex("stem")]);
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m1_conv1")]);
+  EXPECT_FALSE(Spec->Prunable[Spec->layerIndex("m1_conv2")]);
+  EXPECT_TRUE(Spec->Prunable[Spec->layerIndex("m2_conv1")]);
+  EXPECT_FALSE(Spec->Prunable[Spec->layerIndex("m2_conv2")]);
+}
+
+TEST(ModelSpecTest, LayerModuleMapping) {
+  Result<ModelSpec> Spec = parseModelSpec(TinyModel);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  EXPECT_EQ(Spec->LayerModule[Spec->layerIndex("stem")], -1);
+  EXPECT_EQ(Spec->LayerModule[Spec->layerIndex("m1_relu1")], 0);
+  EXPECT_EQ(Spec->LayerModule[Spec->layerIndex("m2_conv1")], 1);
+  EXPECT_EQ(Spec->LayerModule[Spec->layerIndex("logits")], -1);
+}
+
+TEST(ModelSpecTest, RoundTripsThroughPrinter) {
+  Result<ModelSpec> Spec = parseModelSpec(TinyModel);
+  ASSERT_TRUE(static_cast<bool>(Spec));
+  const std::string Printed = printModelSpec(*Spec);
+  Result<ModelSpec> Reparsed = parseModelSpec(Printed);
+  ASSERT_TRUE(static_cast<bool>(Reparsed)) << Reparsed.message();
+  EXPECT_EQ(Reparsed->Layers.size(), Spec->Layers.size());
+  EXPECT_EQ(Reparsed->moduleCount(), Spec->moduleCount());
+  EXPECT_EQ(printModelSpec(*Reparsed), Printed);
+}
+
+TEST(ModelSpecTest, RejectsUndefinedBottom) {
+  const std::string Bad = std::string(TinyModel) +
+                          "layer { name: \"x\" type: \"ReLU\" "
+                          "bottom: \"nonexistent\" top: \"x\" }\n";
+  Result<ModelSpec> Spec = parseModelSpec(Bad);
+  ASSERT_FALSE(static_cast<bool>(Spec));
+  EXPECT_NE(Spec.message().find("undefined bottom"), std::string::npos);
+}
+
+TEST(ModelSpecTest, RejectsUnsupportedLayerType) {
+  Result<ModelSpec> Spec = parseModelSpec(
+      "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+      "input_dim: 8\ninput_dim: 8\n"
+      "layer { name: \"a\" type: \"LSTM\" bottom: \"data\" top: \"a\" }\n");
+  ASSERT_FALSE(static_cast<bool>(Spec));
+  EXPECT_NE(Spec.message().find("unsupported layer type"),
+            std::string::npos);
+}
+
+TEST(ModelSpecTest, RejectsMissingConvParam) {
+  Result<ModelSpec> Spec = parseModelSpec(
+      "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+      "input_dim: 8\ninput_dim: 8\n"
+      "layer { name: \"a\" type: \"Convolution\" bottom: \"data\" "
+      "top: \"a\" }\n");
+  ASSERT_FALSE(static_cast<bool>(Spec));
+}
+
+TEST(ModelSpecTest, RejectsNonContiguousModule) {
+  // m1 appears, then m2, then m1 again.
+  std::string Bad = R"proto(
+name: "bad"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer { name: "a" type: "ReLU" bottom: "data" top: "a" module: "m1" }
+layer { name: "b" type: "ReLU" bottom: "a" top: "b" module: "m2" }
+layer { name: "c" type: "ReLU" bottom: "b" top: "c" module: "m1" }
+)proto";
+  Result<ModelSpec> Spec = parseModelSpec(Bad);
+  ASSERT_FALSE(static_cast<bool>(Spec));
+  EXPECT_NE(Spec.message().find("contiguous"), std::string::npos);
+}
+
+TEST(ModelSpecTest, RejectsDuplicateLayerNames) {
+  std::string Bad = R"proto(
+name: "bad"
+input: "data"
+input_dim: 1
+input_dim: 3
+input_dim: 8
+input_dim: 8
+layer { name: "a" type: "ReLU" bottom: "data" top: "a" }
+layer { name: "a" type: "ReLU" bottom: "a" top: "a" }
+)proto";
+  // The duplicate's top equals its name, so it parses per-layer but the
+  // analysis must reject the duplicate name.
+  Result<ModelSpec> Spec = parseModelSpec(Bad);
+  ASSERT_FALSE(static_cast<bool>(Spec));
+  EXPECT_NE(Spec.message().find("duplicate layer name"), std::string::npos);
+}
+
+TEST(ModelSpecTest, RejectsWrongInputDims) {
+  Result<ModelSpec> Spec = parseModelSpec(
+      "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n");
+  ASSERT_FALSE(static_cast<bool>(Spec));
+  EXPECT_NE(Spec.message().find("input_dim"), std::string::npos);
+}
+
+TEST(ModelSpecTest, LayerKindNames) {
+  EXPECT_STREQ(layerKindName(LayerKind::Convolution), "Convolution");
+  EXPECT_STREQ(layerKindName(LayerKind::Eltwise), "Eltwise");
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Malformed-input corpus sweep (appended tests)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class MalformedPrototxt : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(MalformedPrototxt, IsRejectedWithoutCrashing) {
+  Result<ModelSpec> Spec = parseModelSpec(GetParam());
+  EXPECT_FALSE(static_cast<bool>(Spec));
+  EXPECT_FALSE(Spec.message().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, MalformedPrototxt,
+    ::testing::Values(
+        // Lexical breakage.
+        "", "{", "}", "name \"x\"", "name: \"unterminated",
+        "layer { name: }", "@@@", "layer { { } }",
+        // Structural breakage.
+        "name: \"x\"",                              // No input dims.
+        "input_dim: 1\ninput_dim: 3\ninput_dim: 8", // Three dims.
+        "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+        "input_dim: 8\ninput_dim: 8\n", // No layers.
+        // Semantic breakage.
+        "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+        "input_dim: 8\ninput_dim: 8\n"
+        "layer { name: \"a\" type: \"ReLU\" bottom: \"ghost\" "
+        "top: \"a\" }",
+        "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+        "input_dim: 8\ninput_dim: 8\n"
+        "layer { name: \"a\" type: \"Convolution\" bottom: \"data\" "
+        "top: \"a\" convolution_param { num_output: 0 kernel_size: 3 } }",
+        "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+        "input_dim: 8\ninput_dim: 8\n"
+        "layer { name: \"a\" type: \"ReLU\" bottom: \"data\" "
+        "top: \"mismatch\" }",
+        "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+        "input_dim: 8\ninput_dim: 8\n"
+        "layer { name: \"a\" type: \"Pooling\" bottom: \"data\" top: \"a\" "
+        "pooling_param { pool: STOCHASTIC } }",
+        // A module whose layers consume two external producers.
+        "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: 3\n"
+        "input_dim: 8\ninput_dim: 8\n"
+        "layer { name: \"s1\" type: \"ReLU\" bottom: \"data\" top: \"s1\" }\n"
+        "layer { name: \"s2\" type: \"ReLU\" bottom: \"data\" top: \"s2\" }\n"
+        "layer { name: \"m1_a\" type: \"Eltwise\" bottom: \"s1\" "
+        "bottom: \"s2\" top: \"m1_a\" module: \"m1\" "
+        "eltwise_param { operation: SUM } }\n"
+        "layer { name: \"out\" type: \"ReLU\" bottom: \"m1_a\" "
+        "top: \"out\" }"));
+
+} // namespace

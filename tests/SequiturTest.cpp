@@ -1,0 +1,191 @@
+//===- tests/SequiturTest.cpp - sequitur/ unit tests --------------------------------===//
+
+#include "src/sequitur/Sequitur.h"
+#include "src/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace wootz;
+
+namespace {
+
+static Grammar buildGrammar(const std::vector<int> &Sequence) {
+  Sequitur Builder;
+  for (int Terminal : Sequence)
+    Builder.append(Terminal);
+  return Builder.grammar();
+}
+
+/// Both Sequitur invariants plus lossless reconstruction.
+static void checkGrammar(const Grammar &G,
+                         const std::vector<int> &Original) {
+  // Lossless: rule 0 expands back to the input.
+  EXPECT_EQ(G.expand(0), Original);
+
+  // Rule utility: every rule other than the start is referenced >= 2
+  // times across all bodies... (the canonical algorithm can leave a rule
+  // at one reference only transiently; in final grammars it must hold).
+  std::map<int, int> References;
+  for (const GrammarRule &Rule : G.Rules)
+    for (const GrammarSymbol &Symbol : Rule.Body)
+      if (Symbol.IsRule)
+        ++References[Symbol.Value];
+  for (const GrammarRule &Rule : G.Rules) {
+    if (Rule.Id == 0)
+      continue;
+    EXPECT_GE(References[Rule.Id], 2) << "rule utility violated for r"
+                                      << Rule.Id;
+    EXPECT_GE(Rule.Body.size(), 2u) << "degenerate rule r" << Rule.Id;
+  }
+
+  // Digram uniqueness: no adjacent symbol pair occurs twice anywhere.
+  std::set<std::pair<std::pair<int, int>, std::pair<int, int>>> Digrams;
+  for (const GrammarRule &Rule : G.Rules) {
+    for (size_t I = 0; I + 1 < Rule.Body.size(); ++I) {
+      const GrammarSymbol &A = Rule.Body[I];
+      const GrammarSymbol &B = Rule.Body[I + 1];
+      // Overlapping triples (aaa) legitimately repeat a digram once.
+      if (I + 2 < Rule.Body.size() && A == B && Rule.Body[I + 2] == A)
+        continue;
+      const auto Key = std::make_pair(std::make_pair(A.IsRule, A.Value),
+                                      std::make_pair(B.IsRule, B.Value));
+      EXPECT_TRUE(Digrams.insert(Key).second)
+          << "duplicate digram in grammar:\n"
+          << G.str();
+    }
+  }
+}
+
+TEST(SequiturTest, NoRepetitionsMeansOneRule) {
+  const std::vector<int> Input{1, 2, 3, 4, 5};
+  const Grammar G = buildGrammar(Input);
+  EXPECT_EQ(G.Rules.size(), 1u);
+  checkGrammar(G, Input);
+}
+
+TEST(SequiturTest, ClassicAbcAbc) {
+  const std::vector<int> Input{1, 2, 3, 1, 2, 3};
+  const Grammar G = buildGrammar(Input);
+  checkGrammar(G, Input);
+  // One rule for "1 2 3" used twice (or nested equivalents).
+  ASSERT_GE(G.Rules.size(), 2u);
+  EXPECT_EQ(G.Rules[0].Body.size(), 2u);
+}
+
+TEST(SequiturTest, PaperExampleAbcdbc) {
+  // From the Sequitur paper: "abcdbc" -> S = a A d A; A = b c.
+  const std::vector<int> Input{'a', 'b', 'c', 'd', 'b', 'c'};
+  const Grammar G = buildGrammar(Input);
+  checkGrammar(G, Input);
+  ASSERT_EQ(G.Rules.size(), 2u);
+  EXPECT_EQ(G.Rules[0].Body.size(), 4u);
+  EXPECT_EQ(G.Rules[1].Body.size(), 2u);
+  EXPECT_EQ(G.Rules[1].Frequency, 2);
+}
+
+TEST(SequiturTest, NestedHierarchy) {
+  // "abcabdabcabd" forms a hierarchy: E = C D; C = A c; D = A d; A = ab
+  // (modulo naming). Check invariants and frequencies.
+  const std::vector<int> Input{'a', 'b', 'c', 'a', 'b', 'd',
+                               'a', 'b', 'c', 'a', 'b', 'd'};
+  const Grammar G = buildGrammar(Input);
+  checkGrammar(G, Input);
+  // 'ab' occurs 4 times; some rule must have frequency 4.
+  bool SawFreq4 = false;
+  for (const GrammarRule &Rule : G.Rules)
+    SawFreq4 = SawFreq4 || Rule.Frequency == 4;
+  EXPECT_TRUE(SawFreq4) << G.str();
+}
+
+TEST(SequiturTest, OverlappingTriples) {
+  // Strings of equal symbols stress the triple handling in join().
+  for (int Length = 2; Length <= 12; ++Length) {
+    std::vector<int> Input(Length, 7);
+    const Grammar G = buildGrammar(Input);
+    EXPECT_EQ(G.expand(0), Input) << "length " << Length;
+  }
+}
+
+TEST(SequiturTest, MixedTripleContext) {
+  // "abbbabcbb" is the reference implementation's triple testcase.
+  const std::vector<int> Input{'a', 'b', 'b', 'b', 'a', 'b', 'c', 'b',
+                               'b'};
+  const Grammar G = buildGrammar(Input);
+  EXPECT_EQ(G.expand(0), Input);
+}
+
+TEST(SequiturTest, RuleReuseAcrossOccurrences) {
+  // Four copies of the same 5-symbol block: top rule should be compact.
+  std::vector<int> Input;
+  for (int Copy = 0; Copy < 4; ++Copy)
+    for (int Symbol = 0; Symbol < 5; ++Symbol)
+      Input.push_back(Symbol);
+  const Grammar G = buildGrammar(Input);
+  checkGrammar(G, Input);
+  // The block rule appears with frequency 4.
+  bool SawBlock = false;
+  for (const GrammarRule &Rule : G.Rules)
+    if (Rule.Frequency == 4 && G.expansionLength(Rule.Id) == 5)
+      SawBlock = true;
+  EXPECT_TRUE(SawBlock) << G.str();
+}
+
+TEST(SequiturTest, StartRuleFrequencyIsOne) {
+  const Grammar G = buildGrammar({1, 2, 1, 2});
+  EXPECT_EQ(G.Rules[0].Frequency, 1);
+}
+
+TEST(SequiturTest, ExpansionLengthMatchesExpand) {
+  const Grammar G = buildGrammar({1, 2, 3, 1, 2, 3, 1, 2});
+  for (const GrammarRule &Rule : G.Rules)
+    EXPECT_EQ(G.expansionLength(Rule.Id),
+              static_cast<int>(G.expand(Rule.Id).size()));
+}
+
+TEST(SequiturTest, StrRendersRules) {
+  const Grammar G = buildGrammar({1, 2, 1, 2});
+  const std::string Text = G.str({{1, "one"}, {2, "two"}});
+  EXPECT_NE(Text.find("r0"), std::string::npos);
+  EXPECT_NE(Text.find("one two"), std::string::npos);
+}
+
+// Property test: random strings over small alphabets must round-trip and
+// keep both invariants, across many seeds and lengths.
+class SequiturPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SequiturPropertyTest, InvariantsAndLosslessness) {
+  const auto [Seed, Length, AlphabetSize] = GetParam();
+  Rng Generator(static_cast<uint64_t>(Seed));
+  std::vector<int> Input(Length);
+  for (int &Symbol : Input)
+    Symbol = static_cast<int>(Generator.nextBelow(AlphabetSize));
+  const Grammar G = buildGrammar(Input);
+  checkGrammar(G, Input);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStrings, SequiturPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Values(10, 50, 200),
+                       ::testing::Values(2, 3, 8)));
+
+TEST(SequiturTest, LongRepetitiveInputStaysCompact) {
+  // 60 copies of a 6-symbol motif: the grammar should be logarithmically
+  // small relative to the input.
+  std::vector<int> Input;
+  for (int Copy = 0; Copy < 60; ++Copy)
+    for (int Symbol = 0; Symbol < 6; ++Symbol)
+      Input.push_back(Symbol + 10);
+  const Grammar G = buildGrammar(Input);
+  EXPECT_EQ(G.expand(0), Input);
+  size_t TotalSymbols = 0;
+  for (const GrammarRule &Rule : G.Rules)
+    TotalSymbols += Rule.Body.size();
+  EXPECT_LT(TotalSymbols, Input.size() / 3);
+}
+
+} // namespace

@@ -1,0 +1,292 @@
+//===- tests/SupportTest.cpp - support/ unit tests -----------------------------===//
+
+#include "src/support/Error.h"
+#include "src/support/Rng.h"
+#include "src/support/StringUtils.h"
+#include "src/support/Table.h"
+#include "src/support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+using namespace wootz;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Error / Result
+//===----------------------------------------------------------------------===//
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error E = Error::failure("file not found");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "file not found");
+}
+
+TEST(ErrorTest, MoveTransfersObligation) {
+  Error E = Error::failure("boom");
+  Error Moved = std::move(E);
+  EXPECT_TRUE(static_cast<bool>(Moved));
+}
+
+static Result<int> parsePositive(int Value) {
+  if (Value <= 0)
+    return Error::failure("not positive");
+  return Value;
+}
+
+TEST(ResultTest, SuccessHoldsValue) {
+  Result<int> R = parsePositive(3);
+  ASSERT_TRUE(static_cast<bool>(R));
+  EXPECT_EQ(*R, 3);
+  EXPECT_EQ(R.take(), 3);
+}
+
+TEST(ResultTest, FailureHoldsError) {
+  Result<int> R = parsePositive(-1);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.message(), "not positive");
+  Error E = R.takeError();
+  EXPECT_TRUE(static_cast<bool>(E));
+}
+
+TEST(ResultTest, MoveOnlyPayload) {
+  Result<std::unique_ptr<int>> R(std::make_unique<int>(7));
+  ASSERT_TRUE(static_cast<bool>(R));
+  std::unique_ptr<int> Owned = R.take();
+  EXPECT_EQ(*Owned, 7);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng
+//===----------------------------------------------------------------------===//
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 64; ++I)
+    Equal += A.next() == B.next();
+  EXPECT_LT(Equal, 4);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng Generator(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Generator.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng Generator(7);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 500; ++I)
+    Seen.insert(Generator.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng Generator(9);
+  std::set<int64_t> Seen;
+  for (int I = 0; I < 400; ++I) {
+    const int64_t Value = Generator.nextInRange(-2, 2);
+    EXPECT_GE(Value, -2);
+    EXPECT_LE(Value, 2);
+    Seen.insert(Value);
+  }
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(RngTest, FloatInUnitInterval) {
+  Rng Generator(11);
+  for (int I = 0; I < 1000; ++I) {
+    const float Value = Generator.nextFloat();
+    EXPECT_GE(Value, 0.0f);
+    EXPECT_LT(Value, 1.0f);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng Generator(13);
+  double Sum = 0.0, SumSq = 0.0;
+  const int Count = 20000;
+  for (int I = 0; I < Count; ++I) {
+    const double Value = Generator.nextGaussian();
+    Sum += Value;
+    SumSq += Value * Value;
+  }
+  const double Mean = Sum / Count;
+  const double Var = SumSq / Count - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.05);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng Generator(17);
+  std::vector<int> Values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Shuffled = Values;
+  Generator.shuffle(Shuffled);
+  std::sort(Shuffled.begin(), Shuffled.end());
+  EXPECT_EQ(Shuffled, Values);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng Parent(3);
+  Rng Child = Parent.fork();
+  EXPECT_NE(Parent.next(), Child.next());
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, TrimStripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtilsTest, SplitKeepsEmptyPieces) {
+  const std::vector<std::string> Pieces = split("a,,b", ',');
+  ASSERT_EQ(Pieces.size(), 3u);
+  EXPECT_EQ(Pieces[1], "");
+}
+
+TEST(StringUtilsTest, SplitLinesHandlesCrLf) {
+  const std::vector<std::string> Lines = splitLines("a\r\nb\nc");
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_EQ(Lines[0], "a");
+  EXPECT_EQ(Lines[1], "b");
+}
+
+TEST(StringUtilsTest, StartsEndsWith) {
+  EXPECT_TRUE(startsWith("wootz.cpp", "wootz"));
+  EXPECT_FALSE(startsWith("wo", "wootz"));
+  EXPECT_TRUE(endsWith("wootz.cpp", ".cpp"));
+  EXPECT_FALSE(endsWith("cpp", ".cpp"));
+}
+
+TEST(StringUtilsTest, ParseIntegerAcceptsSignedValues) {
+  ASSERT_TRUE(static_cast<bool>(parseInteger(" -42 ")));
+  EXPECT_EQ(*parseInteger("-42"), -42);
+  EXPECT_FALSE(static_cast<bool>(parseInteger("12x")));
+  EXPECT_FALSE(static_cast<bool>(parseInteger("")));
+}
+
+TEST(StringUtilsTest, ParseDoubleAcceptsScientific) {
+  ASSERT_TRUE(static_cast<bool>(parseDouble("1e-3")));
+  EXPECT_DOUBLE_EQ(*parseDouble("1e-3"), 1e-3);
+  EXPECT_FALSE(static_cast<bool>(parseDouble("0.5.3")));
+}
+
+TEST(StringUtilsTest, JoinAndFormat) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(formatDouble(0.5, 2), "0.50");
+}
+
+//===----------------------------------------------------------------------===//
+// Table
+//===----------------------------------------------------------------------===//
+
+TEST(TableTest, AlignsColumns) {
+  Table T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  const std::string Rendered = T.render();
+  EXPECT_NE(Rendered.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(Rendered.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(T.rowCount(), 2u);
+}
+
+TEST(TableTest, SeparatorsDontCountAsRows) {
+  Table T({"a"});
+  T.addRow({"1"});
+  T.addSeparator();
+  T.addRow({"2"});
+  EXPECT_EQ(T.rowCount(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, InlinePoolRunsImmediately) {
+  ThreadPool Pool(0);
+  int Value = 0;
+  Pool.enqueue([&] { Value = 42; });
+  EXPECT_EQ(Value, 42);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool Pool(3);
+  std::atomic<int> Counter{0};
+  for (int I = 0; I < 100; ++I)
+    Pool.enqueue([&] { ++Counter; });
+  Pool.wait();
+  EXPECT_EQ(Counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool Pool(2);
+  std::vector<std::atomic<int>> Hits(50);
+  Pool.parallelFor(50, [&](size_t I) { ++Hits[I]; });
+  for (const auto &Hit : Hits)
+    EXPECT_EQ(Hit.load(), 1);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// File I/O (appended tests)
+//===----------------------------------------------------------------------===//
+
+#include "src/support/File.h"
+
+#include <filesystem>
+
+namespace {
+
+TEST(FileTest, RoundTripThroughNestedDirectories) {
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "wootz_file_test").string();
+  std::filesystem::remove_all(Dir);
+  const std::string Path = Dir + "/a/b/contents.txt";
+  const std::string Payload = "line1\nline2\0embedded";
+  wootz::Error E = wootz::writeFile(Path, Payload);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  wootz::Result<std::string> Read = wootz::readFile(Path);
+  ASSERT_TRUE(static_cast<bool>(Read)) << Read.message();
+  EXPECT_EQ(*Read, Payload);
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(FileTest, MissingFileErrors) {
+  EXPECT_FALSE(
+      static_cast<bool>(wootz::readFile("/nonexistent/wootz/file")));
+}
+
+TEST(FileTest, OverwriteTruncates) {
+  const std::string Path =
+      (std::filesystem::temp_directory_path() / "wootz_file_trunc.txt")
+          .string();
+  ASSERT_FALSE(static_cast<bool>(wootz::writeFile(Path, "long content")));
+  ASSERT_FALSE(static_cast<bool>(wootz::writeFile(Path, "x")));
+  EXPECT_EQ(*wootz::readFile(Path), "x");
+  std::filesystem::remove(Path);
+}
+
+} // namespace

@@ -1,0 +1,377 @@
+//===- tests/TrainTest.cpp - train/ unit tests --------------------------------------===//
+
+#include "src/data/Synthetic.h"
+#include "src/models/MiniModels.h"
+#include "src/train/Assembly.h"
+#include "src/train/ModelZoo.h"
+#include "src/train/Pretrainer.h"
+#include "src/train/Trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace wootz;
+
+namespace {
+
+/// Small shared fixtures: an easy dataset and a ResNet-A model. Training
+/// budgets are tiny; these tests check mechanics and directions of
+/// change, not final quality.
+class TrainFixture : public ::testing::Test {
+protected:
+  void SetUp() override {
+    SyntheticSpec DataSpec;
+    DataSpec.Classes = 4;
+    DataSpec.TrainPerClass = 24;
+    DataSpec.TestPerClass = 12;
+    DataSpec.Noise = 0.25f;
+    DataSpec.Seed = 55;
+    Data = generateSynthetic(DataSpec);
+
+    Result<ModelSpec> Parsed = makeStandardModel(StandardModel::ResNetA, 4);
+    ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+    Spec = Parsed.take();
+    Model = std::make_unique<MultiplexingModel>(Spec);
+
+    Meta.FullModelSteps = 120;
+    Meta.PretrainSteps = 40;
+    Meta.FinetuneSteps = 40;
+    Meta.BatchSize = 8;
+    Meta.EvalEvery = 20;
+  }
+
+  Dataset Data;
+  ModelSpec Spec;
+  std::unique_ptr<MultiplexingModel> Model;
+  TrainMeta Meta;
+};
+
+TEST_F(TrainFixture, TrainingImprovesFullModelAccuracy) {
+  Rng Generator(61);
+  Graph Network;
+  Result<BuildResult> Built = Model->build(Network, BuildMode::FullModel,
+                                           PruneInfo(), "full", Generator);
+  ASSERT_TRUE(static_cast<bool>(Built));
+  const TrainResult Trained =
+      trainClassifier(Network, Built->InputNode, Built->LogitsNode, Data,
+                      Meta, Meta.FullModelSteps,
+                      Meta.FinetuneLearningRate, Generator);
+  // Random init is near chance (0.25); training must clearly beat it.
+  EXPECT_LT(Trained.InitialAccuracy, 0.55);
+  EXPECT_GT(Trained.FinalAccuracy, 0.6);
+  EXPECT_GE(Trained.Curve.size(), 3u);
+  EXPECT_EQ(Trained.Curve.front().Step, 0);
+}
+
+TEST_F(TrainFixture, EvaluateAccuracyIsDeterministic) {
+  Rng Generator(62);
+  Graph Network;
+  Result<BuildResult> Built = Model->build(Network, BuildMode::FullModel,
+                                           PruneInfo(), "full", Generator);
+  ASSERT_TRUE(static_cast<bool>(Built));
+  const double A = evaluateAccuracy(Network, Built->InputNode,
+                                    Built->LogitsNode, Data.Test);
+  const double B = evaluateAccuracy(Network, Built->InputNode,
+                                    Built->LogitsNode, Data.Test);
+  EXPECT_DOUBLE_EQ(A, B);
+  EXPECT_GE(A, 0.0);
+  EXPECT_LE(A, 1.0);
+}
+
+TEST_F(TrainFixture, EvaluateAccuracyBatchSizeInvariant) {
+  Rng Generator(63);
+  Graph Network;
+  Result<BuildResult> Built = Model->build(Network, BuildMode::FullModel,
+                                           PruneInfo(), "full", Generator);
+  ASSERT_TRUE(static_cast<bool>(Built));
+  EXPECT_DOUBLE_EQ(evaluateAccuracy(Network, Built->InputNode,
+                                    Built->LogitsNode, Data.Test, 7),
+                   evaluateAccuracy(Network, Built->InputNode,
+                                    Built->LogitsNode, Data.Test, 64));
+}
+
+//===----------------------------------------------------------------------===//
+// CheckpointStore
+//===----------------------------------------------------------------------===//
+
+TEST_F(TrainFixture, CheckpointCaptureRestoreRoundTrip) {
+  Rng Generator(64);
+  Graph A;
+  ASSERT_TRUE(static_cast<bool>(Model->build(A, BuildMode::FullModel,
+                                             PruneInfo(), "full",
+                                             Generator)));
+  Graph B;
+  ASSERT_TRUE(static_cast<bool>(Model->build(B, BuildMode::FullModel,
+                                             PruneInfo(), "net",
+                                             Generator)));
+  CheckpointStore Store;
+  std::vector<std::string> Layers;
+  for (const LayerSpec &L : Spec.Layers)
+    Layers.push_back(L.Name);
+  Store.capture("whole", A, "full", Layers);
+  ASSERT_TRUE(Store.contains("whole"));
+  Error E = Store.restore("whole", B, "net");
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+
+  // Same weights now: same outputs.
+  Tensor Input(Shape{1, 3, 8, 8});
+  Rng DataGen(65);
+  for (size_t I = 0; I < Input.size(); ++I)
+    Input[I] = DataGen.nextGaussian();
+  A.setInput("data", Input);
+  A.forward(false);
+  B.setInput("data", Input);
+  B.forward(false);
+  const Tensor &OutA = A.activation("full/logits");
+  const Tensor &OutB = B.activation("net/logits");
+  for (size_t I = 0; I < OutA.size(); ++I)
+    ASSERT_FLOAT_EQ(OutA[I], OutB[I]);
+}
+
+TEST_F(TrainFixture, CheckpointRejectsShapeMismatch) {
+  Rng Generator(66);
+  Graph Full;
+  ASSERT_TRUE(static_cast<bool>(Model->build(Full, BuildMode::FullModel,
+                                             PruneInfo(), "full",
+                                             Generator)));
+  Graph Pruned;
+  PruneInfo Info;
+  Info.Config = PruneConfig(Spec.moduleCount(), 0.7f);
+  ASSERT_TRUE(static_cast<bool>(Model->build(Pruned, BuildMode::FineTune,
+                                             Info, "net", Generator)));
+  CheckpointStore Store;
+  Store.capture("full-weights", Full, "full", {"m1_conv1"});
+  Error E = Store.restore("full-weights", Pruned, "net");
+  EXPECT_TRUE(static_cast<bool>(E)); // 8 filters vs 2 filters.
+}
+
+TEST(CheckpointStoreTest, MissingKeyErrors) {
+  CheckpointStore Store;
+  Graph Network;
+  Error E = Store.restore("absent", Network, "net");
+  EXPECT_TRUE(static_cast<bool>(E));
+}
+
+TEST(CheckpointStoreTest, SanitizeKeys) {
+  EXPECT_EQ(sanitizeCheckpointKey("m2-m3@0.5,0.3"), "m2-m3_0.5_0.3");
+}
+
+TEST_F(TrainFixture, CheckpointStoreDiskRoundTrip) {
+  Rng Generator(67);
+  Graph A;
+  ASSERT_TRUE(static_cast<bool>(Model->build(A, BuildMode::FullModel,
+                                             PruneInfo(), "full",
+                                             Generator)));
+  CheckpointStore Store;
+  Store.capture("m1@0.5", A, "full", {"m1_conv1", "m1_conv1_bn"});
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "wootz_store_test")
+          .string();
+  Error SaveErr = Store.saveTo(Dir);
+  ASSERT_FALSE(static_cast<bool>(SaveErr)) << SaveErr.message();
+
+  CheckpointStore Loaded;
+  Error LoadErr = Loaded.loadFrom(Dir);
+  ASSERT_FALSE(static_cast<bool>(LoadErr)) << LoadErr.message();
+  EXPECT_TRUE(Loaded.contains("m1@0.5"));
+  EXPECT_EQ(Loaded.keys(), Store.keys());
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Pre-training (Teacher-Student)
+//===----------------------------------------------------------------------===//
+
+TEST_F(TrainFixture, PretrainReducesReconstructionLoss) {
+  Rng Generator(68);
+  Result<FullModel> Full =
+      prepareFullModel(*Model, Data, Meta, "", Generator);
+  ASSERT_TRUE(static_cast<bool>(Full)) << Full.message();
+
+  CheckpointStore Store;
+  const std::vector<TuningBlock> Blocks{TuningBlock{0, {0.7f}},
+                                        TuningBlock{2, {0.5f}}};
+  Result<PretrainStats> Stats =
+      pretrainBlocks(*Model, Full->Network, "full", Blocks, Data, Meta,
+                     Store, Generator);
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+  EXPECT_EQ(Stats->BlockCount, 2);
+  EXPECT_EQ(Stats->GroupCount, 1); // Non-overlapping blocks share a group.
+  EXPECT_TRUE(Store.contains("m0@0.7"));
+  EXPECT_TRUE(Store.contains("m2@0.5"));
+  // The Teacher-Student objective must actually decrease.
+  EXPECT_LT(Stats->LastLoss, Stats->FirstLoss);
+}
+
+TEST_F(TrainFixture, PretrainSkipsStoredAndIdentityBlocks) {
+  Rng Generator(69);
+  Result<FullModel> Full =
+      prepareFullModel(*Model, Data, Meta, "", Generator);
+  ASSERT_TRUE(static_cast<bool>(Full));
+  CheckpointStore Store;
+  const std::vector<TuningBlock> Blocks{TuningBlock{0, {0.5f}},
+                                        TuningBlock{1, {0.0f}}};
+  Result<PretrainStats> First = pretrainBlocks(
+      *Model, Full->Network, "full", Blocks, Data, Meta, Store, Generator);
+  ASSERT_TRUE(static_cast<bool>(First));
+  EXPECT_EQ(First->BlockCount, 1); // Identity block skipped.
+  Result<PretrainStats> Second = pretrainBlocks(
+      *Model, Full->Network, "full", Blocks, Data, Meta, Store, Generator);
+  ASSERT_TRUE(static_cast<bool>(Second));
+  EXPECT_EQ(Second->BlockCount, 0); // Already stored.
+}
+
+TEST_F(TrainFixture, OverlappingBlocksLandInSeparateGroups) {
+  Rng Generator(70);
+  Result<FullModel> Full =
+      prepareFullModel(*Model, Data, Meta, "", Generator);
+  ASSERT_TRUE(static_cast<bool>(Full));
+  CheckpointStore Store;
+  const std::vector<TuningBlock> Blocks{
+      TuningBlock{0, {0.3f}}, TuningBlock{0, {0.5f}},
+      TuningBlock{0, {0.7f}}};
+  TrainMeta Short = Meta;
+  Short.PretrainSteps = 5;
+  Result<PretrainStats> Stats = pretrainBlocks(
+      *Model, Full->Network, "full", Blocks, Data, Short, Store, Generator);
+  ASSERT_TRUE(static_cast<bool>(Stats));
+  EXPECT_EQ(Stats->GroupCount, 3);
+  EXPECT_EQ(Stats->GroupSeconds.size(), 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Assembly: block-trained vs default networks
+//===----------------------------------------------------------------------===//
+
+TEST_F(TrainFixture, BlockTrainedInitBeatsDefaultInit) {
+  // The composability hypothesis at unit scale (§7.2): a block-trained
+  // network must start at a much better accuracy than a default one.
+  Rng Generator(71);
+  Result<FullModel> Full =
+      prepareFullModel(*Model, Data, Meta, "", Generator);
+  ASSERT_TRUE(static_cast<bool>(Full));
+  ASSERT_GT(Full->Accuracy, 0.5);
+
+  const PruneConfig Config(Spec.moduleCount(), 0.7f);
+  std::vector<TuningBlock> Blocks;
+  for (int M = 0; M < Spec.moduleCount(); ++M)
+    Blocks.push_back(TuningBlock{M, {0.7f}});
+  CheckpointStore Store;
+  Result<PretrainStats> Stats = pretrainBlocks(
+      *Model, Full->Network, "full", Blocks, Data, Meta, Store, Generator);
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+
+  Result<AssembledNetwork> Default = buildPrunedNetwork(
+      *Model, Config, Full->Network, "full", nullptr, nullptr, Generator);
+  ASSERT_TRUE(static_cast<bool>(Default)) << Default.message();
+  Result<AssembledNetwork> BlockTrained =
+      buildPrunedNetwork(*Model, Config, Full->Network, "full", &Store,
+                         &Blocks, Generator);
+  ASSERT_TRUE(static_cast<bool>(BlockTrained)) << BlockTrained.message();
+  EXPECT_EQ(BlockTrained->BlocksUsed.size(), Blocks.size());
+
+  const double DefaultInit =
+      evaluateAccuracy(Default->Network, Default->InputNode,
+                       Default->LogitsNode, Data.Test);
+  const double BlockInit = evaluateAccuracy(
+      BlockTrained->Network, BlockTrained->InputNode,
+      BlockTrained->LogitsNode, Data.Test);
+  EXPECT_GT(BlockInit, DefaultInit + 0.1)
+      << "block-trained init " << BlockInit << " vs default "
+      << DefaultInit;
+}
+
+TEST_F(TrainFixture, AssemblyRejectsMismatchedCompositeBlock) {
+  Rng Generator(72);
+  Result<FullModel> Full =
+      prepareFullModel(*Model, Data, Meta, "", Generator);
+  ASSERT_TRUE(static_cast<bool>(Full));
+  CheckpointStore Store;
+  const PruneConfig Config(Spec.moduleCount(), 0.5f);
+  const std::vector<TuningBlock> Wrong{TuningBlock{0, {0.5f}}};
+  // Block matches the config but was never pre-trained: restore fails.
+  Result<AssembledNetwork> Assembled = buildPrunedNetwork(
+      *Model, Config, Full->Network, "full", &Store, &Wrong, Generator);
+  EXPECT_FALSE(static_cast<bool>(Assembled));
+}
+
+//===----------------------------------------------------------------------===//
+// ModelZoo caching
+//===----------------------------------------------------------------------===//
+
+TEST_F(TrainFixture, FullModelCacheHitSkipsTraining) {
+  const std::string Dir =
+      (std::filesystem::temp_directory_path() / "wootz_zoo_test").string();
+  std::filesystem::remove_all(Dir);
+  Rng Generator(73);
+  Result<FullModel> First =
+      prepareFullModel(*Model, Data, Meta, Dir, Generator);
+  ASSERT_TRUE(static_cast<bool>(First)) << First.message();
+  EXPECT_FALSE(First->FromCache);
+
+  Rng Generator2(74);
+  Result<FullModel> Second =
+      prepareFullModel(*Model, Data, Meta, Dir, Generator2);
+  ASSERT_TRUE(static_cast<bool>(Second)) << Second.message();
+  EXPECT_TRUE(Second->FromCache);
+  EXPECT_NEAR(Second->Accuracy, First->Accuracy, 1e-9);
+  std::filesystem::remove_all(Dir);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Learning-rate schedule and early stopping (appended tests)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TEST_F(TrainFixture, EarlyStoppingTruncatesTraining) {
+  Rng Generator(75);
+  Graph Network;
+  Result<BuildResult> Built = Model->build(Network, BuildMode::FullModel,
+                                           PruneInfo(), "full", Generator);
+  ASSERT_TRUE(static_cast<bool>(Built));
+  TrainMeta Patient = Meta;
+  Patient.EvalEvery = 5;
+  Patient.EarlyStopPatience = 1;
+  const TrainResult Trained = trainClassifier(
+      Network, Built->InputNode, Built->LogitsNode, Data, Patient,
+      /*Steps=*/200, /*LearningRate=*/0.0f, Generator);
+  // Zero learning rate: accuracy can never improve, so training stops
+  // after the first patience window instead of running 200 steps.
+  ASSERT_FALSE(Trained.Curve.empty());
+  EXPECT_LE(Trained.Curve.back().Step, 15);
+}
+
+TEST(SolverScheduleTest, ParsesDecayAndPatienceKeys) {
+  Result<TrainMeta> Meta = parseTrainMeta(
+      "lr_decay_every: 20\nlr_decay_factor: 0.25\n"
+      "early_stop_patience: 3\nfull_model_lr: 0.5\n");
+  ASSERT_TRUE(static_cast<bool>(Meta)) << Meta.message();
+  EXPECT_EQ(Meta->LrDecayEvery, 20);
+  EXPECT_FLOAT_EQ(Meta->LrDecayFactor, 0.25f);
+  EXPECT_EQ(Meta->EarlyStopPatience, 3);
+  EXPECT_FLOAT_EQ(Meta->FullModelLearningRate, 0.5f);
+  Result<TrainMeta> Reparsed = parseTrainMeta(printTrainMeta(*Meta));
+  ASSERT_TRUE(static_cast<bool>(Reparsed)) << Reparsed.message();
+  EXPECT_EQ(Reparsed->LrDecayEvery, 20);
+}
+
+TEST_F(TrainFixture, LrDecayStillLearns) {
+  Rng Generator(76);
+  Graph Network;
+  Result<BuildResult> Built = Model->build(Network, BuildMode::FullModel,
+                                           PruneInfo(), "full", Generator);
+  ASSERT_TRUE(static_cast<bool>(Built));
+  TrainMeta Decayed = Meta;
+  Decayed.LrDecayEvery = 40;
+  Decayed.LrDecayFactor = 0.5f;
+  const TrainResult Trained = trainClassifier(
+      Network, Built->InputNode, Built->LogitsNode, Data, Decayed,
+      Meta.FullModelSteps, 0.04f, Generator);
+  EXPECT_GT(Trained.FinalAccuracy, Trained.InitialAccuracy + 0.2);
+}
+
+} // namespace
