@@ -1,0 +1,93 @@
+//===- examples/runtime_pruning.cpp - scheduler-driven pruning -------------------===//
+//
+// The pipeline on the wootz::runtime task scheduler. Pre-training and
+// fine-tuning become nodes of a dependency DAG: each configuration's
+// fine-tune depends only on the block groups its composite vector
+// actually uses, so evaluations start as soon as *their* blocks are
+// ready instead of after all pre-training. And because the exploration
+// ascends by model size with a min-size objective, the first satisfying
+// configuration proves every still-pending evaluation useless — the
+// scheduler cancels them. The run prints the measured summary and drops
+// the span-level telemetry as JSONL for inspection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/wootz/wootz.h"
+
+#include <cstdio>
+
+using namespace wootz;
+
+int main() {
+  const Dataset Data = generateSynthetic(standardDatasetSpecs(0.5)[0]);
+  Result<ModelSpec> Spec =
+      makeStandardModel(StandardModel::ResNetA, Data.Classes);
+  if (!Spec) {
+    std::fprintf(stderr, "model error: %s\n", Spec.message().c_str());
+    return 1;
+  }
+  std::printf("model: %s\ndataset: %s\n\n", Spec->Name.c_str(),
+              describeDataset(Data).c_str());
+
+  TrainMeta Meta;
+  Meta.FullModelSteps = 300;
+  Meta.PretrainSteps = 60;
+  Meta.FinetuneSteps = 40;
+  Meta.EvalEvery = 10;
+
+  Rng SampleGen(7);
+  const std::vector<PruneConfig> Subspace =
+      sampleSubspace(Spec->moduleCount(), 10, standardRates(), SampleGen);
+
+  // Accept any configuration within 10 points of the full model; the
+  // smallest one wins, so everything larger than the first satisfier is
+  // cancelled mid-run.
+  PipelineOptions Options;
+  Options.UseComposability = true;
+  Options.Schedule = PipelineSchedule::Overlap;
+  Options.Workers = 2;
+  Options.TelemetryPath = "runtime_pruning_spans.jsonl";
+
+  // Two passes share nothing here for simplicity: a cheap serial probe
+  // to learn the full-model accuracy, then the scheduled run against
+  // the real threshold.
+  Rng Generator(2024);
+  Result<PipelineResult> Probed = [&] {
+    PipelineOptions ProbeOptions;
+    ProbeOptions.UseComposability = true;
+    Rng ProbeGen(2024);
+    std::vector<PruneConfig> JustSmallest(Subspace.begin(),
+                                          Subspace.begin() + 1);
+    return runPruningPipeline(*Spec, Data, JustSmallest, Meta,
+                              ProbeOptions, ProbeGen);
+  }();
+  if (!Probed) {
+    std::fprintf(stderr, "probe error: %s\n", Probed.message().c_str());
+    return 1;
+  }
+  const PruningObjective Objective =
+      smallestMeetingAccuracy(Probed->FullAccuracy - 0.10);
+  Options.CancelObjective = &Objective;
+
+  Result<PipelineResult> Run =
+      runPruningPipeline(*Spec, Data, Subspace, Meta, Options, Generator);
+  if (!Run) {
+    std::fprintf(stderr, "pipeline error: %s\n", Run.message().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", renderRunReport(*Run, Objective, 1).c_str());
+
+  const ExplorationSummary Measured =
+      summarizeMeasuredRun(*Run, Objective);
+  std::printf("measured: %d/%zu configurations evaluated, winner index "
+              "%d, makespan %.2fs (pre-training share %.0f%%)\n",
+              Measured.ConfigsEvaluated, Subspace.size(),
+              Measured.WinnerIndex, Measured.Seconds,
+              100.0 * Measured.OverheadFraction);
+  std::printf("cancelled tasks: %lld\n",
+              static_cast<long long>(
+                  Run->Telemetry.counter("tasks_cancelled")));
+  std::printf("span log: %s\n", Options.TelemetryPath.c_str());
+  return 0;
+}

@@ -3,10 +3,13 @@
 #include "src/explore/Pipeline.h"
 
 #include "src/identifier/Identifier.h"
-#include "src/support/ThreadPool.h"
+#include "src/identifier/TuningBlock.h"
+#include "src/runtime/TaskGraph.h"
 
 #include <algorithm>
-#include <mutex>
+#include <map>
+#include <set>
+#include <thread>
 
 using namespace wootz;
 
@@ -29,8 +32,23 @@ Result<PipelineResult> wootz::runPruningPipeline(
     const PipelineOptions &Options, Rng &Generator) {
   if (Subspace.empty())
     return Error::failure("the promising subspace is empty");
+  if (Options.Workers < 0)
+    return Error::failure("PipelineOptions::Workers must be non-negative "
+                          "(0 means one per hardware thread), got " +
+                          std::to_string(Options.Workers));
+  const unsigned Workers =
+      Options.Workers == 0
+          ? std::max(1u, std::thread::hardware_concurrency())
+          : static_cast<unsigned>(Options.Workers);
+  const bool Overlap = Options.Schedule == PipelineSchedule::Overlap;
+  if (Overlap && Options.DistillAlpha > 0.0f)
+    return Error::failure(
+        "the Overlap schedule cannot run with distillation: concurrent "
+        "fine-tunes would share the teacher graph's activation buffers");
+
   const MultiplexingModel Model(Spec);
   PipelineResult Run;
+  RunLog Log;
 
   // Phase 0: the trained full model every pruned network derives from.
   Result<FullModel> Full =
@@ -53,7 +71,9 @@ Result<PipelineResult> wootz::runPruningPipeline(
               return modelWeightCount(Spec, A) < modelWeightCount(Spec, B);
             });
 
-  // Phase 1 (composability only): choose and pre-train tuning blocks.
+  // Phase 1 (composability only): choose tuning blocks. With the
+  // EvalOnly schedule the blocks pre-train right here, serially; with
+  // Overlap they become tasks on the same graph as the evaluations.
   CheckpointStore Store;
   std::vector<std::vector<int>> CompositeVectors;
   if (Options.UseComposability) {
@@ -66,12 +86,36 @@ Result<PipelineResult> wootz::runPruningPipeline(
       Run.Blocks = perModuleBlocks(Subspace);
       CompositeVectors = coverWithBlocks(Subspace, Run.Blocks);
     }
-    Result<PretrainStats> Stats =
-        pretrainBlocks(Model, Full->Network, "full", Run.Blocks, Data,
-                       Meta, Store, Generator, &*Scores);
-    if (!Stats)
-      return Stats.takeError();
-    Run.Pretrain = *Stats;
+    if (!Overlap) {
+      Result<PretrainStats> Stats =
+          pretrainBlocks(Model, Full->Network, "full", Run.Blocks, Data,
+                         Meta, Store, Generator, &*Scores, &Log);
+      if (!Stats)
+        return Stats.takeError();
+      Run.Pretrain = *Stats;
+    }
+  }
+
+  // Overlap prep: partition the blocks exactly like pretrainBlocks would
+  // and pre-fork one generator per group (drawn before the evaluation
+  // seeds, in partition order, so the run is deterministic regardless of
+  // which worker trains which group).
+  std::vector<std::vector<TuningBlock>> Groups;
+  std::vector<Rng> GroupRngs;
+  std::map<std::string, size_t> GroupOfBlock;
+  size_t PendingBlockCount = 0;
+  if (Overlap && Options.UseComposability) {
+    std::vector<TuningBlock> Pending;
+    for (const TuningBlock &Block : Run.Blocks)
+      if (!Block.isIdentity() && !Store.contains(Block.id()))
+        Pending.push_back(Block);
+    PendingBlockCount = Pending.size();
+    Groups = partitionIntoGroups(std::move(Pending));
+    for (size_t G = 0; G < Groups.size(); ++G) {
+      GroupRngs.push_back(Generator.fork());
+      for (const TuningBlock &Block : Groups[G])
+        GroupOfBlock[Block.id()] = G;
+    }
   }
 
   // Phase 2: evaluate every configuration in exploration order. Seeds
@@ -82,10 +126,8 @@ Result<PipelineResult> wootz::runPruningPipeline(
   for (uint64_t &Seed : Seeds)
     Seed = Generator.next();
   Run.Evaluations.resize(ConfigCount);
-  std::mutex ErrorMutex;
-  std::string FirstError;
 
-  auto evaluateOne = [&](size_t Index) {
+  auto evaluateOne = [&](size_t Index) -> Error {
     const PruneConfig &Config = Subspace[Index];
     std::vector<TuningBlock> Composite;
     if (Options.UseComposability)
@@ -98,12 +140,8 @@ Result<PipelineResult> wootz::runPruningPipeline(
         Options.UseComposability ? &Store : nullptr,
         Options.UseComposability ? &Composite : nullptr, ConfigGen,
         &*Scores);
-    if (!Assembled) {
-      std::lock_guard<std::mutex> Lock(ErrorMutex);
-      if (FirstError.empty())
-        FirstError = Assembled.message();
-      return;
-    }
+    if (!Assembled)
+      return Assembled.takeError();
 
     const TrainResult Trained =
         Options.DistillAlpha > 0.0f
@@ -132,21 +170,160 @@ Result<PipelineResult> wootz::runPruningPipeline(
       Evaluated.Curve = Trained.Curve;
     Evaluated.BlocksUsed = Assembled->BlocksUsed;
     Run.Evaluations[Index] = std::move(Evaluated);
+    return Error::success();
   };
 
-  // Distillation shares the teacher graph's activation buffers across
-  // evaluations, so it must stay on one thread.
-  if (Options.Workers > 1 && Options.DistillAlpha == 0.0f) {
-    ThreadPool Pool(static_cast<unsigned>(Options.Workers));
-    Pool.parallelFor(ConfigCount, evaluateOne);
+  // Exploration position P -> storage index (storage is ascending model
+  // size; a max-Accuracy cancellation objective walks it backwards).
+  const bool SmallestFirst = Options.CancelObjective
+                                 ? Options.CancelObjective
+                                       ->exploreSmallestFirst()
+                                 : true;
+  auto storageIndex = [&](size_t Position) {
+    return SmallestFirst ? Position : ConfigCount - 1 - Position;
+  };
+
+  if (Overlap) {
+    // One graph for everything: each block group is a task, and each
+    // evaluation depends only on the groups its composite vector draws
+    // from — an early (small) configuration fine-tunes while unrelated
+    // blocks still pre-train.
+    TaskGraph Graph(&Log);
+    std::vector<GroupPretrainStats> GroupStats(Groups.size());
+
+    // Which groups each evaluation needs, and per group the earliest
+    // exploration position served (its scheduling urgency).
+    std::vector<std::vector<size_t>> EvalGroups(ConfigCount);
+    std::vector<size_t> GroupMinPos(Groups.size(), ConfigCount);
+    for (size_t P = 0; P < ConfigCount; ++P) {
+      const size_t Index = storageIndex(P);
+      std::set<size_t> Needed;
+      if (Options.UseComposability)
+        for (int BlockIndex : CompositeVectors[Index]) {
+          auto It = GroupOfBlock.find(Run.Blocks[BlockIndex].id());
+          if (It != GroupOfBlock.end())
+            Needed.insert(It->second);
+        }
+      EvalGroups[P].assign(Needed.begin(), Needed.end());
+      for (size_t G : Needed)
+        GroupMinPos[G] = std::min(GroupMinPos[G], P);
+    }
+
+    std::vector<TaskId> GroupTask(Groups.size());
+    for (size_t G = 0; G < Groups.size(); ++G)
+      GroupTask[G] = Graph.add(
+          "pretrain:g" + std::to_string(G), {},
+          -static_cast<int>(GroupMinPos[G]), [&, G]() -> Error {
+            Result<GroupPretrainStats> Stats = pretrainGroup(
+                Model, Full->Network, "full", Groups[G], Data, Meta,
+                Store, GroupRngs[G], &*Scores);
+            if (!Stats)
+              return Stats.takeError();
+            GroupStats[G] = *Stats;
+            return Error::success();
+          });
+
+    std::vector<TaskId> EvalTask(ConfigCount);
+    for (size_t P = 0; P < ConfigCount; ++P) {
+      const size_t Index = storageIndex(P);
+      std::vector<TaskId> Deps;
+      for (size_t G : EvalGroups[P])
+        Deps.push_back(GroupTask[G]);
+      EvalTask[P] = Graph.add(
+          "eval:" + std::to_string(P), std::move(Deps),
+          -static_cast<int>(P), [&, P, Index]() -> Error {
+            if (Error E = evaluateOne(Index))
+              return E;
+            // The cancellation rule: exploration ascends the objective's
+            // preference order, so once this configuration satisfies the
+            // objective nothing later in the order can beat it — stop
+            // paying for it. Earlier positions stay: they could still
+            // win.
+            if (Options.CancelObjective) {
+              const EvaluatedConfig &Mine = Run.Evaluations[Index];
+              if (Options.CancelObjective->satisfied(Mine.WeightCount,
+                                                     Mine.FinalAccuracy)) {
+                for (size_t Later = P + 1; Later < ConfigCount; ++Later)
+                  Graph.cancel(EvalTask[Later]);
+                for (size_t G = 0; G < Groups.size(); ++G)
+                  if (GroupMinPos[G] > P)
+                    Graph.cancel(GroupTask[G]);
+              }
+            }
+            return Error::success();
+          });
+    }
+
+    if (Error E = Graph.run(Workers))
+      return E;
+
+    for (size_t P = 0; P < ConfigCount; ++P) {
+      if (Graph.state(EvalTask[P]) != TaskState::Cancelled)
+        continue;
+      const size_t Index = storageIndex(P);
+      EvaluatedConfig &E = Run.Evaluations[Index];
+      E.Cancelled = true;
+      E.Config = Subspace[Index];
+      E.WeightCount = modelWeightCount(Spec, Subspace[Index]);
+      E.SizeFraction = static_cast<double>(E.WeightCount) /
+                       static_cast<double>(Run.FullWeightCount);
+    }
+
+    Run.Pretrain.BlockCount = static_cast<int>(PendingBlockCount);
+    Run.Pretrain.GroupCount = static_cast<int>(Groups.size());
+    int TrainedGroups = 0;
+    for (size_t G = 0; G < Groups.size(); ++G) {
+      if (Graph.state(GroupTask[G]) != TaskState::Done)
+        continue;
+      Run.Pretrain.GroupSeconds.push_back(GroupStats[G].Seconds);
+      Run.Pretrain.Seconds += GroupStats[G].Seconds;
+      Run.Pretrain.FirstLoss += GroupStats[G].FirstLoss;
+      Run.Pretrain.LastLoss += GroupStats[G].LastLoss;
+      ++TrainedGroups;
+    }
+    if (TrainedGroups > 0) {
+      Run.Pretrain.FirstLoss /= TrainedGroups;
+      Run.Pretrain.LastLoss /= TrainedGroups;
+    }
+  } else if (Workers > 1 && Options.DistillAlpha == 0.0f) {
+    // Distillation shares the teacher graph's activation buffers across
+    // evaluations, so it must stay on one thread (the serial branch).
+    TaskGraph Graph(&Log);
+    for (size_t P = 0; P < ConfigCount; ++P) {
+      const size_t Index = storageIndex(P);
+      Graph.add("eval:" + std::to_string(P), {}, -static_cast<int>(P),
+                [&, Index]() { return evaluateOne(Index); });
+    }
+    if (Error E = Graph.run(Workers))
+      return E;
   } else {
-    for (size_t Index = 0; Index < ConfigCount; ++Index)
-      evaluateOne(Index);
+    std::string FirstError;
+    for (size_t Index = 0; Index < ConfigCount; ++Index) {
+      const double StartAt = Log.now();
+      Error E = evaluateOne(Index);
+      SpanEvent Span;
+      Span.Name = "eval:" + std::to_string(Index);
+      Span.ReadyAt = StartAt;
+      Span.StartAt = StartAt;
+      Span.EndAt = Log.now();
+      Span.Status = E ? "failed" : "done";
+      if (E)
+        Span.Detail = E.message();
+      Log.record(std::move(Span));
+      Log.bump(E ? "tasks_failed" : "tasks_done");
+      if (E && FirstError.empty())
+        FirstError = E.message();
+    }
+    if (!FirstError.empty())
+      return Error::failure(FirstError);
   }
-  if (!FirstError.empty())
-    return Error::failure(FirstError);
+
   for (const EvaluatedConfig &E : Run.Evaluations)
     Run.EvaluationSeconds += E.TrainSeconds;
+  Run.Telemetry = Log.snapshot();
+  if (!Options.TelemetryPath.empty())
+    if (Error E = Log.writeJsonl(Options.TelemetryPath))
+      return E;
   return Run;
 }
 
@@ -183,5 +360,36 @@ wootz::summarizeExploration(const PipelineResult &Run,
                              : Count - 1 - Outcome.WinnerIndex;
     Summary.WinnerSizeFraction = Run.Evaluations[Index].SizeFraction;
   }
+  return Summary;
+}
+
+ExplorationSummary
+wootz::summarizeMeasuredRun(const PipelineResult &Run,
+                            const PruningObjective &Objective) {
+  ExplorationSummary Summary;
+  Summary.Measured = true;
+  const size_t Count = Run.Evaluations.size();
+  const bool SmallestFirst = Objective.exploreSmallestFirst();
+  for (size_t P = 0; P < Count; ++P) {
+    const size_t Index = SmallestFirst ? P : Count - 1 - P;
+    const EvaluatedConfig &E = Run.Evaluations[Index];
+    if (E.Cancelled)
+      continue;
+    ++Summary.ConfigsEvaluated;
+    if (Summary.WinnerIndex < 0 &&
+        Objective.satisfied(E.WeightCount, E.FinalAccuracy)) {
+      Summary.WinnerIndex = static_cast<int>(P);
+      Summary.WinnerSizeFraction = E.SizeFraction;
+    }
+  }
+  // Measured semantics: Seconds is the real makespan (pre-training and
+  // evaluation already overlap inside it), and overhead is pre-training's
+  // share of total busy time.
+  Summary.Seconds = Run.Telemetry.makespan();
+  Summary.PretrainSeconds = Run.Telemetry.busySeconds("pretrain");
+  const double Busy =
+      Summary.PretrainSeconds + Run.Telemetry.busySeconds("eval");
+  Summary.OverheadFraction =
+      Busy > 0.0 ? Summary.PretrainSeconds / Busy : 0.0;
   return Summary;
 }

@@ -21,6 +21,7 @@
 
 #include "src/explore/Cluster.h"
 #include "src/explore/Objective.h"
+#include "src/runtime/RunLog.h"
 #include "src/train/Assembly.h"
 #include "src/train/ModelZoo.h"
 #include "src/train/Pretrainer.h"
@@ -38,6 +39,30 @@ struct EvaluatedConfig {
   double TrainSeconds = 0.0;
   std::vector<AccuracyPoint> Curve; ///< Kept when Options.KeepCurves.
   std::vector<std::string> BlocksUsed;
+  /// True when the runtime cancelled this evaluation before it started
+  /// (a smaller config already satisfied Options.CancelObjective); the
+  /// accuracy/timing fields are meaningless then.
+  bool Cancelled = false;
+};
+
+/// How runPruningPipeline schedules pre-training and evaluation.
+enum class PipelineSchedule {
+  /// Pre-train block groups serially (in partition order, exactly like
+  /// the paper's per-node wrapper), then evaluate configurations —
+  /// across Workers when possible. Results are bit-identical to the
+  /// Workers == 1 run because per-configuration seeds are drawn up
+  /// front.
+  EvalOnly,
+  /// Block-ready overlap: block groups and configuration evaluations
+  /// form one dependency graph on the runtime scheduler. An evaluation
+  /// starts as soon as the groups its composite vector draws from are
+  /// trained — early (small) configs fine-tune while unrelated blocks
+  /// still pre-train — and once a finished configuration provably
+  /// satisfies Options.CancelObjective, every not-yet-started
+  /// evaluation that cannot beat it is cancelled. Each group and each
+  /// evaluation gets its own pre-drawn seed, so results are
+  /// deterministic for a given subspace but differ from EvalOnly.
+  Overlap,
 };
 
 /// Pipeline knobs.
@@ -60,13 +85,25 @@ struct PipelineOptions {
   float DistillTemperature = 2.0f;
   /// Retain per-config accuracy curves (Figure 6/7 benches).
   bool KeepCurves = false;
-  /// Worker threads for configuration evaluation (the in-process
-  /// substitute for the paper's MPI exploration ranks). Results are
-  /// identical to the serial run (per-configuration seeds are drawn up
-  /// front); per-configuration *timings* reflect contention when workers
-  /// exceed physical cores, so keep Workers = 1 when the measured costs
-  /// feed summarizeExploration() on an oversubscribed machine.
+  /// Worker threads (the in-process substitute for the paper's MPI
+  /// ranks). 1 runs serially; 0 means "one per hardware thread";
+  /// negative values are rejected with an error. With the default
+  /// EvalOnly schedule, results are identical for every Workers value
+  /// (per-configuration seeds are drawn up front) — only the
+  /// per-configuration *timings* change, so keep Workers = 1 when the
+  /// measured costs feed summarizeExploration() on an oversubscribed
+  /// machine.
   int Workers = 1;
+  /// See PipelineSchedule.
+  PipelineSchedule Schedule = PipelineSchedule::EvalOnly;
+  /// Overlap only: when a completed configuration satisfies this
+  /// objective, evaluations later in the exploration order (which
+  /// cannot beat it) are cancelled. Null disables cancellation. Must
+  /// outlive the run.
+  const PruningObjective *CancelObjective = nullptr;
+  /// When non-empty, the run's telemetry is also written there as JSONL
+  /// (one span object per task, then one counters object).
+  std::string TelemetryPath;
 };
 
 /// Everything a pipeline run produced.
@@ -80,6 +117,9 @@ struct PipelineResult {
   std::vector<TuningBlock> Blocks;
   PretrainStats Pretrain;
   double EvaluationSeconds = 0.0; ///< Total fine-tuning time, all configs.
+  /// Span log and counters of this run (always Measured; pre-training
+  /// and evaluations are recorded whatever the schedule).
+  RunTelemetry Telemetry;
 };
 
 /// Runs the pipeline for \p Subspace on \p Data.
@@ -98,6 +138,9 @@ struct ExplorationSummary {
   double WinnerSizeFraction = 0.0; ///< 0 when no winner.
   double PretrainSeconds = 0.0;    ///< This run's share (already counted).
   double OverheadFraction = 0.0;   ///< PretrainSeconds / Seconds.
+  /// False: the row comes from the simulated multi-node schedule.
+  /// True: from a run's measured telemetry (see summarizeMeasuredRun).
+  bool Measured = false;
 };
 
 /// Replays the multi-node exploration schedule over \p Run's measured
@@ -105,6 +148,15 @@ struct ExplorationSummary {
 ExplorationSummary summarizeExploration(const PipelineResult &Run,
                                         const PruningObjective &Objective,
                                         int Nodes);
+
+/// Measured-parallel counterpart of summarizeExploration(): summarizes
+/// what the runtime scheduler actually did, straight from \p Run's
+/// telemetry — makespan instead of a simulated schedule, cancelled
+/// evaluations excluded, overhead as the pre-training share of total
+/// busy time. WinnerIndex is the exploration-order position of the first
+/// non-cancelled configuration satisfying \p Objective.
+ExplorationSummary summarizeMeasuredRun(const PipelineResult &Run,
+                                        const PruningObjective &Objective);
 
 } // namespace wootz
 

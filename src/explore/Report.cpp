@@ -21,7 +21,7 @@ static std::string csvQuote(const std::string &Cell) {
 std::string wootz::renderEvaluationsCsv(const PipelineResult &Run) {
   std::string Out = "config,weights,size_fraction,init_accuracy,"
                     "final_accuracy,steps_to_best,train_seconds,"
-                    "blocks_used\n";
+                    "blocks_used,cancelled\n";
   for (const EvaluatedConfig &E : Run.Evaluations) {
     Out += csvQuote(formatConfig(E.Config)) + ",";
     Out += std::to_string(E.WeightCount) + ",";
@@ -30,7 +30,8 @@ std::string wootz::renderEvaluationsCsv(const PipelineResult &Run) {
     Out += formatDouble(E.FinalAccuracy, 4) + ",";
     Out += std::to_string(E.StepsToBest) + ",";
     Out += formatDouble(E.TrainSeconds, 3) + ",";
-    Out += csvQuote(join(E.BlocksUsed, ";"));
+    Out += csvQuote(join(E.BlocksUsed, ";")) + ",";
+    Out += E.Cancelled ? "1" : "0";
     Out += '\n';
   }
   return Out;
@@ -76,17 +77,50 @@ std::string wootz::renderRunReport(const PipelineResult &Run,
            formatDouble(100.0 * Summary.OverheadFraction, 0) + "%).\n";
   }
 
+  // Runtime-scheduled runs carry their own span log; summarize what
+  // actually happened (as opposed to the simulated schedule above).
+  if (Run.Telemetry.Measured) {
+    Out += "\n## Runtime (measured)\n\n";
+    Out += "* makespan: " + formatDouble(Run.Telemetry.makespan(), 2) +
+           " s (pre-training busy " +
+           formatDouble(Run.Telemetry.busySeconds("pretrain"), 2) +
+           " s, evaluation busy " +
+           formatDouble(Run.Telemetry.busySeconds("eval"), 2) + " s)\n";
+    Out += "* tasks: " +
+           std::to_string(Run.Telemetry.counter("tasks_done")) +
+           " done, " +
+           std::to_string(Run.Telemetry.counter("tasks_cancelled")) +
+           " cancelled, " +
+           std::to_string(Run.Telemetry.counter("tasks_failed")) +
+           " failed\n";
+    const double FirstEval = Run.Telemetry.firstStart("eval");
+    const double LastPretrain = Run.Telemetry.lastEnd("pretrain");
+    if (LastPretrain > 0.0 && FirstEval < LastPretrain)
+      Out += "* overlap: first fine-tune started " +
+             formatDouble(LastPretrain - FirstEval, 2) +
+             " s before the last block group finished\n";
+  }
+
   Out += "\n## Evaluations (exploration order)\n\n";
   Table Evaluations({"config", "size %", "init", "final", "steps-to-best",
-                     "seconds", "blocks"});
-  for (const EvaluatedConfig &E : Run.Evaluations)
+                     "seconds", "blocks", "status"});
+  for (const EvaluatedConfig &E : Run.Evaluations) {
+    if (E.Cancelled) {
+      Evaluations.addRow({formatConfig(E.Config),
+                          formatDouble(100.0 * E.SizeFraction, 1), "-",
+                          "-", "-", "-",
+                          std::to_string(E.BlocksUsed.size()),
+                          "cancelled"});
+      continue;
+    }
     Evaluations.addRow({formatConfig(E.Config),
                         formatDouble(100.0 * E.SizeFraction, 1),
                         formatDouble(E.InitAccuracy, 3),
                         formatDouble(E.FinalAccuracy, 3),
                         std::to_string(E.StepsToBest),
                         formatDouble(E.TrainSeconds, 2),
-                        std::to_string(E.BlocksUsed.size())});
+                        std::to_string(E.BlocksUsed.size()), "done"});
+  }
   Out += "```\n" + Evaluations.render() + "```\n";
   return Out;
 }

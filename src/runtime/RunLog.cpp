@@ -1,0 +1,106 @@
+//===- runtime/RunLog.cpp --------------------------------------------------===//
+
+#include "src/runtime/RunLog.h"
+
+#include "src/support/File.h"
+#include "src/support/Json.h"
+
+#include <algorithm>
+
+using namespace wootz;
+
+double RunTelemetry::makespan() const {
+  double End = 0.0;
+  for (const SpanEvent &Span : Spans)
+    End = std::max(End, Span.EndAt);
+  return End;
+}
+
+double RunTelemetry::busySeconds(const std::string &Kind) const {
+  double Total = 0.0;
+  for (const SpanEvent &Span : Spans)
+    if (Span.Kind == Kind && Span.Status != "cancelled")
+      Total += Span.runSeconds();
+  return Total;
+}
+
+double RunTelemetry::lastEnd(const std::string &Kind) const {
+  double End = 0.0;
+  for (const SpanEvent &Span : Spans)
+    if (Span.Kind == Kind && Span.Status == "done")
+      End = std::max(End, Span.EndAt);
+  return End;
+}
+
+double RunTelemetry::firstStart(const std::string &Kind) const {
+  double Start = -1.0;
+  for (const SpanEvent &Span : Spans)
+    if (Span.Kind == Kind && Span.Status != "cancelled")
+      Start = Start < 0.0 ? Span.StartAt : std::min(Start, Span.StartAt);
+  return Start < 0.0 ? 0.0 : Start;
+}
+
+int64_t RunTelemetry::counter(const std::string &Name) const {
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second;
+}
+
+std::string wootz::spanKindFromName(const std::string &Name) {
+  const size_t Colon = Name.find(':');
+  if (Colon == std::string::npos || Colon == 0)
+    return "task";
+  return Name.substr(0, Colon);
+}
+
+void RunLog::record(SpanEvent Event) {
+  if (Event.Kind.empty())
+    Event.Kind = spanKindFromName(Event.Name);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Spans.push_back(std::move(Event));
+}
+
+void RunLog::bump(const std::string &Name, int64_t Delta) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters[Name] += Delta;
+}
+
+RunTelemetry RunLog::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RunTelemetry Out;
+  Out.Spans = Spans;
+  Out.Counters = Counters;
+  Out.Measured = true;
+  return Out;
+}
+
+std::string wootz::telemetryJsonl(const RunTelemetry &Telemetry) {
+  std::string Out;
+  for (const SpanEvent &Span : Telemetry.Spans) {
+    JsonObject Line;
+    Line.field("type", "span")
+        .field("name", Span.Name)
+        .field("kind", Span.Kind)
+        .field("worker", Span.Worker)
+        .field("ready", Span.ReadyAt, 6)
+        .field("start", Span.StartAt, 6)
+        .field("end", Span.EndAt, 6)
+        .field("queue_seconds", Span.queueSeconds(), 6)
+        .field("run_seconds", Span.runSeconds(), 6)
+        .field("status", Span.Status);
+    if (!Span.Detail.empty())
+      Line.field("detail", Span.Detail);
+    Out += Line.str() + "\n";
+  }
+  JsonObject Tail;
+  Tail.field("type", "counters");
+  for (const auto &[Name, Value] : Telemetry.Counters)
+    Tail.field(Name, Value);
+  Out += Tail.str() + "\n";
+  return Out;
+}
+
+std::string RunLog::jsonl() const { return telemetryJsonl(snapshot()); }
+
+Error RunLog::writeJsonl(const std::string &Path) const {
+  return writeFile(Path, jsonl());
+}

@@ -1,0 +1,125 @@
+//===- runtime/RunLog.h - Structured run telemetry -------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Telemetry for runtime-scheduled runs. A RunLog collects *span events*
+/// (one per task: when it became ready, started, and finished, on which
+/// worker, with what outcome) on a single monotonic clock, plus named
+/// counters. Everything the scheduler measures flows through here, so a
+/// run can be replayed from its log: overlap between block pre-training
+/// and configuration fine-tuning, queue wait versus run time per task,
+/// and how much exploration the cancellation rule saved.
+///
+/// The log serializes as JSONL — one `{"type":"span",...}` object per
+/// task followed by a single `{"type":"counters",...}` object — so later
+/// PRs (and external tooling) can diff run shapes without parsing tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_RUNTIME_RUNLOG_H
+#define WOOTZ_RUNTIME_RUNLOG_H
+
+#include "src/support/Error.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// One task's life on the run clock (seconds since the log was created).
+struct SpanEvent {
+  /// Task name, conventionally "<kind>:<detail>" (e.g. "eval:3").
+  std::string Name;
+  /// The part before ':' in Name ("eval", "pretrain"), or "task".
+  std::string Kind;
+  /// Worker index that ran the task; -1 for inline/none.
+  int Worker = -1;
+  /// When the task became runnable (dependencies satisfied).
+  double ReadyAt = 0.0;
+  /// When a worker began executing it (== ReadyAt for cancelled tasks).
+  double StartAt = 0.0;
+  /// When it reached a terminal state.
+  double EndAt = 0.0;
+  /// "done", "failed", or "cancelled".
+  std::string Status = "done";
+  /// Diagnostic detail (the error message for failed tasks).
+  std::string Detail;
+
+  double queueSeconds() const { return StartAt - ReadyAt; }
+  double runSeconds() const { return EndAt - StartAt; }
+};
+
+/// An immutable snapshot of a run's telemetry, carried by results.
+struct RunTelemetry {
+  std::vector<SpanEvent> Spans;
+  std::map<std::string, int64_t> Counters;
+  /// True when the telemetry comes from a real (measured) runtime
+  /// execution rather than being empty/simulated.
+  bool Measured = false;
+
+  /// Wall-clock extent of the run: max EndAt over all spans.
+  double makespan() const;
+  /// Sum of runSeconds() over spans whose Kind matches.
+  double busySeconds(const std::string &Kind) const;
+  /// Latest EndAt over spans of \p Kind with \p Status "done" (0 when
+  /// none).
+  double lastEnd(const std::string &Kind) const;
+  /// Earliest StartAt over "done"/"failed" spans of \p Kind (+inf -> 0
+  /// when none ran).
+  double firstStart(const std::string &Kind) const;
+  int64_t counter(const std::string &Name) const;
+};
+
+/// Thread-safe telemetry recorder on one monotonic clock.
+class RunLog {
+public:
+  RunLog() : Origin(Clock::now()) {}
+
+  RunLog(const RunLog &) = delete;
+  RunLog &operator=(const RunLog &) = delete;
+
+  /// Seconds elapsed on the log's clock.
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - Origin).count();
+  }
+
+  /// Appends a finished span.
+  void record(SpanEvent Event);
+
+  /// Adds \p Delta to counter \p Name (creating it at zero).
+  void bump(const std::string &Name, int64_t Delta = 1);
+
+  /// Copies the current state out.
+  RunTelemetry snapshot() const;
+
+  /// Renders the whole log as JSONL (spans in record order, then one
+  /// counters object).
+  std::string jsonl() const;
+
+  /// Writes jsonl() to \p Path.
+  Error writeJsonl(const std::string &Path) const;
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Origin;
+  mutable std::mutex Mutex;
+  std::vector<SpanEvent> Spans;
+  std::map<std::string, int64_t> Counters;
+};
+
+/// Derives Kind ("eval" in "eval:3") from a task name; "task" when the
+/// name has no ':' prefix.
+std::string spanKindFromName(const std::string &Name);
+
+/// Renders a telemetry snapshot as JSONL (same format as RunLog::jsonl).
+std::string telemetryJsonl(const RunTelemetry &Telemetry);
+
+} // namespace wootz
+
+#endif // WOOTZ_RUNTIME_RUNLOG_H

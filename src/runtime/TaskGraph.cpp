@@ -1,0 +1,310 @@
+//===- runtime/TaskGraph.cpp -----------------------------------------------===//
+
+#include "src/runtime/TaskGraph.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace wootz;
+
+namespace {
+
+constexpr TaskId NoTask = static_cast<TaskId>(-1);
+constexpr size_t NoPos = static_cast<size_t>(-1);
+
+/// True when ready task (PriorityA, IdA) should run before (PriorityB,
+/// IdB): higher priority first, insertion order among equals.
+bool runsBefore(int PriorityA, TaskId IdA, int PriorityB, TaskId IdB) {
+  if (PriorityA != PriorityB)
+    return PriorityA > PriorityB;
+  return IdA < IdB;
+}
+
+/// std::push_heap comparator placing the best-to-run entry on top.
+bool heapLess(const std::pair<int, TaskId> &A,
+              const std::pair<int, TaskId> &B) {
+  return runsBefore(B.first, B.second, A.first, A.second);
+}
+
+} // namespace
+
+TaskGraph::TaskGraph(RunLog *Log)
+    : Log(Log), Origin(std::chrono::steady_clock::now()) {}
+
+double TaskGraph::now() const {
+  if (Log)
+    return Log->now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Origin)
+      .count();
+}
+
+TaskId TaskGraph::add(std::string Name, std::vector<TaskId> Deps,
+                      int Priority, std::function<Error()> Body) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(!Started && "adding a task after run() started");
+  const TaskId Id = Tasks.size();
+  std::sort(Deps.begin(), Deps.end());
+  Deps.erase(std::unique(Deps.begin(), Deps.end()), Deps.end());
+
+  Task Added;
+  Added.Name = std::move(Name);
+  Added.Body = std::move(Body);
+  Added.Priority = Priority;
+  Added.UnmetDeps = Deps.size();
+  Tasks.push_back(std::move(Added));
+  for (TaskId Dep : Deps) {
+    assert(Dep < Id && "dependency on a not-yet-added task");
+    Tasks[Dep].Dependents.push_back(Id);
+  }
+  return Id;
+}
+
+void TaskGraph::readyLocked(TaskId Id, int Worker) {
+  Task &Readied = Tasks[Id];
+  Readied.State = TaskState::Ready;
+  Readied.ReadyAt = now();
+  if (Worker >= 0 && static_cast<size_t>(Worker) < Local.size())
+    Local[Worker].push_back(Id);
+  else {
+    Heap.emplace_back(Readied.Priority, Id);
+    std::push_heap(Heap.begin(), Heap.end(), heapLess);
+  }
+}
+
+TaskId TaskGraph::pickLocked(int Worker) {
+  // Compacts stale (no longer Ready) entries out of a local list and
+  // returns the position of its best runnable task.
+  auto bestOf = [&](std::vector<TaskId> &List) -> size_t {
+    size_t Keep = 0;
+    size_t BestPos = NoPos;
+    for (TaskId Id : List) {
+      if (Tasks[Id].State != TaskState::Ready)
+        continue;
+      List[Keep] = Id;
+      if (BestPos == NoPos ||
+          runsBefore(Tasks[Id].Priority, Id, Tasks[List[BestPos]].Priority,
+                     List[BestPos]))
+        BestPos = Keep;
+      ++Keep;
+    }
+    List.resize(Keep);
+    return BestPos;
+  };
+
+  while (!Heap.empty() &&
+         Tasks[Heap.front().second].State != TaskState::Ready) {
+    std::pop_heap(Heap.begin(), Heap.end(), heapLess);
+    Heap.pop_back();
+  }
+  const TaskId FromHeap = Heap.empty() ? NoTask : Heap.front().second;
+
+  const size_t LocalPos = bestOf(Local[Worker]);
+  const TaskId FromLocal =
+      LocalPos == NoPos ? NoTask : Local[Worker][LocalPos];
+
+  if (FromLocal != NoTask &&
+      (FromHeap == NoTask ||
+       runsBefore(Tasks[FromLocal].Priority, FromLocal,
+                  Tasks[FromHeap].Priority, FromHeap))) {
+    Local[Worker].erase(Local[Worker].begin() + LocalPos);
+    return FromLocal;
+  }
+  if (FromHeap != NoTask) {
+    std::pop_heap(Heap.begin(), Heap.end(), heapLess);
+    Heap.pop_back();
+    return FromHeap;
+  }
+
+  // Nothing of our own: steal the best runnable task from a peer.
+  size_t VictimWorker = NoPos, VictimPos = NoPos;
+  for (size_t Peer = 0; Peer < Local.size(); ++Peer) {
+    if (Peer == static_cast<size_t>(Worker))
+      continue;
+    const size_t Pos = bestOf(Local[Peer]);
+    if (Pos == NoPos)
+      continue;
+    const TaskId Candidate = Local[Peer][Pos];
+    if (VictimWorker == NoPos ||
+        runsBefore(Tasks[Candidate].Priority, Candidate,
+                   Tasks[Local[VictimWorker][VictimPos]].Priority,
+                   Local[VictimWorker][VictimPos])) {
+      VictimWorker = Peer;
+      VictimPos = Pos;
+    }
+  }
+  if (VictimWorker == NoPos)
+    return NoTask;
+  const TaskId Stolen = Local[VictimWorker][VictimPos];
+  Local[VictimWorker].erase(Local[VictimWorker].begin() + VictimPos);
+  return Stolen;
+}
+
+void TaskGraph::recordTerminalLocked(const Task &Finished,
+                                     const std::string &Status,
+                                     const std::string &Detail) {
+  if (!Log)
+    return;
+  SpanEvent Span;
+  Span.Name = Finished.Name;
+  Span.Worker = Finished.Worker;
+  Span.ReadyAt = Finished.ReadyAt;
+  Span.StartAt = Finished.StartAt;
+  // A cancelled body never ran: its span is exactly zero-length.
+  Span.EndAt = Status == "cancelled" ? Finished.StartAt : now();
+  Span.Status = Status;
+  Span.Detail = Detail;
+  Log->record(std::move(Span));
+}
+
+bool TaskGraph::cancelLocked(TaskId Id) {
+  Task &Target = Tasks[Id];
+  if (Target.State != TaskState::Blocked &&
+      Target.State != TaskState::Ready)
+    return false;
+  const double Now = now();
+  if (Target.State == TaskState::Blocked)
+    Target.ReadyAt = Now;
+  Target.StartAt = Now; // Zero-length span: the body never ran.
+  Target.State = TaskState::Cancelled;
+  recordTerminalLocked(Target, "cancelled", "");
+  if (Log)
+    Log->bump("tasks_cancelled");
+  ++Cancelled;
+  if (Started) // Before run(), Remaining has not been counted yet.
+    --Remaining;
+  for (TaskId Dependent : Target.Dependents)
+    cancelLocked(Dependent);
+  return true;
+}
+
+bool TaskGraph::cancel(TaskId Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Id < Tasks.size() && "cancelling an unknown task");
+  const bool DidCancel = cancelLocked(Id);
+  if (DidCancel)
+    WorkAvailable.notify_all();
+  return DidCancel;
+}
+
+void TaskGraph::completeLocked(TaskId Id, Error TaskError) {
+  Task &Finished = Tasks[Id];
+  const bool DidFail = static_cast<bool>(TaskError);
+  Finished.State = DidFail ? TaskState::Failed : TaskState::Done;
+  recordTerminalLocked(Finished, DidFail ? "failed" : "done",
+                       DidFail ? TaskError.message() : std::string());
+  if (Log)
+    Log->bump(DidFail ? "tasks_failed" : "tasks_done");
+  --Remaining;
+  if (DidFail) {
+    if (FirstError.empty())
+      FirstError = TaskError.message();
+    FailedFast = true;
+    // Fail fast: nothing that has not started may start.
+    for (TaskId Pending = 0; Pending < Tasks.size(); ++Pending)
+      cancelLocked(Pending);
+  } else {
+    for (TaskId Dependent : Finished.Dependents) {
+      Task &Blocked = Tasks[Dependent];
+      if (Blocked.State == TaskState::Blocked && --Blocked.UnmetDeps == 0)
+        readyLocked(Dependent, Finished.Worker);
+    }
+  }
+  WorkAvailable.notify_all();
+}
+
+void TaskGraph::workerLoop(int Worker) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    const TaskId Id = pickLocked(Worker);
+    if (Id == NoTask) {
+      if (Remaining == 0)
+        return;
+      WorkAvailable.wait(Lock);
+      continue;
+    }
+    Task &Picked = Tasks[Id];
+    Picked.State = TaskState::Running;
+    Picked.StartAt = now();
+    Picked.Worker = Worker;
+    std::function<Error()> Body = std::move(Picked.Body);
+    Lock.unlock();
+    Error TaskError = Body();
+    Lock.lock();
+    completeLocked(Id, std::move(TaskError));
+  }
+}
+
+Error TaskGraph::run(unsigned Workers) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Started && "TaskGraph::run() may be called once");
+    Started = true;
+    Remaining = 0;
+    Local.assign(std::max(1u, Workers), std::vector<TaskId>());
+    for (TaskId Id = 0; Id < Tasks.size(); ++Id) {
+      if (Tasks[Id].State != TaskState::Blocked)
+        continue; // Cancelled before the run began.
+      ++Remaining;
+      if (Tasks[Id].UnmetDeps == 0)
+        readyLocked(Id, /*Worker=*/-1);
+    }
+  }
+
+  if (Workers == 0) {
+    // Inline: the calling thread plays worker 0, so spans still carry
+    // meaningful ready/start/end times and priorities still order work.
+    std::unique_lock<std::mutex> Lock(Mutex);
+    for (;;) {
+      const TaskId Id = pickLocked(0);
+      if (Id == NoTask)
+        break;
+      Task &Picked = Tasks[Id];
+      Picked.State = TaskState::Running;
+      Picked.StartAt = now();
+      Picked.Worker = -1;
+      std::function<Error()> Body = std::move(Picked.Body);
+      Lock.unlock();
+      Error TaskError = Body();
+      Lock.lock();
+      completeLocked(Id, std::move(TaskError));
+    }
+    assert(Remaining == 0 && "inline run left unreachable tasks");
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Workers);
+    for (unsigned Worker = 0; Worker < Workers; ++Worker)
+      Threads.emplace_back([this, Worker] {
+        workerLoop(static_cast<int>(Worker));
+      });
+    for (std::thread &Thread : Threads)
+      Thread.join();
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (!FirstError.empty())
+    return Error::failure(FirstError);
+  return Error::success();
+}
+
+TaskState TaskGraph::state(TaskId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Id < Tasks.size() && "querying an unknown task");
+  return Tasks[Id].State;
+}
+
+const std::string &TaskGraph::name(TaskId Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(Id < Tasks.size() && "querying an unknown task");
+  return Tasks[Id].Name;
+}
+
+size_t TaskGraph::taskCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Tasks.size();
+}
+
+size_t TaskGraph::cancelledCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Cancelled;
+}

@@ -1,0 +1,190 @@
+//===- runtime/TaskGraph.h - Dependency-DAG task scheduler -----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution runtime behind measured-parallel pruning runs. A
+/// TaskGraph holds tasks with explicit dependency edges and priorities;
+/// run() executes them on a small work-stealing worker pool:
+///
+///  - each worker keeps a local ready list, fed by the dependents its own
+///    completions unblock (locality: a config's fine-tune tends to run on
+///    the worker that finished its last block group);
+///  - tasks readied up front (or with no dependencies) sit in a shared
+///    priority heap;
+///  - a worker picks the highest-priority task visible to it (local list
+///    or heap top) and, when both are empty, steals the best task from a
+///    peer's local list.
+///
+/// Cancellation is first-class: a task that has not started can be
+/// cancelled (its dependents cascade, since they can never run), which is
+/// how the exploration pipeline stops paying for configurations that
+/// provably cannot win. A task failure fail-fasts the graph: everything
+/// not yet started is cancelled and run() returns the first error.
+///
+/// Every task's ready/start/end times, worker, and outcome are recorded
+/// as SpanEvents on the attached RunLog (see RunLog.h), the telemetry
+/// layer run reports summarize.
+///
+/// Dependencies must point at already-added tasks, which makes the graph
+/// acyclic by construction. The scheduler trades lock granularity for
+/// simplicity — one mutex guards all state — which is the right call at
+/// this runtime's task granularity (block pre-training and network
+/// fine-tuning, i.e. seconds, not microseconds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_RUNTIME_TASKGRAPH_H
+#define WOOTZ_RUNTIME_TASKGRAPH_H
+
+#include "src/runtime/RunLog.h"
+#include "src/support/Error.h"
+
+#include <cassert>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wootz {
+
+/// Identifies a task within its TaskGraph (the index of the add() call).
+using TaskId = size_t;
+
+/// Life-cycle of a task.
+enum class TaskState {
+  Blocked,   ///< Waiting on at least one dependency.
+  Ready,     ///< Runnable, queued.
+  Running,   ///< Executing on a worker.
+  Done,      ///< Finished successfully.
+  Failed,    ///< Body returned an Error.
+  Cancelled, ///< Cancelled before it started.
+};
+
+/// A single-value future fulfilled by a task (see addProducing()). Reads
+/// are safe from dependent tasks and after run() returns: the scheduler's
+/// completion ordering provides the happens-before edge.
+template <typename T> class TaskSlot {
+public:
+  bool ready() const { return HasValue; }
+  void set(T Value) {
+    Stored = std::move(Value);
+    HasValue = true;
+  }
+  const T &get() const {
+    assert(HasValue && "reading an unfulfilled TaskSlot");
+    return Stored;
+  }
+  T take() {
+    assert(HasValue && "taking an unfulfilled TaskSlot");
+    HasValue = false;
+    return std::move(Stored);
+  }
+
+private:
+  T Stored{};
+  bool HasValue = false;
+};
+
+/// A dependency DAG of fallible tasks plus its scheduler.
+class TaskGraph {
+public:
+  /// Span events and counters go to \p Log when non-null.
+  explicit TaskGraph(RunLog *Log = nullptr);
+  ~TaskGraph() = default;
+
+  TaskGraph(const TaskGraph &) = delete;
+  TaskGraph &operator=(const TaskGraph &) = delete;
+
+  /// Adds a task. \p Deps must name already-added tasks (this keeps the
+  /// graph acyclic by construction); higher \p Priority runs first among
+  /// ready tasks, ties broken by insertion order. Must not be called
+  /// after run() has started.
+  TaskId add(std::string Name, std::vector<TaskId> Deps, int Priority,
+             std::function<Error()> Body);
+
+  /// Adds a task whose value lands in \p Out on success. \p Out must
+  /// outlive run().
+  template <typename T>
+  TaskId addProducing(std::string Name, std::vector<TaskId> Deps,
+                      int Priority, std::function<Result<T>()> Body,
+                      TaskSlot<T> &Out) {
+    return add(std::move(Name), std::move(Deps), Priority,
+               [Body = std::move(Body), &Out]() -> Error {
+                 Result<T> Value = Body();
+                 if (!Value)
+                   return Value.takeError();
+                 Out.set(Value.take());
+                 return Error::success();
+               });
+  }
+
+  /// Executes the whole graph on \p Workers threads (0: inline on the
+  /// calling thread, still respecting dependencies and priorities).
+  /// Returns the first task failure, after cancelling everything that had
+  /// not started. May be called once.
+  Error run(unsigned Workers);
+
+  /// Cancels \p Id if it has not started, cascading to its dependents
+  /// (they can never run once a dependency is cancelled). Safe to call
+  /// from inside a running task — that is how the pipeline prunes the
+  /// exploration frontier. Returns true when the task was cancelled by
+  /// this call.
+  bool cancel(TaskId Id);
+
+  /// Current state of a task (thread-safe).
+  TaskState state(TaskId Id) const;
+
+  /// Name a task was added under.
+  const std::string &name(TaskId Id) const;
+
+  size_t taskCount() const;
+  /// Tasks cancelled so far (direct and cascaded).
+  size_t cancelledCount() const;
+
+private:
+  struct Task {
+    std::string Name;
+    std::function<Error()> Body;
+    std::vector<TaskId> Dependents;
+    int Priority = 0;
+    size_t UnmetDeps = 0;
+    TaskState State = TaskState::Blocked;
+    double ReadyAt = 0.0;
+    double StartAt = 0.0;
+    int Worker = -1;
+  };
+
+  double now() const;
+  /// All the *Locked helpers require Mutex to be held.
+  void readyLocked(TaskId Id, int Worker);
+  TaskId pickLocked(int Worker);
+  bool cancelLocked(TaskId Id);
+  void completeLocked(TaskId Id, Error TaskError);
+  void recordTerminalLocked(const Task &Finished, const std::string &Status,
+                            const std::string &Detail);
+  void workerLoop(int Worker);
+
+  RunLog *Log = nullptr;
+  std::chrono::steady_clock::time_point Origin;
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkAvailable;
+  std::vector<Task> Tasks;
+  /// Shared ready heap: (priority, insertion id), lazily cleaned.
+  std::vector<std::pair<int, TaskId>> Heap;
+  /// Per-worker ready lists (index 0 doubles as the inline list).
+  std::vector<std::vector<TaskId>> Local;
+  size_t Remaining = 0;
+  size_t Cancelled = 0;
+  bool Started = false;
+  bool FailedFast = false;
+  std::string FirstError;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_RUNTIME_TASKGRAPH_H

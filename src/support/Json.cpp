@@ -1,0 +1,83 @@
+//===- support/Json.cpp ----------------------------------------------------===//
+
+#include "src/support/Json.h"
+
+#include "src/support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace wootz;
+
+std::string wootz::jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buffer;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonObject::key(const std::string &Key) {
+  if (!First)
+    Body += ",";
+  First = false;
+  Body += "\"" + jsonEscape(Key) + "\":";
+}
+
+JsonObject &JsonObject::field(const std::string &Key,
+                              const std::string &Value) {
+  key(Key);
+  Body += "\"" + jsonEscape(Value) + "\"";
+  return *this;
+}
+
+JsonObject &JsonObject::field(const std::string &Key, double Value,
+                              int Digits) {
+  key(Key);
+  Body += formatDouble(Value, Digits);
+  return *this;
+}
+
+JsonObject &JsonObject::field(const std::string &Key, int64_t Value) {
+  key(Key);
+  Body += std::to_string(Value);
+  return *this;
+}
+
+JsonObject &JsonObject::field(const std::string &Key, bool Value) {
+  key(Key);
+  Body += Value ? "true" : "false";
+  return *this;
+}
+
+JsonObject &JsonObject::fieldRaw(const std::string &Key,
+                                 const std::string &Raw) {
+  key(Key);
+  Body += Raw;
+  return *this;
+}

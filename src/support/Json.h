@@ -1,0 +1,65 @@
+//===- support/Json.h - Minimal JSON emission ------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny JSON *writer* — just enough for the machine-readable artifacts
+/// the repo emits (runtime span logs as JSONL, bench result files). There
+/// is deliberately no parser: nothing in the library consumes JSON, and
+/// the no-dependency rule rules out a real one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_JSON_H
+#define WOOTZ_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+
+namespace wootz {
+
+/// Escapes \p Text for use inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string jsonEscape(const std::string &Text);
+
+/// Builds one JSON object left to right. Values are emitted immediately;
+/// keys are not checked for uniqueness.
+///
+/// \code
+///   JsonObject Row;
+///   Row.field("name", Name).field("seconds", Seconds, 3);
+///   Out += Row.str() + "\n";
+/// \endcode
+class JsonObject {
+public:
+  JsonObject &field(const std::string &Key, const std::string &Value);
+  JsonObject &field(const std::string &Key, const char *Value) {
+    return field(Key, std::string(Value));
+  }
+  JsonObject &field(const std::string &Key, double Value, int Digits = 6);
+  JsonObject &field(const std::string &Key, int64_t Value);
+  JsonObject &field(const std::string &Key, int Value) {
+    return field(Key, static_cast<int64_t>(Value));
+  }
+  JsonObject &field(const std::string &Key, size_t Value) {
+    return field(Key, static_cast<int64_t>(Value));
+  }
+  JsonObject &field(const std::string &Key, bool Value);
+  /// Emits \p Raw verbatim — for nested objects/arrays built separately.
+  JsonObject &fieldRaw(const std::string &Key, const std::string &Raw);
+
+  /// The completed object, braces included.
+  std::string str() const { return Body + "}"; }
+
+private:
+  void key(const std::string &Key);
+
+  std::string Body = "{";
+  bool First = true;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_JSON_H

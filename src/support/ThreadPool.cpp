@@ -2,6 +2,8 @@
 
 #include "src/support/ThreadPool.h"
 
+#include <cassert>
+
 using namespace wootz;
 
 ThreadPool::ThreadPool(unsigned ThreadCount) : ThreadCount(ThreadCount) {
@@ -11,6 +13,12 @@ ThreadPool::ThreadPool(unsigned ThreadCount) : ThreadCount(ThreadCount) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Drain first: a running task may enqueue follow-up work, and setting
+  // ShuttingDown while such work is still being produced would let
+  // workers exit with tasks left in the queue. After wait() returns no
+  // task is running, so nothing can call enqueue() anymore and the
+  // "enqueue after shutdown began" race is impossible by construction.
+  wait();
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     ShuttingDown = true;
@@ -27,6 +35,7 @@ void ThreadPool::enqueue(std::function<void()> Task) {
   }
   {
     std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!ShuttingDown && "enqueue after ThreadPool shutdown began");
     Tasks.push(std::move(Task));
     ++InFlight;
   }
@@ -64,11 +73,16 @@ void ThreadPool::workerLoop() {
       Task = std::move(Tasks.front());
       Tasks.pop();
     }
+    // Scope guard: InFlight must drop even if Task() exits abnormally,
+    // or wait() (and the draining destructor) would hang forever.
+    struct Completion {
+      ThreadPool &Pool;
+      ~Completion() {
+        std::lock_guard<std::mutex> Lock(Pool.Mutex);
+        if (--Pool.InFlight == 0)
+          Pool.AllDone.notify_all();
+      }
+    } Finished{*this};
     Task();
-    {
-      std::lock_guard<std::mutex> Lock(Mutex);
-      if (--InFlight == 0)
-        AllDone.notify_all();
-    }
   }
 }

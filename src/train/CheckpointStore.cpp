@@ -30,11 +30,13 @@ void CheckpointStore::capture(const std::string &Key, Graph &Source,
     for (size_t K = 0; K < State.size(); ++K)
       Bundle[LayerName + "/s" + std::to_string(K)] = State[K]->Value;
   }
+  std::lock_guard<std::mutex> Lock(Mutex);
   Bundles[Key] = std::move(Bundle);
 }
 
 Error CheckpointStore::restore(const std::string &Key, Graph &Target,
                                const std::string &Prefix) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Bundles.find(Key);
   if (It == Bundles.end())
     return Error::failure("no checkpoint stored under key '" + Key + "'");
@@ -59,6 +61,7 @@ Error CheckpointStore::restore(const std::string &Key, Graph &Target,
 }
 
 std::vector<std::string> CheckpointStore::keys() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::vector<std::string> Out;
   Out.reserve(Bundles.size());
   for (const auto &[Key, Bundle] : Bundles)
@@ -72,6 +75,7 @@ Error CheckpointStore::saveTo(const std::string &Directory) const {
   if (FsError)
     return Error::failure("cannot create checkpoint directory '" +
                           Directory + "'");
+  std::lock_guard<std::mutex> Lock(Mutex);
   std::string Manifest;
   for (const auto &[Key, Bundle] : Bundles) {
     const std::string FileName = sanitizeCheckpointKey(Key) + ".ckpt";
@@ -102,6 +106,7 @@ Error CheckpointStore::loadFrom(const std::string &Directory) {
         loadTensors(Directory + "/" + Line.substr(Tab + 1));
     if (!Bundle)
       return Bundle.takeError();
+    std::lock_guard<std::mutex> Lock(Mutex);
     Bundles[Key] = Bundle.take();
   }
   return Error::success();

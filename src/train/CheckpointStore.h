@@ -18,6 +18,10 @@
 /// another. The store works purely in memory and can mirror itself to a
 /// directory on disk.
 ///
+/// The store is thread-safe: block groups pre-trained concurrently by the
+/// runtime scheduler capture into one shared store, and fine-tune tasks
+/// restore from it while later groups are still writing.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef WOOTZ_TRAIN_CHECKPOINTSTORE_H
@@ -27,6 +31,7 @@
 #include "src/nn/Serialize.h"
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -48,6 +53,7 @@ public:
                 const std::string &Prefix) const;
 
   bool contains(const std::string &Key) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
     return Bundles.count(Key) != 0;
   }
 
@@ -62,6 +68,7 @@ public:
   Error loadFrom(const std::string &Directory);
 
 private:
+  mutable std::mutex Mutex;
   std::map<std::string, TensorBundle> Bundles;
 };
 

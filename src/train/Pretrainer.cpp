@@ -9,12 +9,77 @@
 
 using namespace wootz;
 
+Result<GroupPretrainStats> wootz::pretrainGroup(
+    const MultiplexingModel &Model, Graph &FullTrained,
+    const std::string &FullPrefix, const std::vector<TuningBlock> &Group,
+    const Dataset &Data, const TrainMeta &Meta, CheckpointStore &Store,
+    Rng &Generator, const FilterScores *Scores) {
+  const ModelSpec &Spec = Model.spec();
+  Stopwatch GroupTimer;
+  GroupPretrainStats Stats;
+
+  Graph Network;
+  PruneInfo Info;
+  Info.Blocks = Group;
+  Result<BuildResult> Built =
+      Model.build(Network, BuildMode::PreTrain, Info, "full", Generator);
+  if (!Built)
+    return Built.takeError();
+
+  // Teacher weights come from the trained full model; each student
+  // starts from its l1-inherited slice of the teacher.
+  transferWeights(Spec, FilterSelections(), FullTrained, FullPrefix,
+                  Network, "full");
+  for (const BlockPort &Port : Built->Ports) {
+    PruneConfig BlockConfig = unprunedConfig(Spec);
+    for (int M = 0; M < Port.Block.moduleCount(); ++M)
+      BlockConfig[Port.Block.FirstModule + M] = Port.Block.Rates[M];
+    const FilterSelections Selections =
+        Scores ? selectionsFromScores(Spec, BlockConfig, *Scores)
+               : selectFiltersByL1(Spec, BlockConfig, FullTrained,
+                                   FullPrefix);
+    transferWeights(Spec, Selections, FullTrained, FullPrefix, Network,
+                    Port.Prefix, &Port.Layers);
+  }
+
+  BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
+  SgdOptimizer Optimizer(Meta.PretrainLearningRate, Meta.Momentum,
+                         Meta.WeightDecay);
+  const std::vector<Param *> Params = Network.trainableParams();
+  Tensor GradOut;
+
+  for (int Step = 1; Step <= Meta.PretrainSteps; ++Step) {
+    const Batch Mini = Sampler.next();
+    Network.setInput(Built->InputNode, Mini.Images);
+    Network.forward(/*Training=*/true);
+    Network.zeroGrads();
+    double StepLoss = 0.0;
+    for (const BlockPort &Port : Built->Ports) {
+      StepLoss += l2Reconstruction(Network.activation(Port.StudentOut),
+                                   Network.activation(Port.TeacherOut),
+                                   GradOut);
+      Network.seedGradient(Port.StudentOut, GradOut);
+    }
+    Network.backward();
+    Optimizer.step(Params);
+    StepLoss /= static_cast<double>(Built->Ports.size());
+    if (Step == 1)
+      Stats.FirstLoss = StepLoss;
+    if (Step == Meta.PretrainSteps)
+      Stats.LastLoss = StepLoss;
+  }
+
+  for (const BlockPort &Port : Built->Ports)
+    Store.capture(Port.Block.id(), Network, Port.Prefix, Port.Layers);
+  Stats.Seconds = GroupTimer.seconds();
+  return Stats;
+}
+
 Result<PretrainStats> wootz::pretrainBlocks(
     const MultiplexingModel &Model, Graph &FullTrained,
     const std::string &FullPrefix, const std::vector<TuningBlock> &Blocks,
     const Dataset &Data, const TrainMeta &Meta, CheckpointStore &Store,
-    Rng &Generator, const FilterScores *Scores) {
-  const ModelSpec &Spec = Model.spec();
+    Rng &Generator, const FilterScores *Scores, RunLog *Log) {
   Stopwatch TotalTimer;
   PretrainStats Stats;
 
@@ -32,62 +97,24 @@ Result<PretrainStats> wootz::pretrainBlocks(
       partitionIntoGroups(std::move(Pending));
   Stats.GroupCount = static_cast<int>(Groups.size());
 
-  for (const std::vector<TuningBlock> &Group : Groups) {
-    Stopwatch GroupTimer;
-    Graph Network;
-    PruneInfo Info;
-    Info.Blocks = Group;
-    Result<BuildResult> Built = Model.build(Network, BuildMode::PreTrain,
-                                            Info, "full", Generator);
-    if (!Built)
-      return Built.takeError();
-
-    // Teacher weights come from the trained full model; each student
-    // starts from its l1-inherited slice of the teacher.
-    transferWeights(Spec, FilterSelections(), FullTrained, FullPrefix,
-                    Network, "full");
-    for (const BlockPort &Port : Built->Ports) {
-      PruneConfig BlockConfig = unprunedConfig(Spec);
-      for (int M = 0; M < Port.Block.moduleCount(); ++M)
-        BlockConfig[Port.Block.FirstModule + M] = Port.Block.Rates[M];
-      const FilterSelections Selections =
-          Scores ? selectionsFromScores(Spec, BlockConfig, *Scores)
-                 : selectFiltersByL1(Spec, BlockConfig, FullTrained,
-                                     FullPrefix);
-      transferWeights(Spec, Selections, FullTrained, FullPrefix, Network,
-                      Port.Prefix, &Port.Layers);
+  for (size_t GroupIndex = 0; GroupIndex < Groups.size(); ++GroupIndex) {
+    const double StartAt = Log ? Log->now() : 0.0;
+    Result<GroupPretrainStats> GroupStats =
+        pretrainGroup(Model, FullTrained, FullPrefix, Groups[GroupIndex],
+                      Data, Meta, Store, Generator, Scores);
+    if (!GroupStats)
+      return GroupStats.takeError();
+    if (Log) {
+      SpanEvent Span;
+      Span.Name = "pretrain:g" + std::to_string(GroupIndex);
+      Span.ReadyAt = StartAt;
+      Span.StartAt = StartAt;
+      Span.EndAt = Log->now();
+      Log->record(std::move(Span));
     }
-
-    BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
-    SgdOptimizer Optimizer(Meta.PretrainLearningRate, Meta.Momentum,
-                           Meta.WeightDecay);
-    const std::vector<Param *> Params = Network.trainableParams();
-    Tensor GradOut;
-
-    for (int Step = 1; Step <= Meta.PretrainSteps; ++Step) {
-      const Batch Mini = Sampler.next();
-      Network.setInput(Built->InputNode, Mini.Images);
-      Network.forward(/*Training=*/true);
-      Network.zeroGrads();
-      double StepLoss = 0.0;
-      for (const BlockPort &Port : Built->Ports) {
-        StepLoss += l2Reconstruction(Network.activation(Port.StudentOut),
-                                     Network.activation(Port.TeacherOut),
-                                     GradOut);
-        Network.seedGradient(Port.StudentOut, GradOut);
-      }
-      Network.backward();
-      Optimizer.step(Params);
-      StepLoss /= static_cast<double>(Built->Ports.size());
-      if (Step == 1)
-        Stats.FirstLoss += StepLoss;
-      if (Step == Meta.PretrainSteps)
-        Stats.LastLoss += StepLoss;
-    }
-
-    for (const BlockPort &Port : Built->Ports)
-      Store.capture(Port.Block.id(), Network, Port.Prefix, Port.Layers);
-    Stats.GroupSeconds.push_back(GroupTimer.seconds());
+    Stats.FirstLoss += GroupStats->FirstLoss;
+    Stats.LastLoss += GroupStats->LastLoss;
+    Stats.GroupSeconds.push_back(GroupStats->Seconds);
   }
   Stats.FirstLoss /= Stats.GroupCount;
   Stats.LastLoss /= Stats.GroupCount;

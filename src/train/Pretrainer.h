@@ -22,6 +22,7 @@
 #include "src/compiler/Solver.h"
 #include "src/data/Dataset.h"
 #include "src/pruning/Importance.h"
+#include "src/runtime/RunLog.h"
 #include "src/train/CheckpointStore.h"
 
 namespace wootz {
@@ -40,18 +41,44 @@ struct PretrainStats {
   double LastLoss = 0.0;
 };
 
+/// Per-group cost and loss accounting from pretrainGroup().
+struct GroupPretrainStats {
+  double Seconds = 0.0;
+  /// Mean reconstruction loss over the group's blocks at the first and
+  /// last training step.
+  double FirstLoss = 0.0;
+  double LastLoss = 0.0;
+};
+
+/// Pre-trains one non-overlapping block group against the teacher
+/// \p FullTrained (nodes "<FullPrefix>/...") and captures each trained
+/// block into \p Store under its canonical id. This is the unit the
+/// runtime scheduler dispatches: groups only read the teacher and only
+/// write distinct store keys, so distinct groups may train concurrently
+/// (each with its own \p Generator). The caller is responsible for
+/// filtering out identity and already-stored blocks.
+Result<GroupPretrainStats>
+pretrainGroup(const MultiplexingModel &Model, Graph &FullTrained,
+              const std::string &FullPrefix,
+              const std::vector<TuningBlock> &Group, const Dataset &Data,
+              const TrainMeta &Meta, CheckpointStore &Store,
+              Rng &Generator, const FilterScores *Scores = nullptr);
+
 /// Pre-trains \p Blocks with \p FullTrained (nodes "<FullPrefix>/...")
 /// as the teacher and stores each trained block in \p Store under its
 /// canonical id. Identity blocks are skipped (they reuse the teacher's
 /// weights directly). Blocks are initialized by weight inheritance
 /// before training — ranked by \p Scores when given, by l1 norms
-/// otherwise.
+/// otherwise. Groups run serially, in partition order, consuming
+/// \p Generator deterministically; when \p Log is given each group is
+/// recorded as a "pretrain:g<index>" span.
 Result<PretrainStats>
 pretrainBlocks(const MultiplexingModel &Model, Graph &FullTrained,
                const std::string &FullPrefix,
                const std::vector<TuningBlock> &Blocks, const Dataset &Data,
                const TrainMeta &Meta, CheckpointStore &Store,
-               Rng &Generator, const FilterScores *Scores = nullptr);
+               Rng &Generator, const FilterScores *Scores = nullptr,
+               RunLog *Log = nullptr);
 
 } // namespace wootz
 

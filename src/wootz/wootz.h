@@ -36,6 +36,8 @@
 #include "src/pruning/Importance.h"
 #include "src/pruning/PruneConfig.h"
 #include "src/pruning/Transfer.h"
+#include "src/runtime/RunLog.h"
+#include "src/runtime/TaskGraph.h"
 #include "src/sequitur/Sequitur.h"
 #include "src/support/StringUtils.h"
 #include "src/support/Table.h"

@@ -1,0 +1,306 @@
+//===- tests/RuntimeTest.cpp - TaskGraph scheduler and RunLog tests ---------===//
+//
+// Covers the runtime subsystem in isolation: dependency ordering,
+// priorities, futures, cancellation cascades, fail-fast, multi-worker
+// execution, and the telemetry/JSONL layer.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/runtime/TaskGraph.h"
+
+#include "src/support/File.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace wootz;
+
+namespace {
+
+Error ok() { return Error::success(); }
+
+TEST(TaskGraphTest, InlineRunRespectsDependencies) {
+  TaskGraph Graph;
+  std::vector<std::string> Order;
+  const TaskId A = Graph.add("task:a", {}, 0, [&] {
+    Order.push_back("a");
+    return ok();
+  });
+  const TaskId B = Graph.add("task:b", {A}, 100, [&] {
+    Order.push_back("b");
+    return ok();
+  });
+  Graph.add("task:c", {A, B}, 100, [&] {
+    Order.push_back("c");
+    return ok();
+  });
+  Error E = Graph.run(0);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(Order[0], "a");
+  EXPECT_EQ(Order[1], "b");
+  EXPECT_EQ(Order[2], "c");
+  EXPECT_EQ(Graph.state(A), TaskState::Done);
+  EXPECT_EQ(Graph.taskCount(), 3u);
+  EXPECT_EQ(Graph.cancelledCount(), 0u);
+}
+
+TEST(TaskGraphTest, InlineRunFollowsPriorities) {
+  TaskGraph Graph;
+  std::vector<int> Order;
+  for (int Priority : {1, 5, 3, 5})
+    Graph.add("task:p" + std::to_string(Priority), {}, Priority, [&, Priority] {
+      Order.push_back(Priority);
+      return ok();
+    });
+  Error E = Graph.run(0);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  // Highest priority first; insertion order breaks the 5-5 tie.
+  EXPECT_EQ(Order, (std::vector<int>{5, 5, 3, 1}));
+}
+
+TEST(TaskGraphTest, TaskSlotCarriesProducedValues) {
+  TaskGraph Graph;
+  TaskSlot<int> Lhs, Rhs, Sum;
+  const TaskId A = Graph.addProducing<int>(
+      "produce:a", {}, 0, [] { return Result<int>(20); }, Lhs);
+  const TaskId B = Graph.addProducing<int>(
+      "produce:b", {}, 0, [] { return Result<int>(22); }, Rhs);
+  Graph.addProducing<int>(
+      "produce:sum", {A, B}, 0,
+      [&] { return Result<int>(Lhs.get() + Rhs.get()); }, Sum);
+  Error E = Graph.run(0);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  ASSERT_TRUE(Sum.ready());
+  EXPECT_EQ(Sum.get(), 42);
+  EXPECT_EQ(Sum.take(), 42);
+  EXPECT_FALSE(Sum.ready());
+}
+
+TEST(TaskGraphTest, CancellationCascadesToDependents) {
+  TaskGraph Graph;
+  int Ran = 0;
+  const TaskId A = Graph.add("task:a", {}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  const TaskId B = Graph.add("task:b", {A}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  const TaskId C = Graph.add("task:c", {B}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  const TaskId D = Graph.add("task:d", {}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  EXPECT_TRUE(Graph.cancel(A));
+  EXPECT_FALSE(Graph.cancel(A)); // Already cancelled.
+  Error E = Graph.run(0);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Ran, 1); // Only D.
+  EXPECT_EQ(Graph.state(A), TaskState::Cancelled);
+  EXPECT_EQ(Graph.state(B), TaskState::Cancelled);
+  EXPECT_EQ(Graph.state(C), TaskState::Cancelled);
+  EXPECT_EQ(Graph.state(D), TaskState::Done);
+  EXPECT_EQ(Graph.cancelledCount(), 3u);
+}
+
+TEST(TaskGraphTest, CancelFromInsideARunningTask) {
+  TaskGraph Graph;
+  int Ran = 0;
+  // Low-priority victim: scheduled after the canceller on the inline
+  // runner, so the cancel lands while it is still Ready.
+  TaskId Victim = 0;
+  Graph.add("task:canceller", {}, 10, [&] {
+    ++Ran;
+    EXPECT_TRUE(Graph.cancel(Victim));
+    return ok();
+  });
+  Victim = Graph.add("task:victim", {}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  Error E = Graph.run(0);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Ran, 1);
+  EXPECT_EQ(Graph.state(Victim), TaskState::Cancelled);
+}
+
+TEST(TaskGraphTest, FailureFailsFastAndCancelsTheRest) {
+  TaskGraph Graph;
+  int Ran = 0;
+  const TaskId A = Graph.add("task:a", {}, 10, [&] {
+    ++Ran;
+    return Error::failure("task a exploded");
+  });
+  const TaskId B = Graph.add("task:b", {A}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  const TaskId C = Graph.add("task:c", {}, 0, [&] {
+    ++Ran;
+    return ok();
+  });
+  Error E = Graph.run(0);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("task a exploded"), std::string::npos);
+  EXPECT_EQ(Ran, 1);
+  EXPECT_EQ(Graph.state(A), TaskState::Failed);
+  EXPECT_EQ(Graph.state(B), TaskState::Cancelled);
+  EXPECT_EQ(Graph.state(C), TaskState::Cancelled);
+}
+
+TEST(TaskGraphTest, MultiWorkerRunExecutesEveryTaskOnce) {
+  RunLog Log;
+  TaskGraph Graph(&Log);
+  std::atomic<int> Sum{0};
+  // A layered graph: 4 roots, each with a chain of 3 dependents.
+  for (int Root = 0; Root < 4; ++Root) {
+    TaskId Prev = Graph.add("root:" + std::to_string(Root), {}, 0, [&] {
+      Sum += 1;
+      return ok();
+    });
+    for (int Link = 0; Link < 3; ++Link)
+      Prev = Graph.add("link:" + std::to_string(Root) + "." +
+                           std::to_string(Link),
+                       {Prev}, Link, [&] {
+                         Sum += 10;
+                         return ok();
+                       });
+  }
+  Error E = Graph.run(3);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  EXPECT_EQ(Sum.load(), 4 * 1 + 12 * 10);
+  const RunTelemetry Telemetry = Log.snapshot();
+  EXPECT_EQ(Telemetry.Spans.size(), 16u);
+  EXPECT_EQ(Telemetry.counter("tasks_done"), 16);
+  EXPECT_EQ(Telemetry.counter("tasks_cancelled"), 0);
+  for (const SpanEvent &Span : Telemetry.Spans) {
+    EXPECT_EQ(Span.Status, "done");
+    EXPECT_GE(Span.queueSeconds(), 0.0) << Span.Name;
+    EXPECT_GE(Span.runSeconds(), 0.0) << Span.Name;
+    EXPECT_GE(Span.Worker, 0) << Span.Name;
+    EXPECT_LT(Span.Worker, 3) << Span.Name;
+  }
+}
+
+TEST(TaskGraphTest, MultiWorkerFailurePropagates) {
+  TaskGraph Graph;
+  for (int I = 0; I < 6; ++I)
+    Graph.add("task:" + std::to_string(I), {}, 0, [I] {
+      if (I == 2)
+        return Error::failure("boom");
+      return ok();
+    });
+  Error E = Graph.run(2);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("boom"), std::string::npos);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// RunLog and telemetry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+SpanEvent makeSpan(const std::string &Name, double Ready, double Start,
+                   double End, const std::string &Status = "done") {
+  SpanEvent Span;
+  Span.Name = Name;
+  Span.Kind = spanKindFromName(Name);
+  Span.ReadyAt = Ready;
+  Span.StartAt = Start;
+  Span.EndAt = End;
+  Span.Status = Status;
+  return Span;
+}
+
+TEST(RunLogTest, SpanKindComesFromTheNamePrefix) {
+  EXPECT_EQ(spanKindFromName("eval:3"), "eval");
+  EXPECT_EQ(spanKindFromName("pretrain:g0"), "pretrain");
+  EXPECT_EQ(spanKindFromName("no-colon"), "task");
+  EXPECT_EQ(spanKindFromName(":odd"), "task");
+}
+
+TEST(RunLogTest, TelemetryAggregatesSkipCancelledSpans) {
+  RunTelemetry Telemetry;
+  Telemetry.Spans.push_back(makeSpan("pretrain:g0", 0.0, 0.0, 2.0));
+  Telemetry.Spans.push_back(makeSpan("pretrain:g1", 0.0, 2.0, 5.0));
+  Telemetry.Spans.push_back(makeSpan("eval:0", 2.0, 3.0, 4.0));
+  Telemetry.Spans.push_back(makeSpan("eval:1", 4.0, 4.0, 4.0, "cancelled"));
+  EXPECT_DOUBLE_EQ(Telemetry.makespan(), 5.0);
+  EXPECT_DOUBLE_EQ(Telemetry.busySeconds("pretrain"), 5.0);
+  EXPECT_DOUBLE_EQ(Telemetry.busySeconds("eval"), 1.0);
+  EXPECT_DOUBLE_EQ(Telemetry.firstStart("eval"), 3.0);
+  EXPECT_DOUBLE_EQ(Telemetry.lastEnd("pretrain"), 5.0);
+  // The overlap witness: an eval started before the last pretrain ended.
+  EXPECT_LT(Telemetry.firstStart("eval"), Telemetry.lastEnd("pretrain"));
+}
+
+TEST(RunLogTest, JsonlHasOneLinePerSpanPlusCounters) {
+  RunLog Log;
+  Log.record(makeSpan("eval:0", 0.0, 0.5, 1.5));
+  Log.record(makeSpan("pretrain:g0", 0.0, 0.0, 2.0));
+  Log.bump("tasks_done", 2);
+  Log.bump("tasks_cancelled");
+
+  const std::string Jsonl = Log.jsonl();
+  std::istringstream Stream(Jsonl);
+  std::string Line;
+  std::vector<std::string> Lines;
+  while (std::getline(Stream, Line))
+    Lines.push_back(Line);
+  ASSERT_EQ(Lines.size(), 3u);
+  EXPECT_NE(Lines[0].find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"name\":\"eval:0\""), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"kind\":\"eval\""), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"queue_seconds\":0.5"), std::string::npos);
+  EXPECT_NE(Lines[0].find("\"run_seconds\":1"), std::string::npos);
+  EXPECT_NE(Lines[1].find("\"kind\":\"pretrain\""), std::string::npos);
+  EXPECT_NE(Lines[2].find("\"type\":\"counters\""), std::string::npos);
+  EXPECT_NE(Lines[2].find("\"tasks_done\":2"), std::string::npos);
+  EXPECT_NE(Lines[2].find("\"tasks_cancelled\":1"), std::string::npos);
+}
+
+TEST(RunLogTest, WriteJsonlRoundTripsThroughAFile) {
+  RunLog Log;
+  Log.record(makeSpan("eval:0", 0.0, 0.0, 1.0));
+  const std::string Path =
+      ::testing::TempDir() + "wootz_runlog_test.jsonl";
+  Error E = Log.writeJsonl(Path);
+  ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good());
+  std::stringstream Contents;
+  Contents << In.rdbuf();
+  EXPECT_EQ(Contents.str(), Log.jsonl());
+  std::remove(Path.c_str());
+}
+
+TEST(RunLogTest, GraphRecordsCancelledSpans) {
+  RunLog Log;
+  TaskGraph Graph(&Log);
+  const TaskId A = Graph.add("task:a", {}, 0, [] { return ok(); });
+  Graph.add("task:b", {A}, 0, [] { return ok(); });
+  Graph.cancel(A);
+  Error E = Graph.run(0);
+  EXPECT_FALSE(static_cast<bool>(E)) << E.message();
+  const RunTelemetry Telemetry = Log.snapshot();
+  ASSERT_EQ(Telemetry.Spans.size(), 2u);
+  for (const SpanEvent &Span : Telemetry.Spans) {
+    EXPECT_EQ(Span.Status, "cancelled");
+    EXPECT_DOUBLE_EQ(Span.runSeconds(), 0.0);
+  }
+  EXPECT_EQ(Telemetry.counter("tasks_cancelled"), 2);
+}
+
+} // namespace

@@ -248,6 +248,69 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
     EXPECT_EQ(Hit.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForWithZeroCountIsANoOp) {
+  ThreadPool Pool(2);
+  int Calls = 0;
+  Pool.parallelFor(0, [&](size_t) { ++Calls; });
+  EXPECT_EQ(Calls, 0);
+  // The pool must still be usable afterwards.
+  Pool.parallelFor(3, [&](size_t) { ++Calls; });
+  Pool.wait();
+  EXPECT_EQ(Calls, 3);
+}
+
+TEST(ThreadPoolTest, InlinePoolParallelForCoversRangeInOrder) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.threadCount(), 0u);
+  std::vector<size_t> Seen;
+  Pool.parallelFor(5, [&](size_t I) { Seen.push_back(I); });
+  EXPECT_EQ(Seen, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  Pool.wait(); // wait() on an inline pool is a harmless no-op.
+}
+
+TEST(ThreadPoolTest, TasksMayEnqueueMoreWork) {
+  // A task enqueued from inside a running task must complete before
+  // wait() returns (and before the destructor tears the pool down) —
+  // the destructor drains the queue before signalling shutdown.
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(2);
+    for (int I = 0; I < 8; ++I)
+      Pool.enqueue([&, I] {
+        ++Counter;
+        if (I % 2 == 0)
+          Pool.enqueue([&] { ++Counter; });
+      });
+    Pool.wait();
+    EXPECT_EQ(Counter.load(), 12);
+  }
+  EXPECT_EQ(Counter.load(), 12);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  // Destroying the pool with work still queued must run every task, not
+  // drop the tail of the queue: shutdown begins only once idle.
+  std::atomic<int> Counter{0};
+  {
+    ThreadPool Pool(3);
+    for (int I = 0; I < 64; ++I)
+      Pool.enqueue([&] { ++Counter; });
+    // No wait(): the destructor is responsible for the drain.
+  }
+  EXPECT_EQ(Counter.load(), 64);
+}
+
+TEST(ThreadPoolTest, RepeatedWaitCyclesAreStable) {
+  ThreadPool Pool(2);
+  std::atomic<int> Counter{0};
+  for (int Round = 0; Round < 20; ++Round) {
+    for (int I = 0; I < 10; ++I)
+      Pool.enqueue([&] { ++Counter; });
+    Pool.wait();
+    EXPECT_EQ(Counter.load(), (Round + 1) * 10);
+  }
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//

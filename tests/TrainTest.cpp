@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <filesystem>
+#include <thread>
 
 using namespace wootz;
 
@@ -177,6 +179,58 @@ TEST_F(TrainFixture, CheckpointStoreDiskRoundTrip) {
   EXPECT_TRUE(Loaded.contains("m1@0.5"));
   EXPECT_EQ(Loaded.keys(), Store.keys());
   std::filesystem::remove_all(Dir);
+}
+
+TEST_F(TrainFixture, CheckpointStoreConcurrentWritersAndReaders) {
+  // The runtime scheduler pre-trains block groups on worker threads
+  // that all capture into one shared store while fine-tune tasks poll
+  // it. Two writer threads capture disjoint key ranges from their own
+  // graphs while a reader hammers contains()/keys(); every capture must
+  // land and restore cleanly afterwards.
+  constexpr int PerWriter = 12;
+  std::vector<std::string> Layers;
+  for (const LayerSpec &L : Spec.Layers)
+    Layers.push_back(L.Name);
+
+  CheckpointStore Store;
+  std::atomic<bool> Stop{false};
+  auto Writer = [&](int Which, unsigned Seed) {
+    Rng Generator(Seed);
+    Graph Network;
+    Result<BuildResult> Built = Model->build(
+        Network, BuildMode::FullModel, PruneInfo(), "full", Generator);
+    ASSERT_TRUE(static_cast<bool>(Built));
+    for (int I = 0; I < PerWriter; ++I)
+      Store.capture("w" + std::to_string(Which) + "_" + std::to_string(I),
+                    Network, "full", Layers);
+  };
+  std::thread WriterA([&] { Writer(0, 71); });
+  std::thread WriterB([&] { Writer(1, 72); });
+  std::thread Reader([&] {
+    size_t Snapshots = 0;
+    while (!Stop.load()) {
+      Store.contains("w0_0");
+      Snapshots += Store.keys().size();
+    }
+    (void)Snapshots;
+  });
+  WriterA.join();
+  WriterB.join();
+  Stop = true;
+  Reader.join();
+
+  EXPECT_EQ(Store.keys().size(), static_cast<size_t>(2 * PerWriter));
+  Rng Generator(73);
+  Graph Target;
+  ASSERT_TRUE(static_cast<bool>(Model->build(
+      Target, BuildMode::FullModel, PruneInfo(), "net", Generator)));
+  for (int Which = 0; Which < 2; ++Which)
+    for (int I = 0; I < PerWriter; ++I) {
+      Error E = Store.restore(
+          "w" + std::to_string(Which) + "_" + std::to_string(I), Target,
+          "net");
+      ASSERT_FALSE(static_cast<bool>(E)) << E.message();
+    }
 }
 
 //===----------------------------------------------------------------------===//
