@@ -1,0 +1,203 @@
+//===- bench/bench_kernels.cpp - Compute-kernel micro benchmark ------------------===//
+//
+// Tracks the performance of the compute substrate everything else sits
+// on: blocked vs reference GEMM GFLOP/s across sizes (single- and
+// multi-threaded) and batch-parallel Conv2D forward/backward scaling
+// over kernel worker counts. Every row also lands in BENCH_kernels.json
+// so the perf trajectory is machine-readable from this PR onward.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/nn/Layers.h"
+#include "src/support/File.h"
+#include "src/support/Json.h"
+#include "src/support/Rng.h"
+#include "src/support/Stopwatch.h"
+#include "src/support/StringUtils.h"
+#include "src/support/Table.h"
+#include "src/tensor/Kernels.h"
+#include "src/tensor/Ops.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace wootz;
+
+namespace {
+
+/// Median seconds per call: repeats \p Body until ~0.12 s have
+/// accumulated (after one warmup call), three times, and takes the
+/// median of the per-call means.
+double secondsPerCall(const std::function<void()> &Body) {
+  Body(); // Warmup: scratch allocation, pool spin-up, page faults.
+  std::vector<double> Means;
+  for (int Round = 0; Round < 3; ++Round) {
+    Stopwatch Timer;
+    int Reps = 0;
+    do {
+      Body();
+      ++Reps;
+    } while (Timer.seconds() < 0.12);
+    Means.push_back(Timer.seconds() / Reps);
+  }
+  std::sort(Means.begin(), Means.end());
+  return Means[1];
+}
+
+void fillRandom(float *Data, size_t Count, Rng &Generator) {
+  for (size_t I = 0; I < Count; ++I)
+    Data[I] = Generator.nextGaussian();
+}
+
+double gflops(double Flops, double Seconds) {
+  return Seconds > 0.0 ? Flops / Seconds / 1e9 : 0.0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Compute kernels: blocked GEMM and batch-parallel "
+              "Conv2D ===\n\n");
+  std::string JsonRows;
+  auto pushRow = [&JsonRows](const JsonObject &Row) {
+    JsonRows += std::string(JsonRows.empty() ? "" : ",\n  ") + Row.str();
+  };
+
+  const unsigned MtWorkers = 4;
+  Rng Generator(0xbe7c);
+
+  //===--------------------------------------------------------------------===//
+  // GEMM: reference vs blocked, single- and multi-threaded.
+  //===--------------------------------------------------------------------===//
+  Table GemmTable({"size", "ref GF/s", "blocked GF/s", "blocked x4 GF/s",
+                   "speedup 1T", "scaling 1->4"});
+  for (int Size : {32, 64, 128, 256, 512}) {
+    const size_t Count = static_cast<size_t>(Size) * Size;
+    Tensor A(Shape{Size, Size}), B(Shape{Size, Size}), C(Shape{Size, Size});
+    fillRandom(A.data(), Count, Generator);
+    fillRandom(B.data(), Count, Generator);
+    const double Flops = 2.0 * Size * Size * Size;
+
+    const double RefSec = secondsPerCall(
+        [&] { gemmReference(A.data(), B.data(), C.data(), Size, Size, Size); });
+    setKernelWorkers(1);
+    const double BlockedSec = secondsPerCall(
+        [&] { gemm(A.data(), B.data(), C.data(), Size, Size, Size); });
+    setKernelWorkers(MtWorkers);
+    const double BlockedMtSec = secondsPerCall(
+        [&] { gemm(A.data(), B.data(), C.data(), Size, Size, Size); });
+    setKernelWorkers(1);
+
+    const double RefGf = gflops(Flops, RefSec);
+    const double BlockedGf = gflops(Flops, BlockedSec);
+    const double BlockedMtGf = gflops(Flops, BlockedMtSec);
+    GemmTable.addRow({std::to_string(Size), formatDouble(RefGf, 2),
+                      formatDouble(BlockedGf, 2),
+                      formatDouble(BlockedMtGf, 2),
+                      formatDouble(BlockedGf / RefGf, 2) + "x",
+                      formatDouble(BlockedMtGf / BlockedGf, 2) + "x"});
+    JsonObject Row;
+    Row.field("kind", "gemm")
+        .field("m", Size)
+        .field("k", Size)
+        .field("n", Size)
+        .field("gflops_reference", RefGf, 3)
+        .field("gflops_blocked", BlockedGf, 3)
+        .field("gflops_blocked_mt", BlockedMtGf, 3)
+        .field("mt_workers", static_cast<int>(MtWorkers))
+        .field("speedup_blocked_vs_reference", BlockedGf / RefGf, 3);
+    pushRow(Row);
+  }
+  std::printf("--- GEMM (square, single precision) ---\n%s\n",
+              GemmTable.render().c_str());
+
+  //===--------------------------------------------------------------------===//
+  // Conv2D forward/backward: batch-parallel scaling over workers.
+  //===--------------------------------------------------------------------===//
+  const int Batch = 8;
+  ConvGeometry Geometry{16, 32, 3, 1, 1};
+  const int Height = 16, Width = 16;
+  Conv2D Conv(Geometry);
+  Conv.initParams(Generator);
+
+  Tensor In(Shape{Batch, Geometry.InChannels, Height, Width});
+  fillRandom(In.data(), In.size(), Generator);
+  const Shape OutShape = Conv.outputShape({In.shape()});
+  Tensor Out(OutShape), GradOut(OutShape), GradIn(In.shape());
+  fillRandom(GradOut.data(), GradOut.size(), Generator);
+  LayerScratch Scratch;
+  const std::vector<const Tensor *> Inputs{&In};
+  const std::vector<Tensor *> GradInputs{&GradIn};
+
+  const int OutH = Geometry.outExtent(Height);
+  const int OutW = Geometry.outExtent(Width);
+  const double ColRows = static_cast<double>(Geometry.InChannels) *
+                         Geometry.KernelSize * Geometry.KernelSize;
+  const double FwdFlops = 2.0 * Batch * Geometry.OutChannels * ColRows *
+                          OutH * OutW;
+  const double BwdFlops = 2.0 * FwdFlops; // dW and dX GEMMs.
+
+  Table ConvTable({"workers", "fwd ms", "fwd GF/s", "bwd ms", "bwd GF/s"});
+  double FwdOneWorker = 0.0, FwdFourWorkers = 0.0;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    setKernelWorkers(Workers);
+    const double FwdSec = secondsPerCall(
+        [&] { Conv.forward(Inputs, Out, Scratch, /*Training=*/true); });
+    const double BwdSec = secondsPerCall([&] {
+      for (Param *P : Conv.params())
+        P->Grad.zero();
+      GradIn.zero();
+      Conv.backward(Inputs, Out, GradOut, Scratch, GradInputs);
+    });
+    if (Workers == 1)
+      FwdOneWorker = FwdSec;
+    if (Workers == 4)
+      FwdFourWorkers = FwdSec;
+    ConvTable.addRow({std::to_string(Workers),
+                      formatDouble(FwdSec * 1e3, 3),
+                      formatDouble(gflops(FwdFlops, FwdSec), 2),
+                      formatDouble(BwdSec * 1e3, 3),
+                      formatDouble(gflops(BwdFlops, BwdSec), 2)});
+    JsonObject Row;
+    Row.field("kind", "conv2d")
+        .field("batch", Batch)
+        .field("in_channels", Geometry.InChannels)
+        .field("out_channels", Geometry.OutChannels)
+        .field("kernel", Geometry.KernelSize)
+        .field("height", Height)
+        .field("width", Width)
+        .field("workers", static_cast<int>(Workers))
+        .field("forward_seconds", FwdSec, 6)
+        .field("forward_gflops", gflops(FwdFlops, FwdSec), 3)
+        .field("backward_seconds", BwdSec, 6)
+        .field("backward_gflops", gflops(BwdFlops, BwdSec), 3);
+    pushRow(Row);
+  }
+  setKernelWorkers(1);
+  std::printf("--- Conv2D %dx%d k%d, %d->%d channels, batch %d ---\n%s\n",
+              Height, Width, Geometry.KernelSize, Geometry.InChannels,
+              Geometry.OutChannels, Batch, ConvTable.render().c_str());
+  const double Scaling =
+      FwdFourWorkers > 0.0 ? FwdOneWorker / FwdFourWorkers : 0.0;
+  std::printf("conv forward scaling 1->4 workers: %.2fx (%.0f%% parallel "
+              "efficiency; expect ~1x on a single-core host)\n\n",
+              Scaling, 100.0 * Scaling / 4.0);
+  JsonObject Summary;
+  Summary.field("kind", "conv2d_scaling")
+      .field("workers_from", 1)
+      .field("workers_to", 4)
+      .field("forward_speedup", Scaling, 3);
+  pushRow(Summary);
+
+  const std::string JsonPath = "BENCH_kernels.json";
+  Error WriteErr = writeFile(JsonPath, "[\n  " + JsonRows + "\n]\n");
+  if (WriteErr)
+    std::printf("warning: could not write %s: %s\n", JsonPath.c_str(),
+                WriteErr.message().c_str());
+  else
+    std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

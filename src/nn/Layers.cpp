@@ -2,6 +2,8 @@
 
 #include "src/nn/Layers.h"
 
+#include "src/tensor/Kernels.h"
+
 #include <cmath>
 #include <cstring>
 
@@ -41,7 +43,6 @@ Shape Conv2D::outputShape(const std::vector<Shape> &InputShapes) const {
 
 void Conv2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
                      LayerScratch &Scratch, bool Training) {
-  (void)Training;
   const Tensor &In = *Inputs[0];
   const int Batch = In.shape()[0];
   const int Height = In.shape()[2];
@@ -52,36 +53,49 @@ void Conv2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
       Geometry.InChannels * Geometry.KernelSize * Geometry.KernelSize;
   const int ColCols = OutH * OutW;
 
-  // Keep the whole batch's im2col expansion so backward can reuse it.
-  if (Scratch.Buffers.empty())
-    Scratch.Buffers.emplace_back();
-  Tensor &Cols = Scratch.Buffers[0];
-  const Shape ColsShape{Batch, 1, ColRows, ColCols};
-  if (Cols.shape() != ColsShape)
-    Cols = Tensor(ColsShape);
+  // Training keeps the whole batch's im2col expansion for backward to
+  // reuse. Inference routes each sample through per-thread kernel
+  // scratch instead, and releases any batch buffer a previous training
+  // pass left behind so evaluation holds no im2col memory.
+  Tensor *Cols = nullptr;
+  if (Training) {
+    if (Scratch.Buffers.empty())
+      Scratch.Buffers.emplace_back();
+    Cols = &Scratch.Buffers[0];
+    const Shape ColsShape{Batch, 1, ColRows, ColCols};
+    if (Cols->shape() != ColsShape)
+      *Cols = Tensor(ColsShape);
+  } else if (!Scratch.Buffers.empty() && !Scratch.Buffers[0].empty()) {
+    Scratch.Buffers[0] = Tensor();
+  }
 
   const size_t InPlane = static_cast<size_t>(Geometry.InChannels) * Height *
                          Width;
   const size_t OutPlane =
       static_cast<size_t>(Geometry.OutChannels) * ColCols;
   const size_t ColsPlane = static_cast<size_t>(ColRows) * ColCols;
+  const float *WeightPtr = Weight.Value.data();
+  const float *BiasPtr = HasBias ? Bias.Value.data() : nullptr;
 
-  for (int N = 0; N < Batch; ++N) {
-    float *SampleCols = Cols.data() + N * ColsPlane;
-    im2col(In.data() + N * InPlane, Geometry.InChannels, Height, Width,
-           Geometry, SampleCols);
-    gemm(Weight.Value.data(), SampleCols, Out.data() + N * OutPlane,
-         Geometry.OutChannels, ColRows, ColCols);
-    if (!HasBias)
-      continue;
-    float *OutSample = Out.data() + N * OutPlane;
-    for (int O = 0; O < Geometry.OutChannels; ++O) {
-      const float BiasVal = Bias.Value[O];
-      float *Plane = OutSample + static_cast<size_t>(O) * ColCols;
-      for (int I = 0; I < ColCols; ++I)
-        Plane[I] += BiasVal;
+  // Inter-op parallelism: samples are independent, so the batch splits
+  // across the kernel workers; the per-sample GEMM then runs serial on
+  // its worker (kernelParallelFor does not nest).
+  kernelParallelFor(Batch, 1, [&](size_t Begin, size_t End) {
+    KernelScratch &Local = KernelScratch::forCurrentThread();
+    for (size_t N = Begin; N < End; ++N) {
+      float *SampleCols = Cols ? Cols->data() + N * ColsPlane
+                               : Local.Columns.ensure(ColsPlane);
+      im2col(In.data() + N * InPlane, Geometry.InChannels, Height, Width,
+             Geometry, SampleCols);
+      float *OutSample = Out.data() + N * OutPlane;
+      if (BiasPtr)
+        gemmBias(WeightPtr, SampleCols, BiasPtr, OutSample,
+                 Geometry.OutChannels, ColRows, ColCols);
+      else
+        gemm(WeightPtr, SampleCols, OutSample, Geometry.OutChannels,
+             ColRows, ColCols);
     }
-  }
+  });
 }
 
 void Conv2D::backward(const std::vector<const Tensor *> &Inputs,
@@ -99,8 +113,11 @@ void Conv2D::backward(const std::vector<const Tensor *> &Inputs,
       Geometry.InChannels * Geometry.KernelSize * Geometry.KernelSize;
   const int ColCols = OutH * OutW;
 
-  assert(!Scratch.Buffers.empty() &&
-         "conv backward requires the forward pass's im2col buffer");
+  const Shape ColsShape{Batch, 1, ColRows, ColCols};
+  assert(!Scratch.Buffers.empty() && Scratch.Buffers[0].shape() == ColsShape &&
+         "conv backward requires the training-mode forward pass's im2col "
+         "buffer");
+  (void)ColsShape;
   Tensor &Cols = Scratch.Buffers[0];
   const size_t ColsPlane = static_cast<size_t>(ColRows) * ColCols;
   const size_t OutPlane =
@@ -109,33 +126,54 @@ void Conv2D::backward(const std::vector<const Tensor *> &Inputs,
                          Width;
 
   Tensor *GradIn = GradInputs[0];
-  std::vector<float> GradCols;
-  if (GradIn)
-    GradCols.resize(ColsPlane);
+  const size_t WeightCount = Weight.Grad.size();
+  const size_t BiasCount = static_cast<size_t>(Geometry.OutChannels);
+
+  // Samples split across the kernel workers. Input gradients land in
+  // disjoint per-sample planes; parameter gradients accumulate into
+  // per-sample buffers that are reduced in sample order below, so the
+  // result is bit-identical for any worker count (and matches the old
+  // serial sample-by-sample accumulation order).
+  std::vector<std::vector<float>> WeightGrads(Batch);
+  std::vector<std::vector<float>> BiasGrads(HasBias ? Batch : 0);
+
+  kernelParallelFor(Batch, 1, [&](size_t Begin, size_t End) {
+    KernelScratch &Local = KernelScratch::forCurrentThread();
+    for (size_t N = Begin; N < End; ++N) {
+      const float *SampleCols = Cols.data() + N * ColsPlane;
+      const float *GradOutSample = GradOut.data() + N * OutPlane;
+      // dW(sample) = dOut * cols^T.
+      std::vector<float> &WGrad = WeightGrads[N];
+      WGrad.resize(WeightCount);
+      gemmTransposeB(GradOutSample, SampleCols, WGrad.data(),
+                     Geometry.OutChannels, ColCols, ColRows);
+      if (HasBias) {
+        std::vector<float> &BGrad = BiasGrads[N];
+        BGrad.resize(BiasCount);
+        for (int O = 0; O < Geometry.OutChannels; ++O) {
+          const float *Plane =
+              GradOutSample + static_cast<size_t>(O) * ColCols;
+          float Total = 0.0f;
+          for (int I = 0; I < ColCols; ++I)
+            Total += Plane[I];
+          BGrad[O] = Total;
+        }
+      }
+      if (!GradIn)
+        continue;
+      // dCols = W^T * dOut, then scatter back with col2im.
+      float *GradColsBuf = Local.GradCols.ensure(ColsPlane);
+      gemmTransposeA(Weight.Value.data(), GradOutSample, GradColsBuf,
+                     ColRows, Geometry.OutChannels, ColCols);
+      col2im(GradColsBuf, Geometry.InChannels, Height, Width, Geometry,
+             GradIn->data() + N * InPlane);
+    }
+  });
 
   for (int N = 0; N < Batch; ++N) {
-    const float *SampleCols = Cols.data() + N * ColsPlane;
-    const float *GradOutSample = GradOut.data() + N * OutPlane;
-    // dW += dOut * cols^T.
-    gemmTransposeB(GradOutSample, SampleCols, Weight.Grad.data(),
-                   Geometry.OutChannels, ColCols, ColRows,
-                   /*Accumulate=*/true);
-    if (HasBias) {
-      for (int O = 0; O < Geometry.OutChannels; ++O) {
-        const float *Plane = GradOutSample + static_cast<size_t>(O) * ColCols;
-        float Total = 0.0f;
-        for (int I = 0; I < ColCols; ++I)
-          Total += Plane[I];
-        Bias.Grad[O] += Total;
-      }
-    }
-    if (!GradIn)
-      continue;
-    // dCols = W^T * dOut, then scatter back with col2im.
-    gemmTransposeA(Weight.Value.data(), GradOutSample, GradCols.data(),
-                   ColRows, Geometry.OutChannels, ColCols);
-    col2im(GradCols.data(), Geometry.InChannels, Height, Width, Geometry,
-           GradIn->data() + N * InPlane);
+    axpy(1.0f, WeightGrads[N].data(), Weight.Grad.data(), WeightCount);
+    if (HasBias)
+      axpy(1.0f, BiasGrads[N].data(), Bias.Grad.data(), BiasCount);
   }
 }
 

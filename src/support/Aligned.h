@@ -1,0 +1,70 @@
+//===- support/Aligned.h - Aligned allocation ------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal over-aligned STL allocator. Tensor data and the GEMM pack
+/// buffers are allocated on cache-line (64-byte) boundaries so that the
+/// compute kernels get aligned vector loads and panels never straddle
+/// lines unnecessarily.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_ALIGNED_H
+#define WOOTZ_SUPPORT_ALIGNED_H
+
+#include <cstddef>
+#include <new>
+
+namespace wootz {
+
+/// The alignment used for all kernel-visible buffers. One x86 cache line
+/// and exactly one AVX-512 vector.
+inline constexpr std::size_t KernelAlignment = 64;
+
+/// STL allocator handing out \p Alignment-aligned storage.
+template <typename T, std::size_t Alignment = KernelAlignment>
+class AlignedAllocator {
+public:
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment below the type's natural alignment");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment> &) noexcept {}
+
+  template <typename U> struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T *allocate(std::size_t Count) {
+    return static_cast<T *>(
+        ::operator new(Count * sizeof(T), std::align_val_t(Alignment)));
+  }
+
+  void deallocate(T *Ptr, std::size_t) noexcept {
+    ::operator delete(Ptr, std::align_val_t(Alignment));
+  }
+};
+
+template <typename T, typename U, std::size_t Alignment>
+bool operator==(const AlignedAllocator<T, Alignment> &,
+                const AlignedAllocator<U, Alignment> &) {
+  return true;
+}
+
+template <typename T, typename U, std::size_t Alignment>
+bool operator!=(const AlignedAllocator<T, Alignment> &,
+                const AlignedAllocator<U, Alignment> &) {
+  return false;
+}
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_ALIGNED_H

@@ -1,0 +1,307 @@
+//===- tensor/Kernels.cpp --------------------------------------------------===//
+//
+// The blocked GEMM engine and the kernel threading substrate. The GEMM
+// follows the classic GotoBLAS/BLIS decomposition: loop over NC-wide
+// column blocks of C, KC-deep rank-k updates, and MC-tall row panels;
+// the operand slices are packed into contiguous aligned panels so the
+// innermost MR x NR micro-kernel runs on unit-stride data the compiler
+// can keep in vector registers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/tensor/Kernels.h"
+
+#include "src/support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace wootz;
+
+//===----------------------------------------------------------------------===//
+// Kernel worker pool
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::mutex ConfigMutex;
+std::unique_ptr<ThreadPool> KernelPool; ///< Guarded by ConfigMutex.
+
+/// Set while the calling thread executes a kernelParallelFor body;
+/// nested kernel loops run inline on that thread.
+thread_local bool InKernelRegion = false;
+
+unsigned resolveWorkerRequest(unsigned Requested) {
+  if (Requested != 0)
+    return Requested;
+  const unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware != 0 ? Hardware : 1;
+}
+
+/// The configured worker count; initialized from WOOTZ_KERNEL_WORKERS
+/// on first use, serial by default. Guarded by ConfigMutex.
+unsigned &workerCountLocked() {
+  static unsigned Count = [] {
+    if (const char *Env = std::getenv("WOOTZ_KERNEL_WORKERS"))
+      return resolveWorkerRequest(
+          static_cast<unsigned>(std::strtoul(Env, nullptr, 10)));
+    return 1u;
+  }();
+  return Count;
+}
+
+} // namespace
+
+void wootz::setKernelWorkers(unsigned Count) {
+  const unsigned Resolved = resolveWorkerRequest(Count);
+  std::lock_guard<std::mutex> Lock(ConfigMutex);
+  unsigned &Current = workerCountLocked();
+  if (Current == Resolved)
+    return;
+  KernelPool.reset(); // Drains; recreated lazily at the new size.
+  Current = Resolved;
+}
+
+unsigned wootz::kernelWorkers() {
+  std::lock_guard<std::mutex> Lock(ConfigMutex);
+  return workerCountLocked();
+}
+
+bool wootz::inKernelParallelRegion() { return InKernelRegion; }
+
+void wootz::kernelParallelFor(
+    size_t Count, size_t Grain,
+    const std::function<void(size_t, size_t)> &Body) {
+  if (Count == 0)
+    return;
+  if (Grain == 0)
+    Grain = 1;
+  const size_t Chunks = (Count + Grain - 1) / Grain;
+  ThreadPool *Pool = nullptr;
+  if (!InKernelRegion && Chunks > 1) {
+    std::lock_guard<std::mutex> Lock(ConfigMutex);
+    const unsigned Workers = workerCountLocked();
+    if (Workers > 1) {
+      if (!KernelPool)
+        KernelPool = std::make_unique<ThreadPool>(Workers);
+      Pool = KernelPool.get();
+    }
+  }
+  if (!Pool) {
+    // Inline, but over the identical chunk decomposition so per-chunk
+    // reductions group the same way as in the parallel path.
+    const bool Saved = InKernelRegion;
+    InKernelRegion = true;
+    for (size_t Begin = 0; Begin < Count; Begin += Grain)
+      Body(Begin, std::min(Begin + Grain, Count));
+    InKernelRegion = Saved;
+    return;
+  }
+  Pool->parallelFor(Count, Grain, [&Body](size_t Begin, size_t End) {
+    const bool Saved = InKernelRegion;
+    InKernelRegion = true;
+    Body(Begin, End);
+    InKernelRegion = Saved;
+  });
+}
+
+KernelScratch &KernelScratch::forCurrentThread() {
+  static thread_local KernelScratch Instance;
+  return Instance;
+}
+
+//===----------------------------------------------------------------------===//
+// Blocked GEMM
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// Register tile (micro-kernel) and cache-block extents. MR x NR = 6 x 16
+// is the classic shape for 256-bit vectors: 12 accumulator registers
+// (6 rows x 2 vectors) plus operand registers fit the 16-register file.
+// KC x NR of packed B (~16 KB) lives in L1 across a row sweep; MC x KC
+// of packed A (~72 KB) targets L2.
+constexpr int MR = 6;
+constexpr int NR = 16;
+constexpr int MC = 72;
+constexpr int KC = 256;
+constexpr int NC = 1024;
+
+size_t roundUpTo(int Value, int Multiple) {
+  return static_cast<size_t>((Value + Multiple - 1) / Multiple) *
+         static_cast<size_t>(Multiple);
+}
+
+/// Packs a Rows x Depth slice of A into MR-row panels, K-major within a
+/// panel (panel element [k * MR + r]); rows past the edge pad with zeros
+/// so the micro-kernel never needs a row-edge case.
+void packAPanels(const float *A, size_t RowStride, size_t ColStride,
+                 int Rows, int Depth, float *Out) {
+  for (int Row0 = 0; Row0 < Rows; Row0 += MR) {
+    const int Panel = std::min(MR, Rows - Row0);
+    for (int K = 0; K < Depth; ++K) {
+      const float *Src =
+          A + static_cast<size_t>(Row0) * RowStride + K * ColStride;
+      int R = 0;
+      for (; R < Panel; ++R)
+        Out[static_cast<size_t>(K) * MR + R] = Src[R * RowStride];
+      for (; R < MR; ++R)
+        Out[static_cast<size_t>(K) * MR + R] = 0.0f;
+    }
+    Out += static_cast<size_t>(Depth) * MR;
+  }
+}
+
+/// Packs a Depth x Cols slice of B into NR-column panels, K-major within
+/// a panel (panel element [k * NR + c]); columns past the edge pad with
+/// zeros.
+void packBPanels(const float *B, size_t RowStride, size_t ColStride,
+                 int Depth, int Cols, float *Out) {
+  for (int Col0 = 0; Col0 < Cols; Col0 += NR) {
+    const int Panel = std::min(NR, Cols - Col0);
+    for (int K = 0; K < Depth; ++K) {
+      const float *Src =
+          B + static_cast<size_t>(K) * RowStride + Col0 * ColStride;
+      int C = 0;
+      for (; C < Panel; ++C)
+        Out[static_cast<size_t>(K) * NR + C] = Src[C * ColStride];
+      for (; C < NR; ++C)
+        Out[static_cast<size_t>(K) * NR + C] = 0.0f;
+    }
+    Out += static_cast<size_t>(Depth) * NR;
+  }
+}
+
+// The macro-kernel is where all the flops happen, so it alone carries
+// per-ISA clones: the binary stays portable (baseline x86-64) while the
+// dynamic linker picks an AVX2/FMA or AVX-512 body on capable hosts.
+// Microarchitecture *levels* (x86-64-v3/v4) rather than named CPUs: the
+// resolver then dispatches on the feature bitset instead of an exact
+// CPU-model match, which matters on virtualized hosts reporting generic
+// model strings. Clones are disabled under sanitizers (ifunc resolvers
+// run before the sanitizer runtime is ready) and on non-GCC/non-x86
+// builds.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) &&        \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define WOOTZ_ARCH_CLONES                                                     \
+  __attribute__((                                                             \
+      target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#else
+#define WOOTZ_ARCH_CLONES
+#endif
+
+/// 8-wide vector lane used to spell the micro-kernel accumulators
+/// explicitly. GCC lowers operations on it to the best ISA of whichever
+/// clone is being compiled (single ymm ops under v3/v4, xmm pairs under
+/// the baseline), which is what finally keeps the MR x NR tile in
+/// registers: the scalar triple loop version of the same tile spills to
+/// the stack and runs ~20x slower.
+typedef float VecLane
+    __attribute__((vector_size(32), may_alias, aligned(4)));
+constexpr int LanesPerRow = NR / 8;
+
+/// Computes one MBlock x NBlock block of C from packed operand panels.
+/// \p LeadingDim is C's row stride. With \p Add false the block is
+/// overwritten (first KC slice of a non-accumulating product) and
+/// \p RowBias, if non-null, is added once per row; with \p Add true the
+/// contribution accumulates and \p RowBias must be null.
+WOOTZ_ARCH_CLONES
+void macroKernel(int MBlock, int NBlock, int KBlock, const float *APack,
+                 const float *BPack, float *C, size_t LeadingDim, bool Add,
+                 const float *RowBias) {
+  for (int Col0 = 0; Col0 < NBlock; Col0 += NR) {
+    const int NCount = std::min(NR, NBlock - Col0);
+    const float *BPanel =
+        BPack + static_cast<size_t>(Col0 / NR) * KBlock * NR;
+    for (int Row0 = 0; Row0 < MBlock; Row0 += MR) {
+      const int MCount = std::min(MR, MBlock - Row0);
+      const float *APanel =
+          APack + static_cast<size_t>(Row0 / MR) * KBlock * MR;
+      // The full (zero-padded) MR x NR tile accumulates in MR *
+      // LanesPerRow vector registers (12 ymm at the classic 6x16 shape:
+      // exactly the register budget that leaves room for the A
+      // broadcast and the two B loads); only the valid MCount x NCount
+      // region is written back.
+      VecLane Acc[MR][LanesPerRow] = {};
+      for (int K = 0; K < KBlock; ++K) {
+        const float *ARow = APanel + static_cast<size_t>(K) * MR;
+        const VecLane *BRow = reinterpret_cast<const VecLane *>(
+            BPanel + static_cast<size_t>(K) * NR);
+        const VecLane B0 = BRow[0], B1 = BRow[1];
+        for (int R = 0; R < MR; ++R) {
+          Acc[R][0] += B0 * ARow[R]; // Scalar operand broadcasts.
+          Acc[R][1] += B1 * ARow[R];
+        }
+      }
+      float Tile[MR][NR];
+      for (int R = 0; R < MR; ++R)
+        for (int Lane = 0; Lane < LanesPerRow; ++Lane)
+          *reinterpret_cast<VecLane *>(&Tile[R][Lane * 8]) = Acc[R][Lane];
+      for (int R = 0; R < MCount; ++R) {
+        float *CRow = C + static_cast<size_t>(Row0 + R) * LeadingDim + Col0;
+        if (Add) {
+          for (int C2 = 0; C2 < NCount; ++C2)
+            CRow[C2] += Tile[R][C2];
+        } else {
+          const float Base = RowBias ? RowBias[Row0 + R] : 0.0f;
+          for (int C2 = 0; C2 < NCount; ++C2)
+            CRow[C2] = Tile[R][C2] + Base;
+        }
+      }
+    }
+  }
+}
+
+} // namespace
+
+void detail::blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
+                         const float *B, size_t BRowStride, size_t BColStride,
+                         float *C, int M, int K, int N, bool Accumulate,
+                         const float *RowBias) {
+  assert(M > 0 && K > 0 && N > 0 && "empty GEMM");
+  assert(!(Accumulate && RowBias) &&
+         "fused bias requires a non-accumulating product");
+  for (int Col0 = 0; Col0 < N; Col0 += NC) {
+    const int NBlock = std::min(NC, N - Col0);
+    for (int Depth0 = 0; Depth0 < K; Depth0 += KC) {
+      const int KBlock = std::min(KC, K - Depth0);
+      // Only the first KC slice of a fresh product overwrites C (and
+      // carries the fused bias); later slices accumulate. Per C element
+      // the K summation order is fixed, so results never depend on the
+      // worker count.
+      const bool Add = Accumulate || Depth0 > 0;
+      const float *BlockBias = Add ? nullptr : RowBias;
+
+      // B's panel is packed once by the calling thread and read by every
+      // row-panel task; A's panels are packed per task into that
+      // worker's own scratch.
+      float *BPack = KernelScratch::forCurrentThread().PackB.ensure(
+          roundUpTo(NBlock, NR) * static_cast<size_t>(KBlock));
+      packBPanels(B + static_cast<size_t>(Depth0) * BRowStride +
+                      static_cast<size_t>(Col0) * BColStride,
+                  BRowStride, BColStride, KBlock, NBlock, BPack);
+
+      const size_t RowBlocks = (static_cast<size_t>(M) + MC - 1) / MC;
+      kernelParallelFor(RowBlocks, 1, [&](size_t Begin, size_t End) {
+        KernelScratch &Local = KernelScratch::forCurrentThread();
+        for (size_t Block = Begin; Block < End; ++Block) {
+          const int Row0 = static_cast<int>(Block) * MC;
+          const int MBlock = std::min(MC, M - Row0);
+          float *APack = Local.PackA.ensure(roundUpTo(MBlock, MR) *
+                                            static_cast<size_t>(KBlock));
+          packAPanels(A + static_cast<size_t>(Row0) * ARowStride +
+                          static_cast<size_t>(Depth0) * AColStride,
+                      ARowStride, AColStride, MBlock, KBlock, APack);
+          macroKernel(MBlock, NBlock, KBlock, APack, BPack,
+                      C + static_cast<size_t>(Row0) * N + Col0,
+                      static_cast<size_t>(N), Add,
+                      BlockBias ? BlockBias + Row0 : nullptr);
+        }
+      });
+    }
+  }
+}

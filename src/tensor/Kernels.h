@@ -1,0 +1,120 @@
+//===- tensor/Kernels.h - Blocked compute-kernel engine --------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-performance engine under the wootz::gemm entry points and the
+/// Conv2D batch loops: cache-blocked, register-tiled GEMM with packed
+/// panels, a process-wide kernel worker pool, and per-thread reusable
+/// pack buffers.
+///
+/// Threading model. Kernels are threaded at two levels:
+///  - inter-op: Conv2D::forward/backward parallelize over the batch
+///    dimension via kernelParallelFor();
+///  - intra-op: a large single GEMM parallelizes over its row-panel
+///    (MC) blocks, also via kernelParallelFor().
+/// kernelParallelFor() never nests: a body that itself calls
+/// kernelParallelFor() (e.g. a GEMM issued from inside the batch-parallel
+/// convolution) runs that inner loop inline on the calling worker, which
+/// keeps the fixed-size pool deadlock-free by construction.
+///
+/// Determinism guarantee. Work is split into chunks whose boundaries
+/// depend only on the problem size, never on the worker count, and every
+/// floating-point reduction is performed in chunk order. Therefore the
+/// same inputs produce bit-identical outputs for any setKernelWorkers()
+/// value, including fully serial execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_TENSOR_KERNELS_H
+#define WOOTZ_TENSOR_KERNELS_H
+
+#include "src/support/Aligned.h"
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace wootz {
+
+/// Sets the number of worker threads the compute kernels may use,
+/// process-wide. 1 means serial execution (the default); 0 means one
+/// worker per hardware thread (the same convention as PipelineOptions::
+/// Workers). Not safe to call while kernels are executing on other
+/// threads. The initial value can be overridden with the
+/// WOOTZ_KERNEL_WORKERS environment variable.
+void setKernelWorkers(unsigned Count);
+
+/// The resolved kernel worker count (never 0: a hardware-concurrency
+/// request is reported as the concrete thread count).
+unsigned kernelWorkers();
+
+/// True while the calling thread is executing inside a
+/// kernelParallelFor() body; used by the kernels to run nested parallel
+/// loops inline.
+bool inKernelParallelRegion();
+
+/// Runs \p Body(Begin, End) over [0, Count) in chunks of at most
+/// \p Grain indices on the kernel worker pool and waits. Chunk
+/// boundaries depend only on \p Count and \p Grain (see the determinism
+/// guarantee above). Runs inline when the pool is serial, when there is
+/// a single chunk, or when called from inside another
+/// kernelParallelFor() body.
+void kernelParallelFor(size_t Count, size_t Grain,
+                       const std::function<void(size_t, size_t)> &Body);
+
+/// A growable cache-line-aligned float buffer. ensure() never shrinks,
+/// so steady-state kernel calls do not allocate.
+class AlignedBuffer {
+public:
+  /// Returns a pointer to at least \p Count floats. Contents of newly
+  /// grown storage are zero; previously handed-out contents survive
+  /// until the next growth.
+  float *ensure(size_t Count) {
+    if (Storage.size() < Count)
+      Storage.resize(Count);
+    return Storage.data();
+  }
+
+  size_t capacity() const { return Storage.size(); }
+
+private:
+  std::vector<float, AlignedAllocator<float>> Storage;
+};
+
+/// The per-thread scratch pool of the kernel layer: GEMM pack panels and
+/// the convolution column buffers. Keyed by thread (thread_local), so
+/// concurrent kernel workers never contend and repeated kernel calls on
+/// one thread reuse the same allocations.
+struct KernelScratch {
+  AlignedBuffer PackA;    ///< Packed MC x KC panel of A.
+  AlignedBuffer PackB;    ///< Packed KC x NC panel of B.
+  AlignedBuffer Columns;  ///< Per-sample im2col expansion (inference).
+  AlignedBuffer GradCols; ///< Per-sample column gradients (backward).
+
+  /// The calling thread's scratch instance.
+  static KernelScratch &forCurrentThread();
+};
+
+namespace detail {
+
+/// The blocked GEMM engine: C (MxN, row-major, leading dimension N)
+/// gets A * B where the operands are addressed through explicit strides,
+/// A(i, k) = A[i * ARowStride + k * AColStride] and B(k, j) =
+/// B[k * BRowStride + j * BColStride]; the transpose entry points are
+/// stride permutations of this one routine. When \p Accumulate is false
+/// C is overwritten, and \p RowBias (if non-null, length M) is fused
+/// into the first write of every element; with \p Accumulate true the
+/// product is added to C and \p RowBias must be null.
+void blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
+                 const float *B, size_t BRowStride, size_t BColStride,
+                 float *C, int M, int K, int N, bool Accumulate,
+                 const float *RowBias);
+
+} // namespace detail
+
+} // namespace wootz
+
+#endif // WOOTZ_TENSOR_KERNELS_H

@@ -2,12 +2,20 @@
 
 #include "src/tensor/Ops.h"
 
+#include "src/tensor/Kernels.h"
+
 #include <cstring>
 
 using namespace wootz;
 
-void wootz::gemm(const float *A, const float *B, float *C, int M, int K,
-                 int N, bool Accumulate) {
+/// Below this flop volume the blocked engine's panel packing costs more
+/// than its micro-kernel saves; the reference loops win.
+static bool useBlockedGemm(int M, int K, int N) {
+  return static_cast<size_t>(M) * K * N >= 16384;
+}
+
+void wootz::gemmReference(const float *A, const float *B, float *C, int M,
+                          int K, int N, bool Accumulate) {
   if (!Accumulate)
     std::memset(C, 0, sizeof(float) * static_cast<size_t>(M) * N);
   // i-k-j loop order: the inner loop streams over B and C rows, which
@@ -26,8 +34,8 @@ void wootz::gemm(const float *A, const float *B, float *C, int M, int K,
   }
 }
 
-void wootz::gemmTransposeA(const float *A, const float *B, float *C, int M,
-                           int K, int N, bool Accumulate) {
+void wootz::gemmTransposeAReference(const float *A, const float *B, float *C,
+                                    int M, int K, int N, bool Accumulate) {
   if (!Accumulate)
     std::memset(C, 0, sizeof(float) * static_cast<size_t>(M) * N);
   for (int L = 0; L < K; ++L) {
@@ -44,8 +52,8 @@ void wootz::gemmTransposeA(const float *A, const float *B, float *C, int M,
   }
 }
 
-void wootz::gemmTransposeB(const float *A, const float *B, float *C, int M,
-                           int K, int N, bool Accumulate) {
+void wootz::gemmTransposeBReference(const float *A, const float *B, float *C,
+                                    int M, int K, int N, bool Accumulate) {
   if (!Accumulate)
     std::memset(C, 0, sizeof(float) * static_cast<size_t>(M) * N);
   for (int I = 0; I < M; ++I) {
@@ -58,6 +66,58 @@ void wootz::gemmTransposeB(const float *A, const float *B, float *C, int M,
         Total += ARow[L] * BRow[L];
       CRow[J] += Total;
     }
+  }
+}
+
+void wootz::gemm(const float *A, const float *B, float *C, int M, int K,
+                 int N, bool Accumulate) {
+  if (useBlockedGemm(M, K, N)) {
+    detail::blockedGemm(A, static_cast<size_t>(K), 1, B,
+                        static_cast<size_t>(N), 1, C, M, K, N, Accumulate,
+                        /*RowBias=*/nullptr);
+    return;
+  }
+  gemmReference(A, B, C, M, K, N, Accumulate);
+}
+
+void wootz::gemmTransposeA(const float *A, const float *B, float *C, int M,
+                           int K, int N, bool Accumulate) {
+  if (useBlockedGemm(M, K, N)) {
+    // A is stored KxM: A^T(i, k) = A[k * M + i].
+    detail::blockedGemm(A, 1, static_cast<size_t>(M), B,
+                        static_cast<size_t>(N), 1, C, M, K, N, Accumulate,
+                        /*RowBias=*/nullptr);
+    return;
+  }
+  gemmTransposeAReference(A, B, C, M, K, N, Accumulate);
+}
+
+void wootz::gemmTransposeB(const float *A, const float *B, float *C, int M,
+                           int K, int N, bool Accumulate) {
+  if (useBlockedGemm(M, K, N)) {
+    // B is stored NxK: B^T(k, j) = B[j * K + k].
+    detail::blockedGemm(A, static_cast<size_t>(K), 1, B, 1,
+                        static_cast<size_t>(K), C, M, K, N, Accumulate,
+                        /*RowBias=*/nullptr);
+    return;
+  }
+  gemmTransposeBReference(A, B, C, M, K, N, Accumulate);
+}
+
+void wootz::gemmBias(const float *A, const float *B, const float *Bias,
+                     float *C, int M, int K, int N) {
+  if (useBlockedGemm(M, K, N)) {
+    detail::blockedGemm(A, static_cast<size_t>(K), 1, B,
+                        static_cast<size_t>(N), 1, C, M, K, N,
+                        /*Accumulate=*/false, Bias);
+    return;
+  }
+  gemmReference(A, B, C, M, K, N, /*Accumulate=*/false);
+  for (int I = 0; I < M; ++I) {
+    float *CRow = C + static_cast<size_t>(I) * N;
+    const float BiasVal = Bias[I];
+    for (int J = 0; J < N; ++J)
+      CRow[J] += BiasVal;
   }
 }
 

@@ -7,9 +7,12 @@
 /// \file
 /// The numeric kernels under the nn layer implementations: GEMM,
 /// im2col/col2im for convolution, and the elementwise/axpy helpers.
-/// Everything is plain single-threaded CPU code with a small amount of
-/// loop restructuring for cache friendliness; speed only has to be good
-/// enough to train the miniature models quickly.
+/// The GEMM entry points dispatch to the cache-blocked, register-tiled
+/// (and optionally multi-threaded) engine in tensor/Kernels.h once the
+/// problem is big enough to amortize panel packing; tiny problems fall
+/// back to the reference triple loops, which are also exported
+/// (gemmReference and friends) as the oracle for parity tests and the
+/// baseline for bench_kernels.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +50,22 @@ void gemmTransposeA(const float *A, const float *B, float *C, int M, int K,
 /// C = A * B^T with A: MxK, B: NxK, C: MxN.
 void gemmTransposeB(const float *A, const float *B, float *C, int M, int K,
                     int N, bool Accumulate = false);
+
+/// C = A * B + broadcast of \p Bias along rows (Bias has M entries, one
+/// per row of C): the Conv2D bias epilogue fused into the GEMM so the
+/// output is written exactly once.
+void gemmBias(const float *A, const float *B, const float *Bias, float *C,
+              int M, int K, int N);
+
+/// The reference (seed) triple-loop GEMM kernels. Semantically identical
+/// to gemm()/gemmTransposeA()/gemmTransposeB(); kept as the tiny-size
+/// fallback, the parity-test oracle, and the bench_kernels baseline.
+void gemmReference(const float *A, const float *B, float *C, int M, int K,
+                   int N, bool Accumulate = false);
+void gemmTransposeAReference(const float *A, const float *B, float *C,
+                             int M, int K, int N, bool Accumulate = false);
+void gemmTransposeBReference(const float *A, const float *B, float *C,
+                             int M, int K, int N, bool Accumulate = false);
 
 /// Expands one image (CHW, \p Image pointing at C*H*W floats) into
 /// columns: the result has (C*KH*KW) rows and (OutH*OutW) columns.

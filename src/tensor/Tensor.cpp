@@ -26,8 +26,8 @@ std::string Shape::str() const {
   return Out + "]";
 }
 
-Tensor::Tensor(Shape Shape, std::vector<float> Values)
-    : TensorShape(std::move(Shape)), Data(std::move(Values)) {
+Tensor::Tensor(Shape Shape, const std::vector<float> &Values)
+    : TensorShape(std::move(Shape)), Data(Values.begin(), Values.end()) {
   assert(Data.size() == TensorShape.elementCount() &&
          "tensor data size does not match shape");
 }

@@ -15,12 +15,18 @@
 #ifndef WOOTZ_TENSOR_TENSOR_H
 #define WOOTZ_TENSOR_TENSOR_H
 
+#include "src/support/Aligned.h"
+
 #include <cassert>
 #include <cstddef>
 #include <string>
 #include <vector>
 
 namespace wootz {
+
+/// Backing storage of a Tensor: cache-line aligned so the compute
+/// kernels (tensor/Kernels.h) get aligned vector access.
+using TensorStorage = std::vector<float, AlignedAllocator<float>>;
 
 /// The shape of a tensor: between one and four extents.
 class Shape {
@@ -71,8 +77,9 @@ public:
       : TensorShape(std::move(Shape)),
         Data(TensorShape.elementCount(), 0.0f) {}
 
-  /// Creates a tensor with explicit contents; sizes must match.
-  Tensor(Shape Shape, std::vector<float> Values);
+  /// Creates a tensor with explicit contents (copied into the aligned
+  /// storage); sizes must match.
+  Tensor(Shape Shape, const std::vector<float> &Values);
 
   /// True if this tensor has never been given a shape.
   bool empty() const { return Data.empty(); }
@@ -120,7 +127,7 @@ public:
 
 private:
   Shape TensorShape;
-  std::vector<float> Data;
+  TensorStorage Data;
 };
 
 } // namespace wootz

@@ -41,6 +41,7 @@
 #include "src/sequitur/Sequitur.h"
 #include "src/support/StringUtils.h"
 #include "src/support/Table.h"
+#include "src/tensor/Kernels.h"
 #include "src/train/Trainer.h"
 
 #endif // WOOTZ_WOOTZ_H

@@ -1,10 +1,14 @@
 //===- tests/TensorTest.cpp - tensor/ unit tests --------------------------------===//
 
 #include "src/support/Rng.h"
+#include "src/tensor/Kernels.h"
 #include "src/tensor/Ops.h"
 #include "src/tensor/Tensor.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
 
 using namespace wootz;
 
@@ -251,5 +255,184 @@ TEST_P(GemmPropertyTest, MatmulIsAssociative) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GemmPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Blocked-kernel parity: the blocked engine against the reference loops
+// over odd and edge shapes, and multi-threaded determinism.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::vector<float> randomVector(size_t Count, Rng &Generator) {
+  std::vector<float> Values(Count);
+  for (float &V : Values)
+    V = Generator.nextGaussian();
+  return Values;
+}
+
+/// Independent oracle (plain i-k-j accumulation into C).
+void oracleGemm(const std::vector<float> &A, const std::vector<float> &B,
+                std::vector<float> &C, int M, int K, int N,
+                bool Accumulate) {
+  if (!Accumulate)
+    std::fill(C.begin(), C.end(), 0.0f);
+  for (int I = 0; I < M; ++I)
+    for (int L = 0; L < K; ++L)
+      for (int J = 0; J < N; ++J)
+        C[static_cast<size_t>(I) * N + J] +=
+            A[static_cast<size_t>(I) * K + L] *
+            B[static_cast<size_t>(L) * N + J];
+}
+
+TEST(GemmParityTest, BlockedMatchesReferenceOverEdgeShapes) {
+  const int Sizes[] = {1, 2, 7, 17, 63, 64, 65, 200};
+  Rng Generator(0xab1e);
+  for (int M : Sizes) {
+    for (int K : Sizes) {
+      for (int N : Sizes) {
+        const std::vector<float> A =
+            randomVector(static_cast<size_t>(M) * K, Generator);
+        const std::vector<float> B =
+            randomVector(static_cast<size_t>(K) * N, Generator);
+        // Strided views of the same operands for the transpose variants.
+        std::vector<float> At(static_cast<size_t>(K) * M);
+        for (int I = 0; I < M; ++I)
+          for (int L = 0; L < K; ++L)
+            At[static_cast<size_t>(L) * M + I] =
+                A[static_cast<size_t>(I) * K + L];
+        std::vector<float> Bt(static_cast<size_t>(N) * K);
+        for (int L = 0; L < K; ++L)
+          for (int J = 0; J < N; ++J)
+            Bt[static_cast<size_t>(J) * K + L] =
+                B[static_cast<size_t>(L) * N + J];
+        const std::vector<float> Seed =
+            randomVector(static_cast<size_t>(M) * N, Generator);
+
+        // Sums have K gaussian terms; scale the absolute tolerance with
+        // the contraction depth (still tight: ~1e-4 at K=200).
+        const float Tolerance = 1e-5f * static_cast<float>(K) + 1e-5f;
+        for (bool Accumulate : {false, true}) {
+          std::vector<float> Expected = Seed;
+          oracleGemm(A, B, Expected, M, K, N, Accumulate);
+
+          // The blocked engine, called directly so that shapes below the
+          // public entry points' size threshold exercise it too.
+          std::vector<float> Got = Seed;
+          wootz::detail::blockedGemm(A.data(), K, 1, B.data(), N, 1,
+                                     Got.data(), M, K, N, Accumulate,
+                                     nullptr);
+          for (size_t I = 0; I < Got.size(); ++I)
+            ASSERT_NEAR(Got[I], Expected[I], Tolerance)
+                << "blockedGemm M=" << M << " K=" << K << " N=" << N
+                << " acc=" << Accumulate << " at " << I;
+
+          // Public entry points (dispatching) against the references.
+          Got = Seed;
+          gemm(A.data(), B.data(), Got.data(), M, K, N, Accumulate);
+          std::vector<float> Ref = Seed;
+          gemmReference(A.data(), B.data(), Ref.data(), M, K, N,
+                        Accumulate);
+          for (size_t I = 0; I < Got.size(); ++I)
+            ASSERT_NEAR(Got[I], Ref[I], Tolerance)
+                << "gemm M=" << M << " K=" << K << " N=" << N << " at "
+                << I;
+
+          Got = Seed;
+          gemmTransposeA(At.data(), B.data(), Got.data(), M, K, N,
+                         Accumulate);
+          for (size_t I = 0; I < Got.size(); ++I)
+            ASSERT_NEAR(Got[I], Expected[I], Tolerance)
+                << "gemmTransposeA M=" << M << " K=" << K << " N=" << N
+                << " at " << I;
+
+          Got = Seed;
+          gemmTransposeB(A.data(), Bt.data(), Got.data(), M, K, N,
+                         Accumulate);
+          for (size_t I = 0; I < Got.size(); ++I)
+            ASSERT_NEAR(Got[I], Expected[I], Tolerance)
+                << "gemmTransposeB M=" << M << " K=" << K << " N=" << N
+                << " at " << I;
+        }
+
+        // Fused bias epilogue (non-accumulating by contract).
+        const std::vector<float> Bias =
+            randomVector(static_cast<size_t>(M), Generator);
+        std::vector<float> Expected(static_cast<size_t>(M) * N, 0.0f);
+        oracleGemm(A, B, Expected, M, K, N, false);
+        for (int I = 0; I < M; ++I)
+          for (int J = 0; J < N; ++J)
+            Expected[static_cast<size_t>(I) * N + J] += Bias[I];
+        std::vector<float> Got(static_cast<size_t>(M) * N, -7.0f);
+        gemmBias(A.data(), B.data(), Bias.data(), Got.data(), M, K, N);
+        for (size_t I = 0; I < Got.size(); ++I)
+          ASSERT_NEAR(Got[I], Expected[I], Tolerance)
+              << "gemmBias M=" << M << " K=" << K << " N=" << N << " at "
+              << I;
+      }
+    }
+  }
+}
+
+/// Worker-count determinism: the kernels promise bit-identical results
+/// for any setKernelWorkers() value. (Named Kernel* so the tsan preset's
+/// test filter picks the threaded paths up.)
+class KernelThreadsTest : public ::testing::Test {
+protected:
+  void TearDown() override { setKernelWorkers(1); }
+};
+
+TEST_F(KernelThreadsTest, GemmBitIdenticalAcrossWorkerCounts) {
+  const int M = 301, K = 257, N = 190; // Several MC row panels + edges.
+  Rng Generator(0x7eAd);
+  const std::vector<float> A =
+      randomVector(static_cast<size_t>(M) * K, Generator);
+  const std::vector<float> B =
+      randomVector(static_cast<size_t>(K) * N, Generator);
+
+  setKernelWorkers(1);
+  std::vector<float> Serial(static_cast<size_t>(M) * N);
+  gemm(A.data(), B.data(), Serial.data(), M, K, N);
+
+  for (unsigned Workers : {2u, 4u}) {
+    setKernelWorkers(Workers);
+    ASSERT_EQ(kernelWorkers(), Workers);
+    std::vector<float> Threaded(static_cast<size_t>(M) * N);
+    gemm(A.data(), B.data(), Threaded.data(), M, K, N);
+    ASSERT_EQ(std::memcmp(Serial.data(), Threaded.data(),
+                          Serial.size() * sizeof(float)),
+              0)
+        << "blocked GEMM output depends on the worker count (" << Workers
+        << " workers)";
+  }
+}
+
+TEST_F(KernelThreadsTest, NestedParallelForRunsInline) {
+  setKernelWorkers(4);
+  EXPECT_FALSE(inKernelParallelRegion());
+  kernelParallelFor(8, 2, [](size_t, size_t) {
+    EXPECT_TRUE(inKernelParallelRegion());
+    // A nested loop must execute inline on this worker.
+    kernelParallelFor(4, 1, [](size_t, size_t) {
+      EXPECT_TRUE(inKernelParallelRegion());
+    });
+  });
+  EXPECT_FALSE(inKernelParallelRegion());
+}
+
+TEST(KernelScratchTest, BuffersAlignedAndReused) {
+  KernelScratch &Scratch = KernelScratch::forCurrentThread();
+  float *First = Scratch.PackA.ensure(1024);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(First) % KernelAlignment, 0u);
+  // A smaller request must reuse the same allocation.
+  EXPECT_EQ(Scratch.PackA.ensure(512), First);
+  EXPECT_GE(Scratch.PackA.capacity(), 1024u);
+}
+
+TEST(TensorTest, DataCacheLineAligned) {
+  Tensor T(Shape{3, 5, 7, 2});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(T.data()) % KernelAlignment, 0u);
+}
 
 } // namespace
