@@ -15,6 +15,7 @@
 #include "src/wootz/wootz.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace wootz;
 
@@ -47,6 +48,11 @@ int main() {
   Options.Schedule = PipelineSchedule::Overlap;
   Options.Workers = 2;
   Options.TelemetryPath = "runtime_pruning_spans.jsonl";
+  // Opt into the cross-run tuning-block cache: rerunning this example
+  // with WOOTZ_BLOCK_CACHE_DIR set skips all block pre-training on the
+  // second run (watch the cache.hit counter below).
+  if (const char *BlockCacheDir = std::getenv("WOOTZ_BLOCK_CACHE_DIR"))
+    Options.BlockCacheConfig.Directory = BlockCacheDir;
 
   // Two passes share nothing here for simplicity: a cheap serial probe
   // to learn the full-model accuracy, then the scheduled run against
@@ -88,6 +94,14 @@ int main() {
   std::printf("cancelled tasks: %lld\n",
               static_cast<long long>(
                   Run->Telemetry.counter("tasks_cancelled")));
+  if (!Options.BlockCacheConfig.Directory.empty())
+    std::printf("block cache (%s): %lld hits, %lld misses, %lld corrupt\n",
+                Options.BlockCacheConfig.Directory.c_str(),
+                static_cast<long long>(Run->Telemetry.counter("cache.hit")),
+                static_cast<long long>(
+                    Run->Telemetry.counter("cache.miss")),
+                static_cast<long long>(
+                    Run->Telemetry.counter("cache.corrupt")));
   std::printf("span log: %s\n", Options.TelemetryPath.c_str());
   return 0;
 }

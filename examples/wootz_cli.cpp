@@ -132,6 +132,11 @@ int main(int ArgCount, char **Args) {
   Options.UseComposability = true;
   Options.UseIdentifier = true;
   Options.CacheDir = OutDir + "/cache";
+  // Tuning blocks persist next to the full-model cache, so re-running
+  // the CLI on the same spec resumes instead of re-pre-training: blocks
+  // already on disk are fetched (and a crashed run's partial progress is
+  // kept — entries are written atomically as each group finishes).
+  Options.BlockCacheConfig.Directory = OutDir + "/block_cache";
   Rng Generator(Meta.Seed);
   const PipelineResult Run = orDie(
       runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator),
@@ -155,6 +160,11 @@ int main(int ArgCount, char **Args) {
   } else {
     std::printf("\nno configuration met the objective\n");
   }
+  std::printf("block cache: %lld hits, %lld misses (rerun to resume "
+              "pre-training from %s/block_cache)\n",
+              static_cast<long long>(Run.Telemetry.counter("cache.hit")),
+              static_cast<long long>(Run.Telemetry.counter("cache.miss")),
+              OutDir.c_str());
   std::printf("outputs written under %s/\n", OutDir.c_str());
   return 0;
 }

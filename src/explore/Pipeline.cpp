@@ -71,6 +71,15 @@ Result<PipelineResult> wootz::runPruningPipeline(
               return modelWeightCount(Spec, A) < modelWeightCount(Spec, B);
             });
 
+  // The cross-run block cache is only meaningful once the teacher
+  // exists: its entry addresses incorporate the teacher fingerprint and
+  // the pre-training hyperparameters, so a different teacher or recipe
+  // simply misses instead of resurrecting stale blocks.
+  BlockCache Cache(Options.BlockCacheConfig, &Log);
+  if (Cache.enabled())
+    Cache.bindContext(BlockCache::fingerprintTeacher(Full->Network),
+                      BlockCache::hashPretrainMeta(Meta));
+
   // Phase 1 (composability only): choose tuning blocks. With the
   // EvalOnly schedule the blocks pre-train right here, serially; with
   // Overlap they become tasks on the same graph as the evaluations.
@@ -89,7 +98,7 @@ Result<PipelineResult> wootz::runPruningPipeline(
     if (!Overlap) {
       Result<PretrainStats> Stats =
           pretrainBlocks(Model, Full->Network, "full", Run.Blocks, Data,
-                         Meta, Store, Generator, &*Scores, &Log);
+                         Meta, Store, Generator, &*Scores, &Log, &Cache);
       if (!Stats)
         return Stats.takeError();
       Run.Pretrain = *Stats;
@@ -97,22 +106,29 @@ Result<PipelineResult> wootz::runPruningPipeline(
   }
 
   // Overlap prep: partition the blocks exactly like pretrainBlocks would
-  // and pre-fork one generator per group (drawn before the evaluation
-  // seeds, in partition order, so the run is deterministic regardless of
-  // which worker trains which group).
+  // and derive one generator per group from a single base draw plus the
+  // group's block ids (pretrainGroupSeed) — drawn before the evaluation
+  // seeds and independent of how many groups the block cache satisfied,
+  // so the run is deterministic regardless of which worker trains which
+  // group and a warm or resumed run reproduces the cold run's draws.
   std::vector<std::vector<TuningBlock>> Groups;
   std::vector<Rng> GroupRngs;
   std::map<std::string, size_t> GroupOfBlock;
   size_t PendingBlockCount = 0;
   if (Overlap && Options.UseComposability) {
+    const uint64_t BaseSeed = Generator.next();
     std::vector<TuningBlock> Pending;
-    for (const TuningBlock &Block : Run.Blocks)
-      if (!Block.isIdentity() && !Store.contains(Block.id()))
-        Pending.push_back(Block);
+    for (const TuningBlock &Block : Run.Blocks) {
+      if (Block.isIdentity() || Store.contains(Block.id()))
+        continue;
+      if (Cache.enabled() && Cache.fetch(Block.id(), Store))
+        continue;
+      Pending.push_back(Block);
+    }
     PendingBlockCount = Pending.size();
     Groups = partitionIntoGroups(std::move(Pending));
     for (size_t G = 0; G < Groups.size(); ++G) {
-      GroupRngs.push_back(Generator.fork());
+      GroupRngs.emplace_back(pretrainGroupSeed(BaseSeed, Groups[G]));
       for (const TuningBlock &Block : Groups[G])
         GroupOfBlock[Block.id()] = G;
     }
@@ -216,7 +232,7 @@ Result<PipelineResult> wootz::runPruningPipeline(
           -static_cast<int>(GroupMinPos[G]), [&, G]() -> Error {
             Result<GroupPretrainStats> Stats = pretrainGroup(
                 Model, Full->Network, "full", Groups[G], Data, Meta,
-                Store, GroupRngs[G], &*Scores);
+                Store, GroupRngs[G], &*Scores, &Cache);
             if (!Stats)
               return Stats.takeError();
             GroupStats[G] = *Stats;

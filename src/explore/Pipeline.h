@@ -74,6 +74,13 @@ struct PipelineOptions {
   bool UseIdentifier = false;
   /// Directory for the trained-full-model cache; empty disables caching.
   std::string CacheDir;
+  /// Cross-run tuning-block cache (see train/BlockCache.h): blocks
+  /// already on disk for this (teacher, hyperparameters) context skip
+  /// pre-training entirely, and freshly trained blocks are published
+  /// back. Empty Directory disables it. Hits land the cached weights in
+  /// place of freshly trained ones, so a warm run's evaluations match a
+  /// prior run's, not a cold run with a different seed.
+  CacheConfig BlockCacheConfig;
   /// Filter-importance criterion for weight inheritance and block
   /// initialization (the paper uses l1 norms; §8 surveys the others).
   ImportanceCriterion Criterion = ImportanceCriterion::L1Norm;

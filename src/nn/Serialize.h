@@ -7,8 +7,19 @@
 /// \file
 /// A minimal binary format mapping names to tensors — the equivalent of
 /// TensorFlow checkpoints the paper stores pre-trained tuning blocks in.
-/// Layout: magic, entry count, then per entry: name, rank, extents, data.
-/// All integers are little-endian uint32/uint64.
+///
+/// Two format versions exist. V1 ("WOOTZCK1"): magic, entry count, then
+/// per entry name, rank, extents, data. V2 ("WOOTZCK2", the default
+/// writer output) adds crash/corruption detection: a total-length field
+/// in the header (truncation is caught before any entry is parsed) and a
+/// per-entry CRC32 covering the whole entry record, so any byte flip in
+/// a name, shape, or payload is a clean Error instead of silently wrong
+/// weights. Readers accept both versions; all integers are little-endian
+/// uint32/uint64.
+///
+/// Writing to disk goes through writeFileAtomic(), so a save interrupted
+/// at any point leaves either the old or the complete new file under the
+/// final name — never a partial one.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,13 +37,25 @@ namespace wootz {
 /// A named tensor bundle, the in-memory form of a checkpoint file.
 using TensorBundle = std::map<std::string, Tensor>;
 
-/// Serializes \p Bundle into a byte string.
-std::string serializeTensors(const TensorBundle &Bundle);
+/// On-disk checkpoint format version.
+enum class CheckpointFormat {
+  V1, ///< Legacy: no checksums, no length field. Read-compatibility only.
+  V2, ///< Current: header total-length + per-entry CRC32.
+};
 
-/// Parses a byte string produced by serializeTensors().
+/// Serializes \p Bundle into a byte string (V2 unless asked otherwise;
+/// the V1 writer exists for compatibility tests).
+std::string serializeTensors(const TensorBundle &Bundle,
+                             CheckpointFormat Format = CheckpointFormat::V2);
+
+/// Parses a byte string produced by serializeTensors(), either version.
+/// Truncation, byte flips (V2), oversized or overflowing size fields,
+/// and trailing garbage all produce an Error, never a crash or a
+/// multi-gigabyte allocation.
 Result<TensorBundle> deserializeTensors(const std::string &Bytes);
 
-/// Writes \p Bundle to \p Path; returns an error on I/O failure.
+/// Writes \p Bundle to \p Path atomically (write-to-temp, then rename);
+/// returns an error on I/O failure.
 Error saveTensors(const std::string &Path, const TensorBundle &Bundle);
 
 /// Reads a bundle from \p Path.

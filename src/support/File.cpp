@@ -2,6 +2,7 @@
 
 #include "src/support/File.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 
@@ -35,5 +36,27 @@ Error wootz::writeFile(const std::string &Path,
                static_cast<std::streamsize>(Contents.size()));
   if (!Stream)
     return Error::failure("write to '" + Path + "' failed");
+  return Error::success();
+}
+
+Error wootz::writeFileAtomic(const std::string &Path,
+                             const std::string &Contents) {
+  // The temporary must live in the same directory as the target:
+  // rename(2) is only atomic within one filesystem, and keeping it next
+  // to the target guarantees that. The counter disambiguates concurrent
+  // writers of the same path within a process; the rename then decides
+  // the winner atomically.
+  static std::atomic<uint64_t> Serial{0};
+  const std::string TempPath =
+      Path + ".tmp." + std::to_string(Serial.fetch_add(1));
+  if (Error E = writeFile(TempPath, Contents))
+    return E;
+  std::error_code FsError;
+  std::filesystem::rename(TempPath, Path, FsError);
+  if (FsError) {
+    std::filesystem::remove(TempPath, FsError);
+    return Error::failure("cannot rename '" + TempPath + "' over '" +
+                          Path + "'");
+  }
   return Error::success();
 }

@@ -27,6 +27,14 @@ Result<std::string> readFile(const std::string &Path);
 /// directories as needed.
 Error writeFile(const std::string &Path, const std::string &Contents);
 
+/// Crash-safe variant of writeFile(): writes \p Contents to a unique
+/// temporary file next to \p Path and renames it over \p Path, so a
+/// reader (or a crash at any point) observes either the old file or the
+/// complete new one under the final name — never a partial write. The
+/// temporary is removed on failure.
+Error writeFileAtomic(const std::string &Path,
+                      const std::string &Contents);
+
 } // namespace wootz
 
 #endif // WOOTZ_SUPPORT_FILE_H

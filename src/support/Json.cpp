@@ -42,6 +42,166 @@ std::string wootz::jsonEscape(const std::string &Text) {
   return Out;
 }
 
+namespace {
+
+/// Character cursor over a manifest line with whitespace skipping.
+class FlatParser {
+public:
+  explicit FlatParser(std::string_view Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Offset < Text.size() &&
+           (Text[Offset] == ' ' || Text[Offset] == '\t' ||
+            Text[Offset] == '\n' || Text[Offset] == '\r'))
+      ++Offset;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Offset >= Text.size();
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Offset < Text.size() && Text[Offset] == C) {
+      ++Offset;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skipSpace();
+    return Offset < Text.size() ? Text[Offset] : '\0';
+  }
+
+  /// Parses a quoted string (the opening quote already consumed by the
+  /// caller via consume('"')), handling the escapes jsonEscape() emits.
+  bool parseStringBody(std::string &Out) {
+    while (Offset < Text.size()) {
+      char C = Text[Offset++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Offset >= Text.size())
+        return false;
+      char Escape = Text[Offset++];
+      switch (Escape) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Offset + 4 > Text.size())
+          return false;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Offset++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return false;
+        }
+        // Only the control-character range jsonEscape() produces;
+        // anything beyond Latin-1 would need UTF-8 encoding.
+        if (Code > 0xff)
+          return false;
+        Out += static_cast<char>(Code);
+        break;
+      }
+      default:
+        return false;
+      }
+    }
+    return false;
+  }
+
+  /// Parses a bare token (number / true / false / null) as raw text.
+  bool parseBareToken(std::string &Out) {
+    skipSpace();
+    const size_t Start = Offset;
+    while (Offset < Text.size()) {
+      char C = Text[Offset];
+      const bool TokenChar = (C >= '0' && C <= '9') ||
+                             (C >= 'a' && C <= 'z') || C == '-' ||
+                             C == '+' || C == '.' || C == 'E';
+      if (!TokenChar)
+        break;
+      ++Offset;
+    }
+    Out = std::string(Text.substr(Start, Offset - Start));
+    return !Out.empty();
+  }
+
+private:
+  std::string_view Text;
+  size_t Offset = 0;
+};
+
+} // namespace
+
+Result<std::map<std::string, std::string>>
+wootz::parseFlatJsonObject(std::string_view Text) {
+  FlatParser Cursor(Text);
+  if (!Cursor.consume('{'))
+    return Error::failure("expected '{' at the start of a JSON object");
+  std::map<std::string, std::string> Out;
+  if (Cursor.consume('}')) {
+    if (!Cursor.atEnd())
+      return Error::failure("trailing characters after JSON object");
+    return Out;
+  }
+  do {
+    if (!Cursor.consume('"'))
+      return Error::failure("expected a quoted key in JSON object");
+    std::string Key;
+    if (!Cursor.parseStringBody(Key))
+      return Error::failure("unterminated key in JSON object");
+    if (!Cursor.consume(':'))
+      return Error::failure("expected ':' after key '" + Key + "'");
+    std::string Value;
+    if (Cursor.consume('"')) {
+      if (!Cursor.parseStringBody(Value))
+        return Error::failure("unterminated value for key '" + Key + "'");
+    } else {
+      char Next = Cursor.peek();
+      if (Next == '{' || Next == '[')
+        return Error::failure("nested JSON values are not supported");
+      if (!Cursor.parseBareToken(Value))
+        return Error::failure("malformed value for key '" + Key + "'");
+    }
+    if (!Out.emplace(std::move(Key), std::move(Value)).second)
+      return Error::failure("duplicate key in JSON object");
+  } while (Cursor.consume(','));
+  if (!Cursor.consume('}'))
+    return Error::failure("expected '}' at the end of a JSON object");
+  if (!Cursor.atEnd())
+    return Error::failure("trailing characters after JSON object");
+  return Out;
+}
+
 void JsonObject::key(const std::string &Key) {
   if (!First)
     Body += ",";

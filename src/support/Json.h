@@ -6,23 +6,39 @@
 ///
 /// \file
 /// A tiny JSON *writer* — just enough for the machine-readable artifacts
-/// the repo emits (runtime span logs as JSONL, bench result files). There
-/// is deliberately no parser: nothing in the library consumes JSON, and
-/// the no-dependency rule rules out a real one.
+/// the repo emits (runtime span logs as JSONL, bench result files) —
+/// plus a deliberately minimal *flat-object* parser for the one JSON
+/// input the library consumes: checkpoint manifest lines. The parser
+/// accepts a single non-nested object (string / number / bool / null
+/// values) and nothing more; the no-dependency rule rules out a real
+/// one.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WOOTZ_SUPPORT_JSON_H
 #define WOOTZ_SUPPORT_JSON_H
 
+#include "src/support/Error.h"
+
 #include <cstdint>
+#include <map>
 #include <string>
+#include <string_view>
 
 namespace wootz {
 
 /// Escapes \p Text for use inside a JSON string literal (quotes,
 /// backslashes, control characters).
 std::string jsonEscape(const std::string &Text);
+
+/// Parses one flat (non-nested) JSON object like the ones JsonObject
+/// emits: `{"key":"value","n":3,"flag":true}`. String values are
+/// unescaped; numbers, booleans, and null are returned as their raw
+/// token text. Nested objects/arrays, duplicate keys, and trailing
+/// garbage are errors — this exists for checkpoint manifest lines, not
+/// as a general JSON parser.
+Result<std::map<std::string, std::string>>
+parseFlatJsonObject(std::string_view Text);
 
 /// Builds one JSON object left to right. Values are emitted immediately;
 /// keys are not checked for uniqueness.

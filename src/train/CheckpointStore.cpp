@@ -2,12 +2,19 @@
 
 #include "src/train/CheckpointStore.h"
 
+#include "src/support/File.h"
+#include "src/support/Hash.h"
+#include "src/support/Json.h"
 #include "src/support/StringUtils.h"
 
 #include <filesystem>
 #include <fstream>
 
 using namespace wootz;
+
+/// Manifest version written by saveTo(). Version 1 was the bare TSV
+/// "MANIFEST" file; version 2 is JSONL with a typed header line.
+static constexpr int ManifestVersion = 2;
 
 std::string wootz::sanitizeCheckpointKey(const std::string &Key) {
   std::string Out;
@@ -17,7 +24,15 @@ std::string wootz::sanitizeCheckpointKey(const std::string &Key) {
                       C == '.';
     Out += Safe ? C : '_';
   }
+  // The replacement above is lossy ("b|a" and "b:a" both become "b_a"),
+  // so distinct keys could silently overwrite each other's files. A
+  // short hash of the original key disambiguates them.
+  Out += "-" + toHex(fnv1a(Key), 8);
   return Out;
+}
+
+std::string wootz::checkpointFileName(const std::string &Key) {
+  return sanitizeCheckpointKey(Key) + ".ckpt";
 }
 
 void CheckpointStore::capture(const std::string &Key, Graph &Source,
@@ -30,6 +45,10 @@ void CheckpointStore::capture(const std::string &Key, Graph &Source,
     for (size_t K = 0; K < State.size(); ++K)
       Bundle[LayerName + "/s" + std::to_string(K)] = State[K]->Value;
   }
+  insert(Key, std::move(Bundle));
+}
+
+void CheckpointStore::insert(const std::string &Key, TensorBundle Bundle) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Bundles[Key] = std::move(Bundle);
 }
@@ -41,23 +60,47 @@ Error CheckpointStore::restore(const std::string &Key, Graph &Target,
   if (It == Bundles.end())
     return Error::failure("no checkpoint stored under key '" + Key + "'");
   for (const auto &[EntryName, Value] : It->second) {
+    // Entry names come from disk as well as from capture(), so malformed
+    // ones must be recoverable errors, not assertions that compile out.
     const size_t Slash = EntryName.rfind("/s");
-    assert(Slash != std::string::npos && "malformed checkpoint entry");
+    if (Slash == std::string::npos)
+      return Error::failure("checkpoint '" + Key +
+                            "' has a malformed entry name '" + EntryName +
+                            "' (expected '<layer>/s<index>')");
     const std::string LayerName = EntryName.substr(0, Slash);
     Result<long long> StateIndex = parseInteger(EntryName.substr(Slash + 2));
-    assert(StateIndex && "malformed checkpoint state index");
+    if (!StateIndex || *StateIndex < 0)
+      return Error::failure("checkpoint '" + Key + "' entry '" +
+                            EntryName +
+                            "' has a malformed state index");
     const std::string NodeName = Prefix + "/" + LayerName;
     if (!Target.hasNode(NodeName))
       continue;
-    Param *State = Target.layer(NodeName).state()[*StateIndex];
-    if (State->Value.shape() != Value.shape())
+    const std::vector<Param *> State = Target.layer(NodeName).state();
+    if (static_cast<size_t>(*StateIndex) >= State.size())
+      return Error::failure(
+          "checkpoint '" + Key + "' entry '" + EntryName +
+          "' indexes state tensor " + std::to_string(*StateIndex) +
+          " but layer '" + NodeName + "' only has " +
+          std::to_string(State.size()));
+    Param *Slot = State[*StateIndex];
+    if (Slot->Value.shape() != Value.shape())
       return Error::failure("checkpoint '" + Key + "' entry '" + EntryName +
                             "' has shape " + Value.shape().str() +
                             " but the target expects " +
-                            State->Value.shape().str());
-    State->Value = Value;
+                            Slot->Value.shape().str());
+    Slot->Value = Value;
   }
   return Error::success();
+}
+
+Result<TensorBundle>
+CheckpointStore::bundleCopy(const std::string &Key) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Bundles.find(Key);
+  if (It == Bundles.end())
+    return Error::failure("no checkpoint stored under key '" + Key + "'");
+  return It->second;
 }
 
 std::vector<std::string> CheckpointStore::keys() const {
@@ -77,37 +120,116 @@ Error CheckpointStore::saveTo(const std::string &Directory) const {
                           Directory + "'");
   std::lock_guard<std::mutex> Lock(Mutex);
   std::string Manifest;
+  Manifest += JsonObject()
+                  .field("type", "wootz-checkpoint-manifest")
+                  .field("version", ManifestVersion)
+                  .field("entries", Bundles.size())
+                  .str() +
+              "\n";
   for (const auto &[Key, Bundle] : Bundles) {
-    const std::string FileName = sanitizeCheckpointKey(Key) + ".ckpt";
+    const std::string FileName = checkpointFileName(Key);
     if (Error E = saveTensors(Directory + "/" + FileName, Bundle))
       return E;
-    Manifest += Key + "\t" + FileName + "\n";
+    Manifest +=
+        JsonObject().field("key", Key).field("file", FileName).str() +
+        "\n";
   }
-  std::ofstream Stream(Directory + "/MANIFEST", std::ios::trunc);
-  if (!Stream)
-    return Error::failure("cannot write checkpoint manifest");
-  Stream << Manifest;
-  return Error::success();
+  // The manifest is renamed into place last, so a crash mid-save leaves
+  // either the previous manifest (pointing at still-valid files) or the
+  // complete new one — never a manifest referencing half-written files.
+  return writeFileAtomic(Directory + "/MANIFEST.json", Manifest);
 }
 
-Error CheckpointStore::loadFrom(const std::string &Directory) {
-  std::ifstream Stream(Directory + "/MANIFEST");
-  if (!Stream)
-    return Error::failure("cannot read manifest in '" + Directory + "'");
-  std::string Line;
-  while (std::getline(Stream, Line)) {
+/// Parses the versioned JSONL manifest into key -> file-name pairs.
+static Result<std::vector<std::pair<std::string, std::string>>>
+parseJsonManifest(const std::string &Text) {
+  std::vector<std::pair<std::string, std::string>> Entries;
+  bool SawHeader = false;
+  for (const std::string &Line : splitLines(Text)) {
+    if (trim(Line).empty())
+      continue;
+    Result<std::map<std::string, std::string>> Object =
+        parseFlatJsonObject(Line);
+    if (!Object)
+      return Error::failure("malformed manifest line '" + Line +
+                            "': " + Object.message());
+    if (!SawHeader) {
+      auto Type = Object->find("type");
+      auto Version = Object->find("version");
+      if (Type == Object->end() ||
+          Type->second != "wootz-checkpoint-manifest" ||
+          Version == Object->end())
+        return Error::failure(
+            "manifest does not start with a wootz-checkpoint-manifest "
+            "header");
+      Result<long long> Parsed = parseInteger(Version->second);
+      if (!Parsed || *Parsed < 1 || *Parsed > ManifestVersion)
+        return Error::failure("unsupported manifest version '" +
+                              Version->second + "'");
+      SawHeader = true;
+      continue;
+    }
+    auto Key = Object->find("key");
+    auto File = Object->find("file");
+    if (Key == Object->end() || File == Object->end())
+      return Error::failure("manifest line '" + Line +
+                            "' lacks key/file fields");
+    Entries.emplace_back(Key->second, File->second);
+  }
+  if (!SawHeader)
+    return Error::failure("manifest has no header line");
+  return Entries;
+}
+
+/// Parses the legacy bare-TSV MANIFEST (version 1 directories).
+static Result<std::vector<std::pair<std::string, std::string>>>
+parseTsvManifest(const std::string &Text) {
+  std::vector<std::pair<std::string, std::string>> Entries;
+  for (const std::string &Line : splitLines(Text)) {
     if (trim(Line).empty())
       continue;
     const size_t Tab = Line.find('\t');
     if (Tab == std::string::npos)
       return Error::failure("malformed manifest line '" + Line + "'");
-    const std::string Key = Line.substr(0, Tab);
-    Result<TensorBundle> Bundle =
-        loadTensors(Directory + "/" + Line.substr(Tab + 1));
-    if (!Bundle)
-      return Bundle.takeError();
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Bundles[Key] = Bundle.take();
+    Entries.emplace_back(Line.substr(0, Tab), Line.substr(Tab + 1));
   }
-  return Error::success();
+  return Entries;
+}
+
+Result<CheckpointLoadReport>
+CheckpointStore::loadFrom(const std::string &Directory,
+                          CheckpointLoadMode Mode) {
+  using ManifestEntries = std::vector<std::pair<std::string, std::string>>;
+  Result<ManifestEntries> Entries = [&]() -> Result<ManifestEntries> {
+    Result<std::string> Json = readFile(Directory + "/MANIFEST.json");
+    if (Json)
+      return parseJsonManifest(*Json);
+    Result<std::string> Tsv = readFile(Directory + "/MANIFEST");
+    if (Tsv)
+      return parseTsvManifest(*Tsv);
+    return Error::failure(
+        "cannot read a manifest (MANIFEST.json or MANIFEST) in '" +
+        Directory + "'");
+  }();
+  if (!Entries)
+    return Entries.takeError();
+
+  if (Mode == CheckpointLoadMode::Replace) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Bundles.clear();
+  }
+
+  // One bad file must not shadow the good entries behind it: record the
+  // failure, move on, and let the caller re-train just the missing keys.
+  CheckpointLoadReport Report;
+  for (const auto &[Key, FileName] : *Entries) {
+    Result<TensorBundle> Bundle = loadTensors(Directory + "/" + FileName);
+    if (!Bundle) {
+      Report.EntryErrors.push_back(Key + ": " + Bundle.message());
+      continue;
+    }
+    insert(Key, Bundle.take());
+    ++Report.Loaded;
+  }
+  return Report;
 }

@@ -48,7 +48,13 @@ Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
                 std::to_string(Fingerprint % 0xffffff) + ".ckpt";
     if (std::filesystem::exists(CachePath)) {
       Result<TensorBundle> Bundle = loadTensors(CachePath);
-      if (Bundle) {
+      if (!Bundle) {
+        // A corrupt or truncated cache entry must not shadow the slot
+        // forever: quarantine it (keeping the evidence) and retrain.
+        std::error_code FsError;
+        std::filesystem::rename(CachePath, CachePath + ".corrupt",
+                                FsError);
+      } else {
         bool Compatible = true;
         const std::map<std::string, Param *> State =
             Out.Network.namedState();

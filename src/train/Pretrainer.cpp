@@ -5,15 +5,25 @@
 #include "src/nn/Loss.h"
 #include "src/nn/Optimizer.h"
 #include "src/pruning/Transfer.h"
+#include "src/support/Hash.h"
 #include "src/support/Stopwatch.h"
 
 using namespace wootz;
+
+uint64_t wootz::pretrainGroupSeed(uint64_t BaseSeed,
+                                  const std::vector<TuningBlock> &Group) {
+  Fnv1a Digest;
+  Digest.mix(BaseSeed);
+  for (const TuningBlock &Block : Group)
+    Digest.mix(Block.id());
+  return Digest.digest();
+}
 
 Result<GroupPretrainStats> wootz::pretrainGroup(
     const MultiplexingModel &Model, Graph &FullTrained,
     const std::string &FullPrefix, const std::vector<TuningBlock> &Group,
     const Dataset &Data, const TrainMeta &Meta, CheckpointStore &Store,
-    Rng &Generator, const FilterScores *Scores) {
+    Rng &Generator, const FilterScores *Scores, BlockCache *Cache) {
   const ModelSpec &Spec = Model.spec();
   Stopwatch GroupTimer;
   GroupPretrainStats Stats;
@@ -69,8 +79,15 @@ Result<GroupPretrainStats> wootz::pretrainGroup(
       Stats.LastLoss = StepLoss;
   }
 
-  for (const BlockPort &Port : Built->Ports)
+  for (const BlockPort &Port : Built->Ports) {
     Store.capture(Port.Block.id(), Network, Port.Prefix, Port.Layers);
+    if (Cache) {
+      // Cache publication failing (disk full, read-only mount) must not
+      // fail the training run: the block is safely in the store.
+      Error E = Cache->publish(Port.Block.id(), Store);
+      (void)static_cast<bool>(E);
+    }
+  }
   Stats.Seconds = GroupTimer.seconds();
   return Stats;
 }
@@ -79,16 +96,28 @@ Result<PretrainStats> wootz::pretrainBlocks(
     const MultiplexingModel &Model, Graph &FullTrained,
     const std::string &FullPrefix, const std::vector<TuningBlock> &Blocks,
     const Dataset &Data, const TrainMeta &Meta, CheckpointStore &Store,
-    Rng &Generator, const FilterScores *Scores, RunLog *Log) {
+    Rng &Generator, const FilterScores *Scores, RunLog *Log,
+    BlockCache *Cache) {
   Stopwatch TotalTimer;
   PretrainStats Stats;
 
+  // Drawn unconditionally so the caller's generator advances the same
+  // whether every block trains, some load from the cache, or none are
+  // pending — a warm run must reproduce the cold run's later draws.
+  const uint64_t BaseSeed = Generator.next();
+
   // Identity blocks reuse the teacher's weights; already-stored blocks
-  // are shared across calls (the cross-network reuse the paper banks on).
+  // are shared across calls (the cross-network reuse the paper banks
+  // on); blocks found in the cross-run cache load from disk instead of
+  // training.
   std::vector<TuningBlock> Pending;
-  for (const TuningBlock &Block : Blocks)
-    if (!Block.isIdentity() && !Store.contains(Block.id()))
-      Pending.push_back(Block);
+  for (const TuningBlock &Block : Blocks) {
+    if (Block.isIdentity() || Store.contains(Block.id()))
+      continue;
+    if (Cache && Cache->fetch(Block.id(), Store))
+      continue;
+    Pending.push_back(Block);
+  }
   Stats.BlockCount = static_cast<int>(Pending.size());
   if (Pending.empty())
     return Stats;
@@ -99,9 +128,10 @@ Result<PretrainStats> wootz::pretrainBlocks(
 
   for (size_t GroupIndex = 0; GroupIndex < Groups.size(); ++GroupIndex) {
     const double StartAt = Log ? Log->now() : 0.0;
+    Rng GroupGen(pretrainGroupSeed(BaseSeed, Groups[GroupIndex]));
     Result<GroupPretrainStats> GroupStats =
         pretrainGroup(Model, FullTrained, FullPrefix, Groups[GroupIndex],
-                      Data, Meta, Store, Generator, Scores);
+                      Data, Meta, Store, GroupGen, Scores, Cache);
     if (!GroupStats)
       return GroupStats.takeError();
     if (Log) {

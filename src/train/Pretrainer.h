@@ -23,6 +23,7 @@
 #include "src/data/Dataset.h"
 #include "src/pruning/Importance.h"
 #include "src/runtime/RunLog.h"
+#include "src/train/BlockCache.h"
 #include "src/train/CheckpointStore.h"
 
 namespace wootz {
@@ -56,29 +57,47 @@ struct GroupPretrainStats {
 /// runtime scheduler dispatches: groups only read the teacher and only
 /// write distinct store keys, so distinct groups may train concurrently
 /// (each with its own \p Generator). The caller is responsible for
-/// filtering out identity and already-stored blocks.
+/// filtering out identity and already-stored blocks. When \p Cache is
+/// given, each freshly trained block is also published to the cross-run
+/// cache (publish failures are non-fatal — the block lives in \p Store
+/// regardless).
 Result<GroupPretrainStats>
 pretrainGroup(const MultiplexingModel &Model, Graph &FullTrained,
               const std::string &FullPrefix,
               const std::vector<TuningBlock> &Group, const Dataset &Data,
               const TrainMeta &Meta, CheckpointStore &Store,
-              Rng &Generator, const FilterScores *Scores = nullptr);
+              Rng &Generator, const FilterScores *Scores = nullptr,
+              BlockCache *Cache = nullptr);
+
+/// Derives the training seed of one block group from a base draw: a
+/// hash of \p BaseSeed and the group's block ids. Because the seed
+/// depends only on the group's contents (not on how many other groups
+/// train, or trained before it), a group produces bit-identical weights
+/// whether the surrounding run is cold, warm, or resumed mid-way with
+/// some groups already cached.
+uint64_t pretrainGroupSeed(uint64_t BaseSeed,
+                           const std::vector<TuningBlock> &Group);
 
 /// Pre-trains \p Blocks with \p FullTrained (nodes "<FullPrefix>/...")
 /// as the teacher and stores each trained block in \p Store under its
 /// canonical id. Identity blocks are skipped (they reuse the teacher's
 /// weights directly). Blocks are initialized by weight inheritance
 /// before training — ranked by \p Scores when given, by l1 norms
-/// otherwise. Groups run serially, in partition order, consuming
-/// \p Generator deterministically; when \p Log is given each group is
-/// recorded as a "pretrain:g<index>" span.
+/// otherwise. Groups run serially, in partition order; exactly one
+/// value is drawn from \p Generator (cached or empty pending sets draw
+/// the same), and each group trains on its own pretrainGroupSeed()
+/// stream, so skipping blocks never shifts the caller's later draws.
+/// When \p Log is given each group is recorded as a "pretrain:g<index>"
+/// span. When \p Cache is given, blocks already in the cross-run cache
+/// are fetched instead of trained (they do not count toward
+/// BlockCount), and freshly trained blocks are published back.
 Result<PretrainStats>
 pretrainBlocks(const MultiplexingModel &Model, Graph &FullTrained,
                const std::string &FullPrefix,
                const std::vector<TuningBlock> &Blocks, const Dataset &Data,
                const TrainMeta &Meta, CheckpointStore &Store,
                Rng &Generator, const FilterScores *Scores = nullptr,
-               RunLog *Log = nullptr);
+               RunLog *Log = nullptr, BlockCache *Cache = nullptr);
 
 } // namespace wootz
 

@@ -42,6 +42,7 @@
 #include "src/support/StringUtils.h"
 #include "src/support/Table.h"
 #include "src/tensor/Kernels.h"
+#include "src/train/BlockCache.h"
 #include "src/train/Trainer.h"
 
 #endif // WOOTZ_WOOTZ_H

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -219,6 +220,102 @@ TEST_F(RuntimePipelineFixture, OverlapWinnerIsDeterministic) {
                    B.Evaluations[0].InitAccuracy);
   EXPECT_DOUBLE_EQ(A.Evaluations[0].FinalAccuracy,
                    B.Evaluations[0].FinalAccuracy);
+}
+
+TEST_F(RuntimePipelineFixture, WarmBlockCacheSkipsAllPretraining) {
+  // Two identical composability runs against one block-cache directory:
+  // the first pre-trains and publishes every block, the second must
+  // fetch them all (zero pending blocks, 100% cache.hit) and reproduce
+  // the first run's evaluations exactly.
+  const std::string CacheDir =
+      ::testing::TempDir() + "wootz_pipeline_block_cache";
+  std::filesystem::remove_all(CacheDir);
+
+  PipelineOptions Options;
+  Options.UseComposability = true;
+  Options.BlockCacheConfig.Directory = CacheDir;
+  const std::vector<PruneConfig> Small(Subspace.begin(),
+                                       Subspace.begin() + 3);
+
+  Rng ColdGenerator(11);
+  Result<PipelineResult> Cold =
+      runPruningPipeline(Spec, Data, Small, Meta, Options, ColdGenerator);
+  ASSERT_TRUE(static_cast<bool>(Cold)) << Cold.message();
+  ASSERT_GT(Cold->Pretrain.BlockCount, 0);
+  const RunTelemetry ColdLog = Cold->Telemetry;
+  EXPECT_EQ(ColdLog.counter("cache.hit"), 0);
+  EXPECT_EQ(ColdLog.counter("cache.miss"), Cold->Pretrain.BlockCount);
+
+  Rng WarmGenerator(11);
+  Result<PipelineResult> Warm =
+      runPruningPipeline(Spec, Data, Small, Meta, Options, WarmGenerator);
+  ASSERT_TRUE(static_cast<bool>(Warm)) << Warm.message();
+  EXPECT_EQ(Warm->Pretrain.BlockCount, 0);
+  EXPECT_EQ(Warm->Pretrain.GroupCount, 0);
+  const RunTelemetry WarmLog = Warm->Telemetry;
+  EXPECT_EQ(WarmLog.counter("cache.hit"), Cold->Pretrain.BlockCount);
+  EXPECT_EQ(WarmLog.counter("cache.miss"), 0);
+  EXPECT_EQ(WarmLog.counter("cache.corrupt"), 0);
+
+  ASSERT_EQ(Warm->Evaluations.size(), Cold->Evaluations.size());
+  for (size_t I = 0; I < Cold->Evaluations.size(); ++I) {
+    EXPECT_DOUBLE_EQ(Warm->Evaluations[I].InitAccuracy,
+                     Cold->Evaluations[I].InitAccuracy);
+    EXPECT_DOUBLE_EQ(Warm->Evaluations[I].FinalAccuracy,
+                     Cold->Evaluations[I].FinalAccuracy);
+  }
+
+  // A changed pre-training recipe addresses different cache entries:
+  // everything misses, nothing wrong is reused.
+  TrainMeta OtherMeta = Meta;
+  OtherMeta.PretrainSteps += 4;
+  Rng OtherGenerator(11);
+  Result<PipelineResult> Other = runPruningPipeline(
+      Spec, Data, Small, OtherMeta, Options, OtherGenerator);
+  ASSERT_TRUE(static_cast<bool>(Other)) << Other.message();
+  EXPECT_GT(Other->Pretrain.BlockCount, 0);
+  EXPECT_EQ(Other->Telemetry.counter("cache.hit"), 0);
+
+  std::filesystem::remove_all(CacheDir);
+}
+
+TEST_F(RuntimePipelineFixture, OverlapWarmBlockCacheSkipsAllPretraining) {
+  // The same warm-run guarantee holds under the Overlap schedule, where
+  // fetches happen while building the dependency graph and publishes
+  // happen from concurrent group tasks.
+  const std::string CacheDir =
+      ::testing::TempDir() + "wootz_pipeline_block_cache_overlap";
+  std::filesystem::remove_all(CacheDir);
+
+  PipelineOptions Options;
+  Options.UseComposability = true;
+  Options.Schedule = PipelineSchedule::Overlap;
+  Options.Workers = 2;
+  Options.BlockCacheConfig.Directory = CacheDir;
+
+  Rng ColdGenerator(11);
+  Result<PipelineResult> Cold =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, ColdGenerator);
+  ASSERT_TRUE(static_cast<bool>(Cold)) << Cold.message();
+  ASSERT_GT(Cold->Pretrain.BlockCount, 0);
+
+  Rng WarmGenerator(11);
+  Result<PipelineResult> Warm =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, WarmGenerator);
+  ASSERT_TRUE(static_cast<bool>(Warm)) << Warm.message();
+  EXPECT_EQ(Warm->Pretrain.BlockCount, 0);
+  EXPECT_EQ(Warm->Telemetry.counter("cache.hit"),
+            Cold->Pretrain.BlockCount);
+  EXPECT_EQ(Warm->Telemetry.counter("cache.miss"), 0);
+
+  // Group seeds derive from block ids, not from which groups actually
+  // trained, so the warm run reproduces the cold run's evaluations.
+  ASSERT_EQ(Warm->Evaluations.size(), Cold->Evaluations.size());
+  for (size_t I = 0; I < Cold->Evaluations.size(); ++I)
+    EXPECT_DOUBLE_EQ(Warm->Evaluations[I].FinalAccuracy,
+                     Cold->Evaluations[I].FinalAccuracy);
+
+  std::filesystem::remove_all(CacheDir);
 }
 
 TEST_F(RuntimePipelineFixture, OverlapRejectsDistillation) {

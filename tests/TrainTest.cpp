@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cctype>
 #include <filesystem>
 #include <thread>
 
@@ -156,7 +157,70 @@ TEST(CheckpointStoreTest, MissingKeyErrors) {
 }
 
 TEST(CheckpointStoreTest, SanitizeKeys) {
-  EXPECT_EQ(sanitizeCheckpointKey("m2-m3@0.5,0.3"), "m2-m3_0.5_0.3");
+  const std::string Sanitized = sanitizeCheckpointKey("m2-m3@0.5,0.3");
+  // Unsafe characters are replaced, and a short hash of the original
+  // key is appended to keep distinct keys distinct on disk.
+  EXPECT_EQ(Sanitized.substr(0, 13), "m2-m3_0.5_0.3");
+  EXPECT_EQ(Sanitized, sanitizeCheckpointKey("m2-m3@0.5,0.3"));
+  for (char C : Sanitized)
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(C)) || C == '-' ||
+                C == '_' || C == '.')
+        << "unsafe character '" << C << "' in " << Sanitized;
+}
+
+TEST(CheckpointStoreTest, SanitizeKeysNeverCollide) {
+  // Regression: "b|a" and "b:a" both sanitized to "b_a" and silently
+  // overwrote each other's .ckpt file in saveTo.
+  EXPECT_NE(sanitizeCheckpointKey("b|a"), sanitizeCheckpointKey("b:a"));
+  EXPECT_NE(checkpointFileName("m0@0.5,0.3"), checkpointFileName("m0@0.5@0.3"));
+  EXPECT_NE(sanitizeCheckpointKey("a_b"), sanitizeCheckpointKey("a|b"));
+}
+
+TEST(CheckpointStoreTest, RestoreRejectsMalformedEntryNames) {
+  // Bundles can come from disk, so malformed entry names must be clean
+  // errors, not assert()s that compile out under NDEBUG.
+  Result<ModelSpec> Parsed = makeStandardModel(StandardModel::ResNetA, 4);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  MultiplexingModel Model(Parsed.take());
+  Rng Generator(80);
+  Graph Network;
+  ASSERT_TRUE(static_cast<bool>(Model.build(
+      Network, BuildMode::FullModel, PruneInfo(), "net", Generator)));
+
+  CheckpointStore NoSlash;
+  TensorBundle Bad;
+  Bad["nostateindex"] = Tensor(Shape{1}, {1.0f});
+  NoSlash.insert("k", std::move(Bad));
+  Error E1 = NoSlash.restore("k", Network, "net");
+  EXPECT_TRUE(static_cast<bool>(E1));
+
+  CheckpointStore BadIndex;
+  TensorBundle Garbled;
+  Garbled["m1_conv1/sXY"] = Tensor(Shape{1}, {1.0f});
+  BadIndex.insert("k", std::move(Garbled));
+  Error E2 = BadIndex.restore("k", Network, "net");
+  EXPECT_TRUE(static_cast<bool>(E2));
+}
+
+TEST(CheckpointStoreTest, RestoreBoundsChecksStateIndex) {
+  // A bundle captured from a layer with more state tensors than the
+  // target was UB in release builds (unchecked state()[*StateIndex]).
+  Result<ModelSpec> Parsed = makeStandardModel(StandardModel::ResNetA, 4);
+  ASSERT_TRUE(static_cast<bool>(Parsed));
+  MultiplexingModel Model(Parsed.take());
+  Rng Generator(81);
+  Graph Network;
+  ASSERT_TRUE(static_cast<bool>(Model.build(
+      Network, BuildMode::FullModel, PruneInfo(), "net", Generator)));
+
+  CheckpointStore Store;
+  TensorBundle OutOfRange;
+  OutOfRange["m1_conv1/s99"] = Tensor(Shape{1}, {1.0f});
+  Store.insert("k", std::move(OutOfRange));
+  Error E = Store.restore("k", Network, "net");
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("state tensor 99"), std::string::npos)
+      << E.message();
 }
 
 TEST_F(TrainFixture, CheckpointStoreDiskRoundTrip) {
@@ -174,10 +238,22 @@ TEST_F(TrainFixture, CheckpointStoreDiskRoundTrip) {
   ASSERT_FALSE(static_cast<bool>(SaveErr)) << SaveErr.message();
 
   CheckpointStore Loaded;
-  Error LoadErr = Loaded.loadFrom(Dir);
-  ASSERT_FALSE(static_cast<bool>(LoadErr)) << LoadErr.message();
+  Result<CheckpointLoadReport> Report = Loaded.loadFrom(Dir);
+  ASSERT_TRUE(static_cast<bool>(Report)) << Report.message();
+  EXPECT_EQ(Report->Loaded, 1);
+  EXPECT_TRUE(Report->EntryErrors.empty());
   EXPECT_TRUE(Loaded.contains("m1@0.5"));
   EXPECT_EQ(Loaded.keys(), Store.keys());
+
+  // Replace mode drops what was in memory; merge keeps it.
+  Loaded.insert("stale", TensorBundle{});
+  ASSERT_TRUE(static_cast<bool>(
+      Loaded.loadFrom(Dir, CheckpointLoadMode::Merge)));
+  EXPECT_TRUE(Loaded.contains("stale"));
+  ASSERT_TRUE(static_cast<bool>(
+      Loaded.loadFrom(Dir, CheckpointLoadMode::Replace)));
+  EXPECT_FALSE(Loaded.contains("stale"));
+  EXPECT_TRUE(Loaded.contains("m1@0.5"));
   std::filesystem::remove_all(Dir);
 }
 
