@@ -11,13 +11,25 @@
 // multiplexing model and wrapper scripts, the task-assignment file, and
 // the pre-trained tuning block checkpoints.
 //
+// The `serve` subcommand instead runs the pruning-as-a-service daemon:
+//
+//   wootz_cli serve [port [state-dir]]
+//
+// which accepts exploration jobs over HTTP (see DESIGN.md "Serving" and
+// the README quickstart) and drains gracefully on SIGTERM/SIGINT.
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/explore/Report.h"
 #include "src/support/File.h"
 #include "src/wootz/wootz.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
+#include <thread>
 
 using namespace wootz;
 
@@ -69,9 +81,58 @@ std::vector<std::string> writeSampleInputs(const std::string &Directory) {
         "writing sample objective");
   return {ModelPath, SubspacePath, MetaPath, ObjectivePath};
 }
+
+/// Set by the signal handler; the serve loop polls it.
+std::atomic<int> PendingSignal{0};
+void onShutdownSignal(int Signal) { PendingSignal.store(Signal); }
+
+/// `wootz_cli serve [port [state-dir]]`: run the daemon until
+/// SIGTERM/SIGINT, then drain gracefully (finish in-flight requests and
+/// every accepted job before exiting).
+int runServe(int ArgCount, char **Args) {
+  int Port = 8080;
+  std::string StateDir = "wootz_serve";
+  if (ArgCount >= 3)
+    Port = static_cast<int>(
+        orDie(parseInteger(Args[2]), "parsing the port"));
+  if (ArgCount >= 4)
+    StateDir = Args[3];
+
+  serve::ServerOptions Options;
+  Options.Http.Port = Port;
+  Options.Jobs.BlockCacheDir = StateDir + "/block_cache";
+  Options.Jobs.CacheDir = StateDir + "/cache";
+  Options.Jobs.ArtifactDir = StateDir + "/artifacts";
+
+  serve::WootzServer Server(Options);
+  orDie(Server.start(), "starting the server");
+  std::signal(SIGTERM, onShutdownSignal);
+  std::signal(SIGINT, onShutdownSignal);
+
+  std::printf("wootz serve: listening on http://127.0.0.1:%d "
+              "(state under %s/)\n",
+              Server.port(), StateDir.c_str());
+  std::printf("  POST /v1/jobs, GET /v1/jobs/<id>, "
+              "POST /v1/models/<id>/predict, GET /metrics\n");
+  std::printf("  SIGTERM/Ctrl-C drains: accepted jobs finish first\n");
+
+  while (PendingSignal.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  std::printf("wootz serve: signal %d; draining (%zu queued, %zu "
+              "running jobs)...\n",
+              PendingSignal.load(), Server.jobs().queuedCount(),
+              Server.jobs().runningCount());
+  Server.drain();
+  std::printf("wootz serve: drained; every accepted job finished\n");
+  return 0;
+}
 } // namespace
 
 int main(int ArgCount, char **Args) {
+  if (ArgCount >= 2 && std::strcmp(Args[1], "serve") == 0)
+    return runServe(ArgCount, Args);
+
   std::string OutDir = "wootz_run";
   std::vector<std::string> Inputs;
   if (ArgCount >= 5) {

@@ -48,7 +48,18 @@ Result<PipelineResult> wootz::runPruningPipeline(
 
   const MultiplexingModel Model(Spec);
   PipelineResult Run;
-  RunLog Log;
+  // Telemetry goes to the caller's log when one is supplied (live
+  // observers sample it mid-run); otherwise to a run-local one.
+  RunLog OwnLog;
+  RunLog &Log = Options.Log ? *Options.Log : OwnLog;
+  // Cooperative cancellation: polled at every task boundary. The fixed
+  // message lets callers that handed us the token tell an intentional
+  // abort from a real failure.
+  auto cancelRequested = [&Options] {
+    return Options.Cancel && Options.Cancel->cancelled();
+  };
+  if (cancelRequested())
+    return Error::failure("job cancelled before it started");
 
   // Phase 0: the trained full model every pruned network derives from.
   Result<FullModel> Full =
@@ -96,6 +107,8 @@ Result<PipelineResult> wootz::runPruningPipeline(
       CompositeVectors = coverWithBlocks(Subspace, Run.Blocks);
     }
     if (!Overlap) {
+      if (cancelRequested())
+        return Error::failure("job cancelled");
       Result<PretrainStats> Stats =
           pretrainBlocks(Model, Full->Network, "full", Run.Blocks, Data,
                          Meta, Store, Generator, &*Scores, &Log, &Cache);
@@ -144,6 +157,8 @@ Result<PipelineResult> wootz::runPruningPipeline(
   Run.Evaluations.resize(ConfigCount);
 
   auto evaluateOne = [&](size_t Index) -> Error {
+    if (cancelRequested())
+      return Error::failure("job cancelled");
     const PruneConfig &Config = Subspace[Index];
     std::vector<TuningBlock> Composite;
     if (Options.UseComposability)
@@ -185,6 +200,9 @@ Result<PipelineResult> wootz::runPruningPipeline(
     if (Options.KeepCurves)
       Evaluated.Curve = Trained.Curve;
     Evaluated.BlocksUsed = Assembled->BlocksUsed;
+    if (Options.KeepNetworks)
+      Evaluated.Network =
+          std::make_shared<AssembledNetwork>(Assembled.take());
     Run.Evaluations[Index] = std::move(Evaluated);
     return Error::success();
   };
@@ -230,6 +248,8 @@ Result<PipelineResult> wootz::runPruningPipeline(
       GroupTask[G] = Graph.add(
           "pretrain:g" + std::to_string(G), {},
           -static_cast<int>(GroupMinPos[G]), [&, G]() -> Error {
+            if (cancelRequested())
+              return Error::failure("job cancelled");
             Result<GroupPretrainStats> Stats = pretrainGroup(
                 Model, Full->Network, "full", Groups[G], Data, Meta,
                 Store, GroupRngs[G], &*Scores, &Cache);

@@ -21,10 +21,13 @@
 
 #include "src/explore/Cluster.h"
 #include "src/explore/Objective.h"
+#include "src/runtime/Cancel.h"
 #include "src/runtime/RunLog.h"
 #include "src/train/Assembly.h"
 #include "src/train/ModelZoo.h"
 #include "src/train/Pretrainer.h"
+
+#include <memory>
 
 namespace wootz {
 
@@ -43,6 +46,11 @@ struct EvaluatedConfig {
   /// (a smaller config already satisfied Options.CancelObjective); the
   /// accuracy/timing fields are meaningless then.
   bool Cancelled = false;
+  /// The fine-tuned network itself, retained only when
+  /// PipelineOptions::KeepNetworks — the serving layer registers the
+  /// winning pruned network from here. Shared so EvaluatedConfig stays
+  /// copyable (Graph is move-only).
+  std::shared_ptr<AssembledNetwork> Network;
 };
 
 /// How runPruningPipeline schedules pre-training and evaluation.
@@ -111,6 +119,22 @@ struct PipelineOptions {
   /// When non-empty, the run's telemetry is also written there as JSONL
   /// (one span object per task, then one counters object).
   std::string TelemetryPath;
+  /// External telemetry sink. When non-null, spans and counters are
+  /// recorded there instead of a run-local log, so an observer (the serve
+  /// job API) can sample a *live* run via RunLog::counters(). The log
+  /// must outlive the run; PipelineResult::Telemetry still snapshots it
+  /// at completion.
+  RunLog *Log = nullptr;
+  /// Job-owned cancellation token. When non-null, the run polls it at
+  /// task boundaries (group pre-training, each evaluation) and aborts
+  /// with a "job cancelled" error; under the Overlap schedule the
+  /// TaskGraph's fail-fast then cascade-cancels everything not yet
+  /// started. Must outlive the run.
+  const CancelToken *Cancel = nullptr;
+  /// Keep each evaluation's fine-tuned network in
+  /// EvaluatedConfig::Network (memory scales with the subspace; meant
+  /// for serving, not for large sweeps).
+  bool KeepNetworks = false;
 };
 
 /// Everything a pipeline run produced.

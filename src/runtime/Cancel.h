@@ -1,0 +1,46 @@
+//===- runtime/Cancel.h - Cooperative cancellation token -------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A one-way cancellation flag shared between the owner of a long-running
+/// run (a serve job, a CLI signal handler) and the code doing the work.
+/// The owner calls cancel(); workers poll cancelled() at task boundaries
+/// and return an error, which the TaskGraph's fail-fast rule turns into a
+/// cascade cancellation of everything not yet started. The token carries
+/// no callback machinery on purpose: polling at task granularity (seconds
+/// of training per task) is cheap and keeps the token trivially
+/// thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_RUNTIME_CANCEL_H
+#define WOOTZ_RUNTIME_CANCEL_H
+
+#include <atomic>
+
+namespace wootz {
+
+/// A sticky, thread-safe cancellation flag. Once cancelled, always
+/// cancelled; there is deliberately no reset.
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void cancel() { Flag.store(true, std::memory_order_release); }
+
+  /// True once cancel() has been called.
+  bool cancelled() const { return Flag.load(std::memory_order_acquire); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_RUNTIME_CANCEL_H

@@ -64,6 +64,11 @@ void RunLog::bump(const std::string &Name, int64_t Delta) {
   Counters[Name] += Delta;
 }
 
+std::map<std::string, int64_t> RunLog::counters() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters;
+}
+
 RunTelemetry RunLog::snapshot() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   RunTelemetry Out;

@@ -98,6 +98,12 @@ public:
   /// Copies the current state out.
   RunTelemetry snapshot() const;
 
+  /// Copies just the counters out (under the log's lock), without the
+  /// span vector. This is the cheap read path for live observers — the
+  /// serve /metrics endpoint samples a running pipeline's counters this
+  /// way without racing the scheduler or paying for a span copy.
+  std::map<std::string, int64_t> counters() const;
+
   /// Renders the whole log as JSONL (spans in record order, then one
   /// counters object).
   std::string jsonl() const;

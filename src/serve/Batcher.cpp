@@ -1,0 +1,210 @@
+//===- serve/Batcher.cpp ---------------------------------------------------===//
+
+#include "src/serve/Batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+using namespace wootz;
+using namespace wootz::serve;
+
+Batcher::Batcher(std::shared_ptr<AssembledNetwork> Network,
+                 BatcherOptions Options, RunLog *Log,
+                 LatencyHistogram *Latency)
+    : Network(std::move(Network)), Options(Options), Log(Log),
+      Latency(Latency) {
+  assert(this->Network && "batcher needs a network");
+  Worker = std::thread([this] { loop(); });
+}
+
+Batcher::~Batcher() { stop(); }
+
+Result<Prediction> Batcher::predict(const Tensor &Sample) {
+  assert(Sample.shape().rank() == 4 && Sample.shape()[0] == 1 &&
+         "predict takes a single [1,C,H,W] sample");
+  const auto Start = std::chrono::steady_clock::now();
+  Pending Mine;
+  Mine.Sample = &Sample;
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Stopping)
+      return Error::failure("model is draining");
+    if (Queue.size() >= Options.MaxQueuedRequests)
+      return Error::failure("model overloaded");
+    Queue.push_back(&Mine);
+    WorkReady.notify_one();
+    BatchDone.wait(Lock, [&] { return Mine.Done; });
+  }
+  if (!Mine.Error.empty())
+    return Error::failure(Mine.Error);
+
+  Prediction Out;
+  Out.Logits = std::move(Mine.Logits);
+  Out.BatchSize = Mine.BatchSize;
+  for (size_t I = 1; I < Out.Logits.size(); ++I)
+    if (Out.Logits[I] > Out.Logits[Out.ArgMax])
+      Out.ArgMax = static_cast<int>(I);
+  if (Latency)
+    Latency->record(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count());
+  if (Log)
+    Log->bump("serve.predict.requests");
+  return Out;
+}
+
+void Batcher::loop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Stopping)
+        return;
+      continue;
+    }
+    // Bounded coalescing wait: the first sample is already here; give
+    // companions MaxWaitMicros to arrive, but never more, and cut at
+    // MaxBatch. A full batch skips the wait entirely.
+    const auto Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(Options.MaxWaitMicros);
+    while (Queue.size() < static_cast<size_t>(Options.MaxBatch) &&
+           !Stopping) {
+      if (WorkReady.wait_until(Lock, Deadline) ==
+          std::cv_status::timeout)
+        break;
+    }
+    std::vector<Pending *> Batch;
+    const size_t Take =
+        std::min(Queue.size(), static_cast<size_t>(Options.MaxBatch));
+    for (size_t I = 0; I < Take; ++I) {
+      Batch.push_back(Queue.front());
+      Queue.pop_front();
+    }
+    Lock.unlock();
+    runBatch(Batch);
+    Lock.lock();
+    for (Pending *P : Batch)
+      P->Done = true;
+    BatchDone.notify_all();
+    if (Stopping && Queue.empty())
+      return;
+  }
+}
+
+void Batcher::runBatch(std::vector<Pending *> &Batch) {
+  const int Count = static_cast<int>(Batch.size());
+  const Shape &One = Batch.front()->Sample->shape();
+  Tensor Input(Shape{Count, One[1], One[2], One[3]});
+  const size_t SampleSize = Batch.front()->Sample->size();
+  for (int I = 0; I < Count; ++I)
+    std::memcpy(Input.data() + static_cast<size_t>(I) * SampleSize,
+                Batch[static_cast<size_t>(I)]->Sample->data(),
+                SampleSize * sizeof(float));
+
+  Graph &Net = Network->Network;
+  Net.setInput(Network->InputNode, Input);
+  Net.forward(/*Training=*/false);
+  const Tensor &Logits = Net.activation(Network->LogitsNode);
+  if (Logits.shape().rank() != 2 || Logits.shape()[0] != Count) {
+    for (Pending *P : Batch)
+      P->Error = "model produced logits of unexpected shape " +
+                 Logits.shape().str();
+    return;
+  }
+  const int Classes = Logits.shape()[1];
+  for (int I = 0; I < Count; ++I) {
+    Pending &P = *Batch[static_cast<size_t>(I)];
+    P.Logits = Tensor(Shape{Classes});
+    std::memcpy(P.Logits.data(),
+                Logits.data() + static_cast<size_t>(I) * Classes,
+                static_cast<size_t>(Classes) * sizeof(float));
+    P.BatchSize = Count;
+  }
+  if (Log) {
+    Log->bump("serve.predict.batches");
+    Log->bump("serve.predict.batched_samples", Count);
+    if (Count > 1)
+      Log->bump("serve.predict.coalesced", Count - 1);
+  }
+}
+
+void Batcher::stop() {
+  bool FirstStop = false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Stopping) {
+      Stopping = true;
+      FirstStop = true;
+      // Everything still queued fails fast: drain means "finish what is
+      // running, refuse the rest", and these have not started.
+      for (Pending *P : Queue) {
+        P->Error = "model is draining";
+        P->Done = true;
+      }
+      Queue.clear();
+      WorkReady.notify_all();
+      BatchDone.notify_all();
+    }
+  }
+  if (FirstStop && Worker.joinable())
+    Worker.join();
+}
+
+//===----------------------------------------------------------------------===//
+// ModelRegistry
+//===----------------------------------------------------------------------===//
+
+Error ModelRegistry::add(const std::string &Id,
+                         std::shared_ptr<AssembledNetwork> Network,
+                         int Channels, int Height, int Width, int Classes,
+                         std::string Origin) {
+  if (!Network)
+    return Error::failure("cannot register a null network");
+  auto Model = std::make_unique<ServableModel>();
+  Model->Id = Id;
+  Model->Channels = Channels;
+  Model->Height = Height;
+  Model->Width = Width;
+  Model->Classes = Classes;
+  Model->Origin = std::move(Origin);
+  Model->Engine = std::make_unique<Batcher>(std::move(Network), Batching,
+                                            Log, Latency);
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto [It, Inserted] = Models.emplace(Id, std::move(Model));
+  (void)It;
+  if (!Inserted)
+    return Error::failure("model id '" + Id + "' is already registered");
+  Order.push_back(Id);
+  if (Log)
+    Log->bump("serve.models.registered");
+  return Error::success();
+}
+
+ServableModel *ModelRegistry::find(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Models.find(Id);
+  return It == Models.end() ? nullptr : It->second.get();
+}
+
+std::vector<std::string> ModelRegistry::ids() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Order;
+}
+
+size_t ModelRegistry::count() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Models.size();
+}
+
+void ModelRegistry::stopAll() {
+  std::vector<ServableModel *> All;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (auto &[Id, Model] : Models)
+      All.push_back(Model.get());
+  }
+  for (ServableModel *Model : All)
+    Model->Engine->stop();
+}

@@ -1,0 +1,159 @@
+//===- serve/Batcher.h - Dynamic micro-batched inference -------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inference path of the serve daemon. Each servable model owns one
+/// Batcher: a dedicated thread that exclusively owns the model's Graph
+/// (forward() mutates activations, so exclusive ownership is the whole
+/// concurrency story) and coalesces concurrent predict requests into one
+/// NCHW batch. Coalescing is what lets HTTP traffic exercise the
+/// batch-parallel Conv2D kernels: when the first sample arrives the
+/// batcher waits up to MaxWaitMicros for companions (bounded wait), cuts
+/// the batch at MaxBatch, runs a single eval-mode forward, and fans the
+/// logit rows back out to the waiting request threads.
+///
+/// Callers block in predict() on a condition variable; a bounded pending
+/// queue turns overload into an immediate "overloaded" error (the
+/// HTTP layer maps it to 429) instead of unbounded memory growth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SERVE_BATCHER_H
+#define WOOTZ_SERVE_BATCHER_H
+
+#include "src/runtime/RunLog.h"
+#include "src/serve/Metrics.h"
+#include "src/support/Error.h"
+#include "src/train/Assembly.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wootz {
+namespace serve {
+
+/// Batching policy knobs.
+struct BatcherOptions {
+  /// Largest batch a single forward pass may carry.
+  int MaxBatch = 8;
+  /// How long the first request of a batch waits for companions.
+  int MaxWaitMicros = 2000;
+  /// Pending-request cap; beyond it predict() fails fast ("overloaded").
+  size_t MaxQueuedRequests = 64;
+};
+
+/// What one prediction returns.
+struct Prediction {
+  Tensor Logits; ///< Rank-1, one value per class.
+  int ArgMax = 0;
+  /// Size of the batch this request rode in (the occupancy signal).
+  int BatchSize = 1;
+};
+
+/// One model's batching inference engine.
+class Batcher {
+public:
+  /// Takes shared ownership of \p Network; \p Log (optional) receives
+  /// `serve.predict.*` counters, \p Latency (optional) per-request
+  /// forward latencies.
+  Batcher(std::shared_ptr<AssembledNetwork> Network, BatcherOptions Options,
+          RunLog *Log, LatencyHistogram *Latency);
+  ~Batcher();
+
+  Batcher(const Batcher &) = delete;
+  Batcher &operator=(const Batcher &) = delete;
+
+  /// Runs \p Sample (shape [1, C, H, W]) through the model, riding a
+  /// shared batch when traffic allows. Blocks until the result is ready;
+  /// fails fast when the queue is full or the batcher is stopping.
+  Result<Prediction> predict(const Tensor &Sample);
+
+  /// Rejects new work and fails everything still queued ("draining"),
+  /// then joins the batcher thread. Idempotent.
+  void stop();
+
+private:
+  struct Pending {
+    const Tensor *Sample = nullptr;
+    Tensor Logits;
+    int BatchSize = 0;
+    std::string Error; ///< Non-empty on failure.
+    bool Done = false;
+  };
+
+  void loop();
+  void runBatch(std::vector<Pending *> &Batch);
+
+  std::shared_ptr<AssembledNetwork> Network;
+  BatcherOptions Options;
+  RunLog *Log = nullptr;
+  LatencyHistogram *Latency = nullptr;
+
+  std::mutex Mutex;
+  std::condition_variable WorkReady; ///< Signals the batcher thread.
+  std::condition_variable BatchDone; ///< Broadcast to waiting callers.
+  std::deque<Pending *> Queue;
+  bool Stopping = false;
+  std::thread Worker;
+};
+
+/// A registered model: its network, expected input shape, and batcher.
+struct ServableModel {
+  std::string Id;
+  int Channels = 0;
+  int Height = 0;
+  int Width = 0;
+  int Classes = 0;
+  /// Provenance note surfaced in the model listing ("job job-3 winner",
+  /// "preloaded full model", ...).
+  std::string Origin;
+  std::unique_ptr<Batcher> Engine;
+};
+
+/// Thread-safe id -> ServableModel table. Models are never removed while
+/// the registry lives, so find() results stay valid until stopAll().
+class ModelRegistry {
+public:
+  explicit ModelRegistry(BatcherOptions Batching, RunLog *Log,
+                         LatencyHistogram *Latency)
+      : Batching(Batching), Log(Log), Latency(Latency) {}
+
+  /// Registers \p Network under \p Id with the given input geometry.
+  /// Fails if the id is taken.
+  Error add(const std::string &Id,
+            std::shared_ptr<AssembledNetwork> Network, int Channels,
+            int Height, int Width, int Classes, std::string Origin);
+
+  /// Looks up a model; nullptr when absent.
+  ServableModel *find(const std::string &Id);
+
+  /// Registered ids, insertion-ordered.
+  std::vector<std::string> ids() const;
+
+  size_t count() const;
+
+  /// Stops every batcher (drain step). Idempotent.
+  void stopAll();
+
+private:
+  BatcherOptions Batching;
+  RunLog *Log = nullptr;
+  LatencyHistogram *Latency = nullptr;
+  mutable std::mutex Mutex;
+  std::vector<std::string> Order;
+  std::map<std::string, std::unique_ptr<ServableModel>> Models;
+};
+
+} // namespace serve
+} // namespace wootz
+
+#endif // WOOTZ_SERVE_BATCHER_H

@@ -1,0 +1,457 @@
+//===- serve/Http.cpp ------------------------------------------------------===//
+
+#include "src/serve/Http.h"
+
+#include "src/support/Json.h"
+#include "src/support/StringUtils.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace wootz;
+using namespace wootz::serve;
+
+const std::string HttpRequest::EmptyValue;
+
+std::string HttpRequest::path() const {
+  const size_t Query = Target.find('?');
+  return Query == std::string::npos ? Target : Target.substr(0, Query);
+}
+
+const std::string &HttpRequest::header(const std::string &Name,
+                                       const std::string &Default) const {
+  auto It = Headers.find(Name);
+  return It == Headers.end() ? Default : It->second;
+}
+
+const char *wootz::serve::httpStatusReason(int Status) {
+  switch (Status) {
+  case 200:
+    return "OK";
+  case 202:
+    return "Accepted";
+  case 400:
+    return "Bad Request";
+  case 404:
+    return "Not Found";
+  case 405:
+    return "Method Not Allowed";
+  case 408:
+    return "Request Timeout";
+  case 411:
+    return "Length Required";
+  case 413:
+    return "Payload Too Large";
+  case 429:
+    return "Too Many Requests";
+  case 431:
+    return "Request Header Fields Too Large";
+  case 500:
+    return "Internal Server Error";
+  case 501:
+    return "Not Implemented";
+  case 503:
+    return "Service Unavailable";
+  case 505:
+    return "HTTP Version Not Supported";
+  default:
+    return "Unknown";
+  }
+}
+
+HttpResponse wootz::serve::errorResponse(int Status,
+                                         const std::string &Message) {
+  HttpResponse Response;
+  Response.Status = Status;
+  JsonObject Body;
+  Body.field("error", Message).field("status", Status);
+  Response.Body = Body.str() + "\n";
+  return Response;
+}
+
+std::string wootz::serve::serializeResponse(const HttpResponse &Response) {
+  std::string Out = "HTTP/1.1 " + std::to_string(Response.Status) + " " +
+                    httpStatusReason(Response.Status) + "\r\n";
+  Out += "Content-Type: " + Response.ContentType + "\r\n";
+  Out += "Content-Length: " + std::to_string(Response.Body.size()) + "\r\n";
+  for (const auto &[Name, Value] : Response.ExtraHeaders)
+    Out += Name + ": " + Value + "\r\n";
+  Out += "Connection: close\r\n\r\n";
+  Out += Response.Body;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+HttpRequestParser::State HttpRequestParser::fail(int Status,
+                                                 std::string Detail) {
+  Current = State::Failed;
+  ErrorStatus = Status;
+  ErrorDetail = std::move(Detail);
+  Buffer.clear();
+  Buffer.shrink_to_fit();
+  return Current;
+}
+
+/// Splits one header block line, tolerating both \r\n and bare \n.
+static std::vector<std::string_view> headLines(std::string_view Head) {
+  std::vector<std::string_view> Lines;
+  size_t Start = 0;
+  while (Start <= Head.size()) {
+    size_t End = Head.find('\n', Start);
+    if (End == std::string_view::npos) {
+      if (Start < Head.size())
+        Lines.push_back(Head.substr(Start));
+      break;
+    }
+    size_t Stop = End;
+    if (Stop > Start && Head[Stop - 1] == '\r')
+      --Stop;
+    Lines.push_back(Head.substr(Start, Stop - Start));
+    Start = End + 1;
+  }
+  return Lines;
+}
+
+HttpRequestParser::State HttpRequestParser::parseHead() {
+  // The terminator: \r\n\r\n, with a lenient eye for bare \n\n.
+  size_t HeadEnd = Buffer.find("\r\n\r\n");
+  size_t TermLen = 4;
+  {
+    const size_t Bare = Buffer.find("\n\n");
+    if (Bare != std::string::npos &&
+        (HeadEnd == std::string::npos || Bare < HeadEnd)) {
+      HeadEnd = Bare;
+      TermLen = 2;
+    }
+  }
+  if (HeadEnd == std::string::npos) {
+    if (Buffer.size() > Limits.MaxHeaderBytes)
+      return fail(431, "request head exceeds " +
+                           std::to_string(Limits.MaxHeaderBytes) + " bytes");
+    return State::Headers;
+  }
+  if (HeadEnd > Limits.MaxHeaderBytes)
+    return fail(431, "request head exceeds " +
+                         std::to_string(Limits.MaxHeaderBytes) + " bytes");
+
+  const std::vector<std::string_view> Lines =
+      headLines(std::string_view(Buffer).substr(0, HeadEnd));
+  if (Lines.empty())
+    return fail(400, "empty request head");
+
+  // Request line: METHOD SP target SP HTTP/1.x — exactly three tokens.
+  {
+    const std::vector<std::string> Parts =
+        split(std::string_view(Lines[0]), ' ');
+    if (Parts.size() != 3 || Parts[0].empty() || Parts[1].empty())
+      return fail(400, "malformed request line");
+    for (char C : Parts[0])
+      if (C < 'A' || C > 'Z')
+        return fail(400, "malformed method token");
+    if (!startsWith(Parts[2], "HTTP/"))
+      return fail(400, "malformed HTTP version");
+    if (Parts[2] != "HTTP/1.1" && Parts[2] != "HTTP/1.0")
+      return fail(505, "unsupported HTTP version " + Parts[2]);
+    Request.Method = Parts[0];
+    Request.Target = Parts[1];
+    Request.Version = Parts[2];
+  }
+
+  for (size_t I = 1; I < Lines.size(); ++I) {
+    const std::string_view Line = Lines[I];
+    if (Line.empty())
+      continue;
+    const size_t Colon = Line.find(':');
+    if (Colon == std::string_view::npos || Colon == 0)
+      return fail(400, "malformed header line");
+    std::string Name(trim(Line.substr(0, Colon)));
+    if (Name.empty() || Name.find(' ') != std::string::npos ||
+        Name.find('\t') != std::string::npos)
+      return fail(400, "malformed header name");
+    std::transform(Name.begin(), Name.end(), Name.begin(), [](char C) {
+      return C >= 'A' && C <= 'Z' ? static_cast<char>(C - 'A' + 'a') : C;
+    });
+    if (Request.Headers.size() >= Limits.MaxHeaderCount)
+      return fail(431, "more than " +
+                           std::to_string(Limits.MaxHeaderCount) +
+                           " headers");
+    // Last occurrence wins; duplicate Content-Length is rejected below
+    // via strict re-parse of the surviving value.
+    Request.Headers[Name] = std::string(trim(Line.substr(Colon + 1)));
+  }
+
+  if (Request.Headers.count("transfer-encoding"))
+    return fail(501, "transfer-encoding is not supported");
+
+  BodyExpected = 0;
+  if (auto It = Request.Headers.find("content-length");
+      It != Request.Headers.end()) {
+    Result<long long> Length = parseInteger(It->second);
+    if (!Length || *Length < 0)
+      return fail(400, "malformed Content-Length");
+    if (static_cast<size_t>(*Length) > Limits.MaxBodyBytes)
+      return fail(413, "body exceeds " +
+                           std::to_string(Limits.MaxBodyBytes) + " bytes");
+    BodyExpected = static_cast<size_t>(*Length);
+  }
+
+  Buffer.erase(0, HeadEnd + TermLen);
+  Current = State::Body;
+  return Current;
+}
+
+HttpRequestParser::State HttpRequestParser::consume(std::string_view Bytes) {
+  if (Current == State::Complete || Current == State::Failed)
+    return Current;
+  Buffer.append(Bytes.data(), Bytes.size());
+  if (Current == State::Headers) {
+    if (parseHead() != State::Body)
+      return Current;
+  }
+  // Body state: wait for exactly BodyExpected bytes; anything beyond is a
+  // pipelined second request, which the one-request-per-connection server
+  // does not speak.
+  if (Buffer.size() < BodyExpected)
+    return Current;
+  if (Buffer.size() > BodyExpected)
+    return fail(400, "unexpected bytes after the request body");
+  Request.Body = std::move(Buffer);
+  Buffer.clear();
+  Current = State::Complete;
+  return Current;
+}
+
+HttpRequest HttpRequestParser::take() {
+  assert(Current == State::Complete && "taking an incomplete request");
+  Current = State::Headers;
+  BodyExpected = 0;
+  return std::move(Request);
+}
+
+Result<HttpRequest> wootz::serve::parseHttpRequest(std::string_view Raw,
+                                                   HttpLimits Limits) {
+  HttpRequestParser Parser(Limits);
+  switch (Parser.consume(Raw)) {
+  case HttpRequestParser::State::Complete:
+    return Parser.take();
+  case HttpRequestParser::State::Failed:
+    return Error::failure(Parser.errorDetail());
+  default:
+    return Error::failure("truncated HTTP request");
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void setSocketTimeouts(int Fd, int Millis) {
+  timeval Timeout;
+  Timeout.tv_sec = Millis / 1000;
+  Timeout.tv_usec = (Millis % 1000) * 1000;
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Timeout, sizeof(Timeout));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Timeout, sizeof(Timeout));
+}
+
+/// Best-effort full write (the peer may have gone away; that is fine).
+void sendAll(int Fd, std::string_view Bytes) {
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    const ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                             MSG_NOSIGNAL);
+    if (N <= 0)
+      return;
+    Sent += static_cast<size_t>(N);
+  }
+}
+
+void sendResponse(int Fd, const HttpResponse &Response) {
+  sendAll(Fd, serializeResponse(Response));
+}
+
+} // namespace
+
+HttpServer::HttpServer(HttpServerOptions Options, Handler Handle,
+                       RunLog *Log)
+    : Options(Options), Handle(std::move(Handle)), Log(Log) {}
+
+HttpServer::~HttpServer() { finishDrain(); }
+
+void HttpServer::bump(const std::string &Name) {
+  if (Log)
+    Log->bump(Name);
+}
+
+Error HttpServer::start() {
+  const int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Error::failure(std::string("socket: ") + std::strerror(errno));
+  const int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Address{};
+  Address.sin_family = AF_INET;
+  Address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Address.sin_port = htons(static_cast<uint16_t>(Options.Port));
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Address),
+             sizeof(Address)) != 0) {
+    const std::string Message =
+        "bind 127.0.0.1:" + std::to_string(Options.Port) + ": " +
+        std::strerror(errno);
+    ::close(Fd);
+    return Error::failure(Message);
+  }
+  socklen_t AddressLen = sizeof(Address);
+  ::getsockname(Fd, reinterpret_cast<sockaddr *>(&Address), &AddressLen);
+  BoundPort = ntohs(Address.sin_port);
+  if (::listen(Fd, 128) != 0) {
+    const std::string Message =
+        std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return Error::failure(Message);
+  }
+  ListenFd.store(Fd);
+
+  Pool = std::make_unique<ThreadPool>(
+      static_cast<unsigned>(std::max(1, Options.Workers)));
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return Error::success();
+}
+
+void HttpServer::acceptLoop() {
+  for (;;) {
+    const int Listener = ListenFd.load();
+    if (Listener < 0)
+      return;
+    const int Fd = ::accept(Listener, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      // Listener closed by beginDrain(), or a hard error: stop.
+      return;
+    }
+    if (Draining.load()) {
+      setSocketTimeouts(Fd, Options.SocketTimeoutMillis);
+      sendResponse(Fd, errorResponse(503, "server is draining"));
+      ::close(Fd);
+      bump("http.rejected_draining");
+      continue;
+    }
+    // The admission gate: bounded work-in-progress, immediate 503 beyond
+    // it. This is what keeps a traffic spike from queueing unboundedly
+    // behind slow handlers.
+    size_t Current = Depth.load();
+    bool Admitted = false;
+    while (Current < Options.MaxQueuedConnections) {
+      if (Depth.compare_exchange_weak(Current, Current + 1)) {
+        Admitted = true;
+        break;
+      }
+    }
+    if (!Admitted) {
+      setSocketTimeouts(Fd, Options.SocketTimeoutMillis);
+      HttpResponse Overloaded = errorResponse(503, "server overloaded");
+      Overloaded.ExtraHeaders.emplace_back("Retry-After", "1");
+      sendResponse(Fd, Overloaded);
+      ::close(Fd);
+      bump("http.rejected_overload");
+      continue;
+    }
+    bump("http.accepted");
+    const auto At = std::chrono::steady_clock::now();
+    Pool->enqueue([this, Fd, At] {
+      handleConnection(Fd, At);
+      Depth.fetch_sub(1);
+    });
+  }
+}
+
+void HttpServer::handleConnection(
+    int Fd, std::chrono::steady_clock::time_point At) {
+  setSocketTimeouts(Fd, Options.SocketTimeoutMillis);
+
+  // Queue-wait deadline: if the request sat behind slow work past its
+  // deadline, answer 503 without reading or running anything.
+  const auto Waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - At);
+  if (Waited.count() > Options.RequestDeadlineMillis) {
+    sendResponse(Fd, errorResponse(503, "request deadline exceeded in "
+                                        "queue"));
+    ::close(Fd);
+    bump("http.deadline_exceeded");
+    return;
+  }
+
+  HttpRequestParser Parser(Options.Limits);
+  char Chunk[8192];
+  for (;;) {
+    const ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      // EAGAIN/EWOULDBLOCK: the SO_RCVTIMEO expired mid-request.
+      sendResponse(Fd, errorResponse(408, "timed out reading the request"));
+      ::close(Fd);
+      bump("http.read_timeout");
+      return;
+    }
+    if (N == 0) {
+      // Peer closed before completing a request (complete requests break
+      // out of the loop below, so EOF here always means truncation).
+      sendResponse(Fd, errorResponse(400, "truncated request"));
+      ::close(Fd);
+      bump("http.truncated");
+      return;
+    }
+    const HttpRequestParser::State S =
+        Parser.consume(std::string_view(Chunk, static_cast<size_t>(N)));
+    if (S == HttpRequestParser::State::Complete)
+      break;
+    if (S == HttpRequestParser::State::Failed) {
+      sendResponse(Fd,
+                   errorResponse(Parser.errorStatus(), Parser.errorDetail()));
+      ::close(Fd);
+      bump("http.malformed");
+      return;
+    }
+  }
+
+  const HttpRequest Request = Parser.take();
+  bump("http.requests");
+  HttpResponse Response = Handle(Request);
+  sendResponse(Fd, Response);
+  ::close(Fd);
+}
+
+void HttpServer::beginDrain() {
+  if (Draining.exchange(true))
+    return;
+  const int Fd = ListenFd.exchange(-1);
+  if (Fd >= 0) {
+    // shutdown() wakes the blocked accept(); close() releases the port.
+    ::shutdown(Fd, SHUT_RDWR);
+    ::close(Fd);
+  }
+}
+
+void HttpServer::finishDrain() {
+  beginDrain();
+  if (Finished.exchange(true))
+    return;
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (Pool) {
+    Pool->wait();
+    Pool.reset();
+  }
+}

@@ -1,0 +1,214 @@
+//===- serve/Http.h - Minimal HTTP/1.1 server ------------------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free HTTP/1.1 layer for the pruning-as-a-service daemon:
+/// an incremental request parser with hard limits (every limit violation
+/// maps to a definite 4xx, never a crash — the parser is fed untrusted
+/// bytes), a response serializer, and a blocking-socket server that runs
+/// handlers on the existing ThreadPool.
+///
+/// The server is deliberately simple where simplicity is safe:
+///  - one request per connection (`Connection: close`) — clients that
+///    want throughput open concurrent connections, which is also what
+///    drives the prediction micro-batcher;
+///  - a bounded admission gate instead of an unbounded task queue: when
+///    more than MaxQueuedConnections requests are admitted-but-unfinished
+///    the accept loop answers 503 immediately (backpressure, not OOM);
+///  - per-request deadlines: socket reads/writes time out, and a request
+///    that waited in the queue past RequestDeadlineMillis is answered 503
+///    without running its handler.
+///
+/// Graceful drain is split in two so the owner can sequence it around the
+/// job manager: beginDrain() stops accepting (new connections get an
+/// immediate 503), finishDrain() waits for every admitted request to
+/// finish and joins the threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SERVE_HTTP_H
+#define WOOTZ_SERVE_HTTP_H
+
+#include "src/runtime/RunLog.h"
+#include "src/support/Error.h"
+#include "src/support/ThreadPool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace wootz {
+namespace serve {
+
+/// Hard limits applied while parsing untrusted request bytes.
+struct HttpLimits {
+  /// Request line plus all header lines, including terminators.
+  size_t MaxHeaderBytes = 32 * 1024;
+  size_t MaxHeaderCount = 100;
+  size_t MaxBodyBytes = 8 * 1024 * 1024;
+};
+
+/// One parsed request. Header names are lowercased.
+struct HttpRequest {
+  std::string Method;
+  std::string Target; ///< Origin-form target, query string included.
+  std::string Version;
+  std::map<std::string, std::string> Headers;
+  std::string Body;
+
+  /// The path part of Target (everything before '?').
+  std::string path() const;
+
+  /// Header value (name given lowercased), or \p Default.
+  const std::string &header(const std::string &Name,
+                            const std::string &Default = EmptyValue) const;
+
+private:
+  static const std::string EmptyValue;
+};
+
+/// One response to serialize.
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "application/json";
+  std::string Body;
+  /// Extra headers beyond Content-Type/Content-Length/Connection.
+  std::vector<std::pair<std::string, std::string>> ExtraHeaders;
+};
+
+/// The canonical reason phrase for \p Status ("OK", "Too Many
+/// Requests", ...); "Unknown" for codes the server never emits.
+const char *httpStatusReason(int Status);
+
+/// Convenience: a JSON error body `{"error":...}` with the given status.
+HttpResponse errorResponse(int Status, const std::string &Message);
+
+/// Serializes \p Response as an HTTP/1.1 message with Content-Length and
+/// `Connection: close`.
+std::string serializeResponse(const HttpResponse &Response);
+
+/// Incremental HTTP/1.1 request parser. Feed bytes as they arrive;
+/// the parser never reads past the limits and reports every malformed
+/// input as a 4xx/5xx status instead of asserting.
+class HttpRequestParser {
+public:
+  enum class State {
+    Headers,  ///< Still collecting the request line + headers.
+    Body,     ///< Headers done; waiting for Content-Length body bytes.
+    Complete, ///< A full request is available via take().
+    Failed,   ///< Malformed; see errorStatus()/errorDetail().
+  };
+
+  explicit HttpRequestParser(HttpLimits Limits = HttpLimits())
+      : Limits(Limits) {}
+
+  /// Appends \p Bytes and advances the state machine.
+  State consume(std::string_view Bytes);
+
+  State state() const { return Current; }
+
+  /// The HTTP status a Failed parse should be answered with.
+  int errorStatus() const { return ErrorStatus; }
+  const std::string &errorDetail() const { return ErrorDetail; }
+
+  /// Moves the completed request out. Only valid in State::Complete.
+  HttpRequest take();
+
+private:
+  State fail(int Status, std::string Detail);
+  State parseHead();
+
+  HttpLimits Limits;
+  State Current = State::Headers;
+  std::string Buffer;
+  HttpRequest Request;
+  size_t BodyExpected = 0;
+  int ErrorStatus = 400;
+  std::string ErrorDetail;
+};
+
+/// One-shot parse of a complete request held in memory (tests, tools).
+Result<HttpRequest> parseHttpRequest(std::string_view Raw,
+                                     HttpLimits Limits = HttpLimits());
+
+/// Server knobs.
+struct HttpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  int Port = 0;
+  /// Connection-handler threads (the request-level parallelism, and the
+  /// upper bound on how many predictions can wait in one micro-batch).
+  int Workers = 8;
+  /// Admitted-but-unfinished request cap; beyond it new connections get
+  /// an immediate 503.
+  size_t MaxQueuedConnections = 64;
+  /// Queue-wait deadline: a request not started within this many
+  /// milliseconds of admission is answered 503 without its handler.
+  int RequestDeadlineMillis = 30000;
+  /// Socket receive/send timeout per operation.
+  int SocketTimeoutMillis = 5000;
+  HttpLimits Limits;
+};
+
+/// A blocking-socket HTTP/1.1 server: accept thread + ThreadPool workers.
+class HttpServer {
+public:
+  using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+  /// \p Log (optional) receives `http.*` counters.
+  HttpServer(HttpServerOptions Options, Handler Handle, RunLog *Log);
+  ~HttpServer();
+
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Binds and starts accepting. Fails if the port is taken.
+  Error start();
+
+  /// The bound port (after start()); useful with Port = 0.
+  int port() const { return BoundPort; }
+
+  /// Stops accepting new connections; already-admitted requests keep
+  /// running. New connections are refused at the TCP level.
+  void beginDrain();
+
+  /// Waits for every admitted request to finish and joins all threads.
+  /// Implies beginDrain(). Idempotent.
+  void finishDrain();
+
+  /// Admitted-but-unfinished request count (the backpressure gauge).
+  size_t queueDepth() const { return Depth.load(); }
+
+  bool draining() const { return Draining.load(); }
+
+private:
+  void acceptLoop();
+  void handleConnection(int Fd, std::chrono::steady_clock::time_point At);
+  void bump(const std::string &Name);
+
+  HttpServerOptions Options;
+  Handler Handle;
+  RunLog *Log = nullptr;
+  /// Written by start() and beginDrain(), read by the accept thread.
+  std::atomic<int> ListenFd{-1};
+  int BoundPort = 0;
+  std::atomic<size_t> Depth{0};
+  std::atomic<bool> Draining{false};
+  std::atomic<bool> Finished{false};
+  std::thread Acceptor;
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace serve
+} // namespace wootz
+
+#endif // WOOTZ_SERVE_HTTP_H

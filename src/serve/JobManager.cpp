@@ -1,0 +1,483 @@
+//===- serve/JobManager.cpp ------------------------------------------------===//
+
+#include "src/serve/JobManager.h"
+
+#include "src/data/Synthetic.h"
+#include "src/support/File.h"
+#include "src/support/Json.h"
+#include "src/support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace wootz;
+using namespace wootz::serve;
+
+const char *wootz::serve::jobStateName(JobState State) {
+  switch (State) {
+  case JobState::Queued:
+    return "queued";
+  case JobState::Running:
+    return "running";
+  case JobState::Done:
+    return "done";
+  case JobState::Failed:
+    return "failed";
+  case JobState::Cancelled:
+    return "cancelled";
+  }
+  return "unknown";
+}
+
+JobManager::JobManager(JobManagerOptions Options, ModelRegistry *Registry,
+                       RunLog *Log)
+    : Options(Options), Registry(Registry), Log(Log) {
+  const int Count = std::max(1, Options.Workers);
+  Workers.reserve(static_cast<size_t>(Count));
+  for (int I = 0; I < Count; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+JobManager::~JobManager() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+    WorkReady.notify_all();
+  }
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// Submission
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "true"/"false" (the tokens the flat parser hands back for JSON
+/// booleans) with a default for absent keys.
+Result<bool> boolField(const std::map<std::string, std::string> &Body,
+                       const std::string &Key, bool Default) {
+  auto It = Body.find(Key);
+  if (It == Body.end())
+    return Default;
+  if (It->second == "true")
+    return true;
+  if (It->second == "false")
+    return false;
+  return Error::failure("field '" + Key + "' must be true or false");
+}
+
+Result<long long>
+integerField(const std::map<std::string, std::string> &Body,
+             const std::string &Key, long long Default) {
+  auto It = Body.find(Key);
+  if (It == Body.end())
+    return Default;
+  Result<long long> Value = parseInteger(It->second);
+  if (!Value)
+    return Error::failure("field '" + Key + "' must be an integer");
+  return *Value;
+}
+
+Result<double> doubleField(const std::map<std::string, std::string> &Body,
+                           const std::string &Key, double Default) {
+  auto It = Body.find(Key);
+  if (It == Body.end())
+    return Default;
+  Result<double> Value = parseDouble(It->second);
+  if (!Value)
+    return Error::failure("field '" + Key + "' must be a number");
+  return *Value;
+}
+
+SubmitOutcome badRequest(std::string Message) {
+  SubmitOutcome Out;
+  Out.Status = 400;
+  Out.Error = std::move(Message);
+  return Out;
+}
+
+} // namespace
+
+SubmitOutcome
+JobManager::submit(const std::map<std::string, std::string> &Body) {
+  auto J = std::make_unique<Job>();
+
+  for (const char *Key : {"model", "subspace", "meta", "objective"})
+    if (!Body.count(Key))
+      return badRequest(std::string("missing required field '") + Key +
+                        "'");
+
+  Result<ModelSpec> Spec = parseModelSpec(Body.at("model"));
+  if (!Spec)
+    return badRequest("model: " + Spec.message());
+  J->Spec = Spec.take();
+  Result<std::vector<PruneConfig>> Subspace =
+      parseSubspaceSpec(Body.at("subspace"));
+  if (!Subspace)
+    return badRequest("subspace: " + Subspace.message());
+  J->Subspace = Subspace.take();
+  Result<TrainMeta> Meta = parseTrainMeta(Body.at("meta"));
+  if (!Meta)
+    return badRequest("meta: " + Meta.message());
+  J->Meta = Meta.take();
+  Result<PruningObjective> Objective =
+      parseObjective(Body.at("objective"));
+  if (!Objective)
+    return badRequest("objective: " + Objective.message());
+  J->Objective = Objective.take();
+
+  // Subspace rates must fit the model: every configuration carries one
+  // rate per convolution module.
+  for (const PruneConfig &Config : J->Subspace)
+    if (static_cast<int>(Config.size()) != J->Spec.moduleCount())
+      return badRequest(
+          "subspace configurations carry " +
+          std::to_string(Config.size()) + " rates but the model has " +
+          std::to_string(J->Spec.moduleCount()) + " modules");
+
+  Result<bool> Composability = boolField(Body, "composability", true);
+  if (!Composability)
+    return badRequest(Composability.message());
+  J->UseComposability = *Composability;
+  Result<bool> Identifier = boolField(Body, "identifier", true);
+  if (!Identifier)
+    return badRequest(Identifier.message());
+  J->UseIdentifier = *Identifier;
+
+  if (auto It = Body.find("schedule"); It != Body.end()) {
+    if (It->second == "overlap")
+      J->Schedule = PipelineSchedule::Overlap;
+    else if (It->second == "evalonly")
+      J->Schedule = PipelineSchedule::EvalOnly;
+    else
+      return badRequest("schedule must be \"overlap\" or \"evalonly\"");
+  }
+
+  Result<long long> PipelineWorkers = integerField(Body, "workers", 2);
+  if (!PipelineWorkers)
+    return badRequest(PipelineWorkers.message());
+  if (*PipelineWorkers < 0 || *PipelineWorkers > 64)
+    return badRequest("workers must be in [0, 64]");
+  J->PipelineWorkers = static_cast<int>(*PipelineWorkers);
+
+  Result<double> DistillAlpha = doubleField(Body, "distill_alpha", 0.0);
+  if (!DistillAlpha)
+    return badRequest(DistillAlpha.message());
+  J->DistillAlpha = static_cast<float>(*DistillAlpha);
+  if (J->DistillAlpha > 0.0f && J->Schedule == PipelineSchedule::Overlap)
+    return badRequest("distillation requires \"schedule\":\"evalonly\"");
+
+  Result<long long> Seed = integerField(Body, "seed", 7);
+  if (!Seed)
+    return badRequest(Seed.message());
+  J->Seed = static_cast<uint64_t>(*Seed);
+
+  Result<double> Scale =
+      doubleField(Body, "dataset_scale", Options.DatasetScale);
+  if (!Scale)
+    return badRequest(Scale.message());
+  if (*Scale <= 0.0 || *Scale > 4.0)
+    return badRequest("dataset_scale must be in (0, 4]");
+  J->DatasetScale = *Scale;
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Draining || Stopping) {
+    SubmitOutcome Out;
+    Out.Status = 503;
+    Out.Error = "server is draining";
+    return Out;
+  }
+  if (Queue.size() >= Options.MaxQueuedJobs) {
+    SubmitOutcome Out;
+    Out.Status = 429;
+    Out.Error = "job queue is full (" +
+                std::to_string(Options.MaxQueuedJobs) + " queued)";
+    if (Log)
+      Log->bump("serve.jobs.rejected");
+    return Out;
+  }
+  J->Id = "job-" + std::to_string(NextId++);
+  J->SubmitAt = Clock.now();
+  Job *Raw = J.get();
+  Order.push_back(J->Id);
+  Jobs.emplace(J->Id, std::move(J));
+  Queue.push_back(Raw);
+  WorkReady.notify_one();
+  if (Log)
+    Log->bump("serve.jobs.submitted");
+
+  SubmitOutcome Out;
+  Out.Status = 202;
+  Out.Id = Raw->Id;
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Execution
+//===----------------------------------------------------------------------===//
+
+void JobManager::workerLoop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  for (;;) {
+    WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Stopping)
+        return;
+      continue;
+    }
+    Job *J = Queue.front();
+    Queue.pop_front();
+    if (J->Token.cancelled()) {
+      J->State = JobState::Cancelled;
+      J->Message = "cancelled while queued";
+      J->EndAt = Clock.now();
+      JobSettled.notify_all();
+      if (Log)
+        Log->bump("serve.jobs.cancelled");
+      continue;
+    }
+    J->State = JobState::Running;
+    J->StartAt = Clock.now();
+    ++Running;
+    Lock.unlock();
+    runJob(*J);
+    Lock.lock();
+  }
+}
+
+void JobManager::finishJob(Job &J, JobState Terminal, std::string Message) {
+  // Persist the run artifacts before flipping the state, so a poller
+  // that sees "done" can already read them.
+  if (!Options.ArtifactDir.empty()) {
+    const std::string Dir = Options.ArtifactDir + "/" + J.Id;
+    Error TelemetryError = writeFileAtomic(
+        Dir + "/telemetry.jsonl", telemetryJsonl(J.Log.snapshot()));
+    // Artifacts are best-effort: a full disk must not fail the job.
+    (void)static_cast<bool>(TelemetryError);
+    JsonObject Summary;
+    Summary.field("id", J.Id)
+        .field("state", jobStateName(Terminal))
+        .field("message", Message)
+        .field("configs_evaluated", J.ConfigsEvaluated)
+        .field("winner_index", J.WinnerIndex)
+        .field("winner_accuracy", J.WinnerAccuracy, 6)
+        .field("winner_size_fraction", J.WinnerSizeFraction, 6)
+        .field("full_accuracy", J.FullAccuracy, 6)
+        .field("model", J.ModelId);
+    Error SummaryError =
+        writeFileAtomic(Dir + "/result.json", Summary.str() + "\n");
+    (void)static_cast<bool>(SummaryError);
+  }
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  J.State = Terminal;
+  J.Message = std::move(Message);
+  J.EndAt = Clock.now();
+  --Running;
+  JobSettled.notify_all();
+  if (Log)
+    Log->bump(Terminal == JobState::Done
+                  ? "serve.jobs.completed"
+                  : (Terminal == JobState::Cancelled
+                         ? "serve.jobs.cancelled"
+                         : "serve.jobs.failed"));
+}
+
+void JobManager::runJob(Job &J) {
+  // The dataset: the CUB200 analogue sized to the model's class count,
+  // deterministic in the job seed.
+  const Dataset Data = generateSynthetic([&] {
+    SyntheticSpec DataSpec = standardDatasetSpecs(J.DatasetScale)[1];
+    DataSpec.Classes = J.Spec.Layers.back().NumOutput;
+    DataSpec.Height = J.Spec.InputHeight;
+    DataSpec.Width = J.Spec.InputWidth;
+    DataSpec.Seed = J.Seed * 2654435761u + 1;
+    return DataSpec;
+  }());
+
+  PipelineOptions Options;
+  Options.UseComposability = J.UseComposability;
+  Options.UseIdentifier = J.UseIdentifier;
+  Options.Schedule = J.Schedule;
+  Options.Workers = J.PipelineWorkers;
+  Options.DistillAlpha = J.DistillAlpha;
+  Options.CacheDir = this->Options.CacheDir;
+  Options.BlockCacheConfig.Directory = this->Options.BlockCacheDir;
+  Options.CancelObjective =
+      J.Schedule == PipelineSchedule::Overlap ? &J.Objective : nullptr;
+  Options.Cancel = &J.Token;
+  Options.Log = &J.Log;
+  Options.KeepNetworks = true;
+
+  Rng Generator(J.Seed);
+  Result<PipelineResult> Run = runPruningPipeline(
+      J.Spec, Data, J.Subspace, J.Meta, Options, Generator);
+
+  if (!Run) {
+    if (J.Token.cancelled()) {
+      finishJob(J, JobState::Cancelled, "cancelled while running");
+      return;
+    }
+    finishJob(J, JobState::Failed, Run.message());
+    return;
+  }
+
+  const PipelineResult &Outcome = *Run;
+  const ExplorationSummary Summary =
+      summarizeMeasuredRun(Outcome, J.Objective);
+  J.FullAccuracy = Outcome.FullAccuracy;
+  J.ConfigsEvaluated = Summary.ConfigsEvaluated;
+  J.WinnerIndex = Summary.WinnerIndex;
+  J.WinnerSizeFraction = Summary.WinnerSizeFraction;
+
+  if (Summary.WinnerIndex >= 0) {
+    // Exploration position -> storage index (storage ascends model
+    // size; a max-Accuracy objective walks it backwards).
+    const size_t Count = Outcome.Evaluations.size();
+    const size_t Index =
+        J.Objective.exploreSmallestFirst()
+            ? static_cast<size_t>(Summary.WinnerIndex)
+            : Count - 1 - static_cast<size_t>(Summary.WinnerIndex);
+    const EvaluatedConfig &Winner = Outcome.Evaluations[Index];
+    J.WinnerAccuracy = Winner.FinalAccuracy;
+    if (Registry && Winner.Network) {
+      Error AddError = Registry->add(
+          J.Id, Winner.Network, J.Spec.InputChannels, J.Spec.InputHeight,
+          J.Spec.InputWidth, J.Spec.Layers.back().NumOutput,
+          "job " + J.Id + " winner (size " +
+              formatDouble(100.0 * Winner.SizeFraction, 1) + "%, acc " +
+              formatDouble(Winner.FinalAccuracy, 3) + ")");
+      if (!AddError)
+        J.ModelId = J.Id;
+    }
+    finishJob(J, JobState::Done,
+              "winner at exploration position " +
+                  std::to_string(Summary.WinnerIndex));
+    return;
+  }
+  finishJob(J, JobState::Done, "no configuration met the objective");
+}
+
+//===----------------------------------------------------------------------===//
+// Introspection
+//===----------------------------------------------------------------------===//
+
+std::string JobManager::jobJsonLocked(const Job &J,
+                                      bool WithCounters) const {
+  JsonObject Out;
+  Out.field("id", J.Id)
+      .field("state", jobStateName(J.State))
+      .field("configs", J.Subspace.size())
+      .field("model_name", J.Spec.Name)
+      .field("submitted_at", J.SubmitAt, 3);
+  if (J.State != JobState::Queued)
+    Out.field("started_at", J.StartAt, 3);
+  const bool Terminal = J.State == JobState::Done ||
+                        J.State == JobState::Failed ||
+                        J.State == JobState::Cancelled;
+  if (Terminal) {
+    Out.field("finished_at", J.EndAt, 3)
+        .field("seconds", J.EndAt - J.StartAt, 3);
+  }
+  if (!J.Message.empty())
+    Out.field("message", J.Message);
+  if (J.State == JobState::Done) {
+    Out.field("configs_evaluated", J.ConfigsEvaluated)
+        .field("winner_index", J.WinnerIndex)
+        .field("winner_accuracy", J.WinnerAccuracy, 6)
+        .field("winner_size_fraction", J.WinnerSizeFraction, 6)
+        .field("full_accuracy", J.FullAccuracy, 6)
+        .field("model", J.ModelId);
+  }
+  if (WithCounters) {
+    JsonObject Counters;
+    for (const auto &[Name, Value] : J.Log.counters())
+      Counters.field(Name, Value);
+    Out.fieldRaw("counters", Counters.str());
+  }
+  return Out.str();
+}
+
+Result<std::string> JobManager::statusJson(const std::string &Id) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return Error::failure("no such job '" + Id + "'");
+  return jobJsonLocked(*It->second, /*WithCounters=*/true) + "\n";
+}
+
+std::string JobManager::listJson() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Items;
+  for (const std::string &Id : Order) {
+    if (!Items.empty())
+      Items += ",";
+    Items += jobJsonLocked(*Jobs.at(Id), /*WithCounters=*/false);
+  }
+  JsonObject Out;
+  Out.fieldRaw("jobs", "[" + Items + "]")
+      .field("queued", Queue.size())
+      .field("running", Running);
+  return Out.str() + "\n";
+}
+
+Result<std::string> JobManager::cancel(const std::string &Id) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Jobs.find(Id);
+  if (It == Jobs.end())
+    return Error::failure("no such job '" + Id + "'");
+  Job &J = *It->second;
+  J.Token.cancel();
+  if (J.State == JobState::Queued) {
+    // Remove from the queue so a worker never picks it up.
+    Queue.erase(std::remove(Queue.begin(), Queue.end(), &J), Queue.end());
+    J.State = JobState::Cancelled;
+    J.Message = "cancelled while queued";
+    J.EndAt = Clock.now();
+    JobSettled.notify_all();
+    if (Log)
+      Log->bump("serve.jobs.cancelled");
+  }
+  // Running jobs flip to Cancelled at their next task boundary; terminal
+  // jobs stay terminal (cancel is then a no-op).
+  return std::string(jobStateName(J.State));
+}
+
+void JobManager::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Draining = true;
+  JobSettled.wait(Lock, [&] { return Queue.empty() && Running == 0; });
+}
+
+std::map<std::string, int64_t> JobManager::jobCounters() const {
+  std::vector<const RunLog *> Logs;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (const std::string &Id : Order)
+      Logs.push_back(&Jobs.at(Id)->Log);
+  }
+  std::map<std::string, int64_t> Out;
+  for (const RunLog *JobLog : Logs)
+    for (const auto &[Name, Value] : JobLog->counters())
+      Out[Name] += Value;
+  return Out;
+}
+
+size_t JobManager::queuedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+size_t JobManager::runningCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Running;
+}
+
+std::map<std::string, int64_t> JobManager::stateCounts() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::map<std::string, int64_t> Out;
+  for (const auto &[Id, J] : Jobs)
+    ++Out[jobStateName(J->State)];
+  return Out;
+}

@@ -1,0 +1,185 @@
+//===- serve/JobManager.h - Prune-exploration job execution ----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The job half of the serve daemon: accepts prune-exploration requests
+/// (model spec + promising subspace + solver meta + objective, the same
+/// four Figure-2 inputs the CLI takes), queues them behind a bounded
+/// admission gate (429 beyond it), and runs them on worker threads via
+/// runPruningPipeline with
+///
+///  - a per-job RunLog, so GET /v1/jobs/<id> serves *live* counters
+///    (cache.*, tasks_*) for a running job via RunLog::counters();
+///  - a per-job CancelToken, so DELETE cancels a queued job instantly
+///    and a running one at its next task boundary (the TaskGraph then
+///    cascade-cancels everything not yet started);
+///  - a shared BlockCache directory, so tuning blocks stay warm across
+///    jobs: a job whose (teacher, hyperparameters) context matches a
+///    previous one pre-trains nothing.
+///
+/// A finished job registers its winning pruned network (per the job's
+/// objective) in the ModelRegistry under the job id, which is what
+/// POST /v1/models/<id>/predict serves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SERVE_JOBMANAGER_H
+#define WOOTZ_SERVE_JOBMANAGER_H
+
+#include "src/explore/Pipeline.h"
+#include "src/serve/Batcher.h"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace wootz {
+namespace serve {
+
+/// Job-side knobs.
+struct JobManagerOptions {
+  /// Job executor threads — how many explorations run concurrently.
+  int Workers = 1;
+  /// Queued-job cap; submissions beyond it are answered 429.
+  size_t MaxQueuedJobs = 8;
+  /// Cross-job tuning-block cache directory (empty disables).
+  std::string BlockCacheDir;
+  /// Trained-full-model cache directory (empty disables).
+  std::string CacheDir;
+  /// When non-empty, each finished job writes telemetry.jsonl and
+  /// result.json under "<ArtifactDir>/<job id>/" (the drain-time
+  /// checkpoint persistence, in addition to the block cache's own
+  /// as-trained publishing).
+  std::string ArtifactDir;
+  /// Per-class example multiplier of the synthetic dataset jobs train on.
+  double DatasetScale = 0.25;
+};
+
+/// Job life cycle. Queued -> Running -> {Done, Failed, Cancelled};
+/// Queued -> Cancelled directly when cancelled before starting.
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+
+const char *jobStateName(JobState State);
+
+/// How a submission attempt resolved, with the HTTP status to answer.
+struct SubmitOutcome {
+  int Status = 202;  ///< 202 accepted / 400 bad input / 429 / 503.
+  std::string Id;    ///< Set on success.
+  std::string Error; ///< Set on failure.
+};
+
+/// Runs exploration jobs and publishes their winners.
+class JobManager {
+public:
+  /// \p Registry (optional) receives winning networks; \p Log (optional)
+  /// gets `serve.jobs.*` counters.
+  JobManager(JobManagerOptions Options, ModelRegistry *Registry,
+             RunLog *Log);
+  ~JobManager();
+
+  JobManager(const JobManager &) = delete;
+  JobManager &operator=(const JobManager &) = delete;
+
+  /// Parses and enqueues one job from a flat-JSON request body. Required
+  /// fields: "model" (Prototxt), "subspace", "meta", "objective" — each
+  /// the corresponding Figure-2 text format. Optional: "composability"
+  /// (bool, default true), "identifier" (bool, default true), "schedule"
+  /// ("overlap"|"evalonly", default overlap), "workers" (int, default 2),
+  /// "seed" (int), "dataset_scale" (float), "distill_alpha" (float).
+  SubmitOutcome submit(const std::map<std::string, std::string> &Body);
+
+  /// Renders one job as a JSON object (live counters for running jobs);
+  /// error when the id is unknown.
+  Result<std::string> statusJson(const std::string &Id) const;
+
+  /// Renders `{"jobs":[...]}` with per-job summaries.
+  std::string listJson() const;
+
+  /// Cancels a job: queued jobs terminate immediately, running jobs at
+  /// their next task boundary. Returns the post-cancel state name, or an
+  /// error for unknown ids. Cancelling a finished job is a no-op that
+  /// reports its terminal state.
+  Result<std::string> cancel(const std::string &Id);
+
+  /// Stops accepting new jobs and blocks until every accepted job has
+  /// reached a terminal state. Does not stop the worker threads (the
+  /// destructor does); callable once or many times.
+  void drain();
+
+  /// Aggregated live counters over every job's RunLog (cache.*, tasks_*):
+  /// the /metrics feed.
+  std::map<std::string, int64_t> jobCounters() const;
+
+  /// Gauges for /metrics.
+  size_t queuedCount() const;
+  size_t runningCount() const;
+  std::map<std::string, int64_t> stateCounts() const;
+
+private:
+  struct Job {
+    std::string Id;
+    JobState State = JobState::Queued;
+    std::string Message; ///< Failure/cancel detail.
+
+    // Parsed inputs.
+    ModelSpec Spec;
+    std::vector<PruneConfig> Subspace;
+    TrainMeta Meta;
+    PruningObjective Objective;
+    bool UseComposability = true;
+    bool UseIdentifier = true;
+    PipelineSchedule Schedule = PipelineSchedule::Overlap;
+    int PipelineWorkers = 2;
+    float DistillAlpha = 0.0f;
+    uint64_t Seed = 7;
+    double DatasetScale = 0.25;
+
+    // Execution state.
+    CancelToken Token;
+    RunLog Log; ///< Live telemetry; sampled by status/metrics readers.
+    double SubmitAt = 0.0, StartAt = 0.0, EndAt = 0.0;
+
+    // Results.
+    int ConfigsEvaluated = 0;
+    int WinnerIndex = -1;
+    double WinnerAccuracy = 0.0;
+    double WinnerSizeFraction = 0.0;
+    double FullAccuracy = 0.0;
+    std::string ModelId; ///< Registered model id (empty if none).
+  };
+
+  void workerLoop();
+  void runJob(Job &J);
+  void finishJob(Job &J, JobState Terminal, std::string Message);
+  std::string jobJsonLocked(const Job &J, bool WithCounters) const;
+
+  JobManagerOptions Options;
+  ModelRegistry *Registry = nullptr;
+  RunLog *Log = nullptr;
+  RunLog Clock; ///< Timestamps only (now()).
+
+  mutable std::mutex Mutex;
+  std::condition_variable WorkReady;  ///< Wakes job workers.
+  std::condition_variable JobSettled; ///< Signals drain().
+  std::map<std::string, std::unique_ptr<Job>> Jobs;
+  std::vector<std::string> Order; ///< Submission order, for listJson().
+  std::deque<Job *> Queue;
+  size_t Running = 0;
+  uint64_t NextId = 1;
+  bool Draining = false;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+} // namespace serve
+} // namespace wootz
+
+#endif // WOOTZ_SERVE_JOBMANAGER_H

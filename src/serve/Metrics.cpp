@@ -1,0 +1,138 @@
+//===- serve/Metrics.cpp ---------------------------------------------------===//
+
+#include "src/serve/Metrics.h"
+
+#include "src/support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace wootz;
+using namespace wootz::serve;
+
+LatencyHistogram::LatencyHistogram()
+    : Bounds{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+             0.25,   0.5,   1.0,    2.5,   5.0,  10.0},
+      Counts(Bounds.size() + 1, 0) {}
+
+void LatencyHistogram::record(double Seconds) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const size_t Bucket =
+      std::lower_bound(Bounds.begin(), Bounds.end(), Seconds) -
+      Bounds.begin();
+  ++Counts[Bucket];
+  ++Total;
+  Accumulated += Seconds;
+}
+
+int64_t LatencyHistogram::count() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Total;
+}
+
+double LatencyHistogram::sum() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Accumulated;
+}
+
+double LatencyHistogram::quantile(double Q) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Total == 0)
+    return 0.0;
+  Q = std::min(1.0, std::max(0.0, Q));
+  const double Rank = Q * static_cast<double>(Total);
+  int64_t Cumulative = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    if (Counts[I] == 0)
+      continue;
+    const int64_t Before = Cumulative;
+    Cumulative += Counts[I];
+    if (static_cast<double>(Cumulative) < Rank)
+      continue;
+    // Linear interpolation inside the bucket [Lower, Upper].
+    const double Lower = I == 0 ? 0.0 : Bounds[I - 1];
+    const double Upper =
+        I < Bounds.size() ? Bounds[I] : Bounds.back() * 2.0;
+    const double Fraction =
+        Counts[I] > 0
+            ? (Rank - static_cast<double>(Before)) /
+                  static_cast<double>(Counts[I])
+            : 0.0;
+    return Lower + (Upper - Lower) * std::min(1.0, std::max(0.0, Fraction));
+  }
+  return Bounds.back() * 2.0;
+}
+
+std::string
+LatencyHistogram::prometheus(const std::string &Name,
+                             const std::string &Labels) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const std::string Prefix = Labels.empty() ? "" : Labels + ",";
+  std::string Out = "# TYPE " + Name + " histogram\n";
+  int64_t Cumulative = 0;
+  for (size_t I = 0; I < Counts.size(); ++I) {
+    Cumulative += Counts[I];
+    const std::string Le =
+        I < Bounds.size() ? formatDouble(Bounds[I], 4) : "+Inf";
+    Out += Name + "_bucket{" + Prefix + "le=\"" + Le + "\"} " +
+           std::to_string(Cumulative) + "\n";
+  }
+  const std::string Brace = Labels.empty() ? "" : "{" + Labels + "}";
+  Out += Name + "_sum" + Brace + " " + formatDouble(Accumulated, 6) + "\n";
+  Out += Name + "_count" + Brace + " " + std::to_string(Total) + "\n";
+  return Out;
+}
+
+std::string wootz::serve::prometheusEscapeLabel(const std::string &Value) {
+  std::string Out;
+  Out.reserve(Value.size());
+  for (char C : Value) {
+    switch (C) {
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    default:
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string wootz::serve::prometheusSample(const std::string &Name,
+                                           const std::string &Labels,
+                                           double Value,
+                                           const std::string &Type,
+                                           bool &TypeEmitted) {
+  std::string Out;
+  if (!TypeEmitted) {
+    Out += "# TYPE " + Name + " " + Type + "\n";
+    TypeEmitted = true;
+  }
+  const std::string Brace = Labels.empty() ? "" : "{" + Labels + "}";
+  const double Rounded = std::round(Value);
+  Out += Name + Brace + " " +
+         (Value == Rounded && std::abs(Value) < 1e15
+              ? std::to_string(static_cast<long long>(Rounded))
+              : formatDouble(Value, 6)) +
+         "\n";
+  return Out;
+}
+
+std::string wootz::serve::prometheusCounterMap(
+    const std::string &Series, const std::string &Scope,
+    const std::map<std::string, int64_t> &Counters, bool &TypeEmitted) {
+  std::string Out;
+  for (const auto &[Name, Value] : Counters)
+    Out += prometheusSample(
+        Series,
+        "scope=\"" + prometheusEscapeLabel(Scope) + "\",name=\"" +
+            prometheusEscapeLabel(Name) + "\"",
+        static_cast<double>(Value), "counter", TypeEmitted);
+  return Out;
+}

@@ -1,0 +1,80 @@
+//===- serve/Metrics.h - Prometheus-style operational metrics --------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serve daemon's operational surface: thread-safe latency histograms
+/// with quantile estimation, plus renderers for the Prometheus text
+/// exposition format (the `GET /metrics` payload). RunLog counters —
+/// both the server's own `http.*`/`serve.*` counters and the per-job
+/// pipeline counters (`cache.*`, `tasks_*`) sampled live via
+/// RunLog::counters() — are exposed as labelled series so external
+/// scrapers and bench_serve_throughput consume one format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SERVE_METRICS_H
+#define WOOTZ_SERVE_METRICS_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace wootz {
+namespace serve {
+
+/// A fixed-bucket latency histogram (seconds). Buckets follow the usual
+/// Prometheus 1-2.5-5 decade ladder from 500µs to 10s plus +Inf, which
+/// spans both micro-batched inference (sub-millisecond) and full
+/// exploration jobs (seconds).
+class LatencyHistogram {
+public:
+  LatencyHistogram();
+
+  void record(double Seconds);
+
+  int64_t count() const;
+  double sum() const;
+
+  /// Interpolated quantile estimate (\p Q in [0,1]) from the bucket
+  /// counts; 0 when empty. Good to bucket resolution, which is what a
+  /// p50/p99 operational readout needs.
+  double quantile(double Q) const;
+
+  /// Renders `<name>_bucket{...,le="..."}`, `<name>_sum`, `<name>_count`
+  /// lines. \p Labels is either empty or a `key="value",...` fragment
+  /// without braces.
+  std::string prometheus(const std::string &Name,
+                         const std::string &Labels) const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<double> Bounds; ///< Upper bounds; implicit +Inf at the end.
+  std::vector<int64_t> Counts;
+  int64_t Total = 0;
+  double Accumulated = 0.0;
+};
+
+/// Escapes a Prometheus label value (backslash, quote, newline).
+std::string prometheusEscapeLabel(const std::string &Value);
+
+/// Renders one `# TYPE` header plus a `name{labels} value` sample line.
+std::string prometheusSample(const std::string &Name,
+                             const std::string &Labels, double Value,
+                             const std::string &Type, bool &TypeEmitted);
+
+/// Renders a counter map as one labelled series:
+/// `<series>{scope="<scope>",name="<counter>"} <value>` — dots in
+/// counter names stay in the label where Prometheus allows them.
+std::string prometheusCounterMap(
+    const std::string &Series, const std::string &Scope,
+    const std::map<std::string, int64_t> &Counters, bool &TypeEmitted);
+
+} // namespace serve
+} // namespace wootz
+
+#endif // WOOTZ_SERVE_METRICS_H

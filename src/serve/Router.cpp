@@ -1,0 +1,65 @@
+//===- serve/Router.cpp ----------------------------------------------------===//
+
+#include "src/serve/Router.h"
+
+#include "src/support/StringUtils.h"
+
+#include <set>
+
+using namespace wootz;
+using namespace wootz::serve;
+
+void Router::add(const std::string &Method, const std::string &Pattern,
+                 RouteHandler Handle) {
+  Route R;
+  R.Method = Method;
+  R.Segments = splitPath(Pattern);
+  R.Handle = std::move(Handle);
+  Routes.push_back(std::move(R));
+}
+
+std::vector<std::string> Router::splitPath(const std::string &Path) {
+  std::vector<std::string> Parts;
+  for (const std::string &Piece : split(Path, '/'))
+    if (!Piece.empty())
+      Parts.push_back(Piece);
+  return Parts;
+}
+
+bool Router::match(const Route &R, const std::vector<std::string> &Parts,
+                   std::vector<std::string> &Params) {
+  if (R.Segments.size() != Parts.size())
+    return false;
+  Params.clear();
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    const std::string &Pattern = R.Segments[I];
+    if (!Pattern.empty() && Pattern[0] == ':')
+      Params.push_back(Parts[I]);
+    else if (Pattern != Parts[I])
+      return false;
+  }
+  return true;
+}
+
+HttpResponse Router::dispatch(const HttpRequest &Request) const {
+  const std::vector<std::string> Parts = splitPath(Request.path());
+  std::vector<std::string> Params;
+  std::set<std::string> AllowedMethods;
+  for (const Route &R : Routes) {
+    if (!match(R, Parts, Params))
+      continue;
+    if (R.Method == Request.Method)
+      return R.Handle(Request, Params);
+    AllowedMethods.insert(R.Method);
+  }
+  if (!AllowedMethods.empty()) {
+    HttpResponse Response = errorResponse(
+        405, "method " + Request.Method + " not allowed on " +
+                 Request.path());
+    std::vector<std::string> Allowed(AllowedMethods.begin(),
+                                     AllowedMethods.end());
+    Response.ExtraHeaders.emplace_back("Allow", join(Allowed, ", "));
+    return Response;
+  }
+  return errorResponse(404, "no route for " + Request.path());
+}

@@ -1,0 +1,64 @@
+//===- serve/Router.h - Method + path-pattern dispatch ---------------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routes (method, path) pairs to handlers. Patterns are literal
+/// segments plus `:name` parameter segments (`/v1/jobs/:id`); matched
+/// parameter values are handed to the handler in pattern order. Dispatch
+/// distinguishes "no such path" (404) from "path exists, wrong method"
+/// (405 with an Allow header), which clients probing the API deserve.
+///
+/// Routes are registered once at server construction and never mutated
+/// afterwards, so dispatch is lock-free by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SERVE_ROUTER_H
+#define WOOTZ_SERVE_ROUTER_H
+
+#include "src/serve/Http.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace wootz {
+namespace serve {
+
+/// A registered handler: the request plus the values of the pattern's
+/// `:param` segments, in order.
+using RouteHandler = std::function<HttpResponse(
+    const HttpRequest &, const std::vector<std::string> &)>;
+
+/// Immutable-after-setup route table.
+class Router {
+public:
+  /// Registers \p Pattern (e.g. "/v1/models/:id/predict") for \p Method.
+  void add(const std::string &Method, const std::string &Pattern,
+           RouteHandler Handle);
+
+  /// Finds the matching route and runs its handler; 404/405 otherwise.
+  HttpResponse dispatch(const HttpRequest &Request) const;
+
+private:
+  struct Route {
+    std::string Method;
+    /// Pattern split on '/'; segments starting with ':' bind parameters.
+    std::vector<std::string> Segments;
+    RouteHandler Handle;
+  };
+
+  static std::vector<std::string> splitPath(const std::string &Path);
+  static bool match(const Route &R, const std::vector<std::string> &Parts,
+                    std::vector<std::string> &Params);
+
+  std::vector<Route> Routes;
+};
+
+} // namespace serve
+} // namespace wootz
+
+#endif // WOOTZ_SERVE_ROUTER_H

@@ -82,6 +82,13 @@ public:
       char C = Text[Offset++];
       if (C == '"')
         return true;
+      // Raw control characters are never valid inside a JSON string —
+      // jsonEscape() always \u-escapes them — and with HTTP bodies now
+      // reaching this parser, accepting them would let a client smuggle
+      // newlines into values that later land in line-oriented formats
+      // (JSONL telemetry, manifest lines).
+      if (static_cast<unsigned char>(C) < 0x20)
+        return false;
       if (C != '\\') {
         Out += C;
         continue;

@@ -34,9 +34,10 @@ std::string jsonEscape(const std::string &Text);
 /// Parses one flat (non-nested) JSON object like the ones JsonObject
 /// emits: `{"key":"value","n":3,"flag":true}`. String values are
 /// unescaped; numbers, booleans, and null are returned as their raw
-/// token text. Nested objects/arrays, duplicate keys, and trailing
-/// garbage are errors — this exists for checkpoint manifest lines, not
-/// as a general JSON parser.
+/// token text. Nested objects/arrays, duplicate keys, raw (unescaped)
+/// control characters inside strings, and trailing garbage after the
+/// closing brace are errors — this parses checkpoint manifest lines and
+/// untrusted serve request bodies, not general JSON.
 Result<std::map<std::string, std::string>>
 parseFlatJsonObject(std::string_view Text);
 

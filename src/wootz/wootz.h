@@ -39,6 +39,7 @@
 #include "src/runtime/RunLog.h"
 #include "src/runtime/TaskGraph.h"
 #include "src/sequitur/Sequitur.h"
+#include "src/serve/Server.h"
 #include "src/support/StringUtils.h"
 #include "src/support/Table.h"
 #include "src/tensor/Kernels.h"

@@ -12,10 +12,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace wootz;
 
@@ -316,6 +318,57 @@ TEST_F(RuntimePipelineFixture, OverlapWarmBlockCacheSkipsAllPretraining) {
                      Cold->Evaluations[I].FinalAccuracy);
 
   std::filesystem::remove_all(CacheDir);
+}
+
+TEST_F(RuntimePipelineFixture, PreCancelledTokenStopsBeforeAnyWork) {
+  PipelineOptions Options;
+  CancelToken Token;
+  Token.cancel();
+  Options.Cancel = &Token;
+  Rng Generator(7);
+  Result<PipelineResult> Run =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator);
+  ASSERT_FALSE(static_cast<bool>(Run));
+  EXPECT_EQ(Run.message(), "job cancelled before it started");
+}
+
+TEST_F(RuntimePipelineFixture, MidRunCancelCascadesThroughTheGraph) {
+  // The serve layer's DELETE /v1/jobs/:id path: a watcher flips the
+  // shared token while the Overlap graph is running, and the pipeline
+  // must come back with the fixed "job cancelled" message (how callers
+  // tell an intentional abort from a real failure). The watcher waits
+  // for the first completed task before cancelling, so at that point at
+  // least seven of the ten graph tasks have not started yet — they poll
+  // the token and abort, deterministically.
+  PipelineOptions Options;
+  Options.UseComposability = true;
+  Options.Workers = 2;
+  Options.Schedule = PipelineSchedule::Overlap;
+  RunLog Log;
+  Options.Log = &Log;
+  CancelToken Token;
+  Options.Cancel = &Token;
+
+  std::thread Watcher([&] {
+    while (Log.counters()["tasks_done"] < 1)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Token.cancel();
+  });
+  Rng Generator(7);
+  Result<PipelineResult> Run =
+      runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator);
+  Watcher.join();
+  ASSERT_FALSE(static_cast<bool>(Run));
+  EXPECT_EQ(Run.message(), "job cancelled");
+  // The scheduler observed the abort: something finished, something
+  // failed (the task that saw the token), and the cascade cancelled the
+  // rest rather than running it.
+  const std::map<std::string, int64_t> Counters = Log.counters();
+  EXPECT_GE(Counters.count("tasks_done") ? Counters.at("tasks_done") : 0,
+            1);
+  EXPECT_GE(Counters.count("tasks_failed") ? Counters.at("tasks_failed")
+                                           : 0,
+            1);
 }
 
 TEST_F(RuntimePipelineFixture, OverlapRejectsDistillation) {

@@ -16,6 +16,7 @@
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace wootz;
 
@@ -301,6 +302,52 @@ TEST(RunLogTest, GraphRecordsCancelledSpans) {
     EXPECT_DOUBLE_EQ(Span.runSeconds(), 0.0);
   }
   EXPECT_EQ(Telemetry.counter("tasks_cancelled"), 2);
+}
+
+TEST(RunLogTest, CountersReturnsAConsistentCopyUnderConcurrentBumps) {
+  // counters() is the live-observer read path (the serve /metrics
+  // endpoint samples running jobs through it); it must return a
+  // self-consistent copy while writers are still bumping — no torn
+  // reads, no crashes, and a final tally equal to the writes.
+  RunLog Log;
+  constexpr int Writers = 4;
+  constexpr int BumpsPerWriter = 2000;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < Writers; ++W)
+    Threads.emplace_back([&Log, W] {
+      for (int I = 0; I < BumpsPerWriter; ++I) {
+        Log.bump("shared");
+        Log.bump("writer." + std::to_string(W));
+      }
+    });
+  std::thread Reader([&] {
+    while (!Stop.load()) {
+      const std::map<std::string, int64_t> Copy = Log.counters();
+      // A copy never goes backwards relative to itself: every
+      // per-writer counter it contains is within the writer's range.
+      for (const auto &[Name, Value] : Copy) {
+        EXPECT_GE(Value, 0);
+        EXPECT_LE(Value, static_cast<int64_t>(Writers) * BumpsPerWriter);
+      }
+    }
+  });
+  for (std::thread &T : Threads)
+    T.join();
+  Stop.store(true);
+  Reader.join();
+
+  const std::map<std::string, int64_t> Final = Log.counters();
+  EXPECT_EQ(Final.at("shared"),
+            static_cast<int64_t>(Writers) * BumpsPerWriter);
+  for (int W = 0; W < Writers; ++W)
+    EXPECT_EQ(Final.at("writer." + std::to_string(W)), BumpsPerWriter);
+  // And the copy is detached from the log: mutating it doesn't change
+  // what the log reports next.
+  std::map<std::string, int64_t> Detached = Log.counters();
+  Detached["shared"] = -1;
+  EXPECT_EQ(Log.counters().at("shared"),
+            static_cast<int64_t>(Writers) * BumpsPerWriter);
 }
 
 } // namespace

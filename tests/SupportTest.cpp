@@ -1,6 +1,7 @@
 //===- tests/SupportTest.cpp - support/ unit tests -----------------------------===//
 
 #include "src/support/Error.h"
+#include "src/support/Json.h"
 #include "src/support/Rng.h"
 #include "src/support/StringUtils.h"
 #include "src/support/Table.h"
@@ -405,6 +406,102 @@ TEST(FileTest, OverwriteTruncates) {
   ASSERT_FALSE(static_cast<bool>(wootz::writeFile(Path, "x")));
   EXPECT_EQ(*wootz::readFile(Path), "x");
   std::filesystem::remove(Path);
+}
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(JsonTest, WriterRoundTripsThroughTheParser) {
+  JsonObject Row;
+  Row.field("name", "job-1")
+      .field("seconds", 1.5, 3)
+      .field("count", int64_t(42))
+      .field("ok", true);
+  Result<std::map<std::string, std::string>> Parsed =
+      parseFlatJsonObject(Row.str());
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->at("name"), "job-1");
+  EXPECT_EQ(Parsed->at("seconds"), "1.500");
+  EXPECT_EQ(Parsed->at("count"), "42");
+  EXPECT_EQ(Parsed->at("ok"), "true");
+}
+
+TEST(JsonTest, WriterEscapesControlCharactersAndQuotes) {
+  JsonObject Row;
+  Row.field("text", std::string("a\"b\\c\nd\te\x01") + "f");
+  const std::string Text = Row.str();
+  // Nothing below 0x20 survives unescaped; the specific escapes are the
+  // two-character forms for the common cases and \u00XX otherwise.
+  for (char C : Text)
+    EXPECT_GE(static_cast<unsigned char>(C), 0x20u);
+  EXPECT_NE(Text.find("\\\""), std::string::npos);
+  EXPECT_NE(Text.find("\\\\"), std::string::npos);
+  EXPECT_NE(Text.find("\\n"), std::string::npos);
+  EXPECT_NE(Text.find("\\t"), std::string::npos);
+  EXPECT_NE(Text.find("\\u0001"), std::string::npos);
+  // And the escaped form parses back to the original bytes.
+  Result<std::map<std::string, std::string>> Parsed =
+      parseFlatJsonObject(Text);
+  ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
+  EXPECT_EQ(Parsed->at("text"), std::string("a\"b\\c\nd\te\x01") + "f");
+}
+
+TEST(JsonTest, ParserRejectsTrailingGarbage) {
+  Result<std::map<std::string, std::string>> Full =
+      parseFlatJsonObject("{\"a\":\"b\"} extra");
+  EXPECT_FALSE(static_cast<bool>(Full));
+  EXPECT_NE(Full.message().find("trailing"), std::string::npos);
+
+  // Same rule for the empty object.
+  Result<std::map<std::string, std::string>> Empty =
+      parseFlatJsonObject("{} {}");
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  EXPECT_NE(Empty.message().find("trailing"), std::string::npos);
+
+  // But surrounding whitespace is fine.
+  EXPECT_TRUE(
+      static_cast<bool>(parseFlatJsonObject("  {\"a\":\"b\"}  \n")));
+}
+
+TEST(JsonTest, ParserRejectsRawControlCharactersInStrings) {
+  Result<std::map<std::string, std::string>> Newline =
+      parseFlatJsonObject("{\"a\":\"line1\nline2\"}");
+  EXPECT_FALSE(static_cast<bool>(Newline));
+  // The escaped spelling of the same value is accepted.
+  Result<std::map<std::string, std::string>> Escaped =
+      parseFlatJsonObject("{\"a\":\"line1\\nline2\"}");
+  ASSERT_TRUE(static_cast<bool>(Escaped)) << Escaped.message();
+  EXPECT_EQ(Escaped->at("a"), "line1\nline2");
+}
+
+TEST(JsonTest, ParserRejectsDuplicateKeysAndNesting) {
+  Result<std::map<std::string, std::string>> Duplicate =
+      parseFlatJsonObject("{\"a\":1,\"a\":2}");
+  EXPECT_FALSE(static_cast<bool>(Duplicate));
+  EXPECT_NE(Duplicate.message().find("duplicate"), std::string::npos);
+
+  Result<std::map<std::string, std::string>> Nested =
+      parseFlatJsonObject("{\"a\":{\"b\":1}}");
+  EXPECT_FALSE(static_cast<bool>(Nested));
+  EXPECT_NE(Nested.message().find("nested"), std::string::npos);
+
+  Result<std::map<std::string, std::string>> Array =
+      parseFlatJsonObject("{\"a\":[1,2]}");
+  EXPECT_FALSE(static_cast<bool>(Array));
+}
+
+TEST(JsonTest, ParserRejectsStructuralDamage) {
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("not json")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{\"a\":\"b\"")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{\"a\"}")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{\"a\":}")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{a:1}")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{\"a\":\"b")));
+  EXPECT_FALSE(
+      static_cast<bool>(parseFlatJsonObject("{\"a\":\"\\u12\"}")));
+  EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{\"a\":\"\\x\"}")));
 }
 
 } // namespace
