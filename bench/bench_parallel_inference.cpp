@@ -1,0 +1,154 @@
+//===- bench/bench_parallel_inference.cpp - Shared-model forward scaling --------===//
+//
+// Measures what the Graph/ExecContext split buys at serving time: N
+// threads pushing eval-mode forwards through ONE shared model, each via
+// a private execution context, with zero weight copies and zero locks
+// on the eval path. Sweeps threads x batch and reports samples/sec plus
+// the speedup over the single-thread row; every row also lands in
+// BENCH_infer.json so the scaling trajectory is machine-readable.
+//
+// Kernel-internal workers are pinned to 1 so that all parallelism comes
+// from the caller-level contexts being measured.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/compiler/NetsFactory.h"
+#include "src/models/MiniModels.h"
+#include "src/nn/Graph.h"
+#include "src/support/File.h"
+#include "src/support/Json.h"
+#include "src/support/Rng.h"
+#include "src/support/Stopwatch.h"
+#include "src/support/StringUtils.h"
+#include "src/support/Table.h"
+#include "src/tensor/Kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace wootz;
+
+namespace {
+
+/// Builds and randomly initializes the full (unpruned) tiny ResNet the
+/// compiler benches use.
+Graph buildModel(std::string &LogitsNode) {
+  Result<ModelSpec> Spec = makeStandardModel(StandardModel::ResNetA, 4);
+  if (!Spec) {
+    std::fprintf(stderr, "model spec failed: %s\n", Spec.message().c_str());
+    std::abort();
+  }
+  const MultiplexingModel Model(Spec.take());
+  Graph Network;
+  Rng Generator(7);
+  Result<BuildResult> Built = Model.build(Network, BuildMode::FullModel,
+                                          PruneInfo(), "full", Generator);
+  if (!Built) {
+    std::fprintf(stderr, "model build failed: %s\n", Built.message().c_str());
+    std::abort();
+  }
+  LogitsNode = Built->LogitsNode;
+  Network.initParams(Generator);
+  return Network;
+}
+
+Tensor makeBatch(int Batch, uint64_t Seed) {
+  Tensor In(Shape{Batch, 3, 8, 8});
+  Rng Generator(Seed);
+  for (size_t I = 0; I < In.size(); ++I)
+    In.data()[I] = Generator.nextGaussian();
+  return In;
+}
+
+/// Samples/sec for \p Threads workers each running \p Iters eval
+/// forwards of a \p Batch-sample input through a private context over
+/// the one shared \p Network. Contexts are created and warmed up before
+/// the clock starts, so the figure is steady-state throughput.
+double samplesPerSecond(const Graph &Network, const std::string &Logits,
+                        int Threads, int Batch, int Iters) {
+  std::atomic<bool> Go{false};
+  std::atomic<int> Ready{0};
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      ExecContext Ctx(Network);
+      const Tensor In = makeBatch(Batch, 0x5eed + static_cast<uint64_t>(T));
+      Ctx.setInput("data", In);
+      Ctx.forward(Network, /*Training=*/false); // Warmup: allocate buffers.
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (int I = 0; I < Iters; ++I) {
+        Ctx.setInput("data", In);
+        Ctx.forward(Network, /*Training=*/false);
+      }
+      // Touch the logits so the whole forward is observably live.
+      if (Ctx.activation(Logits).size() == 0)
+        std::abort();
+    });
+
+  while (Ready.load() < Threads) {
+  }
+  Stopwatch Timer;
+  Go.store(true, std::memory_order_release);
+  for (std::thread &W : Workers)
+    W.join();
+  const double Seconds = Timer.seconds();
+  const double Samples =
+      static_cast<double>(Threads) * Iters * static_cast<double>(Batch);
+  return Seconds > 0.0 ? Samples / Seconds : 0.0;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Parallel inference: one model, N execution contexts ===\n\n");
+  setKernelWorkers(1);
+
+  std::string Logits;
+  Graph Network = buildModel(Logits);
+
+  std::string JsonRows;
+  auto pushRow = [&JsonRows](const JsonObject &Row) {
+    JsonRows += std::string(JsonRows.empty() ? "" : ",\n  ") + Row.str();
+  };
+
+  const unsigned Cores = std::thread::hardware_concurrency();
+  Table Rows({"threads", "batch", "samples/s", "speedup vs 1T"});
+  for (int Batch : {1, 8}) {
+    // Enough iterations that each configuration runs a few hundred ms.
+    const int Iters = Batch == 1 ? 400 : 80;
+    double Baseline = 0.0;
+    for (int Threads : {1, 2, 4, 8}) {
+      const double Rate =
+          samplesPerSecond(Network, Logits, Threads, Batch, Iters);
+      if (Threads == 1)
+        Baseline = Rate;
+      const double Speedup = Baseline > 0.0 ? Rate / Baseline : 0.0;
+      Rows.addRow({std::to_string(Threads), std::to_string(Batch),
+                   formatDouble(Rate, 1), formatDouble(Speedup, 2) + "x"});
+      JsonObject Row;
+      Row.field("bench", "parallel_inference")
+          .field("threads", Threads)
+          .field("batch", Batch)
+          .field("samples_per_sec", Rate, 1)
+          .field("speedup_vs_1", Speedup, 3)
+          .field("hw_threads", static_cast<int>(Cores));
+      pushRow(Row);
+    }
+  }
+  std::printf("%s", Rows.render().c_str());
+  std::printf("\n(hardware threads: %u; kernel workers pinned to 1)\n", Cores);
+
+  const std::string JsonPath = "BENCH_infer.json";
+  Error WriteErr = writeFile(JsonPath, "[\n  " + JsonRows + "\n]\n");
+  if (WriteErr)
+    std::printf("warning: could not write %s: %s\n", JsonPath.c_str(),
+                WriteErr.message().c_str());
+  else
+    std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

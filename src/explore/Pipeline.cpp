@@ -41,10 +41,10 @@ Result<PipelineResult> wootz::runPruningPipeline(
           ? std::max(1u, std::thread::hardware_concurrency())
           : static_cast<unsigned>(Options.Workers);
   const bool Overlap = Options.Schedule == PipelineSchedule::Overlap;
-  if (Overlap && Options.DistillAlpha > 0.0f)
-    return Error::failure(
-        "the Overlap schedule cannot run with distillation: concurrent "
-        "fine-tunes would share the teacher graph's activation buffers");
+  // Distillation composes with every schedule: concurrent fine-tunes
+  // share only the teacher's read-only parameters — each one forwards
+  // the teacher through a private ExecContext (see trainClassifier-
+  // Distilled), so there is no shared activation state to race on.
 
   const MultiplexingModel Model(Spec);
   PipelineResult Run;
@@ -321,9 +321,10 @@ Result<PipelineResult> wootz::runPruningPipeline(
       Run.Pretrain.FirstLoss /= TrainedGroups;
       Run.Pretrain.LastLoss /= TrainedGroups;
     }
-  } else if (Workers > 1 && Options.DistillAlpha == 0.0f) {
-    // Distillation shares the teacher graph's activation buffers across
-    // evaluations, so it must stay on one thread (the serial branch).
+  } else if (Workers > 1) {
+    // Concurrent evaluations may share the teacher graph (distillation):
+    // each fine-tune forwards it through a private ExecContext, so only
+    // its read-only parameters are shared across the workers.
     TaskGraph Graph(&Log);
     for (size_t P = 0; P < ConfigCount; ++P) {
       const size_t Index = storageIndex(P);

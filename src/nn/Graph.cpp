@@ -6,6 +6,194 @@
 
 using namespace wootz;
 
+//===----------------------------------------------------------------------===//
+// ExecContext
+//===----------------------------------------------------------------------===//
+
+void ExecContext::bind(const Graph &G) {
+  if (Bound != &G) {
+    // Rebinding to a different graph invalidates all pass-local state.
+    Slots.clear();
+    PassId = 0;
+    Bound = &G;
+  }
+  syncSlots();
+}
+
+void ExecContext::syncSlots() {
+  assert(Bound && "ExecContext is not bound to a graph");
+  // Graphs are append-only, so slots only ever grow; existing slots (and
+  // their buffers) survive so contexts can be reused across batches.
+  if (Slots.size() != Bound->Nodes.size())
+    Slots.resize(Bound->Nodes.size());
+}
+
+void ExecContext::setInput(const std::string &Name, const Tensor &Value) {
+  syncSlots();
+  const int Index = Bound->indexOf(Name);
+  assert(Index >= 0 && !Bound->Nodes[Index].NodeLayer &&
+         "setInput target must be an input placeholder");
+  Slots[Index].Activation = Value;
+}
+
+void ExecContext::setInput(const std::string &Name, Tensor &&Value) {
+  syncSlots();
+  const int Index = Bound->indexOf(Name);
+  assert(Index >= 0 && !Bound->Nodes[Index].NodeLayer &&
+         "setInput target must be an input placeholder");
+  Slots[Index].Activation = std::move(Value);
+}
+
+void ExecContext::forward(const Graph &G, bool Training) {
+  bind(G);
+  ++PassId;
+  std::vector<const Tensor *> Inputs;
+  std::vector<Shape> InputShapes;
+  for (size_t I = 0; I < G.Nodes.size(); ++I) {
+    const Graph::Node &N = G.Nodes[I];
+    Slot &S = Slots[I];
+    if (!N.NodeLayer) {
+      assert(!S.Activation.empty() && "input placeholder was never bound");
+      continue;
+    }
+    Inputs.clear();
+    InputShapes.clear();
+    for (int Index : N.Inputs) {
+      Inputs.push_back(&Slots[Index].Activation);
+      InputShapes.push_back(Slots[Index].Activation.shape());
+    }
+    const Shape OutShape = N.NodeLayer->outputShape(InputShapes);
+    if (S.Activation.shape() != OutShape || S.Activation.empty())
+      S.Activation = Tensor(OutShape);
+    N.NodeLayer->forward(Inputs, S.Activation, S.Scratch, Training);
+  }
+}
+
+const Tensor &ExecContext::activation(const std::string &Name) const {
+  assert(Bound && "ExecContext is not bound to a graph");
+  const int Index = Bound->indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  assert(static_cast<size_t>(Index) < Slots.size() &&
+         "node was added after the last forward pass");
+  return Slots[Index].Activation;
+}
+
+const Tensor *ExecContext::outputGradient(const std::string &Name) const {
+  assert(Bound && "ExecContext is not bound to a graph");
+  const int Index = Bound->indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  assert(static_cast<size_t>(Index) < Slots.size() &&
+         "node was added after the last forward pass");
+  const Slot &S = Slots[Index];
+  return S.GradPassId == PassId ? &S.GradOut : nullptr;
+}
+
+Result<const Tensor *> ExecContext::findActivation(
+    const std::string &Name) const {
+  if (!Bound)
+    return Error::failure("execution context is not bound to a graph");
+  const int Index = Bound->indexOf(Name);
+  if (Index < 0 || static_cast<size_t>(Index) >= Slots.size())
+    return Error::failure("unknown node \"" + Name + "\"");
+  const Slot &S = Slots[Index];
+  if (S.Activation.empty())
+    return Error::failure("node \"" + Name +
+                          "\" has no activation: run forward() first");
+  return static_cast<const Tensor *>(&S.Activation);
+}
+
+Result<const Tensor *> ExecContext::findOutputGradient(
+    const std::string &Name) const {
+  if (!Bound)
+    return Error::failure("execution context is not bound to a graph");
+  const int Index = Bound->indexOf(Name);
+  if (Index < 0 || static_cast<size_t>(Index) >= Slots.size())
+    return Error::failure("unknown node \"" + Name + "\"");
+  const Slot &S = Slots[Index];
+  return S.GradPassId == PassId ? static_cast<const Tensor *>(&S.GradOut)
+                                : nullptr;
+}
+
+void ExecContext::ensureGradBuffer(Slot &S) {
+  if (S.GradPassId == PassId)
+    return;
+  if (S.GradOut.shape() != S.Activation.shape() || S.GradOut.empty())
+    S.GradOut = Tensor(S.Activation.shape());
+  else
+    S.GradOut.zero();
+  S.GradPassId = PassId;
+}
+
+void ExecContext::seedGradient(const std::string &Name, const Tensor &Grad) {
+  assert(Bound && "ExecContext is not bound to a graph");
+  syncSlots();
+  const int Index = Bound->indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  Slot &S = Slots[Index];
+  assert(Grad.shape() == S.Activation.shape() &&
+         "gradient seed shape must match the activation");
+  ensureGradBuffer(S);
+  for (size_t I = 0; I < Grad.size(); ++I)
+    S.GradOut[I] += Grad[I];
+}
+
+void ExecContext::backward(Graph &G) {
+  assert(Bound == &G && "backward on a graph this context never ran");
+  syncSlots();
+  G.updateCarries();
+  std::vector<const Tensor *> Inputs;
+  std::vector<Tensor *> GradInputs;
+  for (size_t I = G.Nodes.size(); I-- > 0;) {
+    Graph::Node &N = G.Nodes[I];
+    Slot &S = Slots[I];
+    // Only nodes whose output gradient was produced this pass take part.
+    if (!N.NodeLayer || S.GradPassId != PassId)
+      continue;
+    Inputs.clear();
+    GradInputs.clear();
+    for (int Input : N.Inputs) {
+      Slot &Producer = Slots[Input];
+      Inputs.push_back(&Producer.Activation);
+      if (G.Carries[Input] && G.Nodes[Input].NodeLayer) {
+        ensureGradBuffer(Producer);
+        GradInputs.push_back(&Producer.GradOut);
+      } else {
+        GradInputs.push_back(nullptr);
+      }
+    }
+    N.NodeLayer->backward(Inputs, S.Activation, S.GradOut, S.Scratch,
+                          GradInputs);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Graph
+//===----------------------------------------------------------------------===//
+
+Graph::Graph(Graph &&Other) noexcept
+    : Nodes(std::move(Other.Nodes)),
+      NameToIndex(std::move(Other.NameToIndex)),
+      Carries(std::move(Other.Carries)), CarriesValid(Other.CarriesValid),
+      DefaultCtx(std::move(Other.DefaultCtx)) {
+  // The default context can only ever be bound to its owning graph; after
+  // the move that graph lives here.
+  if (DefaultCtx.Bound)
+    DefaultCtx.Bound = this;
+}
+
+Graph &Graph::operator=(Graph &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  Nodes = std::move(Other.Nodes);
+  NameToIndex = std::move(Other.NameToIndex);
+  Carries = std::move(Other.Carries);
+  CarriesValid = Other.CarriesValid;
+  DefaultCtx = std::move(Other.DefaultCtx);
+  if (DefaultCtx.Bound)
+    DefaultCtx.Bound = this;
+  return *this;
+}
+
 void Graph::addInput(const std::string &Name) {
   assert(!hasNode(Name) && "duplicate node name");
   Node N;
@@ -51,45 +239,22 @@ int Graph::indexOf(const std::string &Name) const {
 }
 
 void Graph::setInput(const std::string &Name, const Tensor &Value) {
-  const int Index = indexOf(Name);
-  assert(Index >= 0 && !Nodes[Index].NodeLayer &&
-         "setInput target must be an input placeholder");
-  Nodes[Index].Activation = Value;
+  DefaultCtx.bind(*this);
+  DefaultCtx.setInput(Name, Value);
 }
 
-void Graph::forward(bool Training) {
-  ++PassId;
-  std::vector<const Tensor *> Inputs;
-  std::vector<Shape> InputShapes;
-  for (Node &N : Nodes) {
-    if (!N.NodeLayer) {
-      assert(!N.Activation.empty() && "input placeholder was never bound");
-      continue;
-    }
-    Inputs.clear();
-    InputShapes.clear();
-    for (int Index : N.Inputs) {
-      Inputs.push_back(&Nodes[Index].Activation);
-      InputShapes.push_back(Nodes[Index].Activation.shape());
-    }
-    const Shape OutShape = N.NodeLayer->outputShape(InputShapes);
-    if (N.Activation.shape() != OutShape || N.Activation.empty())
-      N.Activation = Tensor(OutShape);
-    N.NodeLayer->forward(Inputs, N.Activation, N.Scratch, Training);
-  }
-}
+void Graph::forward(bool Training) { DefaultCtx.forward(*this, Training); }
 
 const Tensor &Graph::activation(const std::string &Name) const {
-  const int Index = indexOf(Name);
-  assert(Index >= 0 && "unknown node");
-  return Nodes[Index].Activation;
+  assert(DefaultCtx.Bound == this &&
+         "activation read before any forward pass");
+  return DefaultCtx.activation(Name);
 }
 
 const Tensor *Graph::outputGradient(const std::string &Name) const {
-  const int Index = indexOf(Name);
-  assert(Index >= 0 && "unknown node");
-  const Node &N = Nodes[Index];
-  return N.GradPassId == PassId ? &N.GradOut : nullptr;
+  assert(DefaultCtx.Bound == this &&
+         "gradient read before any forward pass");
+  return DefaultCtx.outputGradient(Name);
 }
 
 void Graph::zeroGrads() {
@@ -101,25 +266,9 @@ void Graph::zeroGrads() {
   }
 }
 
-void Graph::ensureGradBuffer(Node &N) {
-  if (N.GradPassId == PassId)
-    return;
-  if (N.GradOut.shape() != N.Activation.shape() || N.GradOut.empty())
-    N.GradOut = Tensor(N.Activation.shape());
-  else
-    N.GradOut.zero();
-  N.GradPassId = PassId;
-}
-
 void Graph::seedGradient(const std::string &Name, const Tensor &Grad) {
-  const int Index = indexOf(Name);
-  assert(Index >= 0 && "unknown node");
-  Node &N = Nodes[Index];
-  assert(Grad.shape() == N.Activation.shape() &&
-         "gradient seed shape must match the activation");
-  ensureGradBuffer(N);
-  for (size_t I = 0; I < Grad.size(); ++I)
-    N.GradOut[I] += Grad[I];
+  DefaultCtx.bind(*this);
+  DefaultCtx.seedGradient(Name, Grad);
 }
 
 void Graph::updateCarries() {
@@ -137,31 +286,7 @@ void Graph::updateCarries() {
   CarriesValid = true;
 }
 
-void Graph::backward() {
-  updateCarries();
-  std::vector<const Tensor *> Inputs;
-  std::vector<Tensor *> GradInputs;
-  for (size_t I = Nodes.size(); I-- > 0;) {
-    Node &N = Nodes[I];
-    // Only nodes whose output gradient was produced this pass take part.
-    if (!N.NodeLayer || N.GradPassId != PassId)
-      continue;
-    Inputs.clear();
-    GradInputs.clear();
-    for (int Input : N.Inputs) {
-      Node &Producer = Nodes[Input];
-      Inputs.push_back(&Producer.Activation);
-      if (Carries[Input] && Producer.NodeLayer) {
-        ensureGradBuffer(Producer);
-        GradInputs.push_back(&Producer.GradOut);
-      } else {
-        GradInputs.push_back(nullptr);
-      }
-    }
-    N.NodeLayer->backward(Inputs, N.Activation, N.GradOut, N.Scratch,
-                          GradInputs);
-  }
-}
+void Graph::backward() { DefaultCtx.backward(*this); }
 
 void Graph::setTrainable(const std::string &Name, bool Trainable) {
   const int Index = indexOf(Name);

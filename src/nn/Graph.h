@@ -12,16 +12,31 @@
 /// automatically at frozen subgraphs, which is exactly what Teacher-
 /// Student pre-training needs (§6.1 of the paper).
 ///
+/// Ownership is split in two. The Graph is the *model*: topology, layer
+/// parameters, and persistent state (e.g. batchnorm running statistics).
+/// After construction it is immutable during execution, so any number of
+/// callers may read it concurrently. All pass-local state — activations,
+/// output gradients, per-layer scratch, gradient-pass bookkeeping — lives
+/// in an ExecContext created per caller. That is what lets one trained
+/// teacher or one assembled network serve many threads without copying
+/// its weights (the composability premise of §6.1).
+///
 /// Usage for one training step:
 /// \code
-///   G.setInput("input", Batch);
-///   G.forward(/*Training=*/true);
+///   ExecContext Ctx(G);
+///   Ctx.setInput("input", std::move(Batch)); // or copy from an lvalue
+///   Ctx.forward(G, /*Training=*/true);
 ///   G.zeroGrads();
-///   double Loss = softmaxCrossEntropy(G.activation("logits"), Labels, Grad);
-///   G.seedGradient("logits", Grad);
-///   G.backward();
+///   double Loss = softmaxCrossEntropy(Ctx.activation("logits"), Labels,
+///                                     Grad);
+///   Ctx.seedGradient("logits", Grad);
+///   Ctx.backward(G);
 ///   Optimizer.step(G.trainableParams());
 /// \endcode
+///
+/// The classic single-threaded surface (`G.setInput(...); G.forward(...);
+/// G.activation(...)`) still works: it delegates to a default context
+/// embedded in the Graph.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +44,7 @@
 #define WOOTZ_NN_GRAPH_H
 
 #include "src/nn/Layer.h"
+#include "src/support/Error.h"
 
 #include <map>
 #include <memory>
@@ -37,9 +53,111 @@
 
 namespace wootz {
 
-/// A DAG of named layer nodes with forward/backward execution.
+class Graph;
+
+/// Per-caller execution state for one Graph: activations, output
+/// gradients, and per-layer scratch. Create one ExecContext per thread
+/// (or per in-flight evaluation) over a shared Graph; contexts are cheap
+/// to keep alive and reuse their buffers across batches, reallocating
+/// only when a shape changes.
+///
+/// Thread-safety contract (see DESIGN.md "Re-entrant execution"):
+/// concurrent forward() calls over one Graph through distinct contexts
+/// are safe in both eval and training mode; concurrent backward() calls
+/// are not (parameter gradients are shared model state). Do not use one
+/// ExecContext from two threads at once.
+class ExecContext {
+public:
+  /// Creates an unbound context; bind() or the first forward() attaches
+  /// it to a graph.
+  ExecContext() = default;
+
+  /// Creates a context bound to \p G.
+  explicit ExecContext(const Graph &G) { bind(G); }
+
+  ExecContext(ExecContext &&) = default;
+  ExecContext &operator=(ExecContext &&) = default;
+
+  /// Attaches this context to \p G, sizing the per-node slots. Rebinding
+  /// to a different graph resets all pass-local state.
+  void bind(const Graph &G);
+
+  /// The graph this context is bound to, or null.
+  const Graph *graph() const { return Bound; }
+
+  /// Binds \p Value to the input placeholder \p Name (copies the tensor).
+  void setInput(const std::string &Name, const Tensor &Value);
+
+  /// Move-in variant: takes ownership of \p Value without copying the
+  /// batch. Use this on hot paths (Trainer steps, the serving Batcher).
+  void setInput(const std::string &Name, Tensor &&Value);
+
+  /// Runs every node of \p G in topological order. \p G must be the bound
+  /// graph (an unbound context binds to it).
+  void forward(const Graph &G, bool Training);
+
+  /// The most recent activation of node \p Name. Valid after forward().
+  const Tensor &activation(const std::string &Name) const;
+
+  /// The gradient of the loss w.r.t. node \p Name's output from the most
+  /// recent backward() pass, or null if none flowed there this pass.
+  /// Used by data-driven filter-importance criteria (pruning/Importance).
+  const Tensor *outputGradient(const std::string &Name) const;
+
+  /// Checked variant of activation() for lookups on user-supplied node
+  /// names (the serve path): unknown names become a clean Error instead
+  /// of an assert.
+  Result<const Tensor *> findActivation(const std::string &Name) const;
+
+  /// Checked variant of outputGradient(); unknown names become an Error.
+  /// A known node that received no gradient this pass yields success
+  /// holding nullptr, mirroring outputGradient().
+  Result<const Tensor *> findOutputGradient(const std::string &Name) const;
+
+  /// Accumulates \p Grad into the output gradient of node \p Name.
+  /// Shapes must match the node's current activation.
+  void seedGradient(const std::string &Name, const Tensor &Grad);
+
+  /// Propagates all seeded gradients back to every trainable parameter of
+  /// \p G. Frozen subgraphs (no trainable ancestors) are skipped. Takes
+  /// the graph non-const: parameter gradients are model state, so callers
+  /// running backward concurrently over one graph must serialize.
+  void backward(Graph &G);
+
+private:
+  friend class Graph;
+
+  /// Pass-local state for one graph node.
+  struct Slot {
+    Tensor Activation;
+    Tensor GradOut;
+    uint64_t GradPassId = 0; ///< Pass in which GradOut was last zeroed.
+    LayerScratch Scratch;
+  };
+
+  /// Grows Slots to cover nodes added to the bound graph after bind().
+  void syncSlots();
+  /// Ensures \p S's GradOut matches its activation and is zeroed for the
+  /// current pass.
+  void ensureGradBuffer(Slot &S);
+
+  const Graph *Bound = nullptr;
+  std::vector<Slot> Slots;
+  uint64_t PassId = 0;
+};
+
+/// A DAG of named layer nodes: topology plus parameters. Execution state
+/// lives in ExecContext; the forward/backward members below are thin
+/// compatibility wrappers over an internal default context, preserved for
+/// single-threaded callers.
 class Graph {
 public:
+  Graph() = default;
+  /// Graphs are movable (AssembledNetwork holds one by value); the move
+  /// re-points the embedded default context at the new location.
+  Graph(Graph &&Other) noexcept;
+  Graph &operator=(Graph &&Other) noexcept;
+
   /// Declares an input placeholder named \p Name.
   void addInput(const std::string &Name);
 
@@ -56,29 +174,40 @@ public:
   /// input placeholder.
   Layer &layer(const std::string &Name);
 
-  /// Binds \p Value to the input placeholder \p Name (copies the tensor).
+  /// The context backing the compatibility wrappers below. Exclusive
+  /// single-threaded owners (the Trainer's hot loop) use it directly for
+  /// the move-in input path while keeping per-graph pass-local state —
+  /// e.g. dropout mask streams — continuous across calls, exactly as
+  /// before the model/context split.
+  ExecContext &defaultContext() {
+    DefaultCtx.bind(*this);
+    return DefaultCtx;
+  }
+
+  /// Binds \p Value to the input placeholder \p Name in the default
+  /// context (copies the tensor; ExecContext::setInput has a move-in
+  /// path).
   void setInput(const std::string &Name, const Tensor &Value);
 
-  /// Runs every node in topological order.
+  /// Runs every node in topological order in the default context.
   void forward(bool Training);
 
-  /// The most recent activation of node \p Name. Valid after forward().
+  /// The most recent default-context activation of node \p Name.
   const Tensor &activation(const std::string &Name) const;
 
-  /// The gradient of the loss w.r.t. node \p Name's output from the most
-  /// recent backward() pass, or null if none flowed there this pass.
-  /// Used by data-driven filter-importance criteria (pruning/Importance).
+  /// The default-context output gradient of node \p Name, or null if none
+  /// flowed there in the most recent backward() pass.
   const Tensor *outputGradient(const std::string &Name) const;
 
   /// Zeroes all parameter gradients.
   void zeroGrads();
 
-  /// Accumulates \p Grad into the output gradient of node \p Name.
-  /// Shapes must match the node's current activation.
+  /// Accumulates \p Grad into the default-context output gradient of node
+  /// \p Name. Shapes must match the node's current activation.
   void seedGradient(const std::string &Name, const Tensor &Grad);
 
-  /// Propagates all seeded gradients back to every trainable parameter.
-  /// Frozen subgraphs (no trainable ancestors) are skipped entirely.
+  /// Propagates all seeded default-context gradients back to every
+  /// trainable parameter. Frozen subgraphs are skipped entirely.
   void backward();
 
   /// Marks node \p Name (not) trainable. Frozen nodes keep their
@@ -113,31 +242,28 @@ public:
   std::string toDot(const std::string &GraphName = "wootz") const;
 
 private:
+  friend class ExecContext;
+
+  /// Topology-plus-parameters node record. Pass-local tensors live in
+  /// ExecContext::Slot, one per node per context.
   struct Node {
     std::string Name;
     std::unique_ptr<Layer> NodeLayer; ///< Null for input placeholders.
     std::vector<int> Inputs;
     bool Trainable = true;
-
-    Tensor Activation;
-    Tensor GradOut;
-    uint64_t GradPassId = 0; ///< Pass in which GradOut was last zeroed.
-    LayerScratch Scratch;
   };
 
   int indexOf(const std::string &Name) const;
   /// Lazily recomputes the carries-gradient flags after topology or
   /// trainability changes.
   void updateCarries();
-  /// Ensures \p N's GradOut matches its activation and is zeroed for the
-  /// current pass.
-  void ensureGradBuffer(Node &N);
 
   std::vector<Node> Nodes;
   std::map<std::string, int> NameToIndex;
   std::vector<bool> Carries; ///< Node has a trainable ancestor-or-self.
   bool CarriesValid = false;
-  uint64_t PassId = 0;
+  /// Backs the single-threaded compatibility wrappers above.
+  ExecContext DefaultCtx;
 };
 
 } // namespace wootz

@@ -11,9 +11,13 @@
 /// optimizer and the checkpoint store can reach them uniformly.
 ///
 /// Layers implement forward() and backward() over explicit input/output
-/// tensors; the Graph owns all activations and gradient buffers. This is
-/// the minimal substrate the Wootz pipeline needs from a DNN framework:
-/// train, evaluate, freeze, and read intermediate activations.
+/// tensors; all pass-local buffers (activations, gradients, scratch)
+/// belong to the caller's ExecContext, never to the layer. forward() is
+/// const — it may read parameters and write only the output and the
+/// caller-supplied LayerScratch — so one Layer object can be evaluated
+/// from several execution contexts concurrently. This is the minimal
+/// substrate the Wootz pipeline needs from a DNN framework: train,
+/// evaluate, freeze, and read intermediate activations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -39,13 +43,18 @@ struct Param {
   Tensor Grad;
 };
 
-/// Per-layer context for one forward/backward pass, owned by the Graph.
+/// Per-layer pass-local state, owned by the caller's ExecContext (one
+/// LayerScratch per node per context).
 ///
 /// Layers may stash pass-local state here (e.g. im2col buffers, batchnorm
-/// statistics) so that a single Layer object can be evaluated on several
-/// graphs or batch sizes without aliasing.
+/// batch statistics, dropout masks) so that a single Layer object can be
+/// evaluated on several contexts or batch sizes without aliasing.
 struct LayerScratch {
   std::vector<Tensor> Buffers;
+  /// Lazily created stream for stochastic layers (Dropout): each context
+  /// replays the layer's deterministic stream independently, so one
+  /// shared layer never contends on generator state across contexts.
+  std::unique_ptr<Rng> Generator;
 };
 
 /// Abstract network layer.
@@ -63,15 +72,20 @@ public:
 
   /// Runs the layer. \p Out has already been allocated to outputShape().
   /// \p Training selects training semantics (e.g. batchnorm batch stats).
+  /// Must not mutate the layer beyond \p Scratch; BatchNorm2D's running
+  /// statistics are the one sanctioned exception (updated under a lock,
+  /// see Layers.h).
   virtual void forward(const std::vector<const Tensor *> &Inputs,
                        Tensor &Out, LayerScratch &Scratch,
-                       bool Training) = 0;
+                       bool Training) const = 0;
 
   /// Accumulates parameter gradients and writes input gradients.
   ///
   /// \p GradInputs holds one tensor per input, already allocated and
   /// zero-filled; entries that are nullptr do not need a gradient (their
-  /// producer subgraph is frozen) and must be skipped.
+  /// producer subgraph is frozen) and must be skipped. Unlike forward(),
+  /// backward() mutates shared parameter gradients, so concurrent
+  /// backward passes over one layer need external synchronization.
   virtual void backward(const std::vector<const Tensor *> &Inputs,
                         const Tensor &Out, const Tensor &GradOut,
                         LayerScratch &Scratch,

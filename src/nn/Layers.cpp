@@ -42,7 +42,7 @@ Shape Conv2D::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void Conv2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                     LayerScratch &Scratch, bool Training) {
+                     LayerScratch &Scratch, bool Training) const {
   const Tensor &In = *Inputs[0];
   const int Batch = In.shape()[0];
   const int Height = In.shape()[2];
@@ -212,7 +212,7 @@ Shape BatchNorm2D::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void BatchNorm2D::forward(const std::vector<const Tensor *> &Inputs,
-                          Tensor &Out, LayerScratch &Scratch, bool Training) {
+                          Tensor &Out, LayerScratch &Scratch, bool Training) const {
   const Tensor &In = *Inputs[0];
   const int Batch = In.shape()[0];
   const int Height = In.shape()[2];
@@ -220,17 +220,21 @@ void BatchNorm2D::forward(const std::vector<const Tensor *> &Inputs,
   const int Spatial = Height * Width;
   const size_t PerSample = static_cast<size_t>(Channels) * Spatial;
 
-  // Scratch: [0] normalized activations, [1] inverse stddev, [2] mean.
-  if (Scratch.Buffers.size() < 3)
-    Scratch.Buffers.resize(3);
+  // Scratch: [0] normalized activations, [1] inverse stddev, [2] mean,
+  // [3] batch variance (kept so the running-stat update below can run
+  // after — and outside the lock of — the normalization loop).
+  if (Scratch.Buffers.size() < 4)
+    Scratch.Buffers.resize(4);
   Tensor &XHat = Scratch.Buffers[0];
   if (XHat.shape() != In.shape())
     XHat = Tensor(In.shape());
   Tensor &InvStd = Scratch.Buffers[1];
   Tensor &BatchMean = Scratch.Buffers[2];
+  Tensor &BatchVar = Scratch.Buffers[3];
   if (InvStd.empty()) {
     InvStd = Tensor(Shape{Channels});
     BatchMean = Tensor(Shape{Channels});
+    BatchVar = Tensor(Shape{Channels});
   }
 
   const double Count = static_cast<double>(Batch) * Spatial;
@@ -252,10 +256,6 @@ void BatchNorm2D::forward(const std::vector<const Tensor *> &Inputs,
       Var = TotalSq / Count - Mean * Mean;
       if (Var < 0.0)
         Var = 0.0;
-      RunningMean.Value[C] = Momentum * RunningMean.Value[C] +
-                             (1.0f - Momentum) * static_cast<float>(Mean);
-      RunningVar.Value[C] = Momentum * RunningVar.Value[C] +
-                            (1.0f - Momentum) * static_cast<float>(Var);
     } else {
       Mean = RunningMean.Value[C];
       Var = RunningVar.Value[C];
@@ -264,6 +264,7 @@ void BatchNorm2D::forward(const std::vector<const Tensor *> &Inputs,
         1.0f / std::sqrt(static_cast<float>(Var) + Epsilon);
     InvStd[C] = InvStdC;
     BatchMean[C] = static_cast<float>(Mean);
+    BatchVar[C] = static_cast<float>(Var);
     const float GammaC = Gamma.Value[C];
     const float BetaC = Beta.Value[C];
     for (int N = 0; N < Batch; ++N) {
@@ -277,6 +278,21 @@ void BatchNorm2D::forward(const std::vector<const Tensor *> &Inputs,
         XHatPlane[I] = Norm;
         OutPlane[I] = GammaC * Norm + BetaC;
       }
+    }
+  }
+
+  if (Training) {
+    // Running statistics are the one piece of model state a (training)
+    // forward writes; the lock keeps concurrent training forwards over
+    // one shared layer race-free without serializing the normalization
+    // work above. Training outputs never read the running stats, so
+    // logits stay bit-identical to serial execution either way.
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    for (int C = 0; C < Channels; ++C) {
+      RunningMean.Value[C] = Momentum * RunningMean.Value[C] +
+                             (1.0f - Momentum) * BatchMean[C];
+      RunningVar.Value[C] = Momentum * RunningVar.Value[C] +
+                            (1.0f - Momentum) * BatchVar[C];
     }
   }
 }
@@ -348,7 +364,7 @@ Shape ReLU::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void ReLU::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                   LayerScratch &Scratch, bool Training) {
+                   LayerScratch &Scratch, bool Training) const {
   (void)Scratch;
   (void)Training;
   const Tensor &In = *Inputs[0];
@@ -390,7 +406,7 @@ Shape Pool2D::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void Pool2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                     LayerScratch &Scratch, bool Training) {
+                     LayerScratch &Scratch, bool Training) const {
   (void)Training;
   const Tensor &In = *Inputs[0];
   const int Batch = In.shape()[0];
@@ -522,7 +538,7 @@ Shape GlobalAvgPool::outputShape(const std::vector<Shape> &InputShapes) const {
 
 void GlobalAvgPool::forward(const std::vector<const Tensor *> &Inputs,
                             Tensor &Out, LayerScratch &Scratch,
-                            bool Training) {
+                            bool Training) const {
   (void)Scratch;
   (void)Training;
   const Tensor &In = *Inputs[0];
@@ -578,7 +594,7 @@ Shape Dense::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void Dense::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                    LayerScratch &Scratch, bool Training) {
+                    LayerScratch &Scratch, bool Training) const {
   (void)Scratch;
   (void)Training;
   const Tensor &In = *Inputs[0];
@@ -639,7 +655,7 @@ Shape Concat::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void Concat::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                     LayerScratch &Scratch, bool Training) {
+                     LayerScratch &Scratch, bool Training) const {
   (void)Scratch;
   (void)Training;
   const int Batch = Out.shape()[0];
@@ -682,7 +698,7 @@ void Concat::backward(const std::vector<const Tensor *> &Inputs,
 //===----------------------------------------------------------------------===//
 
 Dropout::Dropout(float DropRate, uint64_t Seed)
-    : DropRate(DropRate), Generator(Seed) {
+    : DropRate(DropRate), Seed(Seed) {
   assert(DropRate >= 0.0f && DropRate < 1.0f && "drop rate out of [0, 1)");
 }
 
@@ -692,13 +708,18 @@ Shape Dropout::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void Dropout::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                      LayerScratch &Scratch, bool Training) {
+                      LayerScratch &Scratch, bool Training) const {
   const Tensor &In = *Inputs[0];
   if (!Training || DropRate == 0.0f) {
     std::memcpy(Out.data(), In.data(), sizeof(float) * In.size());
     return;
   }
-  // Scratch buffer 0 stores the mask for backward.
+  // Scratch buffer 0 stores the mask for backward. The mask stream comes
+  // from the context-local generator, lazily seeded from the layer's
+  // seed: each ExecContext replays the same deterministic stream the old
+  // layer-owned generator produced, without cross-context races.
+  if (!Scratch.Generator)
+    Scratch.Generator = std::make_unique<Rng>(Seed);
   if (Scratch.Buffers.empty())
     Scratch.Buffers.emplace_back();
   Tensor &Mask = Scratch.Buffers[0];
@@ -706,7 +727,7 @@ void Dropout::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
     Mask = Tensor(In.shape());
   const float KeepScale = 1.0f / (1.0f - DropRate);
   for (size_t I = 0; I < In.size(); ++I) {
-    const bool Keep = !Generator.nextBernoulli(DropRate);
+    const bool Keep = !Scratch.Generator->nextBernoulli(DropRate);
     Mask[I] = Keep ? KeepScale : 0.0f;
     Out[I] = In[I] * Mask[I];
   }
@@ -742,7 +763,7 @@ Shape Add::outputShape(const std::vector<Shape> &InputShapes) const {
 }
 
 void Add::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-                  LayerScratch &Scratch, bool Training) {
+                  LayerScratch &Scratch, bool Training) const {
   (void)Scratch;
   (void)Training;
   std::memcpy(Out.data(), Inputs[0]->data(), sizeof(float) * Out.size());

@@ -18,6 +18,8 @@
 #include "src/nn/Layer.h"
 #include "src/tensor/Ops.h"
 
+#include <mutex>
+
 namespace wootz {
 
 /// 2-D convolution with optional bias (square kernels).
@@ -29,7 +31,7 @@ public:
   std::string kind() const override { return "conv"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -56,7 +58,7 @@ public:
   std::string kind() const override { return "batchnorm"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -76,8 +78,14 @@ private:
   float Epsilon;
   Param Gamma;
   Param Beta;
-  Param RunningMean;
-  Param RunningVar;
+  /// Running statistics are model state updated from the (const) training
+  /// forward pass: mutable, and guarded by StatsMutex so that concurrent
+  /// training forwards through distinct ExecContexts stay race-free. The
+  /// eval path reads them without the lock, so training and eval forwards
+  /// must not run concurrently over one graph (see DESIGN.md).
+  mutable Param RunningMean;
+  mutable Param RunningVar;
+  mutable std::mutex StatsMutex;
 };
 
 /// Elementwise rectified linear unit.
@@ -86,7 +94,7 @@ public:
   std::string kind() const override { return "relu"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -104,7 +112,7 @@ public:
   }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -122,7 +130,7 @@ public:
   std::string kind() const override { return "globalavgpool"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -136,7 +144,7 @@ public:
   std::string kind() const override { return "dense"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -161,7 +169,7 @@ public:
   std::string kind() const override { return "concat"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -177,7 +185,7 @@ public:
   std::string kind() const override { return "dropout"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;
@@ -186,7 +194,10 @@ public:
 
 private:
   float DropRate;
-  Rng Generator;
+  /// Seed for the per-context mask stream: the actual Rng lives in
+  /// LayerScratch, so each ExecContext replays an independent
+  /// deterministic stream without contending on layer state.
+  uint64_t Seed;
 };
 
 /// Elementwise addition (ResNet shortcut joins).
@@ -195,7 +206,7 @@ public:
   std::string kind() const override { return "add"; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
-               LayerScratch &Scratch, bool Training) override;
+               LayerScratch &Scratch, bool Training) const override;
   void backward(const std::vector<const Tensor *> &Inputs, const Tensor &Out,
                 const Tensor &GradOut, LayerScratch &Scratch,
                 const std::vector<Tensor *> &GradInputs) override;

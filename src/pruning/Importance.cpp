@@ -119,17 +119,21 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
   const std::string LogitsNode =
       FullPrefix + "/" + Spec.Layers.back().Name;
   BatchSampler Sampler(Calibration.Train, BatchSize, Rng(0xca11b));
+  // Calibration runs through a private context: the teacher's own
+  // execution state (and any concurrent reader's) is never disturbed,
+  // and the gradient reads below come from this pass's bookkeeping.
+  ExecContext Ctx(FullGraph);
   Tensor GradLogits;
   for (int BatchIndex = 0; BatchIndex < CalibrationBatches; ++BatchIndex) {
-    const Batch Mini = Sampler.next();
-    FullGraph.setInput(Spec.InputName, Mini.Images);
-    FullGraph.forward(/*Training=*/Taylor);
+    Batch Mini = Sampler.next();
+    Ctx.setInput(Spec.InputName, std::move(Mini.Images));
+    Ctx.forward(FullGraph, /*Training=*/Taylor);
     if (Taylor) {
       FullGraph.zeroGrads();
-      softmaxCrossEntropy(FullGraph.activation(LogitsNode), Mini.Labels,
+      softmaxCrossEntropy(Ctx.activation(LogitsNode), Mini.Labels,
                           GradLogits);
-      FullGraph.seedGradient(LogitsNode, GradLogits);
-      FullGraph.backward();
+      Ctx.seedGradient(LogitsNode, GradLogits);
+      Ctx.backward(FullGraph);
     }
     for (const LayerSpec &L : Spec.Layers) {
       if (L.Kind != LayerKind::Convolution)
@@ -138,8 +142,8 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
       const int Channels = static_cast<int>(LayerScores.size());
       if (Taylor) {
         const std::string NodeName = FullPrefix + "/" + L.Name;
-        const Tensor &Activation = FullGraph.activation(NodeName);
-        const Tensor *Grad = FullGraph.outputGradient(NodeName);
+        const Tensor &Activation = Ctx.activation(NodeName);
+        const Tensor *Grad = Ctx.outputGradient(NodeName);
         if (!Grad)
           return Error::failure("no gradient reached '" + NodeName +
                                 "' during Taylor calibration");
@@ -158,8 +162,8 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
         }
       } else {
         // Apoz: score = fraction of *active* (nonzero) outputs.
-        const Tensor &Activation = FullGraph.activation(
-            FullPrefix + "/" + ActivationNode[L.Name]);
+        const Tensor &Activation =
+            Ctx.activation(FullPrefix + "/" + ActivationNode[L.Name]);
         const int Batch = Activation.shape()[0];
         const int Spatial = Activation.shape()[2] * Activation.shape()[3];
         for (int C = 0; C < Channels; ++C) {

@@ -15,7 +15,10 @@ Batcher::Batcher(std::shared_ptr<AssembledNetwork> Network,
     : Network(std::move(Network)), Options(Options), Log(Log),
       Latency(Latency) {
   assert(this->Network && "batcher needs a network");
-  Worker = std::thread([this] { loop(); });
+  const int Count = std::max(1, Options.Workers);
+  Workers.reserve(static_cast<size_t>(Count));
+  for (int I = 0; I < Count; ++I)
+    Workers.emplace_back([this] { loop(); });
 }
 
 Batcher::~Batcher() { stop(); }
@@ -55,6 +58,10 @@ Result<Prediction> Batcher::predict(const Tensor &Sample) {
 }
 
 void Batcher::loop() {
+  // Each worker owns a private execution context over the shared model:
+  // the Graph's parameters are read-only during serving, so workers run
+  // concurrent forwards without copying a single weight.
+  ExecContext Ctx(Network->Network);
   std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
     WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
@@ -75,6 +82,14 @@ void Batcher::loop() {
           std::cv_status::timeout)
         break;
     }
+    // The wait releases the lock, so a companion worker may have drained
+    // the queue in the meantime: go back to waiting instead of cutting
+    // an empty batch.
+    if (Queue.empty()) {
+      if (Stopping)
+        return;
+      continue;
+    }
     std::vector<Pending *> Batch;
     const size_t Take =
         std::min(Queue.size(), static_cast<size_t>(Options.MaxBatch));
@@ -83,7 +98,7 @@ void Batcher::loop() {
       Queue.pop_front();
     }
     Lock.unlock();
-    runBatch(Batch);
+    runBatch(Ctx, Batch);
     Lock.lock();
     for (Pending *P : Batch)
       P->Done = true;
@@ -93,7 +108,7 @@ void Batcher::loop() {
   }
 }
 
-void Batcher::runBatch(std::vector<Pending *> &Batch) {
+void Batcher::runBatch(ExecContext &Ctx, std::vector<Pending *> &Batch) {
   const int Count = static_cast<int>(Batch.size());
   const Shape &One = Batch.front()->Sample->shape();
   Tensor Input(Shape{Count, One[1], One[2], One[3]});
@@ -103,10 +118,18 @@ void Batcher::runBatch(std::vector<Pending *> &Batch) {
                 Batch[static_cast<size_t>(I)]->Sample->data(),
                 SampleSize * sizeof(float));
 
-  Graph &Net = Network->Network;
-  Net.setInput(Network->InputNode, Input);
-  Net.forward(/*Training=*/false);
-  const Tensor &Logits = Net.activation(Network->LogitsNode);
+  const Graph &Net = Network->Network;
+  Ctx.setInput(Network->InputNode, std::move(Input));
+  Ctx.forward(Net, /*Training=*/false);
+  // User-named logits node: resolve through the checked accessor so a
+  // bad name surfaces as a clean per-request error, never an abort.
+  Result<const Tensor *> Found = Ctx.findActivation(Network->LogitsNode);
+  if (!Found) {
+    for (Pending *P : Batch)
+      P->Error = Found.message();
+    return;
+  }
+  const Tensor &Logits = **Found;
   if (Logits.shape().rank() != 2 || Logits.shape()[0] != Count) {
     for (Pending *P : Batch)
       P->Error = "model produced logits of unexpected shape " +
@@ -148,8 +171,10 @@ void Batcher::stop() {
       BatchDone.notify_all();
     }
   }
-  if (FirstStop && Worker.joinable())
-    Worker.join();
+  if (FirstStop)
+    for (std::thread &W : Workers)
+      if (W.joinable())
+        W.join();
 }
 
 //===----------------------------------------------------------------------===//

@@ -6,14 +6,15 @@
 ///
 /// \file
 /// The inference path of the serve daemon. Each servable model owns one
-/// Batcher: a dedicated thread that exclusively owns the model's Graph
-/// (forward() mutates activations, so exclusive ownership is the whole
-/// concurrency story) and coalesces concurrent predict requests into one
-/// NCHW batch. Coalescing is what lets HTTP traffic exercise the
-/// batch-parallel Conv2D kernels: when the first sample arrives the
-/// batcher waits up to MaxWaitMicros for companions (bounded wait), cuts
-/// the batch at MaxBatch, runs a single eval-mode forward, and fans the
-/// logit rows back out to the waiting request threads.
+/// Batcher: a small pool of worker threads that share the model's Graph
+/// read-only, each forwarding through a private ExecContext, so one hot
+/// model scales across workers instead of being pinned to a single
+/// thread. Workers coalesce concurrent predict requests into one NCHW
+/// batch, which is what lets HTTP traffic exercise the batch-parallel
+/// Conv2D kernels: when the first sample arrives a worker waits up to
+/// MaxWaitMicros for companions (bounded wait), cuts the batch at
+/// MaxBatch, runs a single eval-mode forward, and fans the logit rows
+/// back out to the waiting request threads.
 ///
 /// Callers block in predict() on a condition variable; a bounded pending
 /// queue turns overload into an immediate "overloaded" error (the
@@ -49,6 +50,9 @@ struct BatcherOptions {
   int MaxWaitMicros = 2000;
   /// Pending-request cap; beyond it predict() fails fast ("overloaded").
   size_t MaxQueuedRequests = 64;
+  /// Worker threads per model. Each forwards the shared Graph through a
+  /// private ExecContext, so concurrent batches overlap on one model.
+  int Workers = 2;
 };
 
 /// What one prediction returns.
@@ -78,7 +82,7 @@ public:
   Result<Prediction> predict(const Tensor &Sample);
 
   /// Rejects new work and fails everything still queued ("draining"),
-  /// then joins the batcher thread. Idempotent.
+  /// then joins the worker threads. Idempotent.
   void stop();
 
 private:
@@ -91,7 +95,7 @@ private:
   };
 
   void loop();
-  void runBatch(std::vector<Pending *> &Batch);
+  void runBatch(ExecContext &Ctx, std::vector<Pending *> &Batch);
 
   std::shared_ptr<AssembledNetwork> Network;
   BatcherOptions Options;
@@ -99,11 +103,11 @@ private:
   LatencyHistogram *Latency = nullptr;
 
   std::mutex Mutex;
-  std::condition_variable WorkReady; ///< Signals the batcher thread.
+  std::condition_variable WorkReady; ///< Signals the worker threads.
   std::condition_variable BatchDone; ///< Broadcast to waiting callers.
   std::deque<Pending *> Queue;
   bool Stopping = false;
-  std::thread Worker;
+  std::vector<std::thread> Workers;
 };
 
 /// A registered model: its network, expected input shape, and batcher.

@@ -165,8 +165,11 @@ JobManager::submit(const std::map<std::string, std::string> &Body) {
   if (!DistillAlpha)
     return badRequest(DistillAlpha.message());
   J->DistillAlpha = static_cast<float>(*DistillAlpha);
-  if (J->DistillAlpha > 0.0f && J->Schedule == PipelineSchedule::Overlap)
-    return badRequest("distillation requires \"schedule\":\"evalonly\"");
+  // Any schedule composes with distillation (concurrent fine-tunes give
+  // the shared teacher private execution contexts); only the weight's
+  // range needs validating.
+  if (J->DistillAlpha < 0.0f || J->DistillAlpha > 1.0f)
+    return badRequest("distill_alpha must be in [0, 1]");
 
   Result<long long> Seed = integerField(Body, "seed", 7);
   if (!Seed)

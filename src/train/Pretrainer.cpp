@@ -56,21 +56,25 @@ Result<GroupPretrainStats> wootz::pretrainGroup(
   SgdOptimizer Optimizer(Meta.PretrainLearningRate, Meta.Momentum,
                          Meta.WeightDecay);
   const std::vector<Param *> Params = Network.trainableParams();
+  // The group network is local to this call; one context carries the
+  // shared teacher forward plus every student's pass, and its move-in
+  // input path avoids copying the batch each step.
+  ExecContext &Ctx = Network.defaultContext();
   Tensor GradOut;
 
   for (int Step = 1; Step <= Meta.PretrainSteps; ++Step) {
-    const Batch Mini = Sampler.next();
-    Network.setInput(Built->InputNode, Mini.Images);
-    Network.forward(/*Training=*/true);
+    Batch Mini = Sampler.next();
+    Ctx.setInput(Built->InputNode, std::move(Mini.Images));
+    Ctx.forward(Network, /*Training=*/true);
     Network.zeroGrads();
     double StepLoss = 0.0;
     for (const BlockPort &Port : Built->Ports) {
-      StepLoss += l2Reconstruction(Network.activation(Port.StudentOut),
-                                   Network.activation(Port.TeacherOut),
+      StepLoss += l2Reconstruction(Ctx.activation(Port.StudentOut),
+                                   Ctx.activation(Port.TeacherOut),
                                    GradOut);
-      Network.seedGradient(Port.StudentOut, GradOut);
+      Ctx.seedGradient(Port.StudentOut, GradOut);
     }
-    Network.backward();
+    Ctx.backward(Network);
     Optimizer.step(Params);
     StepLoss /= static_cast<double>(Built->Ports.size());
     if (Step == 1)

@@ -8,11 +8,13 @@
 
 using namespace wootz;
 
-double wootz::evaluateAccuracy(Graph &Network, const std::string &InputNode,
+double wootz::evaluateAccuracy(const Graph &Network, ExecContext &Ctx,
+                               const std::string &InputNode,
                                const std::string &LogitsNode,
                                const Split &Test, int BatchSize) {
   const int Total = Test.exampleCount();
   assert(Total > 0 && "evaluating on an empty split");
+  Ctx.bind(Network);
   int Correct = 0;
   std::vector<int> Indices;
   for (int Begin = 0; Begin < Total; Begin += BatchSize) {
@@ -20,14 +22,21 @@ double wootz::evaluateAccuracy(Graph &Network, const std::string &InputNode,
     Indices.clear();
     for (int I = Begin; I < End; ++I)
       Indices.push_back(I);
-    const Batch Eval = Test.gather(Indices);
-    Network.setInput(InputNode, Eval.Images);
-    Network.forward(/*Training=*/false);
-    const Tensor &Logits = Network.activation(LogitsNode);
+    Batch Eval = Test.gather(Indices);
+    Ctx.setInput(InputNode, std::move(Eval.Images));
+    Ctx.forward(Network, /*Training=*/false);
+    const Tensor &Logits = Ctx.activation(LogitsNode);
     Correct += static_cast<int>(
         accuracyFromLogits(Logits, Eval.Labels) * Eval.Labels.size() + 0.5);
   }
   return static_cast<double>(Correct) / Total;
+}
+
+double wootz::evaluateAccuracy(Graph &Network, const std::string &InputNode,
+                               const std::string &LogitsNode,
+                               const Split &Test, int BatchSize) {
+  return evaluateAccuracy(Network, Network.defaultContext(), InputNode,
+                          LogitsNode, Test, BatchSize);
 }
 
 TrainResult wootz::trainClassifierDistilled(
@@ -48,6 +57,12 @@ TrainResult wootz::trainClassifierDistilled(
   BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
   SgdOptimizer Optimizer(LearningRate, Meta.Momentum, Meta.WeightDecay);
   const std::vector<Param *> Params = Student.trainableParams();
+  // The student is exclusively ours, so its default context keeps the
+  // hot loop's buffers. The teacher may be shared by several concurrent
+  // fine-tunes (Pipeline Overlap), so its activations live in a private
+  // context: only its read-only parameters are shared.
+  ExecContext &StudentCtx = Student.defaultContext();
+  ExecContext TeacherCtx(Teacher);
   Tensor GradHard;
   Tensor GradSoft;
 
@@ -56,23 +71,25 @@ TrainResult wootz::trainClassifierDistilled(
         (Step - 1) % Meta.LrDecayEvery == 0)
       Optimizer.setLearningRate(Optimizer.learningRate() *
                                 Meta.LrDecayFactor);
-    const Batch Mini = Sampler.next();
-    Student.setInput(InputNode, Mini.Images);
-    Student.forward(/*Training=*/true);
+    Batch Mini = Sampler.next();
     // The teacher runs in evaluation mode: its soft targets must be
-    // stable and its running statistics untouched.
-    Teacher.setInput(TeacherInputNode, Mini.Images);
-    Teacher.forward(/*Training=*/false);
+    // stable and its running statistics untouched. It copies the batch
+    // (the student consumes it by move right after).
+    TeacherCtx.setInput(TeacherInputNode, Mini.Images);
+    TeacherCtx.forward(Teacher, /*Training=*/false);
+    StudentCtx.setInput(InputNode, std::move(Mini.Images));
+    StudentCtx.forward(Student, /*Training=*/true);
 
     Student.zeroGrads();
-    const Tensor &StudentLogits = Student.activation(LogitsNode);
+    const Tensor &StudentLogits = StudentCtx.activation(LogitsNode);
     softmaxCrossEntropy(StudentLogits, Mini.Labels, GradHard);
-    distillationLoss(StudentLogits, Teacher.activation(TeacherLogitsNode),
-                     Temperature, GradSoft);
+    distillationLoss(StudentLogits,
+                     TeacherCtx.activation(TeacherLogitsNode), Temperature,
+                     GradSoft);
     for (size_t I = 0; I < GradHard.size(); ++I)
       GradHard[I] = (1.0f - Alpha) * GradHard[I] + Alpha * GradSoft[I];
-    Student.seedGradient(LogitsNode, GradHard);
-    Student.backward();
+    StudentCtx.seedGradient(LogitsNode, GradHard);
+    StudentCtx.backward(Student);
     Optimizer.step(Params);
 
     if (Step % Meta.EvalEvery == 0 || Step == Steps) {
@@ -110,6 +127,9 @@ TrainResult wootz::trainClassifier(Graph &Network,
   BatchSampler Sampler(Data.Train, Meta.BatchSize, Generator.fork());
   SgdOptimizer Optimizer(LearningRate, Meta.Momentum, Meta.WeightDecay);
   const std::vector<Param *> Params = Network.trainableParams();
+  // The network is exclusively ours for the duration of the run; its
+  // default context gives buffer reuse across steps plus move-in inputs.
+  ExecContext &Ctx = Network.defaultContext();
   Tensor GradLogits;
 
   for (int Step = 1; Step <= Steps; ++Step) {
@@ -117,14 +137,14 @@ TrainResult wootz::trainClassifier(Graph &Network,
         (Step - 1) % Meta.LrDecayEvery == 0)
       Optimizer.setLearningRate(Optimizer.learningRate() *
                                 Meta.LrDecayFactor);
-    const Batch Mini = Sampler.next();
-    Network.setInput(InputNode, Mini.Images);
-    Network.forward(/*Training=*/true);
+    Batch Mini = Sampler.next();
+    Ctx.setInput(InputNode, std::move(Mini.Images));
+    Ctx.forward(Network, /*Training=*/true);
     Network.zeroGrads();
-    softmaxCrossEntropy(Network.activation(LogitsNode), Mini.Labels,
+    softmaxCrossEntropy(Ctx.activation(LogitsNode), Mini.Labels,
                         GradLogits);
-    Network.seedGradient(LogitsNode, GradLogits);
-    Network.backward();
+    Ctx.seedGradient(LogitsNode, GradLogits);
+    Ctx.backward(Network);
     Optimizer.step(Params);
 
     if (Step % Meta.EvalEvery == 0 || Step == Steps) {

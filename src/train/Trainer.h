@@ -47,6 +47,14 @@ double evaluateAccuracy(Graph &Network, const std::string &InputNode,
                         const std::string &LogitsNode, const Split &Test,
                         int BatchSize = 64);
 
+/// Context-explicit variant: evaluates through \p Ctx, so several
+/// threads can score one shared (read-only) \p Network concurrently,
+/// each through a private context.
+double evaluateAccuracy(const Graph &Network, ExecContext &Ctx,
+                        const std::string &InputNode,
+                        const std::string &LogitsNode, const Split &Test,
+                        int BatchSize = 64);
+
 /// Trains \p Network with softmax cross-entropy on \p Data for \p Steps
 /// steps at learning rate \p LearningRate, evaluating every
 /// \p Meta.EvalEvery steps. Only the graph's trainable parameters move.

@@ -710,6 +710,120 @@ TEST(ServeBatcherTest, BatchedLogitsMatchSoloInference) {
   EXPECT_EQ(Together->ArgMax, Alone->ArgMax);
 }
 
+TEST(ServeBatcherPoolTest, ConcurrentWorkersAreBitIdenticalToSolo) {
+  const BuiltModel &Model = builtModel();
+  ASSERT_TRUE(Model.Network);
+  constexpr int Requests = 8;
+  std::vector<Tensor> Samples;
+  for (int I = 0; I < Requests; ++I)
+    Samples.push_back(sampleInput(Model, 0.07f * static_cast<float>(I)));
+
+  // Reference: one worker, batch-of-one — every sample forwards alone,
+  // strictly serially.
+  std::vector<Tensor> Reference(Requests);
+  {
+    BatcherOptions Solo;
+    Solo.MaxBatch = 1;
+    Solo.Workers = 1;
+    Batcher Engine(Model.Network, Solo, nullptr, nullptr);
+    for (int I = 0; I < Requests; ++I) {
+      Result<Prediction> Out = Engine.predict(Samples[I]);
+      ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+      Reference[I] = std::move(Out->Logits);
+    }
+    Engine.stop();
+  }
+
+  // Pool: four workers, still batch-of-one, every request in flight at
+  // once. Concurrent forwards over the one shared Graph run through
+  // private per-worker contexts, so each answer must reproduce the
+  // serial logits bit for bit.
+  BatcherOptions Pooled;
+  Pooled.MaxBatch = 1;
+  Pooled.Workers = 4;
+  RunLog Log;
+  Batcher Engine(Model.Network, Pooled, &Log, nullptr);
+  std::vector<Tensor> Got(Requests);
+  std::vector<std::string> Errors(Requests);
+  std::vector<std::thread> Clients;
+  for (int I = 0; I < Requests; ++I)
+    Clients.emplace_back([&, I] {
+      Result<Prediction> Out = Engine.predict(Samples[I]);
+      if (!Out) {
+        Errors[I] = Out.message();
+        return;
+      }
+      Got[I] = std::move(Out->Logits);
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+  Engine.stop();
+
+  for (int I = 0; I < Requests; ++I) {
+    ASSERT_TRUE(Errors[I].empty()) << Errors[I];
+    ASSERT_EQ(Got[I].size(), Reference[I].size());
+    for (size_t K = 0; K < Reference[I].size(); ++K)
+      EXPECT_EQ(Got[I].data()[K], Reference[I].data()[K])
+          << "request " << I << " logit " << K;
+  }
+  EXPECT_EQ(Log.counters().at("serve.predict.batched_samples"), Requests);
+}
+
+TEST(ServeBatcherPoolTest, CoalescedPoolMatchesSoloInference) {
+  const BuiltModel &Model = builtModel();
+  ASSERT_TRUE(Model.Network);
+  constexpr int Requests = 6;
+  std::vector<Tensor> Samples;
+  for (int I = 0; I < Requests; ++I)
+    Samples.push_back(sampleInput(Model, 0.11f * static_cast<float>(I)));
+
+  std::vector<Tensor> Reference(Requests);
+  {
+    BatcherOptions Solo;
+    Solo.MaxBatch = 1;
+    Solo.Workers = 1;
+    Batcher Engine(Model.Network, Solo, nullptr, nullptr);
+    for (int I = 0; I < Requests; ++I) {
+      Result<Prediction> Out = Engine.predict(Samples[I]);
+      ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+      Reference[I] = std::move(Out->Logits);
+    }
+    Engine.stop();
+  }
+
+  // Two workers with real coalescing: requests ride shared batches cut
+  // by whichever worker wins the queue. Riding a batch through the pool
+  // must not change any answer.
+  BatcherOptions Pooled;
+  Pooled.MaxBatch = 4;
+  Pooled.Workers = 2;
+  Pooled.MaxWaitMicros = 50000;
+  Batcher Engine(Model.Network, Pooled, nullptr, nullptr);
+  std::vector<Tensor> Got(Requests);
+  std::vector<std::string> Errors(Requests);
+  std::vector<std::thread> Clients;
+  for (int I = 0; I < Requests; ++I)
+    Clients.emplace_back([&, I] {
+      Result<Prediction> Out = Engine.predict(Samples[I]);
+      if (!Out) {
+        Errors[I] = Out.message();
+        return;
+      }
+      Got[I] = std::move(Out->Logits);
+    });
+  for (std::thread &Client : Clients)
+    Client.join();
+  Engine.stop();
+
+  for (int I = 0; I < Requests; ++I) {
+    ASSERT_TRUE(Errors[I].empty()) << Errors[I];
+    ASSERT_EQ(Got[I].size(), Reference[I].size());
+    for (size_t K = 0; K < Reference[I].size(); ++K)
+      EXPECT_NEAR(Got[I].data()[K], Reference[I].data()[K], 1e-4f)
+          << "request " << I << " logit " << K;
+  }
+}
+
 TEST(ServeBatcherTest, StopFailsFurtherPredictions) {
   const BuiltModel &Model = builtModel();
   ASSERT_TRUE(Model.Network);
@@ -744,9 +858,12 @@ TEST(ServeJobManagerTest, RejectsMalformedSubmissions) {
   BadWorkers["workers"] = "-3";
   EXPECT_EQ(Manager.submit(BadWorkers).Status, 400);
 
-  auto DistillOverlap = tinyJobBody();
-  DistillOverlap["distill_alpha"] = "0.5";
-  EXPECT_EQ(Manager.submit(DistillOverlap).Status, 400);
+  // Distillation composes with every schedule now (each fine-tune gives
+  // the shared teacher a private execution context), so overlap +
+  // distill_alpha is legal; only an out-of-range weight is malformed.
+  auto BadAlpha = tinyJobBody();
+  BadAlpha["distill_alpha"] = "1.5";
+  EXPECT_EQ(Manager.submit(BadAlpha).Status, 400);
 
   auto WrongWidth = tinyJobBody();
   // Parses fine but has too few rates for the model's module count.
