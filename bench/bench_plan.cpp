@@ -1,0 +1,181 @@
+//===- bench/bench_plan.cpp - Interpreter vs static plan latency ---------------===//
+//
+// Measures what freezing a model into an ExecPlan buys on the serving
+// path: single-sample eval-mode forward latency through the Graph
+// interpreter vs the compiled plan, for every built-in mini model, plus
+// an ablation of the plan's three specializations (BatchNorm folding,
+// ReLU fusion, panel pre-packing) so each one's contribution stays
+// visible. Kernel workers are pinned to 1: the comparison is pure
+// per-call overhead, not parallel scaling.
+//
+// Every row lands in BENCH_plan.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/compiler/NetsFactory.h"
+#include "src/models/MiniModels.h"
+#include "src/nn/Graph.h"
+#include "src/plan/Plan.h"
+#include "src/support/File.h"
+#include "src/support/Json.h"
+#include "src/support/Rng.h"
+#include "src/support/Stopwatch.h"
+#include "src/support/StringUtils.h"
+#include "src/support/Table.h"
+#include "src/tensor/Kernels.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace wootz;
+
+namespace {
+
+Graph buildModel(StandardModel Which, std::string &LogitsNode) {
+  Result<ModelSpec> Spec = makeStandardModel(Which, 4);
+  if (!Spec) {
+    std::fprintf(stderr, "model spec failed: %s\n", Spec.message().c_str());
+    std::abort();
+  }
+  const MultiplexingModel Model(Spec.take());
+  Graph Network;
+  Rng Generator(7);
+  Result<BuildResult> Built = Model.build(Network, BuildMode::FullModel,
+                                          PruneInfo(), "full", Generator);
+  if (!Built) {
+    std::fprintf(stderr, "model build failed: %s\n", Built.message().c_str());
+    std::abort();
+  }
+  LogitsNode = Built->LogitsNode;
+  Network.initParams(Generator);
+  return Network;
+}
+
+Tensor makeSample(uint64_t Seed) {
+  Tensor In(Shape{1, 3, 8, 8});
+  Rng Generator(Seed);
+  for (size_t I = 0; I < In.size(); ++I)
+    In.data()[I] = Generator.nextGaussian();
+  return In;
+}
+
+struct LatencyStats {
+  double P50Micros = 0.0;
+  double P99Micros = 0.0;
+};
+
+/// Per-call latency percentiles over \p Iters timed calls of \p Body
+/// (after \p Warmup untimed ones).
+template <typename Fn>
+LatencyStats measure(int Warmup, int Iters, Fn &&Body) {
+  for (int I = 0; I < Warmup; ++I)
+    Body();
+  std::vector<double> Micros(static_cast<size_t>(Iters));
+  for (int I = 0; I < Iters; ++I) {
+    Stopwatch Timer;
+    Body();
+    Micros[static_cast<size_t>(I)] = Timer.seconds() * 1e6;
+  }
+  std::sort(Micros.begin(), Micros.end());
+  LatencyStats Stats;
+  Stats.P50Micros = Micros[Micros.size() / 2];
+  Stats.P99Micros = Micros[(Micros.size() * 99) / 100];
+  return Stats;
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Static plans: frozen-model forward vs the interpreter ===\n\n");
+  setKernelWorkers(1);
+
+  constexpr int Warmup = 50;
+  constexpr int Iters = 1000;
+
+  std::string JsonRows;
+  auto pushRow = [&JsonRows](const JsonObject &Row) {
+    JsonRows += std::string(JsonRows.empty() ? "" : ",\n  ") + Row.str();
+  };
+
+  Table Rows({"model", "engine", "p50 us", "p99 us", "speedup p50"});
+  bool PlanWinsEverywhere = true;
+  for (StandardModel Which : standardModels()) {
+    const char *Name = standardModelName(Which);
+    std::string Logits;
+    Graph Network = buildModel(Which, Logits);
+    const Tensor In = makeSample(0x5eed);
+
+    ExecContext Ctx(Network);
+    const LatencyStats Interp = measure(Warmup, Iters, [&] {
+      Ctx.setInput("data", In);
+      Ctx.forward(Network, /*Training=*/false);
+    });
+
+    struct Variant {
+      const char *Label;
+      PlanOptions Options;
+    };
+    std::vector<Variant> Variants = {{"plan", {}}};
+    Variants.push_back({"plan-nofold", {}});
+    Variants.back().Options.FoldBatchNorm = false;
+    Variants.push_back({"plan-nofuse", {}});
+    Variants.back().Options.FuseReLU = false;
+    Variants.push_back({"plan-nopack", {}});
+    Variants.back().Options.PrePackPanels = false;
+
+    Rows.addRow({Name, "interpreter", formatDouble(Interp.P50Micros, 1),
+                 formatDouble(Interp.P99Micros, 1), "1.00x"});
+    JsonObject InterpRow;
+    InterpRow.field("bench", "plan")
+        .field("model", Name)
+        .field("engine", "interpreter")
+        .field("p50_us", Interp.P50Micros, 2)
+        .field("p99_us", Interp.P99Micros, 2)
+        .field("speedup_p50", 1.0, 3);
+    pushRow(InterpRow);
+
+    for (const Variant &V : Variants) {
+      Result<ExecPlan> Compiled =
+          ExecPlan::compile(Network, "data", Logits, 3, 8, 8, V.Options);
+      if (!Compiled) {
+        std::fprintf(stderr, "plan compile failed for %s: %s\n", Name,
+                     Compiled.message().c_str());
+        return 1;
+      }
+      const ExecPlan Plan = Compiled.take();
+      PlanContext PlanCtx(Plan);
+      const LatencyStats Stats =
+          measure(Warmup, Iters, [&] { PlanCtx.run(In); });
+      const double Speedup =
+          Stats.P50Micros > 0.0 ? Interp.P50Micros / Stats.P50Micros : 0.0;
+      if (std::string(V.Label) == "plan" && Speedup <= 1.0)
+        PlanWinsEverywhere = false;
+      Rows.addRow({Name, V.Label, formatDouble(Stats.P50Micros, 1),
+                   formatDouble(Stats.P99Micros, 1),
+                   formatDouble(Speedup, 2) + "x"});
+      JsonObject Row;
+      Row.field("bench", "plan")
+          .field("model", Name)
+          .field("engine", V.Label)
+          .field("p50_us", Stats.P50Micros, 2)
+          .field("p99_us", Stats.P99Micros, 2)
+          .field("speedup_p50", Speedup, 3);
+      pushRow(Row);
+    }
+  }
+  std::printf("%s", Rows.render().c_str());
+  std::printf("\n(single-sample forwards; kernel workers pinned to 1)\n");
+  std::printf("plan beats interpreter on every model: %s\n",
+              PlanWinsEverywhere ? "yes" : "NO");
+
+  const std::string JsonPath = "BENCH_plan.json";
+  Error WriteErr = writeFile(JsonPath, "[\n  " + JsonRows + "\n]\n");
+  if (WriteErr)
+    std::printf("warning: could not write %s: %s\n", JsonPath.c_str(),
+                WriteErr.message().c_str());
+  else
+    std::printf("wrote %s\n", JsonPath.c_str());
+  return 0;
+}

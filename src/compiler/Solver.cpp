@@ -47,6 +47,8 @@ Result<TrainMeta> wootz::parseTrainMeta(const std::string &Source) {
       floatField(Meta.WeightDecay);
     else if (Field == "eval_every")
       intField(Meta.EvalEvery);
+    else if (Field == "eval_threads")
+      intField(Meta.EvalThreads);
     else if (Field == "nodes")
       intField(Meta.Nodes);
     else if (Field == "seed")
@@ -54,9 +56,10 @@ Result<TrainMeta> wootz::parseTrainMeta(const std::string &Source) {
     else
       return Error::failure("unknown meta-data key '" + Field + "'");
   }
-  if (Meta.BatchSize <= 0 || Meta.Nodes <= 0 || Meta.EvalEvery <= 0)
-    return Error::failure("batch_size, nodes and eval_every must be "
-                          "positive");
+  if (Meta.BatchSize <= 0 || Meta.Nodes <= 0 || Meta.EvalEvery <= 0 ||
+      Meta.EvalThreads <= 0)
+    return Error::failure("batch_size, nodes, eval_every and eval_threads "
+                          "must be positive");
   return Meta;
 }
 
@@ -77,6 +80,7 @@ std::string wootz::printTrainMeta(const TrainMeta &Meta) {
   Out += "momentum: " + formatDouble(Meta.Momentum, 4) + "\n";
   Out += "weight_decay: " + formatDouble(Meta.WeightDecay, 6) + "\n";
   Out += "eval_every: " + std::to_string(Meta.EvalEvery) + "\n";
+  Out += "eval_threads: " + std::to_string(Meta.EvalThreads) + "\n";
   Out += "nodes: " + std::to_string(Meta.Nodes) + "\n";
   Out += "seed: " + std::to_string(Meta.Seed) + "\n";
   return Out;

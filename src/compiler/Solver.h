@@ -47,6 +47,12 @@ struct TrainMeta {
   /// Test-set evaluation cadence during fine-tuning, in steps.
   int EvalEvery = 15;
 
+  /// Worker threads for each test-set evaluation: the test batches are
+  /// sharded across this many private ExecContexts over the one shared
+  /// network. The summed integer correct count keeps the accuracy
+  /// bit-identical to a serial evaluation for any thread count.
+  int EvalThreads = 1;
+
   /// Step learning-rate decay: multiply the rate by LrDecayFactor every
   /// LrDecayEvery steps (0 disables — the paper settled on fixed rates
   /// but "experimented with dynamic decay schemes", section 7.1).

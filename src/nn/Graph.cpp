@@ -233,6 +233,20 @@ Layer &Graph::layer(const std::string &Name) {
   return *Nodes[Index].NodeLayer;
 }
 
+const Layer *Graph::findLayer(const std::string &Name) const {
+  const int Index = indexOf(Name);
+  return Index < 0 ? nullptr : Nodes[Index].NodeLayer.get();
+}
+
+std::vector<std::string> Graph::nodeInputs(const std::string &Name) const {
+  const int Index = indexOf(Name);
+  assert(Index >= 0 && "unknown node");
+  std::vector<std::string> Names;
+  for (int In : Nodes[Index].Inputs)
+    Names.push_back(Nodes[In].Name);
+  return Names;
+}
+
 int Graph::indexOf(const std::string &Name) const {
   auto It = NameToIndex.find(Name);
   return It == NameToIndex.end() ? -1 : It->second;

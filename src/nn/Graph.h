@@ -174,6 +174,15 @@ public:
   /// input placeholder.
   Layer &layer(const std::string &Name);
 
+  /// Read-only access to the layer behind \p Name; null for input
+  /// placeholders and unknown names. The compile-time inspection entry
+  /// point for freeze-time consumers (wootz::plan).
+  const Layer *findLayer(const std::string &Name) const;
+
+  /// Producer node names of \p Name in declaration order; empty for
+  /// input placeholders. Asserts that the node exists.
+  std::vector<std::string> nodeInputs(const std::string &Name) const;
+
   /// The context backing the compatibility wrappers below. Exclusive
   /// single-threaded owners (the Trainer's hot loop) use it directly for
   /// the move-in input path while keeping per-graph pass-local state —

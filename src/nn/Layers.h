@@ -40,7 +40,9 @@ public:
 
   const ConvGeometry &geometry() const { return Geometry; }
   Param &weight() { return Weight; }
+  const Param &weight() const { return Weight; }
   Param *bias() { return HasBias ? &Bias : nullptr; }
+  const Param *bias() const { return HasBias ? &Bias : nullptr; }
 
 private:
   ConvGeometry Geometry;
@@ -67,10 +69,15 @@ public:
   void initParams(Rng &Generator) override;
 
   int channels() const { return Channels; }
+  float epsilon() const { return Epsilon; }
+  const Param &gamma() const { return Gamma; }
+  const Param &beta() const { return Beta; }
   /// Running statistics are exposed as (non-trainable) Params so that
   /// checkpoints capture them.
   Param &runningMean() { return RunningMean; }
   Param &runningVar() { return RunningVar; }
+  const Param &runningMean() const { return RunningMean; }
+  const Param &runningVar() const { return RunningVar; }
 
 private:
   int Channels;
@@ -110,6 +117,11 @@ public:
   std::string kind() const override {
     return PoolMode == Mode::Max ? "maxpool" : "avgpool";
   }
+
+  Mode mode() const { return PoolMode; }
+  int window() const { return Window; }
+  int stride() const { return Stride; }
+  int pad() const { return Pad; }
   Shape outputShape(const std::vector<Shape> &InputShapes) const override;
   void forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
                LayerScratch &Scratch, bool Training) const override;
@@ -155,6 +167,8 @@ public:
   int outFeatures() const { return OutFeatures; }
   Param &weight() { return Weight; }
   Param &bias() { return Bias; }
+  const Param &weight() const { return Weight; }
+  const Param &bias() const { return Bias; }
 
 private:
   int InFeatures;

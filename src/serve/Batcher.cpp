@@ -11,9 +11,10 @@ using namespace wootz::serve;
 
 Batcher::Batcher(std::shared_ptr<AssembledNetwork> Network,
                  BatcherOptions Options, RunLog *Log,
-                 LatencyHistogram *Latency)
-    : Network(std::move(Network)), Options(Options), Log(Log),
-      Latency(Latency) {
+                 LatencyHistogram *Latency,
+                 std::shared_ptr<const ExecPlan> Plan)
+    : Network(std::move(Network)), Plan(std::move(Plan)), Options(Options),
+      Log(Log), Latency(Latency) {
   assert(this->Network && "batcher needs a network");
   const int Count = std::max(1, Options.Workers);
   Workers.reserve(static_cast<size_t>(Count));
@@ -60,8 +61,13 @@ Result<Prediction> Batcher::predict(const Tensor &Sample) {
 void Batcher::loop() {
   // Each worker owns a private execution context over the shared model:
   // the Graph's parameters are read-only during serving, so workers run
-  // concurrent forwards without copying a single weight.
+  // concurrent forwards without copying a single weight. When the model
+  // was frozen into a static plan the same pattern holds with a private
+  // PlanContext over the shared immutable ExecPlan.
   ExecContext Ctx(Network->Network);
+  PlanContext PlanCtx;
+  if (Plan)
+    PlanCtx.bind(*Plan);
   std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
     WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
@@ -98,7 +104,10 @@ void Batcher::loop() {
       Queue.pop_front();
     }
     Lock.unlock();
-    runBatch(Ctx, Batch);
+    if (Plan)
+      runBatch(PlanCtx, Batch);
+    else
+      runBatch(Ctx, Batch);
     Lock.lock();
     for (Pending *P : Batch)
       P->Done = true;
@@ -108,28 +117,19 @@ void Batcher::loop() {
   }
 }
 
-void Batcher::runBatch(ExecContext &Ctx, std::vector<Pending *> &Batch) {
-  const int Count = static_cast<int>(Batch.size());
+Tensor Batcher::assembleBatch(const std::vector<Pending *> &Batch) {
   const Shape &One = Batch.front()->Sample->shape();
-  Tensor Input(Shape{Count, One[1], One[2], One[3]});
+  Tensor Input(
+      Shape{static_cast<int>(Batch.size()), One[1], One[2], One[3]});
   const size_t SampleSize = Batch.front()->Sample->size();
-  for (int I = 0; I < Count; ++I)
-    std::memcpy(Input.data() + static_cast<size_t>(I) * SampleSize,
-                Batch[static_cast<size_t>(I)]->Sample->data(),
+  for (size_t I = 0; I < Batch.size(); ++I)
+    std::memcpy(Input.data() + I * SampleSize, Batch[I]->Sample->data(),
                 SampleSize * sizeof(float));
+  return Input;
+}
 
-  const Graph &Net = Network->Network;
-  Ctx.setInput(Network->InputNode, std::move(Input));
-  Ctx.forward(Net, /*Training=*/false);
-  // User-named logits node: resolve through the checked accessor so a
-  // bad name surfaces as a clean per-request error, never an abort.
-  Result<const Tensor *> Found = Ctx.findActivation(Network->LogitsNode);
-  if (!Found) {
-    for (Pending *P : Batch)
-      P->Error = Found.message();
-    return;
-  }
-  const Tensor &Logits = **Found;
+void Batcher::fanOut(const Tensor &Logits, std::vector<Pending *> &Batch) {
+  const int Count = static_cast<int>(Batch.size());
   if (Logits.shape().rank() != 2 || Logits.shape()[0] != Count) {
     for (Pending *P : Batch)
       P->Error = "model produced logits of unexpected shape " +
@@ -151,6 +151,42 @@ void Batcher::runBatch(ExecContext &Ctx, std::vector<Pending *> &Batch) {
     if (Count > 1)
       Log->bump("serve.predict.coalesced", Count - 1);
   }
+}
+
+void Batcher::runBatch(ExecContext &Ctx, std::vector<Pending *> &Batch) {
+  Tensor Input = assembleBatch(Batch);
+
+  const Graph &Net = Network->Network;
+  Ctx.setInput(Network->InputNode, std::move(Input));
+  Ctx.forward(Net, /*Training=*/false);
+  // User-named logits node: resolve through the checked accessor so a
+  // bad name surfaces as a clean per-request error, never an abort.
+  Result<const Tensor *> Found = Ctx.findActivation(Network->LogitsNode);
+  if (!Found) {
+    for (Pending *P : Batch)
+      P->Error = Found.message();
+    return;
+  }
+  fanOut(**Found, Batch);
+}
+
+void Batcher::runBatch(PlanContext &Ctx, std::vector<Pending *> &Batch) {
+  const Tensor Input = assembleBatch(Batch);
+  // The plan was compiled against the model's registered input extents,
+  // so the only surprise a request can spring is a mismatched sample
+  // shape; fail the batch cleanly rather than tripping the assertion.
+  const Shape &S = Input.shape();
+  const ExecPlan &P = *Ctx.plan();
+  if (S[1] != P.inputChannels() || S[2] != P.inputHeight() ||
+      S[3] != P.inputWidth()) {
+    for (Pending *Req : Batch)
+      Req->Error = "sample shape " + S.str() +
+                   " does not match the compiled plan's input extents";
+    return;
+  }
+  fanOut(Ctx.run(Input), Batch);
+  if (Log)
+    Log->bump("serve.predict.plan_batches");
 }
 
 void Batcher::stop() {
@@ -194,8 +230,23 @@ Error ModelRegistry::add(const std::string &Id,
   Model->Width = Width;
   Model->Classes = Classes;
   Model->Origin = std::move(Origin);
+  if (Batching.UsePlans) {
+    // Freeze the model once, at registration: every batcher worker then
+    // executes the shared immutable plan through a private PlanContext.
+    // A graph the plan compiler cannot lower (exotic layer kinds) is not
+    // an error — it just serves through the interpreter.
+    Result<ExecPlan> Compiled = ExecPlan::compile(
+        Network->Network, Network->InputNode, Network->LogitsNode,
+        Channels, Height, Width);
+    if (Compiled)
+      Model->Plan = std::make_shared<const ExecPlan>(Compiled.take());
+    else if (Log)
+      Log->bump("serve.models.plan_fallback");
+    if (Model->Plan && Log)
+      Log->bump("serve.models.plans_compiled");
+  }
   Model->Engine = std::make_unique<Batcher>(std::move(Network), Batching,
-                                            Log, Latency);
+                                            Log, Latency, Model->Plan);
   std::lock_guard<std::mutex> Lock(Mutex);
   auto [It, Inserted] = Models.emplace(Id, std::move(Model));
   (void)It;

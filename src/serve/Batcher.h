@@ -25,6 +25,7 @@
 #ifndef WOOTZ_SERVE_BATCHER_H
 #define WOOTZ_SERVE_BATCHER_H
 
+#include "src/plan/Plan.h"
 #include "src/runtime/RunLog.h"
 #include "src/serve/Metrics.h"
 #include "src/support/Error.h"
@@ -53,6 +54,11 @@ struct BatcherOptions {
   /// Worker threads per model. Each forwards the shared Graph through a
   /// private ExecContext, so concurrent batches overlap on one model.
   int Workers = 2;
+  /// Freeze each registered model into a static ExecPlan at add() time
+  /// and serve through PlanContexts instead of the Graph interpreter.
+  /// Models whose graphs fail to compile fall back to the interpreter
+  /// (the registry bumps `serve.models.plan_fallback`).
+  bool UsePlans = false;
 };
 
 /// What one prediction returns.
@@ -68,9 +74,12 @@ class Batcher {
 public:
   /// Takes shared ownership of \p Network; \p Log (optional) receives
   /// `serve.predict.*` counters, \p Latency (optional) per-request
-  /// forward latencies.
+  /// forward latencies. When \p Plan is non-null every worker executes
+  /// it through a private PlanContext instead of interpreting the
+  /// Graph; the network is still kept alive for provenance.
   Batcher(std::shared_ptr<AssembledNetwork> Network, BatcherOptions Options,
-          RunLog *Log, LatencyHistogram *Latency);
+          RunLog *Log, LatencyHistogram *Latency,
+          std::shared_ptr<const ExecPlan> Plan = nullptr);
   ~Batcher();
 
   Batcher(const Batcher &) = delete;
@@ -96,8 +105,14 @@ private:
 
   void loop();
   void runBatch(ExecContext &Ctx, std::vector<Pending *> &Batch);
+  void runBatch(PlanContext &Ctx, std::vector<Pending *> &Batch);
+  /// Assembles one NCHW input tensor from the batch's [1,C,H,W] samples.
+  static Tensor assembleBatch(const std::vector<Pending *> &Batch);
+  /// Shape-checks \p Logits and copies each row back to its request.
+  void fanOut(const Tensor &Logits, std::vector<Pending *> &Batch);
 
   std::shared_ptr<AssembledNetwork> Network;
+  std::shared_ptr<const ExecPlan> Plan;
   BatcherOptions Options;
   RunLog *Log = nullptr;
   LatencyHistogram *Latency = nullptr;
@@ -120,6 +135,9 @@ struct ServableModel {
   /// Provenance note surfaced in the model listing ("job job-3 winner",
   /// "preloaded full model", ...).
   std::string Origin;
+  /// The frozen static plan when BatcherOptions::UsePlans compiled one;
+  /// null means the batcher interprets the Graph.
+  std::shared_ptr<const ExecPlan> Plan;
   std::unique_ptr<Batcher> Engine;
 };
 

@@ -3,6 +3,7 @@
 #include "src/serve/JobManager.h"
 
 #include "src/data/Synthetic.h"
+#include "src/plan/Plan.h"
 #include "src/support/File.h"
 #include "src/support/Json.h"
 #include "src/support/StringUtils.h"
@@ -344,6 +345,23 @@ void JobManager::runJob(Job &J) {
             : Count - 1 - static_cast<size_t>(Summary.WinnerIndex);
     const EvaluatedConfig &Winner = Outcome.Evaluations[Index];
     J.WinnerAccuracy = Winner.FinalAccuracy;
+    // Freeze the winner into a static inference plan and persist the
+    // compiler's decisions (step list, fusions, arena layout) next to
+    // result.json. Best-effort like every other artifact; a graph the
+    // plan compiler cannot lower simply skips the file.
+    if (!this->Options.ArtifactDir.empty() && Winner.Network) {
+      Result<ExecPlan> Frozen = ExecPlan::compile(
+          Winner.Network->Network, Winner.Network->InputNode,
+          Winner.Network->LogitsNode, J.Spec.InputChannels,
+          J.Spec.InputHeight, J.Spec.InputWidth);
+      if (Frozen) {
+        Error PlanError = writeFileAtomic(
+            this->Options.ArtifactDir + "/" + J.Id + "/plan.json",
+            Frozen->describeJson() + "\n");
+        (void)static_cast<bool>(PlanError);
+        J.Log.bump("serve.jobs.plan_frozen");
+      }
+    }
     if (Registry && Winner.Network) {
       Error AddError = Registry->add(
           J.Id, Winner.Network, J.Spec.InputChannels, J.Spec.InputHeight,

@@ -109,7 +109,9 @@ void WootzServer::buildRoutes() {
                      .field("height", Model->Height)
                      .field("width", Model->Width)
                      .field("classes", Model->Classes)
-                     .field("origin", Model->Origin);
+                     .field("origin", Model->Origin)
+                     .field("engine",
+                            Model->Plan ? "plan" : "interpreter");
                  if (!Items.empty())
                    Items += ",";
                  Items += Item.str();

@@ -256,15 +256,76 @@ void macroKernel(int MBlock, int NBlock, int KBlock, const float *APack,
   }
 }
 
+/// Total panel-padded row count of an M-row A operand: full MC blocks
+/// keep their height (MC is a multiple of MR), the tail block rounds up
+/// to whole MR panels.
+size_t paddedARows(int M) {
+  return static_cast<size_t>(M / MC) * MC + roundUpTo(M % MC, MR);
+}
+
+/// Total panel-padded column count of an N-column B operand.
+size_t paddedBCols(int N) {
+  return static_cast<size_t>(N / NC) * NC + roundUpTo(N % NC, NR);
+}
+
 } // namespace
 
-void detail::blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
-                         const float *B, size_t BRowStride, size_t BColStride,
-                         float *C, int M, int K, int N, bool Accumulate,
-                         const float *RowBias) {
+PackedPanels wootz::packGemmA(const float *A, size_t RowStride,
+                              size_t ColStride, int M, int K) {
+  assert(M > 0 && K > 0 && "empty A operand");
+  PackedPanels Out;
+  Out.Extent = M;
+  Out.Depth = K;
+  Out.Data.resize(paddedARows(M) * static_cast<size_t>(K));
+  // KC slices are outermost in the engine's loop nest; within a slice
+  // the MC row blocks (and their MR panels) are laid out contiguously,
+  // so a row block starts at PaddedM * Depth0 + Row0 * KBlock.
+  for (int Depth0 = 0; Depth0 < K; Depth0 += KC) {
+    const int KBlock = std::min(KC, K - Depth0);
+    packAPanels(A + static_cast<size_t>(Depth0) * ColStride, RowStride,
+                ColStride, M, KBlock,
+                Out.Data.data() + paddedARows(M) * Depth0);
+  }
+  return Out;
+}
+
+PackedPanels wootz::packGemmB(const float *B, size_t RowStride,
+                              size_t ColStride, int K, int N) {
+  assert(K > 0 && N > 0 && "empty B operand");
+  PackedPanels Out;
+  Out.Extent = N;
+  Out.Depth = K;
+  Out.Data.resize(paddedBCols(N) * static_cast<size_t>(K));
+  // NC column blocks are outermost for B; a block holds its KC slices
+  // back to back, so slice (Col0, Depth0) starts at K * Col0 +
+  // roundUp(NBlock) * Depth0.
+  for (int Col0 = 0; Col0 < N; Col0 += NC) {
+    const int NBlock = std::min(NC, N - Col0);
+    for (int Depth0 = 0; Depth0 < K; Depth0 += KC) {
+      const int KBlock = std::min(KC, K - Depth0);
+      packBPanels(B + static_cast<size_t>(Depth0) * RowStride +
+                      static_cast<size_t>(Col0) * ColStride,
+                  RowStride, ColStride, KBlock, NBlock,
+                  Out.Data.data() + static_cast<size_t>(K) * Col0 +
+                      roundUpTo(NBlock, NR) * Depth0);
+    }
+  }
+  return Out;
+}
+
+void detail::blockedGemmPacked(const PackedPanels *APre, const float *A,
+                               size_t ARowStride, size_t AColStride,
+                               const PackedPanels *BPre, const float *B,
+                               size_t BRowStride, size_t BColStride,
+                               float *C, int M, int K, int N,
+                               bool Accumulate, const float *RowBias) {
   assert(M > 0 && K > 0 && N > 0 && "empty GEMM");
   assert(!(Accumulate && RowBias) &&
          "fused bias requires a non-accumulating product");
+  assert((!APre || (APre->Extent == M && APre->Depth == K)) &&
+         "packed A extents mismatch");
+  assert((!BPre || (BPre->Extent == N && BPre->Depth == K)) &&
+         "packed B extents mismatch");
   for (int Col0 = 0; Col0 < N; Col0 += NC) {
     const int NBlock = std::min(NC, N - Col0);
     for (int Depth0 = 0; Depth0 < K; Depth0 += KC) {
@@ -278,12 +339,19 @@ void detail::blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
 
       // B's panel is packed once by the calling thread and read by every
       // row-panel task; A's panels are packed per task into that
-      // worker's own scratch.
-      float *BPack = KernelScratch::forCurrentThread().PackB.ensure(
-          roundUpTo(NBlock, NR) * static_cast<size_t>(KBlock));
-      packBPanels(B + static_cast<size_t>(Depth0) * BRowStride +
-                      static_cast<size_t>(Col0) * BColStride,
-                  BRowStride, BColStride, KBlock, NBlock, BPack);
+      // worker's own scratch. Pre-packed operands skip both steps.
+      const float *BPack;
+      if (BPre) {
+        BPack = BPre->Data.data() + static_cast<size_t>(K) * Col0 +
+                roundUpTo(NBlock, NR) * Depth0;
+      } else {
+        float *Scratch = KernelScratch::forCurrentThread().PackB.ensure(
+            roundUpTo(NBlock, NR) * static_cast<size_t>(KBlock));
+        packBPanels(B + static_cast<size_t>(Depth0) * BRowStride +
+                        static_cast<size_t>(Col0) * BColStride,
+                    BRowStride, BColStride, KBlock, NBlock, Scratch);
+        BPack = Scratch;
+      }
 
       const size_t RowBlocks = (static_cast<size_t>(M) + MC - 1) / MC;
       kernelParallelFor(RowBlocks, 1, [&](size_t Begin, size_t End) {
@@ -291,11 +359,18 @@ void detail::blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
         for (size_t Block = Begin; Block < End; ++Block) {
           const int Row0 = static_cast<int>(Block) * MC;
           const int MBlock = std::min(MC, M - Row0);
-          float *APack = Local.PackA.ensure(roundUpTo(MBlock, MR) *
-                                            static_cast<size_t>(KBlock));
-          packAPanels(A + static_cast<size_t>(Row0) * ARowStride +
-                          static_cast<size_t>(Depth0) * AColStride,
-                      ARowStride, AColStride, MBlock, KBlock, APack);
+          const float *APack;
+          if (APre) {
+            APack = APre->Data.data() + paddedARows(M) * Depth0 +
+                    static_cast<size_t>(Row0) * KBlock;
+          } else {
+            float *Scratch = Local.PackA.ensure(
+                roundUpTo(MBlock, MR) * static_cast<size_t>(KBlock));
+            packAPanels(A + static_cast<size_t>(Row0) * ARowStride +
+                            static_cast<size_t>(Depth0) * AColStride,
+                        ARowStride, AColStride, MBlock, KBlock, Scratch);
+            APack = Scratch;
+          }
           macroKernel(MBlock, NBlock, KBlock, APack, BPack,
                       C + static_cast<size_t>(Row0) * N + Col0,
                       static_cast<size_t>(N), Add,
@@ -304,4 +379,12 @@ void detail::blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
       });
     }
   }
+}
+
+void detail::blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
+                         const float *B, size_t BRowStride, size_t BColStride,
+                         float *C, int M, int K, int N, bool Accumulate,
+                         const float *RowBias) {
+  blockedGemmPacked(nullptr, A, ARowStride, AColStride, nullptr, B,
+                    BRowStride, BColStride, C, M, K, N, Accumulate, RowBias);
 }

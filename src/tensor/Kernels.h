@@ -98,6 +98,33 @@ struct KernelScratch {
   static KernelScratch &forCurrentThread();
 };
 
+/// A whole GEMM operand pre-packed into the blocked engine's panel
+/// layout. Packing normally happens per call into per-thread scratch;
+/// a model that is frozen once and run many times (wootz::plan) instead
+/// packs each weight matrix once at freeze time and hands the panels to
+/// every subsequent product, which removes the per-request packing
+/// traffic entirely. The layout mirrors the engine's block iteration
+/// order exactly, so a packed product performs the same floating-point
+/// operations in the same order as a scratch-packed one and the results
+/// are bit-identical.
+struct PackedPanels {
+  std::vector<float, AlignedAllocator<float>> Data;
+  int Extent = 0; ///< Logical M (A operand) or N (B operand).
+  int Depth = 0;  ///< Logical K.
+
+  bool empty() const { return Data.empty(); }
+};
+
+/// Packs a full M x K A operand (addressed as A[i * RowStride +
+/// k * ColStride]) into KC-slice-major, MC-block, MR-panel order.
+PackedPanels packGemmA(const float *A, size_t RowStride, size_t ColStride,
+                       int M, int K);
+
+/// Packs a full K x N B operand (addressed as B[k * RowStride +
+/// j * ColStride]) into NC-block-major, KC-slice, NR-panel order.
+PackedPanels packGemmB(const float *B, size_t RowStride, size_t ColStride,
+                       int K, int N);
+
 namespace detail {
 
 /// The blocked GEMM engine: C (MxN, row-major, leading dimension N)
@@ -112,6 +139,18 @@ void blockedGemm(const float *A, size_t ARowStride, size_t AColStride,
                  const float *B, size_t BRowStride, size_t BColStride,
                  float *C, int M, int K, int N, bool Accumulate,
                  const float *RowBias);
+
+/// blockedGemm() with either operand optionally supplied pre-packed
+/// (packGemmA / packGemmB). A null \p APre / \p BPre falls back to
+/// packing that operand per call from the corresponding raw pointer; a
+/// non-null one makes the raw pointer and strides of that operand
+/// unused (pass null / 0).
+void blockedGemmPacked(const PackedPanels *APre, const float *A,
+                       size_t ARowStride, size_t AColStride,
+                       const PackedPanels *BPre, const float *B,
+                       size_t BRowStride, size_t BColStride, float *C,
+                       int M, int K, int N, bool Accumulate,
+                       const float *RowBias);
 
 } // namespace detail
 

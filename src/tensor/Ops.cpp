@@ -10,8 +10,12 @@ using namespace wootz;
 
 /// Below this flop volume the blocked engine's panel packing costs more
 /// than its micro-kernel saves; the reference loops win.
-static bool useBlockedGemm(int M, int K, int N) {
+bool wootz::gemmUsesBlockedEngine(int M, int K, int N) {
   return static_cast<size_t>(M) * K * N >= 16384;
+}
+
+static bool useBlockedGemm(int M, int K, int N) {
+  return gemmUsesBlockedEngine(M, K, N);
 }
 
 void wootz::gemmReference(const float *A, const float *B, float *C, int M,

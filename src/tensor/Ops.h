@@ -38,6 +38,12 @@ struct ConvGeometry {
   }
 };
 
+/// True when an M x K x N product is big enough that the GEMM entry
+/// points below dispatch to the blocked engine rather than the
+/// reference loops. Exported so freeze-time callers (wootz::plan) can
+/// pre-pack operand panels exactly for the products that will use them.
+bool gemmUsesBlockedEngine(int M, int K, int N);
+
 /// C = A * B with A: MxK, B: KxN, C: MxN. \p Accumulate adds into C
 /// instead of overwriting it.
 void gemm(const float *A, const float *B, float *C, int M, int K, int N,

@@ -68,8 +68,9 @@ Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
           It->second->Value = Value;
         }
         if (Compatible) {
-          Out.Accuracy = evaluateAccuracy(Out.Network, Out.InputNode,
-                                          Out.LogitsNode, Data.Test);
+          Out.Accuracy =
+              evaluateAccuracy(Out.Network, Out.InputNode, Out.LogitsNode,
+                               Data.Test, 64, Meta.EvalThreads);
           Out.FromCache = true;
           return Out;
         }
@@ -89,7 +90,8 @@ Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
   // Report the accuracy of the *final* weights (what a cache reload
   // would measure), not the best point along the curve.
   Out.Accuracy = evaluateAccuracy(Out.Network, Out.InputNode,
-                                  Out.LogitsNode, Data.Test);
+                                  Out.LogitsNode, Data.Test, 64,
+                                  Meta.EvalThreads);
 
   if (!CachePath.empty()) {
     std::error_code FsError;

@@ -6,6 +6,9 @@
 #include "src/nn/Optimizer.h"
 #include "src/support/Stopwatch.h"
 
+#include <algorithm>
+#include <thread>
+
 using namespace wootz;
 
 double wootz::evaluateAccuracy(const Graph &Network, ExecContext &Ctx,
@@ -39,6 +42,55 @@ double wootz::evaluateAccuracy(Graph &Network, const std::string &InputNode,
                           LogitsNode, Test, BatchSize);
 }
 
+double wootz::evaluateAccuracy(const Graph &Network,
+                               const std::string &InputNode,
+                               const std::string &LogitsNode,
+                               const Split &Test, int BatchSize,
+                               int Threads) {
+  const int Total = Test.exampleCount();
+  assert(Total > 0 && "evaluating on an empty split");
+  const int NumBatches = (Total + BatchSize - 1) / BatchSize;
+  const int Shards = std::max(1, std::min(Threads, NumBatches));
+  if (Shards == 1) {
+    ExecContext Ctx(Network);
+    return evaluateAccuracy(Network, Ctx, InputNode, LogitsNode, Test,
+                            BatchSize);
+  }
+
+  // Each shard walks batches B, B + Shards, B + 2*Shards, ... with the
+  // serial loop's exact batch boundaries and scores them through a
+  // private context over the shared read-only model. Correct counts are
+  // integers, so their sum is independent of thread interleaving.
+  std::vector<int> Correct(static_cast<size_t>(Shards), 0);
+  std::vector<std::thread> Workers;
+  Workers.reserve(static_cast<size_t>(Shards));
+  for (int S = 0; S < Shards; ++S)
+    Workers.emplace_back([&, S] {
+      ExecContext Ctx(Network);
+      std::vector<int> Indices;
+      for (int B = S; B < NumBatches; B += Shards) {
+        const int Begin = B * BatchSize;
+        const int End = std::min(Begin + BatchSize, Total);
+        Indices.clear();
+        for (int I = Begin; I < End; ++I)
+          Indices.push_back(I);
+        Batch Eval = Test.gather(Indices);
+        Ctx.setInput(InputNode, std::move(Eval.Images));
+        Ctx.forward(Network, /*Training=*/false);
+        const Tensor &Logits = Ctx.activation(LogitsNode);
+        Correct[static_cast<size_t>(S)] += static_cast<int>(
+            accuracyFromLogits(Logits, Eval.Labels) * Eval.Labels.size() +
+            0.5);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  int Sum = 0;
+  for (int C : Correct)
+    Sum += C;
+  return static_cast<double>(Sum) / Total;
+}
+
 TrainResult wootz::trainClassifierDistilled(
     Graph &Student, const std::string &InputNode,
     const std::string &LogitsNode, Graph &Teacher,
@@ -49,8 +101,8 @@ TrainResult wootz::trainClassifierDistilled(
   assert(Alpha >= 0.0f && Alpha <= 1.0f && "distillation weight in [0,1]");
   Stopwatch Timer;
   TrainResult Result;
-  Result.InitialAccuracy =
-      evaluateAccuracy(Student, InputNode, LogitsNode, Data.Test);
+  Result.InitialAccuracy = evaluateAccuracy(
+      Student, InputNode, LogitsNode, Data.Test, 64, Meta.EvalThreads);
   Result.Curve.push_back({0, Result.InitialAccuracy});
   Result.FinalAccuracy = Result.InitialAccuracy;
 
@@ -93,8 +145,8 @@ TrainResult wootz::trainClassifierDistilled(
     Optimizer.step(Params);
 
     if (Step % Meta.EvalEvery == 0 || Step == Steps) {
-      const double Accuracy =
-          evaluateAccuracy(Student, InputNode, LogitsNode, Data.Test);
+      const double Accuracy = evaluateAccuracy(
+          Student, InputNode, LogitsNode, Data.Test, 64, Meta.EvalThreads);
       Result.Curve.push_back({Step, Accuracy});
       if (Accuracy > Result.FinalAccuracy) {
         Result.FinalAccuracy = Accuracy;
@@ -118,8 +170,8 @@ TrainResult wootz::trainClassifier(Graph &Network,
                                    float LearningRate, Rng &Generator) {
   Stopwatch Timer;
   TrainResult Result;
-  Result.InitialAccuracy =
-      evaluateAccuracy(Network, InputNode, LogitsNode, Data.Test);
+  Result.InitialAccuracy = evaluateAccuracy(
+      Network, InputNode, LogitsNode, Data.Test, 64, Meta.EvalThreads);
   Result.Curve.push_back({0, Result.InitialAccuracy});
   Result.FinalAccuracy = Result.InitialAccuracy;
   Result.StepsToBest = 0;
@@ -148,8 +200,8 @@ TrainResult wootz::trainClassifier(Graph &Network,
     Optimizer.step(Params);
 
     if (Step % Meta.EvalEvery == 0 || Step == Steps) {
-      const double Accuracy =
-          evaluateAccuracy(Network, InputNode, LogitsNode, Data.Test);
+      const double Accuracy = evaluateAccuracy(
+          Network, InputNode, LogitsNode, Data.Test, 64, Meta.EvalThreads);
       Result.Curve.push_back({Step, Accuracy});
       if (Accuracy > Result.FinalAccuracy) {
         Result.FinalAccuracy = Accuracy;

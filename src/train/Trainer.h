@@ -55,6 +55,17 @@ double evaluateAccuracy(const Graph &Network, ExecContext &Ctx,
                         const std::string &LogitsNode, const Split &Test,
                         int BatchSize = 64);
 
+/// Sharded variant: strides the test batches across \p Threads worker
+/// threads over the one shared (read-only) \p Network, each scoring its
+/// share through a private ExecContext. Batch boundaries are identical
+/// to the serial loop's and each shard accumulates an integer correct
+/// count, so the result is bit-identical to serial evaluation for any
+/// thread count. TrainMeta::EvalThreads (`eval_threads`) selects the
+/// shard count on the pipeline's evaluation paths.
+double evaluateAccuracy(const Graph &Network, const std::string &InputNode,
+                        const std::string &LogitsNode, const Split &Test,
+                        int BatchSize, int Threads);
+
 /// Trains \p Network with softmax cross-entropy on \p Data for \p Steps
 /// steps at learning rate \p LearningRate, evaluating every
 /// \p Meta.EvalEvery steps. Only the graph's trainable parameters move.

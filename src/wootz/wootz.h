@@ -33,6 +33,7 @@
 #include "src/identifier/Identifier.h"
 #include "src/identifier/Optimal.h"
 #include "src/models/MiniModels.h"
+#include "src/plan/Plan.h"
 #include "src/pruning/Importance.h"
 #include "src/pruning/PruneConfig.h"
 #include "src/pruning/Transfer.h"

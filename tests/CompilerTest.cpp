@@ -353,6 +353,10 @@ TEST(CodegenTest, PretrainWrapperEmbedsMetaData) {
   EXPECT_NE(Script.find("NODES = 4"), std::string::npos);
   EXPECT_NE(Script.find("partition_into_groups"), std::string::npos);
   EXPECT_NE(Script.find("if index % NODES != rank:"), std::string::npos);
+  // The model/context split shows up in the generated code: one shared
+  // teacher, per-group contexts, sharded evaluation.
+  EXPECT_NE(Script.find("build_shared_teacher"), std::string::npos);
+  EXPECT_NE(Script.find("eval_threads=EVAL_THREADS"), std::string::npos);
 }
 
 TEST(CodegenTest, ExplorationWrapperEmbedsObjective) {
@@ -366,6 +370,11 @@ TEST(CodegenTest, ExplorationWrapperEmbedsObjective) {
   EXPECT_NE(Script.find("MAX_STEPS = 77"), std::string::npos);
   EXPECT_NE(Script.find("ordered[rank::NODES]"), std::string::npos);
   EXPECT_NE(Script.find("order_by_model_size"), std::string::npos);
+  // The winner is frozen into a static plan, and evaluation shards
+  // across contexts — the generated flow mirrors the C++ pipeline.
+  EXPECT_NE(Script.find("explore.freeze_plan(net, 'plan.json')"),
+            std::string::npos);
+  EXPECT_NE(Script.find("eval_threads=EVAL_THREADS"), std::string::npos);
 }
 
 } // namespace

@@ -710,6 +710,73 @@ TEST(ServeBatcherTest, BatchedLogitsMatchSoloInference) {
   EXPECT_EQ(Together->ArgMax, Alone->ArgMax);
 }
 
+TEST(ServeBatcherTest, PlanBackedBatcherMatchesInterpreter) {
+  const BuiltModel &Model = builtModel();
+  ASSERT_TRUE(Model.Network);
+  const Tensor Sample = sampleInput(Model, 0.3f);
+
+  Batcher Interpreted(Model.Network, BatcherOptions(), nullptr, nullptr);
+  Result<Prediction> Reference = Interpreted.predict(Sample);
+  ASSERT_TRUE(static_cast<bool>(Reference)) << Reference.message();
+  Interpreted.stop();
+
+  Result<ExecPlan> Compiled = ExecPlan::compile(
+      Model.Network->Network, Model.Network->InputNode,
+      Model.Network->LogitsNode, Model.Channels, Model.Height,
+      Model.Width);
+  ASSERT_TRUE(static_cast<bool>(Compiled)) << Compiled.message();
+  auto Plan = std::make_shared<const ExecPlan>(Compiled.take());
+
+  RunLog Log;
+  Batcher Planned(Model.Network, BatcherOptions(), &Log, nullptr, Plan);
+  Result<Prediction> Out = Planned.predict(Sample);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+
+  // A mismatched sample shape must fail that request cleanly, not abort
+  // the worker or poison the plan context.
+  Tensor Wrong(Shape{1, Model.Channels, Model.Height + 1, Model.Width});
+  for (size_t I = 0; I < Wrong.size(); ++I)
+    Wrong.data()[I] = 0.3f;
+  Result<Prediction> Rejected = Planned.predict(Wrong);
+  EXPECT_FALSE(static_cast<bool>(Rejected));
+  EXPECT_NE(Rejected.message().find("compiled plan"), std::string::npos);
+  Planned.stop();
+
+  // Folding batch norms into convolutions reassociates float math, so
+  // the engines agree to 1e-4 rather than bit-for-bit.
+  ASSERT_EQ(Out->Logits.size(), Reference->Logits.size());
+  for (size_t I = 0; I < Reference->Logits.size(); ++I)
+    EXPECT_NEAR(Out->Logits.data()[I], Reference->Logits.data()[I], 1e-4f)
+        << "logit " << I;
+  EXPECT_EQ(Out->ArgMax, Reference->ArgMax);
+  EXPECT_GE(Log.counters().at("serve.predict.plan_batches"), 1);
+}
+
+TEST(ServeBatcherTest, RegistryCompilesPlansWhenEnabled) {
+  const BuiltModel &Model = builtModel();
+  ASSERT_TRUE(Model.Network);
+  RunLog Log;
+  BatcherOptions Options;
+  Options.UsePlans = true;
+  ModelRegistry Registry(Options, &Log, nullptr);
+  ASSERT_FALSE(static_cast<bool>(Registry.add(
+      "frozen", Model.Network, Model.Channels, Model.Height, Model.Width,
+      Model.Classes, "test")));
+
+  ServableModel *Servable = Registry.find("frozen");
+  ASSERT_NE(Servable, nullptr);
+  EXPECT_NE(Servable->Plan, nullptr);
+  EXPECT_EQ(Log.counters().at("serve.models.plans_compiled"), 1);
+
+  const Tensor Sample = sampleInput(Model, 0.4f);
+  Result<Prediction> Out = Servable->Engine->predict(Sample);
+  ASSERT_TRUE(static_cast<bool>(Out)) << Out.message();
+  EXPECT_EQ(Out->Logits.shape().rank(), 1);
+  EXPECT_EQ(Out->Logits.shape()[0], Model.Classes);
+  Registry.stopAll();
+  EXPECT_GE(Log.counters().at("serve.predict.plan_batches"), 1);
+}
+
 TEST(ServeBatcherPoolTest, ConcurrentWorkersAreBitIdenticalToSolo) {
   const BuiltModel &Model = builtModel();
   ASSERT_TRUE(Model.Network);

@@ -82,6 +82,26 @@ TEST_F(TrainFixture, EvaluateAccuracyIsDeterministic) {
   EXPECT_LE(A, 1.0);
 }
 
+TEST_F(TrainFixture, ShardedEvaluateAccuracyIsBitIdenticalToSerial) {
+  Rng Generator(66);
+  Graph Network;
+  Result<BuildResult> Built = Model->build(Network, BuildMode::FullModel,
+                                           PruneInfo(), "full", Generator);
+  ASSERT_TRUE(static_cast<bool>(Built));
+  // The sharded path keeps the serial loop's batch boundaries and sums
+  // integer correct counts, so any thread count gives the same answer —
+  // including 64, which asks for more shards than there are batches and
+  // must clamp to the batch count.
+  const double Serial = evaluateAccuracy(
+      Network, Built->InputNode, Built->LogitsNode, Data.Test, 8, 1);
+  for (int Threads : {2, 4, 7, 64})
+    EXPECT_DOUBLE_EQ(Serial,
+                     evaluateAccuracy(Network, Built->InputNode,
+                                      Built->LogitsNode, Data.Test, 8,
+                                      Threads))
+        << "threads=" << Threads;
+}
+
 TEST_F(TrainFixture, EvaluateAccuracyBatchSizeInvariant) {
   Rng Generator(63);
   Graph Network;
