@@ -192,6 +192,142 @@ int main() {
       .field("forward_speedup", Scaling, 3);
   pushRow(Summary);
 
+  //===--------------------------------------------------------------------===//
+  // Eval path: fused im2col+pack with the adaptive split, over workers.
+  //===--------------------------------------------------------------------===//
+  const int ColCols = OutH * OutW;
+  const int M = Geometry.OutChannels;
+  const int K = static_cast<int>(ColRows);
+  const float *WeightPtr = Conv.weight().Value.data();
+  const float *BiasPtr = Conv.bias() ? Conv.bias()->Value.data() : nullptr;
+
+  // Baseline: the pre-fusion eval path — materialize each sample's
+  // im2col matrix, then run the same blocked GEMM over it.
+  setKernelWorkers(1);
+  std::vector<float> Columns(static_cast<size_t>(K) * ColCols);
+  const size_t InPlane =
+      static_cast<size_t>(Geometry.InChannels) * Height * Width;
+  const size_t OutPlane = static_cast<size_t>(M) * ColCols;
+  const double MaterializedSec = secondsPerCall([&] {
+    for (int S = 0; S < Batch; ++S) {
+      im2col(In.data() + S * InPlane, Geometry.InChannels, Height, Width,
+             Geometry, Columns.data());
+      detail::blockedGemm(WeightPtr, static_cast<size_t>(K), 1,
+                          Columns.data(), static_cast<size_t>(ColCols), 1,
+                          Out.data() + S * OutPlane, M, K, ColCols,
+                          /*Accumulate=*/false, BiasPtr);
+    }
+  });
+
+  Table EvalTable({"workers", "fwd ms", "fwd GF/s", "split", "tasks"});
+  double EvalOneWorker = 0.0, EvalFourWorkers = 0.0;
+  for (unsigned Workers : {1u, 2u, 4u}) {
+    setKernelWorkers(Workers);
+    const ConvSplit Split = chooseConvSplit(Batch, M, K, ColCols);
+    const double EvalSec = secondsPerCall([&] {
+      convForwardFused(In.data(), Batch, Height, Width, Geometry, nullptr,
+                       WeightPtr, BiasPtr, /*FuseReLU=*/false, Out.data());
+    });
+    if (Workers == 1)
+      EvalOneWorker = EvalSec;
+    if (Workers == 4)
+      EvalFourWorkers = EvalSec;
+    EvalTable.addRow({std::to_string(Workers),
+                      formatDouble(EvalSec * 1e3, 3),
+                      formatDouble(gflops(FwdFlops, EvalSec), 2),
+                      convSplitKindName(Split.Kind),
+                      std::to_string(Split.Tasks)});
+    JsonObject Row;
+    Row.field("kind", "conv2d_eval_fused")
+        .field("batch", Batch)
+        .field("m", M)
+        .field("k", K)
+        .field("n", ColCols)
+        .field("workers", static_cast<int>(Workers))
+        .field("split", convSplitKindName(Split.Kind))
+        .field("column_chunk", Split.ColumnChunk)
+        .field("tasks", static_cast<int>(Split.Tasks))
+        .field("forward_seconds", EvalSec, 6)
+        .field("forward_gflops", gflops(FwdFlops, EvalSec), 3);
+    pushRow(Row);
+  }
+  setKernelWorkers(1);
+  std::printf("--- Conv2D eval forward, fused im2col+pack ---\n%s\n",
+              EvalTable.render().c_str());
+  const double FusedSpeedup =
+      EvalOneWorker > 0.0 ? MaterializedSec / EvalOneWorker : 0.0;
+  const double EvalScaling =
+      EvalFourWorkers > 0.0 ? EvalOneWorker / EvalFourWorkers : 0.0;
+  std::printf("fused vs materialized im2col (1 worker): %.2fx\n"
+              "eval forward scaling 1->4 workers: %.2fx (adaptive split; "
+              "expect ~1x on a single-core host)\n\n",
+              FusedSpeedup, EvalScaling);
+  JsonObject EvalSummary;
+  EvalSummary.field("kind", "conv2d_eval_scaling")
+      .field("workers_from", 1)
+      .field("workers_to", 4)
+      .field("forward_speedup", EvalScaling, 3)
+      .field("fused_vs_materialized_1t", FusedSpeedup, 3)
+      .field("materialized_seconds", MaterializedSec, 6);
+  pushRow(EvalSummary);
+
+  //===--------------------------------------------------------------------===//
+  // The measured cost model and the split crossover it induces.
+  //===--------------------------------------------------------------------===//
+  setKernelWorkers(MtWorkers);
+  const KernelCostModel Model = kernelCostModel();
+  std::printf("--- Measured cost model (%u workers) ---\n"
+              "dispatch %.1f us, %.3f GF/s single-thread, measured pool "
+              "speedup %.2fx\n\n",
+              Model.Workers, Model.DispatchSeconds * 1e6,
+              Model.SecondsPerFlop > 0.0
+                  ? 1.0 / (Model.SecondsPerFlop * 1e9)
+                  : 0.0,
+              Model.ParallelSpeedup);
+  JsonObject ModelRow;
+  ModelRow.field("kind", "kernel_cost_model")
+      .field("workers", static_cast<int>(Model.Workers))
+      .field("dispatch_seconds", Model.DispatchSeconds, 9)
+      .field("seconds_per_flop", Model.SecondsPerFlop, 15)
+      .field("parallel_speedup", Model.ParallelSpeedup, 3);
+  pushRow(ModelRow);
+
+  // Crossover table: which split the heuristic picks as the conv
+  // problem grows, at the multi-threaded worker count. Geometry fixed
+  // at 3x3 16->32 channels; batch and spatial extent sweep.
+  Table SplitTable({"batch", "spatial", "gemm MxKxN", "split", "chunk",
+                    "tasks"});
+  for (int SweepBatch : {1, 2, 8}) {
+    for (int Spatial : {4, 8, 16, 32, 64}) {
+      const ConvGeometry SG{16, 32, 3, 1, 1};
+      const int SweepK = SG.InChannels * SG.KernelSize * SG.KernelSize;
+      const int SweepCols = SG.outExtent(Spatial) * SG.outExtent(Spatial);
+      const ConvSplit Split =
+          chooseConvSplit(SweepBatch, SG.OutChannels, SweepK, SweepCols);
+      SplitTable.addRow(
+          {std::to_string(SweepBatch), std::to_string(Spatial),
+           std::to_string(SG.OutChannels) + "x" + std::to_string(SweepK) +
+               "x" + std::to_string(SweepCols),
+           convSplitKindName(Split.Kind), std::to_string(Split.ColumnChunk),
+           std::to_string(Split.Tasks)});
+      JsonObject Row;
+      Row.field("kind", "conv_split")
+          .field("workers", static_cast<int>(MtWorkers))
+          .field("batch", SweepBatch)
+          .field("spatial", Spatial)
+          .field("m", SG.OutChannels)
+          .field("k", SweepK)
+          .field("n", SweepCols)
+          .field("split", convSplitKindName(Split.Kind))
+          .field("column_chunk", Split.ColumnChunk)
+          .field("tasks", static_cast<int>(Split.Tasks));
+      pushRow(Row);
+    }
+  }
+  setKernelWorkers(1);
+  std::printf("--- Split crossover (%u workers) ---\n%s\n", MtWorkers,
+              SplitTable.render().c_str());
+
   const std::string JsonPath = "BENCH_kernels.json";
   Error WriteErr = writeFile(JsonPath, "[\n  " + JsonRows + "\n]\n");
   if (WriteErr)

@@ -3,9 +3,11 @@
 #include "src/nn/Layers.h"
 
 #include "src/tensor/Kernels.h"
+#include "src/tensor/PackedWeights.h"
 
 #include <cmath>
 #include <cstring>
+#include <memory>
 
 using namespace wootz;
 
@@ -53,38 +55,51 @@ void Conv2D::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
       Geometry.InChannels * Geometry.KernelSize * Geometry.KernelSize;
   const int ColCols = OutH * OutW;
 
-  // Training keeps the whole batch's im2col expansion for backward to
-  // reuse. Inference routes each sample through per-thread kernel
-  // scratch instead, and releases any batch buffer a previous training
-  // pass left behind so evaluation holds no im2col memory.
-  Tensor *Cols = nullptr;
-  if (Training) {
-    if (Scratch.Buffers.empty())
-      Scratch.Buffers.emplace_back();
-    Cols = &Scratch.Buffers[0];
-    const Shape ColsShape{Batch, 1, ColRows, ColCols};
-    if (Cols->shape() != ColsShape)
-      *Cols = Tensor(ColsShape);
-  } else if (!Scratch.Buffers.empty() && !Scratch.Buffers[0].empty()) {
-    Scratch.Buffers[0] = Tensor();
+  const float *WeightPtr = Weight.Value.data();
+  const float *BiasPtr = HasBias ? Bias.Value.data() : nullptr;
+
+  // Inference packs GEMM panels straight from the input image — no
+  // materialized im2col matrix at all — reusing the weight panels the
+  // process-wide cache packed on first sight of this weight tensor.
+  // Any batch im2col buffer a previous training pass left behind is
+  // released so evaluation holds no column memory.
+  if (!Training) {
+    if (!Scratch.Buffers.empty() && !Scratch.Buffers[0].empty())
+      Scratch.Buffers[0] = Tensor();
+    const std::shared_ptr<const PackedPanels> Packed =
+        PackedWeightsCache::instance().convWeights(
+            WeightPtr, Geometry.OutChannels, ColRows);
+    convForwardFused(In.data(), Batch, Height, Width, Geometry,
+                     Packed.get(), WeightPtr, BiasPtr,
+                     /*FuseReLU=*/false, Out.data());
+    return;
   }
+
+  // Training keeps the whole batch's im2col expansion for backward to
+  // reuse.
+  if (Scratch.Buffers.empty())
+    Scratch.Buffers.emplace_back();
+  Tensor *Cols = &Scratch.Buffers[0];
+  const Shape ColsShape{Batch, 1, ColRows, ColCols};
+  if (Cols->shape() != ColsShape)
+    *Cols = Tensor(ColsShape);
 
   const size_t InPlane = static_cast<size_t>(Geometry.InChannels) * Height *
                          Width;
   const size_t OutPlane =
       static_cast<size_t>(Geometry.OutChannels) * ColCols;
   const size_t ColsPlane = static_cast<size_t>(ColRows) * ColCols;
-  const float *WeightPtr = Weight.Value.data();
-  const float *BiasPtr = HasBias ? Bias.Value.data() : nullptr;
 
   // Inter-op parallelism: samples are independent, so the batch splits
-  // across the kernel workers; the per-sample GEMM then runs serial on
-  // its worker (kernelParallelFor does not nest).
-  kernelParallelFor(Batch, 1, [&](size_t Begin, size_t End) {
-    KernelScratch &Local = KernelScratch::forCurrentThread();
+  // across the kernel workers when the measured cost model says the
+  // handoff pays for itself; the per-sample GEMM then runs serial on
+  // its worker (kernelParallelFor does not nest). A serial decision
+  // keeps the same chunk decomposition, so logits are unchanged.
+  const double BatchFlops = 2.0 * Batch * OutPlane * ColRows;
+  const size_t Grain = parallelWorthwhile(BatchFlops) ? 1 : Batch;
+  kernelParallelFor(Batch, Grain, [&](size_t Begin, size_t End) {
     for (size_t N = Begin; N < End; ++N) {
-      float *SampleCols = Cols ? Cols->data() + N * ColsPlane
-                               : Local.Columns.ensure(ColsPlane);
+      float *SampleCols = Cols->data() + N * ColsPlane;
       im2col(In.data() + N * InPlane, Geometry.InChannels, Height, Width,
              Geometry, SampleCols);
       float *OutSample = Out.data() + N * OutPlane;
@@ -137,7 +152,12 @@ void Conv2D::backward(const std::vector<const Tensor *> &Inputs,
   std::vector<std::vector<float>> WeightGrads(Batch);
   std::vector<std::vector<float>> BiasGrads(HasBias ? Batch : 0);
 
-  kernelParallelFor(Batch, 1, [&](size_t Begin, size_t End) {
+  // Roughly three forward-sized GEMMs per sample (dW, dCols, col2im
+  // traffic); fan out only when the measured cost model approves.
+  const double BackwardFlops =
+      3.0 * 2.0 * Batch * OutPlane * static_cast<double>(ColRows);
+  const size_t Grain = parallelWorthwhile(BackwardFlops) ? 1 : Batch;
+  kernelParallelFor(Batch, Grain, [&](size_t Begin, size_t End) {
     KernelScratch &Local = KernelScratch::forCurrentThread();
     for (size_t N = Begin; N < End; ++N) {
       const float *SampleCols = Cols.data() + N * ColsPlane;
@@ -596,11 +616,25 @@ Shape Dense::outputShape(const std::vector<Shape> &InputShapes) const {
 void Dense::forward(const std::vector<const Tensor *> &Inputs, Tensor &Out,
                     LayerScratch &Scratch, bool Training) const {
   (void)Scratch;
-  (void)Training;
   const Tensor &In = *Inputs[0];
   const int Batch = In.shape()[0];
-  gemmTransposeB(In.data(), Weight.Value.data(), Out.data(), Batch,
-                 InFeatures, OutFeatures);
+  // Eval reuses cached pre-packed B panels of W^T on the blocked path:
+  // same engine, same panels, bit-identical to packing per call — but
+  // the pack happens once per process instead of once per request.
+  // Training weights mutate every step, so the cache would repack per
+  // call there; skip it.
+  if (!Training && gemmUsesBlockedEngine(Batch, InFeatures, OutFeatures)) {
+    const std::shared_ptr<const PackedPanels> Packed =
+        PackedWeightsCache::instance().denseWeights(
+            Weight.Value.data(), OutFeatures, InFeatures);
+    detail::blockedGemmPacked(
+        nullptr, In.data(), static_cast<size_t>(InFeatures), 1,
+        Packed.get(), nullptr, 0, 0, Out.data(), Batch, InFeatures,
+        OutFeatures, /*Accumulate=*/false, /*RowBias=*/nullptr);
+  } else {
+    gemmTransposeB(In.data(), Weight.Value.data(), Out.data(), Batch,
+                   InFeatures, OutFeatures);
+  }
   for (int N = 0; N < Batch; ++N)
     axpy(1.0f, Bias.Value.data(),
          Out.data() + static_cast<size_t>(N) * OutFeatures, OutFeatures);

@@ -33,49 +33,20 @@ void reluInPlace(float *Values, size_t Count) {
 
 void execConv(const PlanStep &Step, const PlanBuffer &In,
               const PlanBuffer &Out, float *Arena, int N) {
-  const ConvGeometry &G = Step.Geometry;
-  const int ColRows = G.InChannels * G.KernelSize * G.KernelSize;
-  const int ColCols = Out.Height * Out.Width;
-  const size_t InPlane = In.PerSampleElems;
-  const size_t OutPlane = Out.PerSampleElems;
   const float *InBase = bufferBase(Arena, In, N);
   float *OutBase = bufferBase(Arena, Out, N);
-  const float *WeightPtr = Step.Weight.data();
   const float *BiasPtr = Step.HasBias ? Step.Bias.data() : nullptr;
   const PackedPanels *Packed = Step.Packed.empty() ? nullptr : &Step.Packed;
-  const bool Blocked =
-      gemmUsesBlockedEngine(G.OutChannels, ColRows, ColCols);
 
-  // Inter-op parallelism over the batch, exactly like Conv2D::forward;
-  // the per-sample GEMM runs serial on its worker.
-  kernelParallelFor(N, 1, [&](size_t Begin, size_t End) {
-    KernelScratch &Local = KernelScratch::forCurrentThread();
-    for (size_t S = Begin; S < End; ++S) {
-      float *Cols = Local.Columns.ensure(static_cast<size_t>(ColRows) *
-                                         ColCols);
-      im2col(InBase + S * InPlane, G.InChannels, In.Height, In.Width, G,
-             Cols);
-      float *OutSample = OutBase + S * OutPlane;
-      if (Blocked) {
-        detail::blockedGemmPacked(
-            Packed, WeightPtr, static_cast<size_t>(ColRows), 1, nullptr,
-            Cols, static_cast<size_t>(ColCols), 1, OutSample,
-            G.OutChannels, ColRows, ColCols, /*Accumulate=*/false,
-            BiasPtr);
-      } else {
-        gemmReference(WeightPtr, Cols, OutSample, G.OutChannels, ColRows,
-                      ColCols, /*Accumulate=*/false);
-        if (BiasPtr)
-          for (int O = 0; O < G.OutChannels; ++O) {
-            float *Row = OutSample + static_cast<size_t>(O) * ColCols;
-            for (int J = 0; J < ColCols; ++J)
-              Row[J] += BiasPtr[O];
-          }
-      }
-      if (Step.FusedReLU)
-        reluInPlace(OutSample, OutPlane);
-    }
-  });
+  // The whole batched conv GEMM goes through the fused im2col+pack
+  // engine: B panels come straight from the activation image, A panels
+  // are the step's freeze-time pre-packed weights, the split across
+  // samples/columns is chosen by the measured cost model, and the
+  // fused-ReLU epilogue rides each task. This is the same code path as
+  // the interpreter's eval forward, so plan and interpreter logits stay
+  // bit-identical (modulo BatchNorm folding).
+  convForwardFused(InBase, N, In.Height, In.Width, Step.Geometry, Packed,
+                   Step.Weight.data(), BiasPtr, Step.FusedReLU, OutBase);
 }
 
 void execScaleShift(const PlanStep &Step, const PlanBuffer &In,

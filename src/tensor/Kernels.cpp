@@ -7,6 +7,20 @@
 // innermost MR x NR micro-kernel runs on unit-stride data the compiler
 // can keep in vector registers.
 //
+// Convolution rides the same engine through convForwardFused(): the B
+// operand (the im2col matrix) is never materialized — packConvColsB()
+// computes each KC x NR panel directly from the image with stride
+// arithmetic, so the only column-shaped traffic is the packed panel the
+// GEMM needed anyway.
+//
+// Whether any of this fans out to the worker pool is decided by a
+// measured cost model (kernelCostModel), calibrated once per worker
+// count: pool dispatch latency, serial GEMM throughput, and the
+// actually-achieved parallel speedup on this host. A split is chosen
+// only when the model predicts it wins, which keeps oversubscribed
+// single-core hosts at serial speed instead of paying handoff overhead
+// for nothing.
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/tensor/Kernels.h"
@@ -15,7 +29,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -46,15 +65,44 @@ unsigned resolveWorkerRequest(unsigned Requested) {
 /// on first use, serial by default. Guarded by ConfigMutex.
 unsigned &workerCountLocked() {
   static unsigned Count = [] {
-    if (const char *Env = std::getenv("WOOTZ_KERNEL_WORKERS"))
-      return resolveWorkerRequest(
-          static_cast<unsigned>(std::strtoul(Env, nullptr, 10)));
-    return 1u;
+    const char *Env = std::getenv("WOOTZ_KERNEL_WORKERS");
+    if (!Env)
+      return 1u;
+    std::string Warning;
+    const unsigned Parsed = parseKernelWorkers(Env, &Warning);
+    if (!Warning.empty())
+      std::fprintf(stderr, "wootz: %s\n", Warning.c_str());
+    return Parsed;
   }();
   return Count;
 }
 
 } // namespace
+
+unsigned wootz::parseKernelWorkers(const char *Text, std::string *Warning) {
+  const auto Fallback = [Warning](const std::string &Message) {
+    if (Warning)
+      *Warning = Message;
+    return 1u;
+  };
+  if (!Text || !*Text)
+    return Fallback("WOOTZ_KERNEL_WORKERS is empty; using 1 worker");
+  errno = 0;
+  char *End = nullptr;
+  const long long Value = std::strtoll(Text, &End, 10);
+  const bool Overflow = errno == ERANGE;
+  const bool NoDigits = End == Text;
+  while (End && (*End == ' ' || *End == '\t'))
+    ++End;
+  if (NoDigits || (End && *End != '\0'))
+    return Fallback(std::string("WOOTZ_KERNEL_WORKERS='") + Text +
+                    "' is not an integer; using 1 worker");
+  if (Overflow || Value < 0 || Value > 4096)
+    return Fallback(std::string("WOOTZ_KERNEL_WORKERS='") + Text +
+                    "' is outside [0, 4096] (0 = one worker per hardware "
+                    "thread); using 1 worker");
+  return resolveWorkerRequest(static_cast<unsigned>(Value));
+}
 
 void wootz::setKernelWorkers(unsigned Count) {
   const unsigned Resolved = resolveWorkerRequest(Count);
@@ -313,6 +361,401 @@ PackedPanels wootz::packGemmB(const float *B, size_t RowStride,
   return Out;
 }
 
+//===----------------------------------------------------------------------===//
+// Measured-cost threading heuristic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::mutex CostMutex;
+/// Calibrated models per worker count. Guarded by CostMutex.
+std::map<unsigned, KernelCostModel> CostModels;
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+double medianOf(std::vector<double> Values) {
+  std::sort(Values.begin(), Values.end());
+  return Values[Values.size() / 2];
+}
+
+/// Measures the cost model for \p Workers. The probes are sized like the
+/// conv GEMMs the model gates: big enough to be timeable, small enough
+/// that the whole calibration stays in the tens of milliseconds.
+KernelCostModel calibrate(unsigned Workers) {
+  KernelCostModel Model;
+  Model.Workers = Workers;
+
+  // Serial GEMM throughput: one row block high (M <= MC), so the probe
+  // runs inline regardless of the pool and never recurses into the
+  // heuristic it is calibrating.
+  constexpr int CalM = 64, CalK = 192, CalN = 192;
+  std::vector<float, AlignedAllocator<float>> A(
+      static_cast<size_t>(CalM) * CalK),
+      B(static_cast<size_t>(CalK) * CalN),
+      C(static_cast<size_t>(CalM) * CalN);
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = static_cast<float>((I % 13) + 1) * 0.125f;
+  for (size_t I = 0; I < B.size(); ++I)
+    B[I] = static_cast<float>((I % 7) + 1) * 0.25f;
+  const auto RunProbeGemm = [&] {
+    detail::blockedGemm(A.data(), CalK, 1, B.data(), CalN, 1, C.data(),
+                        CalM, CalK, CalN, /*Accumulate=*/false,
+                        /*RowBias=*/nullptr);
+  };
+  RunProbeGemm(); // Warmup: pack scratch, page faults.
+  std::vector<double> GemmTimes;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    const auto Start = std::chrono::steady_clock::now();
+    RunProbeGemm();
+    GemmTimes.push_back(secondsSince(Start));
+  }
+  const double ProbeFlops = 2.0 * CalM * CalK * CalN;
+  Model.SecondsPerFlop = medianOf(GemmTimes) / ProbeFlops;
+
+  if (Workers <= 1)
+    return Model;
+
+  // Pool dispatch latency: the round trip of a parallelFor whose chunks
+  // do nothing, so all that is measured is enqueue + wake + join.
+  kernelParallelFor(Workers, 1, [](size_t, size_t) {}); // Spin up.
+  std::vector<double> DispatchTimes;
+  for (int Rep = 0; Rep < 33; ++Rep) {
+    const auto Start = std::chrono::steady_clock::now();
+    kernelParallelFor(Workers, 1, [](size_t, size_t) {});
+    DispatchTimes.push_back(secondsSince(Start));
+  }
+  Model.DispatchSeconds = medianOf(DispatchTimes);
+
+  // Achieved parallel speedup: the same batch of conv-sized GEMM tasks
+  // run inline and on the pool. On a host with fewer cores than workers
+  // this comes out below 1 — the signal that fanning out loses.
+  const size_t Tasks = 2 * static_cast<size_t>(Workers);
+  std::vector<float, AlignedAllocator<float>> TaskC(
+      static_cast<size_t>(CalM) * CalN * Tasks);
+  const auto RunTask = [&](size_t Task) {
+    detail::blockedGemm(A.data(), CalK, 1, B.data(), CalN, 1,
+                        TaskC.data() +
+                            Task * static_cast<size_t>(CalM) * CalN,
+                        CalM, CalK, CalN, /*Accumulate=*/false,
+                        /*RowBias=*/nullptr);
+  };
+  std::vector<double> SerialTimes, PooledTimes;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    auto Start = std::chrono::steady_clock::now();
+    for (size_t Task = 0; Task < Tasks; ++Task)
+      RunTask(Task);
+    SerialTimes.push_back(secondsSince(Start));
+    Start = std::chrono::steady_clock::now();
+    kernelParallelFor(Tasks, 1, [&](size_t Begin, size_t End) {
+      for (size_t Task = Begin; Task < End; ++Task)
+        RunTask(Task);
+    });
+    PooledTimes.push_back(secondsSince(Start));
+  }
+  const double Pooled = medianOf(PooledTimes);
+  Model.ParallelSpeedup =
+      Pooled > 0.0 ? medianOf(SerialTimes) / Pooled : 1.0;
+  return Model;
+}
+
+/// The core go/no-go: fanning \p Flops out must save more wall clock
+/// (per the measured speedup) than a few pool handoffs cost.
+bool worthSplitting(const KernelCostModel &Model, double Flops) {
+  if (Model.Workers <= 1 || Model.ParallelSpeedup < 1.15)
+    return false;
+  const double SerialSeconds = Flops * Model.SecondsPerFlop;
+  const double Saved = SerialSeconds * (1.0 - 1.0 / Model.ParallelSpeedup);
+  return Saved > 3.0 * Model.DispatchSeconds;
+}
+
+} // namespace
+
+KernelCostModel wootz::kernelCostModel() {
+  const unsigned Workers = kernelWorkers();
+  {
+    std::lock_guard<std::mutex> Lock(CostMutex);
+    auto It = CostModels.find(Workers);
+    if (It != CostModels.end())
+      return It->second;
+  }
+  // Calibrate outside the lock (tens of milliseconds); a concurrent
+  // first caller at the same count just measures twice and the first
+  // insert wins.
+  const KernelCostModel Model = calibrate(Workers);
+  std::lock_guard<std::mutex> Lock(CostMutex);
+  return CostModels.emplace(Workers, Model).first->second;
+}
+
+bool wootz::parallelWorthwhile(double Flops) {
+  // Inside a parallel region a nested loop runs inline whatever we
+  // answer, so say yes and let kernelParallelFor handle it.
+  if (InKernelRegion)
+    return true;
+  return worthSplitting(kernelCostModel(), Flops);
+}
+
+const char *wootz::convSplitKindName(ConvSplitKind Kind) {
+  switch (Kind) {
+  case ConvSplitKind::Serial:
+    return "serial";
+  case ConvSplitKind::InterOp:
+    return "inter_op";
+  case ConvSplitKind::IntraOp:
+    return "intra_op";
+  }
+  return "unknown";
+}
+
+ConvSplit wootz::chooseConvSplit(int Batch, int M, int K, int ColCols) {
+  ConvSplit Split;
+  Split.ColumnChunk = ColCols;
+  Split.Tasks = static_cast<size_t>(Batch);
+  if (InKernelRegion)
+    return Split; // Would run inline anyway.
+  const KernelCostModel Model = kernelCostModel();
+  const double Flops =
+      2.0 * Batch * M * static_cast<double>(K) * ColCols;
+  if (!worthSplitting(Model, Flops))
+    return Split;
+  if (static_cast<unsigned>(Batch) >= Model.Workers) {
+    // Samples alone keep every worker busy.
+    Split.Kind = ConvSplitKind::InterOp;
+    return Split;
+  }
+  // Small batch: additionally chunk the output columns so the task
+  // count reaches ~two waves over the pool. Chunks are NR-aligned
+  // (panel boundaries are unchanged, so outputs stay bit-identical)
+  // and each chunk must still clearly out-work a pool handoff.
+  const size_t TargetTasks = 2 * static_cast<size_t>(Model.Workers);
+  const size_t PerSample =
+      (TargetTasks + static_cast<size_t>(Batch) - 1) / Batch;
+  size_t Chunk = roundUpTo(
+      static_cast<int>((ColCols + PerSample - 1) / PerSample), NR);
+  while (static_cast<int>(Chunk) < ColCols &&
+         2.0 * M * static_cast<double>(K) * Chunk * Model.SecondsPerFlop <
+             4.0 * Model.DispatchSeconds)
+    Chunk *= 2;
+  if (static_cast<int>(Chunk) >= ColCols) {
+    Split.Kind =
+        Batch > 1 ? ConvSplitKind::InterOp : ConvSplitKind::Serial;
+    return Split;
+  }
+  Split.Kind = ConvSplitKind::IntraOp;
+  Split.ColumnChunk = static_cast<int>(Chunk);
+  Split.Tasks = static_cast<size_t>(Batch) *
+                ((static_cast<size_t>(ColCols) + Chunk - 1) / Chunk);
+  return Split;
+}
+
+//===----------------------------------------------------------------------===//
+// Fused im2col+pack convolution
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Packs rows [Depth0, Depth0 + KBlock) x columns [Col0, Col0 + NBlock)
+/// of one sample's — never materialized — im2col matrix into NR-column
+/// K-major panels, byte-identical to packBPanels() over the
+/// materialized matrix. im2col row r maps to (channel, kh, kw) =
+/// (r / Kernel^2, (r / Kernel) % Kernel, r % Kernel); column c maps to
+/// output pixel (c / OutW, c % OutW); the source element is
+/// Image[channel][oh * Stride - Pad + kh][ow * Stride - Pad + kw], zero
+/// out of bounds.
+void packConvColsB(const float *Image, int Height, int Width,
+                   const ConvGeometry &G, int OutW, int Depth0, int KBlock,
+                   int Col0, int NBlock, float *Out) {
+  const int Kernel = G.KernelSize;
+  // Decompose the KC slice's im2col rows once, incrementally: the panel
+  // loop below touches every row per panel, and per-iteration div/mod
+  // there costs as much as the micro-kernel math it feeds on small
+  // GEMMs. Two divisions total, then counters.
+  assert(KBlock <= KC && "one call packs at most one KC slice");
+  int KWOf[KC], KHOf[KC];
+  const float *PlaneOf[KC];
+  {
+    int KW = Depth0 % Kernel;
+    int KH = (Depth0 / Kernel) % Kernel;
+    int Channel = Depth0 / (Kernel * Kernel);
+    for (int KOff = 0; KOff < KBlock; ++KOff) {
+      KWOf[KOff] = KW;
+      KHOf[KOff] = KH;
+      PlaneOf[KOff] = Image + static_cast<size_t>(Channel) * Height * Width;
+      if (++KW == Kernel) {
+        KW = 0;
+        if (++KH == Kernel) {
+          KH = 0;
+          ++Channel;
+        }
+      }
+    }
+  }
+  for (int Panel0 = 0; Panel0 < NBlock; Panel0 += NR) {
+    const int Panel = std::min(NR, NBlock - Panel0);
+    int OutRow[NR], OutCol[NR];
+    for (int C = 0; C < Panel; ++C) {
+      const int Col = Col0 + Panel0 + C;
+      OutRow[C] = Col / OutW;
+      OutCol[C] = Col % OutW;
+    }
+    const bool OneRow = OutRow[0] == OutRow[Panel - 1];
+    float *PanelOut =
+        Out + static_cast<size_t>(Panel0 / NR) * KBlock * NR;
+    for (int KOff = 0; KOff < KBlock; ++KOff) {
+      const int KW = KWOf[KOff];
+      const int KH = KHOf[KOff];
+      const float *Plane = PlaneOf[KOff];
+      float *Dst = PanelOut + static_cast<size_t>(KOff) * NR;
+      // Fast path: at stride 1 a panel that stays on one output row
+      // reads consecutive pixels; copy the in-bounds middle straight
+      // through (plain loops so the compiler vectorizes them — a
+      // variable-size memcpy here is a library call per K-row) and
+      // zero-fill whatever padding clips at either end.
+      if (G.Stride == 1 && OneRow) {
+        const int IH = OutRow[0] - G.Pad + KH;
+        const int IW0 = OutCol[0] - G.Pad + KW;
+        int From = 0, To = 0;
+        if (IH >= 0 && IH < Height) {
+          From = std::max(0, -IW0);
+          To = std::max(From, std::min(Panel, Width - IW0));
+        }
+        for (int J = 0; J < From; ++J)
+          Dst[J] = 0.0f;
+        if (To > From) {
+          const float *Src = Plane + static_cast<size_t>(IH) * Width + IW0;
+          for (int J = From; J < To; ++J)
+            Dst[J] = Src[J];
+        }
+        for (int J = To; J < NR; ++J)
+          Dst[J] = 0.0f;
+        continue;
+      }
+      int J = 0;
+      for (; J < Panel; ++J) {
+        const int IH = OutRow[J] * G.Stride - G.Pad + KH;
+        const int IW = OutCol[J] * G.Stride - G.Pad + KW;
+        Dst[J] = (IH >= 0 && IH < Height && IW >= 0 && IW < Width)
+                     ? Plane[static_cast<size_t>(IH) * Width + IW]
+                     : 0.0f;
+      }
+      for (; J < NR; ++J)
+        Dst[J] = 0.0f;
+    }
+  }
+}
+
+/// One fused conv task: all OutChannels rows of output columns
+/// [Col0, Col0 + Cols) of one sample. Runs entirely on the calling
+/// thread (tasks never nest parallel loops), using that thread's
+/// scratch for the panels.
+void convTask(const float *Image, int Height, int Width,
+              const ConvGeometry &G, int OutW, int M, int K, int ColCols,
+              const PackedPanels *APre, const float *Weights,
+              const float *Bias, bool FuseReLU, int Col0, int Cols,
+              float *OutSample) {
+  KernelScratch &Local = KernelScratch::forCurrentThread();
+  for (int CBlock = Col0; CBlock < Col0 + Cols; CBlock += NC) {
+    const int NBlock = std::min(NC, Col0 + Cols - CBlock);
+    for (int Depth0 = 0; Depth0 < K; Depth0 += KC) {
+      const int KBlock = std::min(KC, K - Depth0);
+      // Only the first KC slice overwrites C (and carries the fused
+      // bias); later slices accumulate. Per C element the K summation
+      // order is fixed, so results never depend on the split.
+      const bool Add = Depth0 > 0;
+      const float *BlockBias = Add ? nullptr : Bias;
+      float *BPack = Local.PackB.ensure(roundUpTo(NBlock, NR) *
+                                        static_cast<size_t>(KBlock));
+      packConvColsB(Image, Height, Width, G, OutW, Depth0, KBlock, CBlock,
+                    NBlock, BPack);
+      for (int Row0 = 0; Row0 < M; Row0 += MC) {
+        const int MBlock = std::min(MC, M - Row0);
+        const float *APack;
+        if (APre) {
+          APack = APre->Data.data() + paddedARows(M) * Depth0 +
+                  static_cast<size_t>(Row0) * KBlock;
+        } else {
+          float *Scratch = Local.PackA.ensure(
+              roundUpTo(MBlock, MR) * static_cast<size_t>(KBlock));
+          packAPanels(Weights + static_cast<size_t>(Row0) * K + Depth0,
+                      static_cast<size_t>(K), 1, MBlock, KBlock, Scratch);
+          APack = Scratch;
+        }
+        macroKernel(MBlock, NBlock, KBlock, APack, BPack,
+                    OutSample + static_cast<size_t>(Row0) * ColCols +
+                        CBlock,
+                    static_cast<size_t>(ColCols), Add,
+                    BlockBias ? BlockBias + Row0 : nullptr);
+      }
+    }
+  }
+  if (FuseReLU) {
+    for (int Row = 0; Row < M; ++Row) {
+      float *CRow = OutSample + static_cast<size_t>(Row) * ColCols + Col0;
+      for (int J = 0; J < Cols; ++J)
+        CRow[J] = CRow[J] > 0.0f ? CRow[J] : 0.0f;
+    }
+  }
+}
+
+} // namespace
+
+void wootz::convForwardFused(const float *Images, int Batch, int Height,
+                             int Width, const ConvGeometry &G,
+                             const PackedPanels *WeightsPre,
+                             const float *Weights, const float *Bias,
+                             bool FuseReLU, float *Out,
+                             const ConvSplit *ForcedSplit) {
+  const int OutH = G.outExtent(Height);
+  const int OutW = G.outExtent(Width);
+  const int M = G.OutChannels;
+  const int K = G.InChannels * G.KernelSize * G.KernelSize;
+  const int ColCols = OutH * OutW;
+  assert(Batch > 0 && M > 0 && K > 0 && ColCols > 0 &&
+         "empty convolution");
+  assert((!WeightsPre ||
+          (WeightsPre->Extent == M && WeightsPre->Depth == K)) &&
+         "packed conv weight extents mismatch");
+  const size_t InPlane =
+      static_cast<size_t>(G.InChannels) * Height * Width;
+  const size_t OutPlane = static_cast<size_t>(M) * ColCols;
+
+  const ConvSplit Split =
+      ForcedSplit ? *ForcedSplit : chooseConvSplit(Batch, M, K, ColCols);
+  int Chunk =
+      Split.Kind == ConvSplitKind::IntraOp ? Split.ColumnChunk : ColCols;
+  if (Chunk <= 0 || Chunk > ColCols)
+    Chunk = ColCols;
+  const size_t ChunksPerSample =
+      (static_cast<size_t>(ColCols) + Chunk - 1) / Chunk;
+  const size_t Tasks = ChunksPerSample * static_cast<size_t>(Batch);
+
+  const auto RunTask = [&](size_t Task) {
+    const size_t Sample = Task / ChunksPerSample;
+    const int Col0 =
+        static_cast<int>(Task % ChunksPerSample) * Chunk;
+    const int Cols = std::min(Chunk, ColCols - Col0);
+    convTask(Images + Sample * InPlane, Height, Width, G, OutW, M, K,
+             ColCols, WeightsPre, Weights, Bias, FuseReLU, Col0, Cols,
+             Out + Sample * OutPlane);
+  };
+  if (Split.Kind == ConvSplitKind::Serial || Tasks == 1) {
+    for (size_t Task = 0; Task < Tasks; ++Task)
+      RunTask(Task);
+    return;
+  }
+  kernelParallelFor(Tasks, 1, [&](size_t Begin, size_t End) {
+    for (size_t Task = Begin; Task < End; ++Task)
+      RunTask(Task);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Blocked GEMM driver
+//===----------------------------------------------------------------------===//
+
 void detail::blockedGemmPacked(const PackedPanels *APre, const float *A,
                                size_t ARowStride, size_t AColStride,
                                const PackedPanels *BPre, const float *B,
@@ -326,6 +769,15 @@ void detail::blockedGemmPacked(const PackedPanels *APre, const float *A,
          "packed A extents mismatch");
   assert((!BPre || (BPre->Extent == N && BPre->Depth == K)) &&
          "packed B extents mismatch");
+  // One adaptive decision per call: fan row blocks out only when the
+  // work in one (NC, KC) region clears the measured handoff cost. A
+  // serial decision keeps the identical chunk decomposition (grain =
+  // all blocks), so outputs are unchanged either way.
+  const size_t RowBlocksTotal = (static_cast<size_t>(M) + MC - 1) / MC;
+  const bool UsePool =
+      RowBlocksTotal > 1 &&
+      parallelWorthwhile(2.0 * M * static_cast<double>(std::min(K, KC)) *
+                         std::min(N, NC));
   for (int Col0 = 0; Col0 < N; Col0 += NC) {
     const int NBlock = std::min(NC, N - Col0);
     for (int Depth0 = 0; Depth0 < K; Depth0 += KC) {
@@ -354,29 +806,32 @@ void detail::blockedGemmPacked(const PackedPanels *APre, const float *A,
       }
 
       const size_t RowBlocks = (static_cast<size_t>(M) + MC - 1) / MC;
-      kernelParallelFor(RowBlocks, 1, [&](size_t Begin, size_t End) {
-        KernelScratch &Local = KernelScratch::forCurrentThread();
-        for (size_t Block = Begin; Block < End; ++Block) {
-          const int Row0 = static_cast<int>(Block) * MC;
-          const int MBlock = std::min(MC, M - Row0);
-          const float *APack;
-          if (APre) {
-            APack = APre->Data.data() + paddedARows(M) * Depth0 +
-                    static_cast<size_t>(Row0) * KBlock;
-          } else {
-            float *Scratch = Local.PackA.ensure(
-                roundUpTo(MBlock, MR) * static_cast<size_t>(KBlock));
-            packAPanels(A + static_cast<size_t>(Row0) * ARowStride +
-                            static_cast<size_t>(Depth0) * AColStride,
-                        ARowStride, AColStride, MBlock, KBlock, Scratch);
-            APack = Scratch;
-          }
-          macroKernel(MBlock, NBlock, KBlock, APack, BPack,
-                      C + static_cast<size_t>(Row0) * N + Col0,
-                      static_cast<size_t>(N), Add,
-                      BlockBias ? BlockBias + Row0 : nullptr);
-        }
-      });
+      kernelParallelFor(
+          RowBlocks, UsePool ? 1 : RowBlocks,
+          [&](size_t Begin, size_t End) {
+            KernelScratch &Local = KernelScratch::forCurrentThread();
+            for (size_t Block = Begin; Block < End; ++Block) {
+              const int Row0 = static_cast<int>(Block) * MC;
+              const int MBlock = std::min(MC, M - Row0);
+              const float *APack;
+              if (APre) {
+                APack = APre->Data.data() + paddedARows(M) * Depth0 +
+                        static_cast<size_t>(Row0) * KBlock;
+              } else {
+                float *Scratch = Local.PackA.ensure(
+                    roundUpTo(MBlock, MR) * static_cast<size_t>(KBlock));
+                packAPanels(A + static_cast<size_t>(Row0) * ARowStride +
+                                static_cast<size_t>(Depth0) * AColStride,
+                            ARowStride, AColStride, MBlock, KBlock,
+                            Scratch);
+                APack = Scratch;
+              }
+              macroKernel(MBlock, NBlock, KBlock, APack, BPack,
+                          C + static_cast<size_t>(Row0) * N + Col0,
+                          static_cast<size_t>(N), Add,
+                          BlockBias ? BlockBias + Row0 : nullptr);
+            }
+          });
     }
   }
 }

@@ -19,24 +19,10 @@
 #ifndef WOOTZ_TENSOR_OPS_H
 #define WOOTZ_TENSOR_OPS_H
 
+#include "src/tensor/Kernels.h"
 #include "src/tensor/Tensor.h"
 
 namespace wootz {
-
-/// Parameters of a 2-D convolution (square kernel, same stride/pad in
-/// both spatial dimensions).
-struct ConvGeometry {
-  int InChannels = 0;
-  int OutChannels = 0;
-  int KernelSize = 1;
-  int Stride = 1;
-  int Pad = 0;
-
-  /// Output spatial extent for an input extent of \p In.
-  int outExtent(int In) const {
-    return (In + 2 * Pad - KernelSize) / Stride + 1;
-  }
-};
 
 /// True when an M x K x N product is big enough that the GEMM entry
 /// points below dispatch to the blocked engine rather than the

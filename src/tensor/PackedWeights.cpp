@@ -1,0 +1,153 @@
+//===- tensor/PackedWeights.cpp --------------------------------------------===//
+
+#include "src/tensor/PackedWeights.h"
+
+#include "src/support/Hash.h"
+
+#include <cstdlib>
+
+using namespace wootz;
+
+namespace {
+
+/// Byte budget from WOOTZ_PACKED_WEIGHTS_MB; invalid or absent input
+/// falls back to 256 MB.
+size_t readBudget() {
+  constexpr size_t DefaultBytes = 256u << 20;
+  const char *Env = std::getenv("WOOTZ_PACKED_WEIGHTS_MB");
+  if (!Env || !*Env)
+    return DefaultBytes;
+  char *End = nullptr;
+  const unsigned long Mb = std::strtoul(Env, &End, 10);
+  if (End == Env || *End != '\0' || Mb == 0 || Mb > (1ul << 20))
+    return DefaultBytes;
+  return static_cast<size_t>(Mb) << 20;
+}
+
+} // namespace
+
+PackedWeightsCache::PackedWeightsCache() : Budget(readBudget()) {}
+
+PackedWeightsCache &PackedWeightsCache::instance() {
+  static PackedWeightsCache Cache;
+  return Cache;
+}
+
+std::shared_ptr<const PackedPanels>
+PackedWeightsCache::convWeights(const float *Weights, int OutChannels,
+                                int ColRows) {
+  Key K;
+  K.Ptr = Weights;
+  K.Kind = Role::ConvA;
+  K.Extent = OutChannels;
+  K.Depth = ColRows;
+  return lookup(K, Weights, /*PackARole=*/true);
+}
+
+std::shared_ptr<const PackedPanels>
+PackedWeightsCache::denseWeights(const float *Weights, int OutFeatures,
+                                 int InFeatures) {
+  Key K;
+  K.Ptr = Weights;
+  K.Kind = Role::DenseB;
+  K.Extent = OutFeatures;
+  K.Depth = InFeatures;
+  return lookup(K, Weights, /*PackARole=*/false);
+}
+
+std::shared_ptr<const PackedPanels>
+PackedWeightsCache::lookup(const Key &K, const float *Weights,
+                           bool PackARole) {
+  // The fingerprint is recomputed from the live weight bytes on every
+  // lookup; a hit requires both the key and the content to match, so a
+  // mutated weight can never be served stale panels.
+  const size_t Count =
+      static_cast<size_t>(K.Extent) * static_cast<size_t>(K.Depth);
+  const uint64_t Fingerprint =
+      hashBytes64(Weights, Count * sizeof(float));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(K);
+    if (It != Entries.end() && It->second.Fingerprint == Fingerprint) {
+      ++Hits;
+      It->second.LastUse = ++Clock;
+      return It->second.Panels;
+    }
+  }
+
+  // Pack outside the lock: two threads racing on the same fresh weight
+  // both pack and the second insert simply replaces the first —
+  // identical content, so either result is correct.
+  auto Panels = std::make_shared<PackedPanels>(
+      PackARole
+          ? packGemmA(Weights, static_cast<size_t>(K.Depth), 1, K.Extent,
+                      K.Depth)
+          // Dense B operand of x * W^T: B(k, j) = W[j * InFeatures + k].
+          : packGemmB(Weights, 1, static_cast<size_t>(K.Depth), K.Depth,
+                      K.Extent));
+  const size_t PanelBytes = Panels->Data.size() * sizeof(float);
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(K);
+  if (It != Entries.end()) {
+    ++Repacks;
+    Bytes -= It->second.Panels->Data.size() * sizeof(float);
+  } else {
+    ++Misses;
+    It = Entries.emplace(K, Entry{}).first;
+  }
+  It->second.Fingerprint = Fingerprint;
+  It->second.Panels = std::move(Panels);
+  It->second.LastUse = ++Clock;
+  Bytes += PanelBytes;
+  std::shared_ptr<const PackedPanels> Result = It->second.Panels;
+  evictLocked();
+  return Result;
+}
+
+void PackedWeightsCache::evictLocked() {
+  while (Bytes > Budget && Entries.size() > 1) {
+    auto Victim = Entries.end();
+    for (auto It = Entries.begin(); It != Entries.end(); ++It)
+      if (It->second.LastUse != Clock &&
+          (Victim == Entries.end() ||
+           It->second.LastUse < Victim->second.LastUse))
+        Victim = It;
+    if (Victim == Entries.end())
+      return; // Only the just-used entry remains over budget; keep it.
+    Bytes -= Victim->second.Panels->Data.size() * sizeof(float);
+    Entries.erase(Victim);
+    ++Evictions;
+  }
+}
+
+void PackedWeightsCache::invalidate(const float *Weights) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto It = Entries.begin(); It != Entries.end();) {
+    if (It->first.Ptr == Weights) {
+      Bytes -= It->second.Panels->Data.size() * sizeof(float);
+      It = Entries.erase(It);
+    } else {
+      ++It;
+    }
+  }
+}
+
+void PackedWeightsCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Entries.clear();
+  Bytes = 0;
+  Hits = Misses = Repacks = Evictions = 0;
+}
+
+PackedWeightsCache::Stats PackedWeightsCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Stats Out;
+  Out.Hits = Hits;
+  Out.Misses = Misses;
+  Out.Repacks = Repacks;
+  Out.Evictions = Evictions;
+  Out.Entries = Entries.size();
+  Out.Bytes = Bytes;
+  return Out;
+}

@@ -1,0 +1,135 @@
+//===- tensor/PackedWeights.h - Persistent packed weight panels ------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A process-wide cache of weight matrices pre-packed into the blocked
+/// GEMM engine's panel layout (tensor/Kernels.h). The serve path runs
+/// one immutable Graph through N concurrent ExecContexts, and before
+/// this cache every eval forward re-packed every conv and dense weight
+/// per request; now each weight is packed once per process and every
+/// subsequent forward reuses the panels.
+///
+/// Entries are keyed by (data pointer, operand role, extents) and carry
+/// a fast content fingerprint (support/Hash.h hashBytes64) of the
+/// weight bytes that is re-validated on EVERY lookup: a weight mutated
+/// by training no longer matches, the entry is repacked in place, and
+/// stale panels are never used. The fingerprint pass reads the weight
+/// matrix once (O(M*K) bytes) — small next to the O(M*K*N) GEMM it
+/// fronts — so correctness under mutation costs a few percent, not a
+/// re-pack.
+///
+/// The cache is bounded: total panel bytes are capped (default 256 MB,
+/// override with WOOTZ_PACKED_WEIGHTS_MB) with least-recently-used
+/// eviction, so a long pruning run that materializes thousands of
+/// candidate networks cannot grow it without limit. Returned panels are
+/// shared_ptrs, so an entry evicted or repacked mid-use stays alive for
+/// the caller that holds it.
+///
+/// All methods are thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_TENSOR_PACKEDWEIGHTS_H
+#define WOOTZ_TENSOR_PACKEDWEIGHTS_H
+
+#include "src/tensor/Kernels.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace wootz {
+
+/// The process-wide packed-weight-panel cache. See the file comment.
+class PackedWeightsCache {
+public:
+  /// Cache-wide observability counters (serve exports them as
+  /// /metrics gauges).
+  struct Stats {
+    uint64_t Hits = 0;      ///< Lookups served from a valid entry.
+    uint64_t Misses = 0;    ///< Lookups that packed a new entry.
+    uint64_t Repacks = 0;   ///< Lookups that found a stale fingerprint.
+    uint64_t Evictions = 0; ///< Entries dropped by the byte cap.
+    size_t Entries = 0;     ///< Live entries.
+    size_t Bytes = 0;       ///< Live panel bytes.
+  };
+
+  /// The process-wide instance.
+  static PackedWeightsCache &instance();
+
+  /// Panels for a conv weight matrix used as the GEMM A operand:
+  /// row-major \p OutChannels x \p ColRows (OIHW flattened). Packs on
+  /// first sight or stale fingerprint, otherwise returns the cached
+  /// panels.
+  std::shared_ptr<const PackedPanels>
+  convWeights(const float *Weights, int OutChannels, int ColRows);
+
+  /// Panels for a dense weight matrix used as the GEMM B operand of
+  /// x * W^T: \p Weights is row-major [\p OutFeatures, \p InFeatures],
+  /// addressed as B(k, j) = Weights[j * InFeatures + k].
+  std::shared_ptr<const PackedPanels>
+  denseWeights(const float *Weights, int OutFeatures, int InFeatures);
+
+  /// Drops every entry keyed by \p Weights (any role or extents). Not
+  /// required for correctness — stale entries self-invalidate — but
+  /// reclaims the bytes eagerly when a model is destroyed.
+  void invalidate(const float *Weights);
+
+  /// Drops every entry and zeroes the counters (tests).
+  void clear();
+
+  Stats stats() const;
+
+  /// The eviction threshold in bytes.
+  size_t byteBudget() const { return Budget; }
+
+private:
+  PackedWeightsCache();
+
+  enum class Role : char { ConvA, DenseB };
+
+  struct Key {
+    const float *Ptr = nullptr;
+    Role Kind = Role::ConvA;
+    int Extent = 0;
+    int Depth = 0;
+
+    bool operator<(const Key &Other) const {
+      if (Ptr != Other.Ptr)
+        return Ptr < Other.Ptr;
+      if (Kind != Other.Kind)
+        return Kind < Other.Kind;
+      if (Extent != Other.Extent)
+        return Extent < Other.Extent;
+      return Depth < Other.Depth;
+    }
+  };
+
+  struct Entry {
+    uint64_t Fingerprint = 0;
+    std::shared_ptr<const PackedPanels> Panels;
+    uint64_t LastUse = 0;
+  };
+
+  std::shared_ptr<const PackedPanels>
+  lookup(const Key &K, const float *Weights, bool PackARole);
+
+  /// Drops least-recently-used entries until the byte budget holds.
+  /// Never drops the most recently used entry. Caller holds Mutex.
+  void evictLocked();
+
+  mutable std::mutex Mutex;
+  std::map<Key, Entry> Entries;
+  uint64_t Clock = 0;
+  uint64_t Hits = 0, Misses = 0, Repacks = 0, Evictions = 0;
+  size_t Bytes = 0;
+  size_t Budget = 0;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_TENSOR_PACKEDWEIGHTS_H

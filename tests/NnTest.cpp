@@ -569,13 +569,16 @@ TEST_F(KernelConvTest, EvalForwardMatchesTrainingAndReleasesScratch) {
   EXPECT_GT(Scratch.Buffers[0].size(), 0u);
   const Tensor TrainingOut = Out;
 
-  // ...and an eval forward releases it again, without changing the math.
+  // ...and an eval forward releases it again. Eval always runs the
+  // fused blocked engine while a tiny training GEMM like this one uses
+  // the reference loops, so the two agree to summation-order rounding,
+  // not bit-for-bit.
   Conv.forward(Inputs, Out, Scratch, /*Training=*/false);
   ASSERT_FALSE(Scratch.Buffers.empty());
   EXPECT_EQ(Scratch.Buffers[0].size(), 0u)
       << "eval forward should drop the full-batch im2col buffer";
   for (size_t I = 0; I < Out.size(); ++I)
-    EXPECT_FLOAT_EQ(Out[I], TrainingOut[I]);
+    EXPECT_NEAR(Out[I], TrainingOut[I], 1e-5f);
 }
 
 } // namespace
