@@ -18,9 +18,18 @@
 // which accepts exploration jobs over HTTP (see DESIGN.md "Serving" and
 // the README quickstart) and drains gracefully on SIGTERM/SIGINT.
 //
+// The `weights` subcommand materializes an uploadable weight bundle for
+// a Prototxt spec (seeded random initialization):
+//
+//   wootz_cli weights model.prototxt out.ck [seed]
+//
+// writing the WOOTZCK2 bundle to out.ck and its base64 to out.ck.b64,
+// ready to paste into a POST /v1/models body as "weights_b64".
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/explore/Report.h"
+#include "src/nn/Serialize.h"
 #include "src/support/File.h"
 #include "src/wootz/wootz.h"
 
@@ -103,6 +112,7 @@ int runServe(int ArgCount, char **Args) {
   Options.Jobs.BlockCacheDir = StateDir + "/block_cache";
   Options.Jobs.CacheDir = StateDir + "/cache";
   Options.Jobs.ArtifactDir = StateDir + "/artifacts";
+  Options.Uploads.Dir = StateDir + "/models";
 
   serve::WootzServer Server(Options);
   orDie(Server.start(), "starting the server");
@@ -112,7 +122,7 @@ int runServe(int ArgCount, char **Args) {
   std::printf("wootz serve: listening on http://127.0.0.1:%d "
               "(state under %s/)\n",
               Server.port(), StateDir.c_str());
-  std::printf("  POST /v1/jobs, GET /v1/jobs/<id>, "
+  std::printf("  POST /v1/jobs, GET /v1/jobs/<id>, POST /v1/models, "
               "POST /v1/models/<id>/predict, GET /metrics\n");
   std::printf("  SIGTERM/Ctrl-C drains: accepted jobs finish first\n");
 
@@ -127,11 +137,45 @@ int runServe(int ArgCount, char **Args) {
   std::printf("wootz serve: drained; every accepted job finished\n");
   return 0;
 }
+
+/// `wootz_cli weights model.prototxt out.ck [seed]`: builds the network
+/// and writes its (seeded random) weights as an uploadable bundle.
+int runWeights(int ArgCount, char **Args) {
+  if (ArgCount < 4) {
+    std::fprintf(stderr,
+                 "usage: wootz_cli weights model.prototxt out.ck [seed]\n");
+    return 1;
+  }
+  const std::string OutPath = Args[3];
+  uint64_t Seed = 7;
+  if (ArgCount >= 5)
+    Seed = static_cast<uint64_t>(
+        orDie(parseInteger(Args[4]), "parsing the seed"));
+
+  const ModelSpec Spec = orDie(
+      parseModelSpec(orDie(readFile(Args[2]), "reading model")),
+      "parsing model");
+  BuiltNetwork Built =
+      orDie(buildFullNetwork(Spec, Seed), "building the network");
+  const std::string Bytes = serializeTensors(
+      exportWeights(Built.Network, FullNetworkPrefix));
+  orDie(writeFile(OutPath, Bytes), "writing the bundle");
+  orDie(writeFile(OutPath + ".b64", base64Encode(Bytes) + "\n"),
+        "writing the base64 bundle");
+  std::printf("weights: %zu-byte bundle for %s (%d classes, seed %llu) "
+              "-> %s and %s.b64\n",
+              Bytes.size(), Spec.Name.c_str(), Built.Classes,
+              static_cast<unsigned long long>(Seed), OutPath.c_str(),
+              OutPath.c_str());
+  return 0;
+}
 } // namespace
 
 int main(int ArgCount, char **Args) {
   if (ArgCount >= 2 && std::strcmp(Args[1], "serve") == 0)
     return runServe(ArgCount, Args);
+  if (ArgCount >= 2 && std::strcmp(Args[1], "weights") == 0)
+    return runWeights(ArgCount, Args);
 
   std::string OutDir = "wootz_run";
   std::vector<std::string> Inputs;

@@ -1,0 +1,82 @@
+//===- compiler/GraphBuilder.cpp -------------------------------------------===//
+
+#include "src/compiler/GraphBuilder.h"
+
+#include "src/compiler/Multiplexing.h"
+#include "src/support/StringUtils.h"
+
+#include <set>
+
+using namespace wootz;
+
+Result<BuiltNetwork> wootz::buildFullNetwork(const ModelSpec &Spec,
+                                             uint64_t Seed) {
+  if (Spec.Layers.empty())
+    return Error::failure("model '" + Spec.Name + "' has no layers");
+  const LayerSpec &Head = Spec.Layers.back();
+  if (Head.Kind != LayerKind::InnerProduct)
+    return Error::failure(
+        "model '" + Spec.Name + "' must end with an InnerProduct classifier "
+        "head, found " + layerKindName(Head.Kind) + " '" + Head.Name + "'");
+
+  MultiplexingModel Model(Spec);
+  BuiltNetwork Out;
+  Rng Generator(Seed);
+  Result<BuildResult> Built =
+      Model.build(Out.Network, BuildMode::FullModel, PruneInfo{},
+                  FullNetworkPrefix, Generator);
+  if (!Built)
+    return Built.takeError();
+  Out.InputNode = Built->InputNode;
+  Out.LogitsNode = Built->LogitsNode;
+  Out.Classes = Head.NumOutput;
+  return Out;
+}
+
+TensorBundle wootz::exportWeights(Graph &Network, const std::string &Prefix) {
+  const std::string Scope = Prefix + "/";
+  TensorBundle Bundle;
+  for (const auto &[Name, State] : Network.namedState()) {
+    if (!startsWith(Name, Scope))
+      continue;
+    Bundle.emplace(Name.substr(Scope.size()), State->Value);
+  }
+  return Bundle;
+}
+
+Error wootz::importWeights(Graph &Network, const std::string &Prefix,
+                           const TensorBundle &Weights) {
+  const std::string Scope = Prefix + "/";
+  std::map<std::string, Param *> State = Network.namedState();
+
+  // Validate everything up front so a bad bundle never leaves the network
+  // half-imported.
+  std::set<std::string> Expected;
+  for (const auto &[Name, Target] : State) {
+    if (!startsWith(Name, Scope))
+      continue;
+    const std::string Key = Name.substr(Scope.size());
+    Expected.insert(Key);
+    auto It = Weights.find(Key);
+    if (It == Weights.end())
+      return Error::failure("weight bundle is missing entry '" + Key +
+                            "' (expected shape " +
+                            Target->Value.shape().str() + ")");
+    if (It->second.shape() != Target->Value.shape())
+      return Error::failure("weight entry '" + Key + "': shape " +
+                            It->second.shape().str() +
+                            " does not match the model's " +
+                            Target->Value.shape().str());
+  }
+  for (const auto &[Key, Value] : Weights)
+    if (!Expected.count(Key))
+      return Error::failure("weight entry '" + Key +
+                            "' does not name a state tensor of the model");
+
+  for (const auto &[Name, Target] : State) {
+    if (!startsWith(Name, Scope))
+      continue;
+    Target->Value = Weights.at(Name.substr(Scope.size()));
+  }
+  return Error::success();
+}

@@ -1,0 +1,70 @@
+//===- compiler/GraphBuilder.h - User-model materialization ----------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ingestion half of the compiler: turns a parsed, validated
+/// ModelSpec into a runnable nn::Graph and moves pretrained weights in
+/// and out of it as named tensor bundles (the WOOTZCK2 counterpart of a
+/// .caffemodel). This is what lets the serve daemon accept arbitrary
+/// user CNNs instead of only the built-in Mini models:
+///
+///   parseModelSpec(text) -> buildFullNetwork(spec) -> importWeights(...)
+///
+/// Bundle entries are keyed "<layer>/s<K>" where K is the layer's state
+/// index — the same convention CheckpointStore uses for tuning blocks,
+/// so a bundle saved from one Wootz process restores into any other.
+/// Import is strict in both directions: a missing entry, an unknown
+/// entry, or a shape mismatch is a clean per-entry Error and leaves the
+/// network untouched.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_COMPILER_GRAPHBUILDER_H
+#define WOOTZ_COMPILER_GRAPHBUILDER_H
+
+#include "src/nn/Graph.h"
+#include "src/nn/Serialize.h"
+#include "src/proto/ModelSpec.h"
+
+#include <string>
+
+namespace wootz {
+
+/// The node prefix buildFullNetwork() materializes under; shared with the
+/// pipeline's full-model builds so checkpoints and bundles interchange.
+inline const char *const FullNetworkPrefix = "net";
+
+/// A full (unpruned) network materialized from a ModelSpec, ready for
+/// weight import, evaluation, or serving.
+struct BuiltNetwork {
+  Graph Network;
+  std::string InputNode;  ///< The dataset input placeholder.
+  std::string LogitsNode; ///< The classifier head's output node.
+  int Classes = 0;        ///< Output width of the classifier head.
+};
+
+/// Materializes the full network described by \p Spec under
+/// FullNetworkPrefix with freshly initialized (seeded) parameters.
+/// Requires the final layer to be an InnerProduct classifier head — the
+/// shape every servable model needs. \p Spec must be analyzed (as
+/// parseModelSpec() returns it).
+Result<BuiltNetwork> buildFullNetwork(const ModelSpec &Spec, uint64_t Seed);
+
+/// Exports every persistent tensor (weights, biases, batchnorm running
+/// statistics) of the nodes under \p Prefix as a bundle keyed
+/// "<layer>/s<K>".
+TensorBundle exportWeights(Graph &Network, const std::string &Prefix);
+
+/// Imports \p Weights into the nodes under \p Prefix, matched by layer
+/// name. Validates every entry first — exact key coverage in both
+/// directions and exact shape match — so a failed import reports the
+/// offending entry and leaves \p Network's parameters unmodified.
+Error importWeights(Graph &Network, const std::string &Prefix,
+                    const TensorBundle &Weights);
+
+} // namespace wootz
+
+#endif // WOOTZ_COMPILER_GRAPHBUILDER_H

@@ -15,11 +15,22 @@ Result<TrainMeta> wootz::parseTrainMeta(const std::string &Source) {
 
   TrainMeta Meta;
   for (const std::string &Field : Msg.fieldOrder()) {
+    // Meta text arrives via the serve job API, so accessor failures
+    // (non-numeric text, repeated fields) surface as errors, not asserts.
+    Error FieldError = Error::success();
     auto intField = [&](int &Target) {
-      Target = static_cast<int>(Msg.intOr(Field, Target));
+      Result<long long> Value = Msg.intOr(Field, Target);
+      if (!Value)
+        FieldError = Value.takeError();
+      else
+        Target = static_cast<int>(*Value);
     };
     auto floatField = [&](float &Target) {
-      Target = static_cast<float>(Msg.doubleOr(Field, Target));
+      Result<double> Value = Msg.doubleOr(Field, Target);
+      if (!Value)
+        FieldError = Value.takeError();
+      else
+        Target = static_cast<float>(*Value);
     };
     if (Field == "full_model_steps")
       intField(Meta.FullModelSteps);
@@ -51,10 +62,16 @@ Result<TrainMeta> wootz::parseTrainMeta(const std::string &Source) {
       intField(Meta.EvalThreads);
     else if (Field == "nodes")
       intField(Meta.Nodes);
-    else if (Field == "seed")
-      Meta.Seed = static_cast<uint64_t>(Msg.intOr(Field, 7));
-    else
+    else if (Field == "seed") {
+      Result<long long> Seed = Msg.intOr(Field, 7);
+      if (!Seed)
+        FieldError = Seed.takeError();
+      else
+        Meta.Seed = static_cast<uint64_t>(*Seed);
+    } else
       return Error::failure("unknown meta-data key '" + Field + "'");
+    if (FieldError)
+      return FieldError;
   }
   if (Meta.BatchSize <= 0 || Meta.Nodes <= 0 || Meta.EvalEvery <= 0 ||
       Meta.EvalThreads <= 0)

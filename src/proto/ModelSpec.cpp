@@ -191,65 +191,167 @@ static Result<LayerKind> layerKindFromName(const std::string &TypeName) {
   return Error::failure("unsupported layer type '" + TypeName + "'");
 }
 
+/// Extent cap for parsed layer dimensions. Prototxt arrives over HTTP, so
+/// a bound here keeps a hostile `num_output: 999999999` from turning into
+/// a multi-gigabyte allocation downstream.
+static constexpr long long MaxLayerExtent = 1 << 16;
+
+/// The sole nested message under \p FieldName; errors (rather than
+/// asserting) when the field is repeated or scalar-valued.
+static Result<const PrototxtMessage *>
+messageField(const PrototxtMessage &Msg, const std::string &LayerName,
+             const std::string &FieldName) {
+  const std::vector<PrototxtValue> &Values = Msg.values(FieldName);
+  if (Values.size() != 1)
+    return Error::failure("layer '" + LayerName + "': field '" + FieldName +
+                          "' occurs " + std::to_string(Values.size()) +
+                          " times, expected a single message");
+  if (Values[0].isScalar())
+    return Error::failure("layer '" + LayerName + "': field '" + FieldName +
+                          "' is a scalar, expected a message");
+  return &Values[0].message();
+}
+
+/// intOr() wrapper that prefixes errors with the layer name and bounds the
+/// result to [Min, MaxLayerExtent].
+static Result<int> intField(const PrototxtMessage &Msg,
+                            const std::string &LayerName,
+                            const std::string &FieldName, long long Default,
+                            long long Min) {
+  Result<long long> Value = Msg.intOr(FieldName, Default);
+  if (!Value)
+    return Error::failure("layer '" + LayerName + "': " + Value.message());
+  if (*Value < Min || *Value > MaxLayerExtent)
+    return Error::failure("layer '" + LayerName + "': field '" + FieldName +
+                          "' value " + std::to_string(*Value) +
+                          " is out of range [" + std::to_string(Min) + ", " +
+                          std::to_string(MaxLayerExtent) + "]");
+  return static_cast<int>(*Value);
+}
+
 static Result<LayerSpec> layerFromMessage(const PrototxtMessage &Msg) {
   LayerSpec L;
-  L.Name = Msg.scalarOr("name", "");
-  Result<LayerKind> Kind = layerKindFromName(Msg.scalarOr("type", ""));
+  Result<std::string> Name = Msg.scalarOr("name", "");
+  if (!Name)
+    return Error::failure("layer: " + Name.message());
+  L.Name = Name.take();
+
+  // Prefixes accessor errors with the layer name for actionable messages.
+  auto scalar = [&](const std::string &FieldName,
+                    const std::string &Default) -> Result<std::string> {
+    Result<std::string> Value = Msg.scalarOr(FieldName, Default);
+    if (!Value)
+      return Error::failure("layer '" + L.Name + "': " + Value.message());
+    return Value;
+  };
+
+  Result<std::string> TypeName = scalar("type", "");
+  if (!TypeName)
+    return TypeName.takeError();
+  Result<LayerKind> Kind = layerKindFromName(*TypeName);
   if (!Kind)
     return Error::failure("layer '" + L.Name + "': " + Kind.message());
   L.Kind = *Kind;
-  for (const PrototxtValue &Bottom : Msg.values("bottom"))
+  for (const PrototxtValue &Bottom : Msg.values("bottom")) {
+    if (!Bottom.isScalar())
+      return Error::failure("layer '" + L.Name +
+                            "': 'bottom' must be a scalar");
     L.Bottoms.push_back(Bottom.text());
+  }
   // We require in-place-free graphs where each layer's top is its name;
   // this keeps the data-flow analysis trivial, matching the structure the
   // Wootz compiler emits.
-  const std::string Top = Msg.scalarOr("top", L.Name);
-  if (Top != L.Name)
+  Result<std::string> Top = scalar("top", L.Name);
+  if (!Top)
+    return Top.takeError();
+  if (*Top != L.Name)
     return Error::failure("layer '" + L.Name +
                           "': top must equal the layer name");
-  L.Module = Msg.scalarOr("module", "");
+  Result<std::string> Module = scalar("module", "");
+  if (!Module)
+    return Module.takeError();
+  L.Module = Module.take();
 
   if (L.Kind == LayerKind::Convolution) {
     if (!Msg.has("convolution_param"))
       return Error::failure("layer '" + L.Name +
                             "': missing convolution_param");
-    const PrototxtMessage &P = Msg.values("convolution_param")[0].message();
-    L.NumOutput = static_cast<int>(P.intOr("num_output", 0));
-    L.KernelSize = static_cast<int>(P.intOr("kernel_size", 1));
-    L.Stride = static_cast<int>(P.intOr("stride", 1));
-    L.Pad = static_cast<int>(P.intOr("pad", 0));
-    L.BiasTerm = P.boolOr("bias_term", true);
-    if (L.NumOutput <= 0)
-      return Error::failure("layer '" + L.Name +
-                            "': num_output must be positive");
+    Result<const PrototxtMessage *> Param =
+        messageField(Msg, L.Name, "convolution_param");
+    if (!Param)
+      return Param.takeError();
+    const PrototxtMessage &P = **Param;
+    Result<int> NumOutput = intField(P, L.Name, "num_output", 0, 1);
+    Result<int> KernelSize = intField(P, L.Name, "kernel_size", 1, 1);
+    Result<int> Stride = intField(P, L.Name, "stride", 1, 1);
+    Result<int> Pad = intField(P, L.Name, "pad", 0, 0);
+    if (!NumOutput || !KernelSize || !Stride || !Pad)
+      return !NumOutput   ? NumOutput.takeError()
+             : !KernelSize ? KernelSize.takeError()
+             : !Stride     ? Stride.takeError()
+                           : Pad.takeError();
+    L.NumOutput = *NumOutput;
+    L.KernelSize = *KernelSize;
+    L.Stride = *Stride;
+    L.Pad = *Pad;
+    Result<bool> BiasTerm = P.boolOr("bias_term", true);
+    if (!BiasTerm)
+      return Error::failure("layer '" + L.Name + "': " +
+                            BiasTerm.message());
+    L.BiasTerm = *BiasTerm;
   } else if (L.Kind == LayerKind::InnerProduct) {
     if (!Msg.has("inner_product_param"))
       return Error::failure("layer '" + L.Name +
                             "': missing inner_product_param");
-    const PrototxtMessage &P =
-        Msg.values("inner_product_param")[0].message();
-    L.NumOutput = static_cast<int>(P.intOr("num_output", 0));
-    if (L.NumOutput <= 0)
-      return Error::failure("layer '" + L.Name +
-                            "': num_output must be positive");
+    Result<const PrototxtMessage *> Param =
+        messageField(Msg, L.Name, "inner_product_param");
+    if (!Param)
+      return Param.takeError();
+    Result<int> NumOutput = intField(**Param, L.Name, "num_output", 0, 1);
+    if (!NumOutput)
+      return NumOutput.takeError();
+    L.NumOutput = *NumOutput;
   } else if (L.Kind == LayerKind::Pooling) {
     if (Msg.has("pooling_param")) {
-      const PrototxtMessage &P = Msg.values("pooling_param")[0].message();
-      const std::string Pool = P.scalarOr("pool", "MAX");
-      if (Pool != "MAX" && Pool != "AVE")
+      Result<const PrototxtMessage *> Param =
+          messageField(Msg, L.Name, "pooling_param");
+      if (!Param)
+        return Param.takeError();
+      const PrototxtMessage &P = **Param;
+      Result<std::string> Pool = P.scalarOr("pool", "MAX");
+      if (!Pool)
+        return Error::failure("layer '" + L.Name + "': " + Pool.message());
+      if (*Pool != "MAX" && *Pool != "AVE")
         return Error::failure("layer '" + L.Name +
-                              "': unsupported pool method '" + Pool + "'");
-      L.PoolMax = Pool == "MAX";
-      L.KernelSize = static_cast<int>(P.intOr("kernel_size", 2));
-      L.Stride = static_cast<int>(P.intOr("stride", L.KernelSize));
-      L.Pad = static_cast<int>(P.intOr("pad", 0));
-      L.GlobalPooling = P.boolOr("global_pooling", false);
+                              "': unsupported pool method '" + *Pool + "'");
+      L.PoolMax = *Pool == "MAX";
+      Result<int> KernelSize = intField(P, L.Name, "kernel_size", 2, 1);
+      if (!KernelSize)
+        return KernelSize.takeError();
+      L.KernelSize = *KernelSize;
+      Result<int> Stride = intField(P, L.Name, "stride", L.KernelSize, 1);
+      Result<int> Pad = intField(P, L.Name, "pad", 0, 0);
+      if (!Stride || !Pad)
+        return !Stride ? Stride.takeError() : Pad.takeError();
+      L.Stride = *Stride;
+      L.Pad = *Pad;
+      Result<bool> GlobalPooling = P.boolOr("global_pooling", false);
+      if (!GlobalPooling)
+        return Error::failure("layer '" + L.Name + "': " +
+                              GlobalPooling.message());
+      L.GlobalPooling = *GlobalPooling;
     }
   } else if (L.Kind == LayerKind::Eltwise) {
     if (Msg.has("eltwise_param")) {
-      const PrototxtMessage &P = Msg.values("eltwise_param")[0].message();
-      const std::string Operation = P.scalarOr("operation", "SUM");
-      if (Operation != "SUM")
+      Result<const PrototxtMessage *> Param =
+          messageField(Msg, L.Name, "eltwise_param");
+      if (!Param)
+        return Param.takeError();
+      Result<std::string> Operation = (*Param)->scalarOr("operation", "SUM");
+      if (!Operation)
+        return Error::failure("layer '" + L.Name + "': " +
+                              Operation.message());
+      if (*Operation != "SUM")
         return Error::failure("layer '" + L.Name +
                               "': only SUM eltwise is supported");
     }
@@ -264,9 +366,16 @@ Result<ModelSpec> wootz::parseModelSpec(const std::string &PrototxtSource) {
   const PrototxtMessage &Top = *Parsed;
 
   ModelSpec Spec;
-  Spec.Name = Top.scalarOr("name", "model");
-  if (Top.has("input"))
-    Spec.InputName = Top.scalarOr("input", "data");
+  Result<std::string> Name = Top.scalarOr("name", "model");
+  if (!Name)
+    return Name.takeError();
+  Spec.Name = Name.take();
+  if (Top.has("input")) {
+    Result<std::string> Input = Top.scalarOr("input", "data");
+    if (!Input)
+      return Input.takeError();
+    Spec.InputName = Input.take();
+  }
   const std::vector<PrototxtValue> &Dims = Top.values("input_dim");
   if (Dims.size() != 4)
     return Error::failure("expected 4 input_dim entries (N C H W), found " +
@@ -274,13 +383,23 @@ Result<ModelSpec> wootz::parseModelSpec(const std::string &PrototxtSource) {
   // input_dim order is N, C, H, W; the batch extent is ignored (batches
   // are runtime-sized).
   auto dimAt = [&](int Index) -> Result<long long> {
-    return parseInteger(Dims[Index].text());
+    if (!Dims[Index].isScalar())
+      return Error::failure("input_dim must be a scalar");
+    Result<long long> Value = parseInteger(Dims[Index].text());
+    if (!Value)
+      return Error::failure("invalid input_dim '" + Dims[Index].text() +
+                            "': " + Value.message());
+    if (Index > 0 && (*Value < 1 || *Value > MaxLayerExtent))
+      return Error::failure("input_dim value " + std::to_string(*Value) +
+                            " is out of range [1, " +
+                            std::to_string(MaxLayerExtent) + "]");
+    return Value;
   };
   Result<long long> C = dimAt(1);
   Result<long long> H = dimAt(2);
   Result<long long> W = dimAt(3);
   if (!C || !H || !W)
-    return Error::failure("invalid input_dim value");
+    return !C ? C.takeError() : !H ? H.takeError() : W.takeError();
   Spec.InputChannels = static_cast<int>(*C);
   Spec.InputHeight = static_cast<int>(*H);
   Spec.InputWidth = static_cast<int>(*W);
@@ -302,21 +421,21 @@ Result<ModelSpec> wootz::parseModelSpec(const std::string &PrototxtSource) {
 
 std::string wootz::printModelSpec(const ModelSpec &Spec) {
   std::string Out;
-  Out += "name: \"" + Spec.Name + "\"\n";
-  Out += "input: \"" + Spec.InputName + "\"\n";
+  Out += "name: \"" + prototxtEscape(Spec.Name) + "\"\n";
+  Out += "input: \"" + prototxtEscape(Spec.InputName) + "\"\n";
   Out += "input_dim: 1\n";
   Out += "input_dim: " + std::to_string(Spec.InputChannels) + "\n";
   Out += "input_dim: " + std::to_string(Spec.InputHeight) + "\n";
   Out += "input_dim: " + std::to_string(Spec.InputWidth) + "\n";
   for (const LayerSpec &L : Spec.Layers) {
     Out += "layer {\n";
-    Out += "  name: \"" + L.Name + "\"\n";
+    Out += "  name: \"" + prototxtEscape(L.Name) + "\"\n";
     Out += "  type: \"" + std::string(layerKindName(L.Kind)) + "\"\n";
     for (const std::string &Bottom : L.Bottoms)
-      Out += "  bottom: \"" + Bottom + "\"\n";
-    Out += "  top: \"" + L.Name + "\"\n";
+      Out += "  bottom: \"" + prototxtEscape(Bottom) + "\"\n";
+    Out += "  top: \"" + prototxtEscape(L.Name) + "\"\n";
     if (!L.Module.empty())
-      Out += "  module: \"" + L.Module + "\"\n";
+      Out += "  module: \"" + prototxtEscape(L.Module) + "\"\n";
     if (L.Kind == LayerKind::Convolution) {
       Out += "  convolution_param {\n";
       Out += "    num_output: " + std::to_string(L.NumOutput) + "\n";

@@ -31,40 +31,63 @@ bool PrototxtMessage::has(const std::string &FieldName) const {
   return Fields.count(FieldName) != 0;
 }
 
-std::string PrototxtMessage::scalarOr(const std::string &FieldName,
-                                      const std::string &Default) const {
+Result<std::string>
+PrototxtMessage::scalarOr(const std::string &FieldName,
+                          const std::string &Default) const {
   const std::vector<PrototxtValue> &Values = values(FieldName);
   if (Values.empty())
     return Default;
-  assert(Values.size() == 1 && "scalarOr on a repeated field");
-  assert(Values[0].isScalar() && "scalarOr on a message field");
+  if (Values.size() != 1)
+    return Error::failure("field '" + FieldName +
+                          "' occurs " + std::to_string(Values.size()) +
+                          " times, expected a single value");
+  if (!Values[0].isScalar())
+    return Error::failure("field '" + FieldName +
+                          "' is a message, expected a scalar");
   return Values[0].text();
 }
 
-long long PrototxtMessage::intOr(const std::string &FieldName,
-                                 long long Default) const {
+Result<long long> PrototxtMessage::intOr(const std::string &FieldName,
+                                         long long Default) const {
   if (!has(FieldName))
     return Default;
-  Result<long long> Parsed = parseInteger(scalarOr(FieldName, ""));
-  assert(Parsed && "intOr on a non-integer field");
+  Result<std::string> Text = scalarOr(FieldName, "");
+  if (!Text)
+    return Text.takeError();
+  Result<long long> Parsed = parseInteger(*Text);
+  if (!Parsed)
+    return Error::failure("field '" + FieldName + "': " +
+                          Parsed.message());
   return *Parsed;
 }
 
-double PrototxtMessage::doubleOr(const std::string &FieldName,
-                                 double Default) const {
+Result<double> PrototxtMessage::doubleOr(const std::string &FieldName,
+                                         double Default) const {
   if (!has(FieldName))
     return Default;
-  Result<double> Parsed = parseDouble(scalarOr(FieldName, ""));
-  assert(Parsed && "doubleOr on a non-numeric field");
+  Result<std::string> Text = scalarOr(FieldName, "");
+  if (!Text)
+    return Text.takeError();
+  Result<double> Parsed = parseDouble(*Text);
+  if (!Parsed)
+    return Error::failure("field '" + FieldName + "': " +
+                          Parsed.message());
   return *Parsed;
 }
 
-bool PrototxtMessage::boolOr(const std::string &FieldName,
-                             bool Default) const {
+Result<bool> PrototxtMessage::boolOr(const std::string &FieldName,
+                                     bool Default) const {
   if (!has(FieldName))
     return Default;
-  const std::string Text = scalarOr(FieldName, "");
-  return Text == "true" || Text == "1";
+  Result<std::string> Text = scalarOr(FieldName, "");
+  if (!Text)
+    return Text.takeError();
+  if (*Text == "true" || *Text == "1")
+    return true;
+  if (*Text == "false" || *Text == "0")
+    return false;
+  return Error::failure("field '" + FieldName +
+                        "' must be true or false, found '" + *Text + "'");
 }
 
 PrototxtValue PrototxtValue::scalar(std::string Text) {
@@ -160,10 +183,40 @@ private:
     ++Position; // Opening quote.
     std::string Text;
     while (Position < Source.size() && Source[Position] != Quote) {
-      if (Source[Position] == '\n')
+      const char C = Source[Position];
+      if (C == '\n')
         return Error::failure("line " + std::to_string(StartLine) +
                               ": unterminated string literal");
-      Text += Source[Position++];
+      if (C == '\\') {
+        // A trailing backslash leaves the literal unterminated; any other
+        // backslash introduces one of the standard escapes.
+        if (Position + 1 >= Source.size())
+          return Error::failure("line " + std::to_string(StartLine) +
+                                ": unterminated string literal");
+        const char Escaped = Source[Position + 1];
+        switch (Escaped) {
+        case '"':
+        case '\'':
+        case '\\':
+          Text += Escaped;
+          break;
+        case 'n':
+          Text += '\n';
+          break;
+        case 't':
+          Text += '\t';
+          break;
+        default:
+          return Error::failure("line " + std::to_string(StartLine) +
+                                ": unsupported escape '\\" +
+                                std::string(1, Escaped) +
+                                "' in string literal");
+        }
+        Position += 2;
+        continue;
+      }
+      Text += C;
+      ++Position;
     }
     if (Position >= Source.size())
       return Error::failure("line " + std::to_string(StartLine) +
@@ -289,4 +342,28 @@ private:
 Result<PrototxtMessage> wootz::parsePrototxt(const std::string &Source) {
   Parser P(Source);
   return P.parseTopLevel();
+}
+
+std::string wootz::prototxtEscape(const std::string &Text) {
+  std::string Escaped;
+  Escaped.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Escaped += "\\\"";
+      break;
+    case '\\':
+      Escaped += "\\\\";
+      break;
+    case '\n':
+      Escaped += "\\n";
+      break;
+    case '\t':
+      Escaped += "\\t";
+      break;
+    default:
+      Escaped += C;
+    }
+  }
+  return Escaped;
 }

@@ -51,18 +51,22 @@ public:
   bool has(const std::string &FieldName) const;
 
   /// The sole scalar value of \p FieldName, or \p Default when absent.
-  /// Asserts if the field is repeated or is a message.
-  std::string scalarOr(const std::string &FieldName,
-                       const std::string &Default) const;
+  /// A repeated or message-valued field is a recoverable Error — fields
+  /// come from untrusted input, so none of these accessors assert.
+  Result<std::string> scalarOr(const std::string &FieldName,
+                               const std::string &Default) const;
 
-  /// Integer convenience over scalarOr().
-  long long intOr(const std::string &FieldName, long long Default) const;
+  /// Integer convenience over scalarOr(); non-integer text is an Error.
+  Result<long long> intOr(const std::string &FieldName,
+                          long long Default) const;
 
-  /// Double convenience over scalarOr().
-  double doubleOr(const std::string &FieldName, double Default) const;
+  /// Double convenience over scalarOr(); non-numeric text is an Error.
+  Result<double> doubleOr(const std::string &FieldName,
+                          double Default) const;
 
-  /// Boolean convenience: accepts true/false.
-  bool boolOr(const std::string &FieldName, bool Default) const;
+  /// Boolean convenience: accepts exactly true/false/1/0; anything else
+  /// ("True", "yes", ...) is an Error, never silently false.
+  Result<bool> boolOr(const std::string &FieldName, bool Default) const;
 
   /// Field names in first-occurrence order.
   const std::vector<std::string> &fieldOrder() const { return Order; }
@@ -95,6 +99,11 @@ private:
 
 /// Parses \p Source into a top-level message. Errors carry a line number.
 Result<PrototxtMessage> parsePrototxt(const std::string &Source);
+
+/// Escapes \p Text for use inside a double-quoted Prototxt string
+/// literal (backslash, quotes, newline, tab — the escapes the lexer
+/// understands), so printed specs round-trip through parsePrototxt().
+std::string prototxtEscape(const std::string &Text);
 
 } // namespace wootz
 

@@ -294,6 +294,27 @@ Error ModelRegistry::add(const std::string &Id,
   return Error::success();
 }
 
+Error ModelRegistry::remove(const std::string &Id) {
+  std::unique_ptr<ServableModel> Victim;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Models.find(Id);
+    if (It == Models.end())
+      return Error::failure("unknown model '" + Id + "'");
+    Victim = std::move(It->second);
+    Models.erase(It);
+    Order.erase(std::remove(Order.begin(), Order.end(), Id), Order.end());
+  }
+  // Stop outside the lock: predict() callers inside the engine must be
+  // able to finish while we wait for the workers to join.
+  Victim->Engine->stop();
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Retired.push_back(std::move(Victim));
+  if (Log)
+    Log->bump("serve.models.removed");
+  return Error::success();
+}
+
 ServableModel *ModelRegistry::find(const std::string &Id) {
   std::lock_guard<std::mutex> Lock(Mutex);
   auto It = Models.find(Id);

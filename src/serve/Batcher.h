@@ -141,8 +141,10 @@ struct ServableModel {
   std::unique_ptr<Batcher> Engine;
 };
 
-/// Thread-safe id -> ServableModel table. Models are never removed while
-/// the registry lives, so find() results stay valid until stopAll().
+/// Thread-safe id -> ServableModel table. Removed models are retired,
+/// not destroyed — their engines stop (in-flight predicts fail cleanly)
+/// but the objects live until the registry does, so find() results held
+/// by concurrent request handlers stay valid until stopAll().
 class ModelRegistry {
 public:
   explicit ModelRegistry(BatcherOptions Batching, RunLog *Log,
@@ -154,6 +156,12 @@ public:
   Error add(const std::string &Id,
             std::shared_ptr<AssembledNetwork> Network, int Channels,
             int Height, int Width, int Classes, std::string Origin);
+
+  /// Unregisters \p Id: its engine stops (queued predicts fail with
+  /// "model is draining") and the id becomes free again. The
+  /// ServableModel object is retired rather than destroyed; see the
+  /// class comment.
+  Error remove(const std::string &Id);
 
   /// Looks up a model; nullptr when absent.
   ServableModel *find(const std::string &Id);
@@ -173,6 +181,8 @@ private:
   mutable std::mutex Mutex;
   std::vector<std::string> Order;
   std::map<std::string, std::unique_ptr<ServableModel>> Models;
+  /// Removed models, kept alive so raw pointers from find() never dangle.
+  std::vector<std::unique_ptr<ServableModel>> Retired;
 };
 
 } // namespace serve

@@ -4,6 +4,7 @@
 
 #include "src/data/Synthetic.h"
 #include "src/plan/Plan.h"
+#include "src/serve/ModelStore.h"
 #include "src/support/File.h"
 #include "src/support/Json.h"
 #include "src/support/StringUtils.h"
@@ -30,8 +31,8 @@ const char *wootz::serve::jobStateName(JobState State) {
 }
 
 JobManager::JobManager(JobManagerOptions Options, ModelRegistry *Registry,
-                       RunLog *Log)
-    : Options(Options), Registry(Registry), Log(Log) {
+                       RunLog *Log, const ModelStore *Store)
+    : Options(Options), Registry(Registry), Log(Log), Store(Store) {
   const int Count = std::max(1, Options.Workers);
   Workers.reserve(static_cast<size_t>(Count));
   for (int I = 0; I < Count; ++I)
@@ -109,7 +110,16 @@ JobManager::submit(const std::map<std::string, std::string> &Body) {
       return badRequest(std::string("missing required field '") + Key +
                         "'");
 
-  Result<ModelSpec> Spec = parseModelSpec(Body.at("model"));
+  // "model" is either inline Prototxt or the id of an uploaded model;
+  // ids are checked first (a bare id is never valid Prototxt, so the two
+  // cannot collide).
+  std::string ModelText = Body.at("model");
+  if (Store) {
+    Result<std::string> Stored = Store->prototxtFor(ModelText);
+    if (Stored)
+      ModelText = Stored.take();
+  }
+  Result<ModelSpec> Spec = parseModelSpec(ModelText);
   if (!Spec)
     return badRequest("model: " + Spec.message());
   J->Spec = Spec.take();

@@ -44,6 +44,8 @@
 namespace wootz {
 namespace serve {
 
+class ModelStore;
+
 /// Job-side knobs.
 struct JobManagerOptions {
   /// Job executor threads — how many explorations run concurrently.
@@ -80,16 +82,18 @@ struct SubmitOutcome {
 class JobManager {
 public:
   /// \p Registry (optional) receives winning networks; \p Log (optional)
-  /// gets `serve.jobs.*` counters.
+  /// gets `serve.jobs.*` counters; \p Store (optional) resolves "model"
+  /// values that name uploaded models.
   JobManager(JobManagerOptions Options, ModelRegistry *Registry,
-             RunLog *Log);
+             RunLog *Log, const ModelStore *Store = nullptr);
   ~JobManager();
 
   JobManager(const JobManager &) = delete;
   JobManager &operator=(const JobManager &) = delete;
 
   /// Parses and enqueues one job from a flat-JSON request body. Required
-  /// fields: "model" (Prototxt), "subspace", "meta", "objective" — each
+  /// fields: "model" (Prototxt text, or the id of an uploaded model —
+  /// checked first), "subspace", "meta", "objective" — each
   /// the corresponding Figure-2 text format. Optional: "composability"
   /// (bool, default true), "identifier" (bool, default true), "schedule"
   /// ("overlap"|"evalonly", default overlap), "workers" (int, default 2),
@@ -164,6 +168,7 @@ private:
   JobManagerOptions Options;
   ModelRegistry *Registry = nullptr;
   RunLog *Log = nullptr;
+  const ModelStore *Store = nullptr;
   RunLog Clock; ///< Timestamps only (now()).
 
   mutable std::mutex Mutex;

@@ -16,7 +16,11 @@ using namespace wootz::serve;
 WootzServer::WootzServer(ServerOptions Options)
     : Options(Options),
       Registry(Options.Batching, &Log, &PredictLatency),
-      Jobs(Options.Jobs, &Registry, &Log) {
+      Store(Options.Uploads, &Registry, &Log),
+      Jobs(Options.Jobs, &Registry, &Log, &Store) {
+  // Re-register persisted uploads before the listener exists: a client
+  // that connects never sees a partially restored model list.
+  Store.loadFromDisk();
   buildRoutes();
   Http = std::make_unique<HttpServer>(
       Options.Http,
@@ -123,6 +127,22 @@ void WootzServer::buildRoutes() {
                Out.Body = Body.str() + "\n";
                return Out;
              });
+  Routes.add("POST", "/v1/models",
+             [this](const HttpRequest &Request,
+                    const std::vector<std::string> &) {
+               return uploadModel(Request);
+             });
+  Routes.add("DELETE", "/v1/models/:id",
+             [this](const HttpRequest &,
+                    const std::vector<std::string> &Params) {
+               if (Error E = Store.remove(Params[0]))
+                 return errorResponse(404, E.message());
+               HttpResponse Out;
+               JsonObject Body;
+               Body.field("id", Params[0]).field("state", "deleted");
+               Out.Body = Body.str() + "\n";
+               return Out;
+             });
   Routes.add("POST", "/v1/models/:id/predict",
              [this](const HttpRequest &Request,
                     const std::vector<std::string> &Params) {
@@ -153,8 +173,9 @@ HttpResponse WootzServer::indexResponse() const {
       .fieldRaw("endpoints",
                 "[\"GET /healthz\",\"POST /v1/jobs\",\"GET /v1/jobs\","
                 "\"GET /v1/jobs/:id\",\"DELETE /v1/jobs/:id\","
-                "\"GET /v1/models\",\"POST /v1/models/:id/predict\","
-                "\"GET /metrics\"]");
+                "\"GET /v1/models\",\"POST /v1/models\","
+                "\"DELETE /v1/models/:id\","
+                "\"POST /v1/models/:id/predict\",\"GET /metrics\"]");
   HttpResponse Out;
   Out.Body = Body.str() + "\n";
   return Out;
@@ -178,6 +199,27 @@ HttpResponse WootzServer::submitJob(const HttpRequest &Request) {
   Accepted.field("id", Outcome.Id)
       .field("status_url", "/v1/jobs/" + Outcome.Id);
   Out.Body = Accepted.str() + "\n";
+  return Out;
+}
+
+HttpResponse WootzServer::uploadModel(const HttpRequest &Request) {
+  Result<std::map<std::string, std::string>> Body =
+      parseFlatJsonObject(Request.Body);
+  if (!Body)
+    return errorResponse(400, "request body: " + Body.message());
+  const UploadOutcome Outcome = Store.upload(*Body);
+  if (Outcome.Status != 201) {
+    HttpResponse Out = errorResponse(Outcome.Status, Outcome.Error);
+    if (Outcome.Status == 429)
+      Out.ExtraHeaders.emplace_back("Retry-After", "5");
+    return Out;
+  }
+  HttpResponse Out;
+  Out.Status = 201;
+  JsonObject Created;
+  Created.field("id", Outcome.Id)
+      .field("predict_url", "/v1/models/" + Outcome.Id + "/predict");
+  Out.Body = Created.str() + "\n";
   return Out;
 }
 

@@ -15,6 +15,8 @@
 ///   GET    /v1/jobs/:id             job status + live counters
 ///   DELETE /v1/jobs/:id             cancel a job
 ///   GET    /v1/models               list servable models
+///   POST   /v1/models               upload a model (Prototxt + weights)
+///   DELETE /v1/models/:id           remove an uploaded model
 ///   POST   /v1/models/:id/predict   micro-batched inference
 ///   GET    /metrics                 Prometheus text exposition
 ///
@@ -29,6 +31,7 @@
 
 #include "src/serve/Http.h"
 #include "src/serve/JobManager.h"
+#include "src/serve/ModelStore.h"
 #include "src/serve/Router.h"
 
 #include <atomic>
@@ -42,6 +45,7 @@ struct ServerOptions {
   HttpServerOptions Http;
   JobManagerOptions Jobs;
   BatcherOptions Batching;
+  ModelStoreOptions Uploads;
 };
 
 /// The assembled daemon.
@@ -70,6 +74,7 @@ public:
   // Direct access for tests and for preloading models.
   JobManager &jobs() { return Jobs; }
   ModelRegistry &models() { return Registry; }
+  ModelStore &uploads() { return Store; }
   RunLog &log() { return Log; }
 
 private:
@@ -78,6 +83,7 @@ private:
 
   HttpResponse indexResponse() const;
   HttpResponse submitJob(const HttpRequest &Request);
+  HttpResponse uploadModel(const HttpRequest &Request);
   HttpResponse predict(const HttpRequest &Request, const std::string &Id);
 
   ServerOptions Options;
@@ -85,9 +91,11 @@ private:
   LatencyHistogram RequestLatency; ///< Whole-request, any endpoint.
   LatencyHistogram PredictLatency; ///< predict() wait+forward time.
   // Destruction order matters: Http first (joins request threads, which
-  // touch Jobs/Registry), then Jobs (joins job workers, which publish
-  // into Registry), then Registry. Members are declared in reverse.
+  // touch Jobs/Store/Registry), then Jobs (joins job workers, which
+  // publish into Registry and read the Store), then Store, then
+  // Registry. Members are declared in reverse.
   ModelRegistry Registry;
+  ModelStore Store;
   JobManager Jobs;
   Router Routes;
   std::unique_ptr<HttpServer> Http;

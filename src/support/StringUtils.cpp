@@ -2,9 +2,10 @@
 
 #include "src/support/StringUtils.h"
 
+#include <array>
 #include <cctype>
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 
 using namespace wootz;
 
@@ -50,25 +51,47 @@ bool wootz::endsWith(std::string_view Text, std::string_view Suffix) {
          Text.substr(Text.size() - Suffix.size()) == Suffix;
 }
 
+/// Drops an explicit leading '+', which std::from_chars (unlike strtoll /
+/// strtod) rejects. Only a '+' directly before a digit or '.' is eaten, so
+/// garbage like "+-3" still fails in from_chars.
+static std::string_view dropLeadingPlus(std::string_view Text) {
+  if (Text.size() >= 2 && Text[0] == '+' &&
+      (std::isdigit(static_cast<unsigned char>(Text[1])) || Text[1] == '.'))
+    return Text.substr(1);
+  return Text;
+}
+
 Result<long long> wootz::parseInteger(std::string_view Text) {
-  const std::string Owned(trim(Text));
-  if (Owned.empty())
+  // std::from_chars is locale-independent, unlike strtoll, whose grouping
+  // behavior can vary under a non-"C" locale.
+  const std::string_view Trimmed = dropLeadingPlus(trim(Text));
+  if (Trimmed.empty())
     return Error::failure("expected an integer, found empty text");
-  char *End = nullptr;
-  const long long Value = std::strtoll(Owned.c_str(), &End, 10);
-  if (End != Owned.c_str() + Owned.size())
-    return Error::failure("invalid integer '" + Owned + "'");
+  long long Value = 0;
+  const auto [Ptr, Ec] =
+      std::from_chars(Trimmed.data(), Trimmed.data() + Trimmed.size(), Value);
+  if (Ec == std::errc::result_out_of_range)
+    return Error::failure("integer '" + std::string(Trimmed) +
+                          "' is out of range");
+  if (Ec != std::errc() || Ptr != Trimmed.data() + Trimmed.size())
+    return Error::failure("invalid integer '" + std::string(Trimmed) + "'");
   return Value;
 }
 
 Result<double> wootz::parseDouble(std::string_view Text) {
-  const std::string Owned(trim(Text));
-  if (Owned.empty())
+  // std::from_chars always parses with the classic "C" locale, so "1.5"
+  // parses the same under e.g. de_DE (where strtod expects "1,5").
+  const std::string_view Trimmed = dropLeadingPlus(trim(Text));
+  if (Trimmed.empty())
     return Error::failure("expected a number, found empty text");
-  char *End = nullptr;
-  const double Value = std::strtod(Owned.c_str(), &End);
-  if (End != Owned.c_str() + Owned.size())
-    return Error::failure("invalid number '" + Owned + "'");
+  double Value = 0;
+  const auto [Ptr, Ec] =
+      std::from_chars(Trimmed.data(), Trimmed.data() + Trimmed.size(), Value);
+  if (Ec == std::errc::result_out_of_range)
+    return Error::failure("number '" + std::string(Trimmed) +
+                          "' is out of range");
+  if (Ec != std::errc() || Ptr != Trimmed.data() + Trimmed.size())
+    return Error::failure("invalid number '" + std::string(Trimmed) + "'");
   return Value;
 }
 
@@ -87,4 +110,88 @@ std::string wootz::formatDouble(double Value, int Digits) {
   char Buffer[64];
   std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
   return Buffer;
+}
+
+//===----------------------------------------------------------------------===//
+// Base64 (standard alphabet, '=' padding) — used to carry binary weight
+// bundles inside JSON request bodies.
+//===----------------------------------------------------------------------===//
+
+static constexpr char Base64Alphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::string wootz::base64Encode(std::string_view Bytes) {
+  std::string Out;
+  Out.reserve((Bytes.size() + 2) / 3 * 4);
+  size_t I = 0;
+  for (; I + 3 <= Bytes.size(); I += 3) {
+    const unsigned Chunk = (static_cast<unsigned char>(Bytes[I]) << 16) |
+                           (static_cast<unsigned char>(Bytes[I + 1]) << 8) |
+                           static_cast<unsigned char>(Bytes[I + 2]);
+    Out += Base64Alphabet[(Chunk >> 18) & 63];
+    Out += Base64Alphabet[(Chunk >> 12) & 63];
+    Out += Base64Alphabet[(Chunk >> 6) & 63];
+    Out += Base64Alphabet[Chunk & 63];
+  }
+  const size_t Rest = Bytes.size() - I;
+  if (Rest == 1) {
+    const unsigned Chunk = static_cast<unsigned char>(Bytes[I]) << 16;
+    Out += Base64Alphabet[(Chunk >> 18) & 63];
+    Out += Base64Alphabet[(Chunk >> 12) & 63];
+    Out += "==";
+  } else if (Rest == 2) {
+    const unsigned Chunk = (static_cast<unsigned char>(Bytes[I]) << 16) |
+                           (static_cast<unsigned char>(Bytes[I + 1]) << 8);
+    Out += Base64Alphabet[(Chunk >> 18) & 63];
+    Out += Base64Alphabet[(Chunk >> 12) & 63];
+    Out += Base64Alphabet[(Chunk >> 6) & 63];
+    Out += '=';
+  }
+  return Out;
+}
+
+Result<std::string> wootz::base64Decode(std::string_view Text) {
+  std::array<signed char, 256> Reverse;
+  Reverse.fill(-1);
+  for (int I = 0; I < 64; ++I)
+    Reverse[static_cast<unsigned char>(Base64Alphabet[I])] =
+        static_cast<signed char>(I);
+
+  if (Text.size() % 4 != 0)
+    return Error::failure("base64 length " + std::to_string(Text.size()) +
+                          " is not a multiple of 4");
+  std::string Out;
+  Out.reserve(Text.size() / 4 * 3);
+  for (size_t I = 0; I < Text.size(); I += 4) {
+    const bool LastQuad = I + 4 == Text.size();
+    int Values[4];
+    int Padding = 0;
+    for (int J = 0; J < 4; ++J) {
+      const char C = Text[I + J];
+      if (C == '=') {
+        // Padding is only legal in the final one or two positions.
+        if (!LastQuad || J < 2)
+          return Error::failure("unexpected '=' at base64 offset " +
+                                std::to_string(I + J));
+        ++Padding;
+        Values[J] = 0;
+        continue;
+      }
+      if (Padding > 0)
+        return Error::failure("base64 data after '=' padding");
+      const signed char Decoded = Reverse[static_cast<unsigned char>(C)];
+      if (Decoded < 0)
+        return Error::failure("invalid base64 character at offset " +
+                              std::to_string(I + J));
+      Values[J] = Decoded;
+    }
+    const unsigned Chunk = (Values[0] << 18) | (Values[1] << 12) |
+                           (Values[2] << 6) | Values[3];
+    Out += static_cast<char>((Chunk >> 16) & 0xff);
+    if (Padding < 2)
+      Out += static_cast<char>((Chunk >> 8) & 0xff);
+    if (Padding < 1)
+      Out += static_cast<char>(Chunk & 0xff);
+  }
+  return Out;
 }

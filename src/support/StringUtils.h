@@ -49,6 +49,13 @@ std::string join(const std::vector<std::string> &Pieces,
 /// Formats \p Value with \p Digits digits after the decimal point.
 std::string formatDouble(double Value, int Digits);
 
+/// Encodes \p Bytes as standard base64 with '=' padding.
+std::string base64Encode(std::string_view Bytes);
+
+/// Decodes standard base64; rejects bad lengths, characters outside the
+/// alphabet, and misplaced padding.
+Result<std::string> base64Decode(std::string_view Text);
+
 } // namespace wootz
 
 #endif // WOOTZ_SUPPORT_STRINGUTILS_H

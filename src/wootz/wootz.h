@@ -23,6 +23,7 @@
 #define WOOTZ_WOOTZ_H
 
 #include "src/compiler/Codegen.h"
+#include "src/compiler/GraphBuilder.h"
 #include "src/compiler/Multiplexing.h"
 #include "src/compiler/NetsFactory.h"
 #include "src/compiler/Solver.h"

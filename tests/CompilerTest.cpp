@@ -1,10 +1,12 @@
 //===- tests/CompilerTest.cpp - compiler/ unit tests ---------------------------------===//
 
 #include "src/compiler/Codegen.h"
+#include "src/compiler/GraphBuilder.h"
 #include "src/compiler/NetsFactory.h"
 #include "src/compiler/Solver.h"
 #include "src/models/MiniModels.h"
 #include "src/nn/Loss.h"
+#include "src/nn/Serialize.h"
 
 #include <gtest/gtest.h>
 
@@ -375,6 +377,120 @@ TEST(CodegenTest, ExplorationWrapperEmbedsObjective) {
   EXPECT_NE(Script.find("explore.freeze_plan(net, 'plan.json')"),
             std::string::npos);
   EXPECT_NE(Script.find("eval_threads=EVAL_THREADS"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// GraphBuilder: spec -> runnable network, weight export/import
+//===----------------------------------------------------------------------===//
+
+/// Deterministic pseudo-random input batch.
+static Tensor randomInput(const ModelSpec &Spec, int Batch,
+                          uint64_t Seed) {
+  Tensor Input(Shape{Batch, Spec.InputChannels, Spec.InputHeight,
+                     Spec.InputWidth});
+  Rng Generator(Seed);
+  for (size_t I = 0; I < Input.size(); ++I)
+    Input.data()[I] = Generator.nextFloat() * 2.0f - 1.0f;
+  return Input;
+}
+
+/// Logits of \p Built on \p Input.
+static Tensor forwardLogits(BuiltNetwork &Built, const Tensor &Input) {
+  Built.Network.setInput(Built.InputNode, Input);
+  Built.Network.forward(false);
+  return Built.Network.activation(Built.LogitsNode);
+}
+
+TEST(GraphBuilderTest, BuildsEveryStandardModel) {
+  for (StandardModel Model : standardModels()) {
+    Result<ModelSpec> Spec = makeStandardModel(Model, 5);
+    ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.message();
+    Result<BuiltNetwork> Built = buildFullNetwork(*Spec, 11);
+    ASSERT_TRUE(static_cast<bool>(Built))
+        << standardModelName(Model) << ": " << Built.message();
+    EXPECT_EQ(Built->Classes, 5) << standardModelName(Model);
+    const Tensor Logits = forwardLogits(*Built, randomInput(*Spec, 2, 3));
+    EXPECT_EQ(Logits.shape(), Shape({2, 5})) << standardModelName(Model);
+  }
+}
+
+TEST(GraphBuilderTest, ExportImportRoundTripsExactly) {
+  const ModelSpec Spec = resnetSpec();
+  Result<BuiltNetwork> Source = buildFullNetwork(Spec, 101);
+  Result<BuiltNetwork> Target = buildFullNetwork(Spec, 202);
+  ASSERT_TRUE(static_cast<bool>(Source)) << Source.message();
+  ASSERT_TRUE(static_cast<bool>(Target)) << Target.message();
+
+  const Tensor Input = randomInput(Spec, 2, 5);
+  const Tensor Expected = forwardLogits(*Source, Input);
+  const Tensor Before = forwardLogits(*Target, Input);
+  // Different seeds genuinely diverge; otherwise the import below would
+  // be vacuous.
+  bool Differs = false;
+  for (size_t I = 0; I < Expected.size(); ++I)
+    Differs |= Expected.data()[I] != Before.data()[I];
+  ASSERT_TRUE(Differs);
+
+  // Serialize through the WOOTZCK2 container, as uploads do.
+  Result<TensorBundle> Bundle = deserializeTensors(serializeTensors(
+      exportWeights(Source->Network, FullNetworkPrefix)));
+  ASSERT_TRUE(static_cast<bool>(Bundle)) << Bundle.message();
+  Error Imported =
+      importWeights(Target->Network, FullNetworkPrefix, *Bundle);
+  ASSERT_FALSE(static_cast<bool>(Imported)) << Imported.message();
+
+  const Tensor After = forwardLogits(*Target, Input);
+  ASSERT_EQ(After.shape(), Expected.shape());
+  for (size_t I = 0; I < Expected.size(); ++I)
+    EXPECT_EQ(Expected.data()[I], After.data()[I]) << "logit " << I;
+}
+
+TEST(GraphBuilderTest, ImportRejectsMissingEntries) {
+  const ModelSpec Spec = resnetSpec();
+  Result<BuiltNetwork> Built = buildFullNetwork(Spec, 1);
+  ASSERT_TRUE(static_cast<bool>(Built)) << Built.message();
+  TensorBundle Bundle = exportWeights(Built->Network, FullNetworkPrefix);
+  ASSERT_FALSE(Bundle.empty());
+  Bundle.erase(Bundle.begin());
+  Error E = importWeights(Built->Network, FullNetworkPrefix, Bundle);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("missing"), std::string::npos)
+      << E.message();
+}
+
+TEST(GraphBuilderTest, ImportRejectsShapeMismatch) {
+  const ModelSpec Spec = resnetSpec();
+  Result<BuiltNetwork> Built = buildFullNetwork(Spec, 1);
+  ASSERT_TRUE(static_cast<bool>(Built)) << Built.message();
+  TensorBundle Bundle = exportWeights(Built->Network, FullNetworkPrefix);
+  Bundle.begin()->second = Tensor(Shape{1, 2, 3});
+  Error E = importWeights(Built->Network, FullNetworkPrefix, Bundle);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("[1, 2, 3]"), std::string::npos)
+      << E.message();
+}
+
+TEST(GraphBuilderTest, ImportRejectsUnknownEntries) {
+  const ModelSpec Spec = resnetSpec();
+  Result<BuiltNetwork> Built = buildFullNetwork(Spec, 1);
+  ASSERT_TRUE(static_cast<bool>(Built)) << Built.message();
+  TensorBundle Bundle = exportWeights(Built->Network, FullNetworkPrefix);
+  Bundle["ghost_layer/s0"] = Tensor(Shape{1});
+  Error E = importWeights(Built->Network, FullNetworkPrefix, Bundle);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("ghost_layer"), std::string::npos)
+      << E.message();
+}
+
+TEST(GraphBuilderTest, RequiresAClassifierHead) {
+  Result<ModelSpec> Spec = parseModelSpec(
+      "name: \"headless\"\ninput: \"data\"\ninput_dim: 1\n"
+      "input_dim: 3\ninput_dim: 8\ninput_dim: 8\n"
+      "layer { name: \"a\" type: \"ReLU\" bottom: \"data\" top: \"a\" }");
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.message();
+  Result<BuiltNetwork> Built = buildFullNetwork(*Spec, 1);
+  ASSERT_FALSE(static_cast<bool>(Built));
+  EXPECT_NE(Built.message().find("InnerProduct"), std::string::npos);
 }
 
 } // namespace

@@ -17,11 +17,11 @@ TEST(PrototxtTest, ScalarsAndStrings) {
   Result<PrototxtMessage> Msg = parsePrototxt(
       "name: \"resnet\"\ncount: 42\nratio: 0.5\nflag: true\n");
   ASSERT_TRUE(static_cast<bool>(Msg)) << Msg.message();
-  EXPECT_EQ(Msg->scalarOr("name", ""), "resnet");
-  EXPECT_EQ(Msg->intOr("count", 0), 42);
-  EXPECT_DOUBLE_EQ(Msg->doubleOr("ratio", 0), 0.5);
-  EXPECT_TRUE(Msg->boolOr("flag", false));
-  EXPECT_EQ(Msg->intOr("missing", -1), -1);
+  EXPECT_EQ(*Msg->scalarOr("name", ""), "resnet");
+  EXPECT_EQ(*Msg->intOr("count", 0), 42);
+  EXPECT_DOUBLE_EQ(*Msg->doubleOr("ratio", 0), 0.5);
+  EXPECT_TRUE(*Msg->boolOr("flag", false));
+  EXPECT_EQ(*Msg->intOr("missing", -1), -1);
 }
 
 TEST(PrototxtTest, NestedMessages) {
@@ -30,10 +30,10 @@ TEST(PrototxtTest, NestedMessages) {
   ASSERT_TRUE(static_cast<bool>(Msg)) << Msg.message();
   const auto &Layers = Msg->values("layer");
   ASSERT_EQ(Layers.size(), 2u);
-  EXPECT_EQ(Layers[0].message().scalarOr("name", ""), "a");
-  EXPECT_EQ(Layers[0].message().values("inner")[0].message().intOr("x", 0),
+  EXPECT_EQ(*Layers[0].message().scalarOr("name", ""), "a");
+  EXPECT_EQ(*Layers[0].message().values("inner")[0].message().intOr("x", 0),
             1);
-  EXPECT_EQ(Layers[1].message().scalarOr("name", ""), "b");
+  EXPECT_EQ(*Layers[1].message().scalarOr("name", ""), "b");
 }
 
 TEST(PrototxtTest, ColonBeforeBraceIsOptional) {
@@ -41,15 +41,15 @@ TEST(PrototxtTest, ColonBeforeBraceIsOptional) {
   Result<PrototxtMessage> B = parsePrototxt("block: { x: 1 }");
   ASSERT_TRUE(static_cast<bool>(A));
   ASSERT_TRUE(static_cast<bool>(B));
-  EXPECT_EQ(A->values("block")[0].message().intOr("x", 0),
-            B->values("block")[0].message().intOr("x", 0));
+  EXPECT_EQ(*A->values("block")[0].message().intOr("x", 0),
+            *B->values("block")[0].message().intOr("x", 0));
 }
 
 TEST(PrototxtTest, CommentsIgnored) {
   Result<PrototxtMessage> Msg =
       parsePrototxt("# header\nvalue: 3 # trailing\n# done\n");
   ASSERT_TRUE(static_cast<bool>(Msg));
-  EXPECT_EQ(Msg->intOr("value", 0), 3);
+  EXPECT_EQ(*Msg->intOr("value", 0), 3);
 }
 
 TEST(PrototxtTest, RepeatedFieldsKeepOrder) {
@@ -64,8 +64,8 @@ TEST(PrototxtTest, RepeatedFieldsKeepOrder) {
 TEST(PrototxtTest, NegativeAndScientificNumbers) {
   Result<PrototxtMessage> Msg = parsePrototxt("a: -3\nb: 1e-4\n");
   ASSERT_TRUE(static_cast<bool>(Msg));
-  EXPECT_EQ(Msg->intOr("a", 0), -3);
-  EXPECT_DOUBLE_EQ(Msg->doubleOr("b", 0), 1e-4);
+  EXPECT_EQ(*Msg->intOr("a", 0), -3);
+  EXPECT_DOUBLE_EQ(*Msg->doubleOr("b", 0), 1e-4);
 }
 
 TEST(PrototxtTest, ErrorsCarryLineNumbers) {
@@ -336,5 +336,134 @@ INSTANTIATE_TEST_SUITE_P(
         "eltwise_param { operation: SUM } }\n"
         "layer { name: \"out\" type: \"ReLU\" bottom: \"m1_a\" "
         "top: \"out\" }"));
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Untrusted-input hardening (appended tests)
+//===----------------------------------------------------------------------===//
+
+#include "src/models/MiniModels.h"
+
+namespace {
+
+// Every truncation of a valid model — which cuts mid-token, mid-string,
+// mid-message, and at every token boundary somewhere along the sweep —
+// must yield either a parse or a diagnostic, never a crash. This is the
+// regression net for the assert-based accessors the parser used to have
+// (UB under NDEBUG on exactly these inputs).
+TEST(PrototxtFuzzTest, EveryTruncationParsesOrDiagnoses) {
+  const std::string Text = TinyModel;
+  for (size_t Length = 0; Length < Text.size(); ++Length) {
+    Result<ModelSpec> Spec = parseModelSpec(Text.substr(0, Length));
+    if (!Spec)
+      EXPECT_FALSE(Spec.message().empty()) << "prefix length " << Length;
+  }
+}
+
+// Same sweep with a byte flipped at the cut point: exercises garbage in
+// the middle rather than a clean cut.
+TEST(PrototxtFuzzTest, EveryByteFlipParsesOrDiagnoses) {
+  const std::string Text = TinyModel;
+  for (size_t At = 0; At < Text.size(); At += 3) {
+    std::string Mutated = Text;
+    Mutated[At] = static_cast<char>(Mutated[At] ^ 0x20);
+    Result<ModelSpec> Spec = parseModelSpec(Mutated);
+    if (!Spec)
+      EXPECT_FALSE(Spec.message().empty()) << "flip at " << At;
+  }
+}
+
+TEST(PrototxtFuzzTest, RepeatedScalarFieldIsRejected) {
+  Result<ModelSpec> Spec = parseModelSpec(
+      "name: \"a\"\nname: \"b\"\ninput: \"data\"\ninput_dim: 1\n"
+      "input_dim: 3\ninput_dim: 8\ninput_dim: 8\n"
+      "layer { name: \"fc\" type: \"InnerProduct\" bottom: \"data\" "
+      "top: \"fc\" inner_product_param { num_output: 2 } }");
+  ASSERT_FALSE(static_cast<bool>(Spec));
+  EXPECT_NE(Spec.message().find("name"), std::string::npos)
+      << Spec.message();
+}
+
+class MalformedNumeric : public ::testing::TestWithParam<const char *> {};
+
+// input_dim flows through parseInteger: locale artifacts, hex, doubled
+// signs, and overflow must all be diagnosed (strtoll silently accepted
+// some of these).
+TEST_P(MalformedNumeric, IsRejectedAsDimension) {
+  const std::string Text =
+      "name: \"x\"\ninput: \"data\"\ninput_dim: 1\ninput_dim: " +
+      std::string(GetParam()) +
+      "\ninput_dim: 8\ninput_dim: 8\n"
+      "layer { name: \"fc\" type: \"InnerProduct\" bottom: \"data\" "
+      "top: \"fc\" inner_product_param { num_output: 2 } }";
+  Result<ModelSpec> Spec = parseModelSpec(Text);
+  EXPECT_FALSE(static_cast<bool>(Spec));
+  EXPECT_FALSE(Spec.message().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, MalformedNumeric,
+                         ::testing::Values("1,000", "0x10", "++1", "--1",
+                                           "+-1", "1e3", "nan",
+                                           "99999999999999999999", "1.",
+                                           "8 8"));
+
+TEST(PrototxtEscapeTest, EscapedStringsDecodeAndRoundTrip) {
+  Result<PrototxtMessage> Msg = parsePrototxt(
+      "name: \"a\\\"b\\\\c\\nd\\te\"\n");
+  ASSERT_TRUE(static_cast<bool>(Msg)) << Msg.message();
+  const std::string Decoded = *Msg->scalarOr("name", "");
+  EXPECT_EQ(Decoded, "a\"b\\c\nd\te");
+  // prototxtEscape is the inverse: printing and reparsing is stable.
+  Result<PrototxtMessage> Again =
+      parsePrototxt("name: \"" + prototxtEscape(Decoded) + "\"\n");
+  ASSERT_TRUE(static_cast<bool>(Again)) << Again.message();
+  EXPECT_EQ(*Again->scalarOr("name", ""), Decoded);
+}
+
+TEST(PrototxtEscapeTest, UnsupportedEscapeIsDiagnosed) {
+  Result<PrototxtMessage> Msg = parsePrototxt("name: \"a\\qb\"\n");
+  ASSERT_FALSE(static_cast<bool>(Msg));
+  EXPECT_NE(Msg.message().find("unsupported escape"), std::string::npos)
+      << Msg.message();
+}
+
+TEST(PrototxtEscapeTest, TrailingBackslashIsUnterminated) {
+  Result<PrototxtMessage> Msg = parsePrototxt("name: \"abc\\");
+  ASSERT_FALSE(static_cast<bool>(Msg));
+  EXPECT_NE(Msg.message().find("unterminated"), std::string::npos)
+      << Msg.message();
+}
+
+TEST(PrototxtEscapeTest, SpecWithQuotedNameRoundTrips) {
+  Result<ModelSpec> Spec = parseModelSpec(
+      "name: \"ti\\\"ny\\\\model\"\ninput: \"data\"\ninput_dim: 1\n"
+      "input_dim: 3\ninput_dim: 8\ninput_dim: 8\n"
+      "layer { name: \"fc\" type: \"InnerProduct\" bottom: \"data\" "
+      "top: \"fc\" inner_product_param { num_output: 2 } }");
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.message();
+  EXPECT_EQ(Spec->Name, "ti\"ny\\model");
+  Result<ModelSpec> Reparsed = parseModelSpec(printModelSpec(*Spec));
+  ASSERT_TRUE(static_cast<bool>(Reparsed)) << Reparsed.message();
+  EXPECT_EQ(Reparsed->Name, Spec->Name);
+  EXPECT_EQ(printModelSpec(*Reparsed), printModelSpec(*Spec));
+}
+
+// print ∘ parse is the identity on every built-in model: the printer is
+// what uploads persist, so drift here would corrupt the store.
+TEST(ModelSpecRoundTripTest, EveryStandardModelIsStable) {
+  for (StandardModel Model : standardModels()) {
+    const std::string Text = standardModelPrototxt(Model, 7);
+    Result<ModelSpec> Spec = parseModelSpec(Text);
+    ASSERT_TRUE(static_cast<bool>(Spec))
+        << standardModelName(Model) << ": " << Spec.message();
+    const std::string Printed = printModelSpec(*Spec);
+    Result<ModelSpec> Reparsed = parseModelSpec(Printed);
+    ASSERT_TRUE(static_cast<bool>(Reparsed))
+        << standardModelName(Model) << ": " << Reparsed.message();
+    EXPECT_EQ(printModelSpec(*Reparsed), Printed)
+        << standardModelName(Model);
+  }
+}
 
 } // namespace

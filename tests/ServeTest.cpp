@@ -12,10 +12,13 @@
 
 #include "src/serve/Server.h"
 
+#include "src/compiler/GraphBuilder.h"
 #include "src/compiler/Solver.h"
 #include "src/data/Synthetic.h"
 #include "src/models/MiniModels.h"
+#include "src/nn/Serialize.h"
 #include "src/pruning/PruneConfig.h"
+#include "src/support/File.h"
 #include "src/support/Json.h"
 #include "src/support/StringUtils.h"
 
@@ -1269,6 +1272,371 @@ TEST(ServeEndToEndTest, GracefulDrainFinishesAcceptedJobs) {
   }
 
   // Idempotent.
+  Server.drain();
+}
+
+//===----------------------------------------------------------------------===//
+// Model upload: ModelStore and the /v1/models ingestion API
+//===----------------------------------------------------------------------===//
+
+/// Registry + store pair over a scratch directory.
+struct StoreHarness {
+  RunLog Log;
+  ModelRegistry Registry;
+  ModelStore Store;
+
+  explicit StoreHarness(const std::string &Dir,
+                        ModelStoreOptions Options = ModelStoreOptions())
+      : Registry(BatcherOptions(), &Log, nullptr),
+        Store(
+            [&] {
+              Options.Dir = Dir;
+              return Options;
+            }(),
+            &Registry, &Log) {}
+  ~StoreHarness() { Registry.stopAll(); }
+
+  int64_t counter(const std::string &Name) const {
+    const auto Counters = Log.counters();
+    const auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second;
+  }
+};
+
+/// Deterministic input for the tiny model.
+Tensor uploadSampleInput() {
+  Result<ModelSpec> Spec = parseModelSpec(tinyModelText());
+  Tensor Sample(Shape{1, Spec->InputChannels, Spec->InputHeight,
+                      Spec->InputWidth});
+  for (size_t I = 0; I < Sample.size(); ++I)
+    Sample.data()[I] = 0.01f * static_cast<float>(I % 13) - 0.05f;
+  return Sample;
+}
+
+/// Logits of registered model \p Id on \p Sample.
+Tensor predictLogits(ModelRegistry &Registry, const std::string &Id,
+                     const Tensor &Sample) {
+  ServableModel *Model = Registry.find(Id);
+  EXPECT_NE(Model, nullptr) << Id;
+  if (!Model)
+    return Tensor();
+  Result<Prediction> Out = Model->Engine->predict(Sample);
+  EXPECT_TRUE(static_cast<bool>(Out)) << Out.message();
+  return Out ? Out->Logits : Tensor();
+}
+
+TEST(ServeModelStoreTest, UploadRegistersAndServes) {
+  ScratchDir Scratch("wootz_store_basic");
+  StoreHarness Harness(Scratch.str());
+  const UploadOutcome Out = Harness.Store.upload(
+      {{"model", tinyModelText()}, {"id", "demo"}});
+  ASSERT_EQ(Out.Status, 201) << Out.Error;
+  EXPECT_EQ(Out.Id, "demo");
+  EXPECT_TRUE(Harness.Store.has("demo"));
+  EXPECT_EQ(Harness.Store.count(), 1u);
+  EXPECT_EQ(Harness.counter("serve.models.uploaded"), 1);
+
+  ServableModel *Model = Harness.Registry.find("demo");
+  ASSERT_NE(Model, nullptr);
+  EXPECT_EQ(Model->Origin, "uploaded (random init)");
+  const Tensor Logits =
+      predictLogits(Harness.Registry, "demo", uploadSampleInput());
+  ASSERT_EQ(Logits.shape().rank(), 1);
+  Result<ModelSpec> Spec = parseModelSpec(tinyModelText());
+  EXPECT_EQ(Logits.shape()[0], Spec->Layers.back().NumOutput);
+
+  // The stored Prototxt round-trips for job targeting.
+  Result<std::string> Stored = Harness.Store.prototxtFor("demo");
+  ASSERT_TRUE(static_cast<bool>(Stored)) << Stored.message();
+  EXPECT_EQ(*Stored, tinyModelText());
+}
+
+TEST(ServeModelStoreTest, ImportedWeightsReproduceSourceLogits) {
+  ScratchDir Scratch("wootz_store_weights");
+  StoreHarness Harness(Scratch.str());
+
+  // A reference upload built with seed 123, and a weight bundle exported
+  // from an identical local build.
+  Result<ModelSpec> Spec = parseModelSpec(tinyModelText());
+  ASSERT_TRUE(static_cast<bool>(Spec)) << Spec.message();
+  Result<BuiltNetwork> Source = buildFullNetwork(*Spec, 123);
+  ASSERT_TRUE(static_cast<bool>(Source)) << Source.message();
+  const std::string Bundle = serializeTensors(
+      exportWeights(Source->Network, FullNetworkPrefix));
+
+  ASSERT_EQ(Harness.Store
+                .upload({{"model", tinyModelText()},
+                         {"id", "reference"},
+                         {"seed", "123"}})
+                .Status,
+            201);
+  // The import path uses a different seed, so matching logits can only
+  // come from the imported bundle, not from a lucky initialization.
+  const UploadOutcome Imported = Harness.Store.upload(
+      {{"model", tinyModelText()},
+       {"id", "imported"},
+       {"seed", "7"},
+       {"weights_b64", base64Encode(Bundle)}});
+  ASSERT_EQ(Imported.Status, 201) << Imported.Error;
+  EXPECT_EQ(Harness.Registry.find("imported")->Origin,
+            "uploaded (imported weights)");
+
+  const Tensor Sample = uploadSampleInput();
+  const Tensor Reference =
+      predictLogits(Harness.Registry, "reference", Sample);
+  const Tensor Actual = predictLogits(Harness.Registry, "imported", Sample);
+  ASSERT_EQ(Actual.shape(), Reference.shape());
+  for (size_t I = 0; I < Reference.size(); ++I)
+    EXPECT_EQ(Actual.data()[I], Reference.data()[I]) << "logit " << I;
+}
+
+TEST(ServeModelStoreTest, RejectsTheWholeBadInputLadder) {
+  ScratchDir Scratch("wootz_store_reject");
+  ModelStoreOptions Small;
+  Small.MaxModels = 2;
+  StoreHarness Harness(Scratch.str(), Small);
+
+  // Missing model text.
+  EXPECT_EQ(Harness.Store.upload({{"id", "x"}}).Status, 400);
+  // Unparsable Prototxt.
+  EXPECT_EQ(Harness.Store.upload({{"model", "not a prototxt {"}}).Status,
+            400);
+  // Path-traversal id.
+  EXPECT_EQ(
+      Harness.Store.upload({{"model", tinyModelText()}, {"id", "../evil"}})
+          .Status,
+      400);
+  // Malformed base64.
+  EXPECT_EQ(Harness.Store
+                .upload({{"model", tinyModelText()},
+                         {"weights_b64", "!!!not base64!!!"}})
+                .Status,
+            400);
+  // A structurally valid bundle whose shapes belong to a different
+  // network (8 classes vs 5).
+  Result<ModelSpec> Other = parseModelSpec(
+      standardModelPrototxt(StandardModel::InceptionA, 8));
+  ASSERT_TRUE(static_cast<bool>(Other)) << Other.message();
+  Result<BuiltNetwork> OtherNet = buildFullNetwork(*Other, 3);
+  ASSERT_TRUE(static_cast<bool>(OtherNet)) << OtherNet.message();
+  const UploadOutcome WrongShapes = Harness.Store.upload(
+      {{"model", tinyModelText()},
+       {"weights_b64",
+        base64Encode(serializeTensors(
+            exportWeights(OtherNet->Network, FullNetworkPrefix)))}});
+  EXPECT_EQ(WrongShapes.Status, 400);
+  EXPECT_FALSE(WrongShapes.Error.empty());
+  // Truncated bundle bytes.
+  EXPECT_EQ(Harness.Store
+                .upload({{"model", tinyModelText()},
+                         {"weights_b64", base64Encode("WOOTZCK2????")}})
+                .Status,
+            400);
+
+  // Nothing above registered anything.
+  EXPECT_EQ(Harness.Store.count(), 0u);
+  EXPECT_EQ(Harness.counter("serve.models.uploaded"), 0);
+  EXPECT_GE(Harness.counter("serve.models.upload_rejected"), 6);
+
+  // Duplicates and the store cap.
+  ASSERT_EQ(Harness.Store.upload({{"model", tinyModelText()},
+                                  {"id", "dup"}})
+                .Status,
+            201);
+  EXPECT_EQ(Harness.Store.upload({{"model", tinyModelText()},
+                                  {"id", "dup"}})
+                .Status,
+            409);
+  ASSERT_EQ(Harness.Store.upload({{"model", tinyModelText()}}).Status,
+            201);
+  EXPECT_EQ(Harness.Store.upload({{"model", tinyModelText()}}).Status,
+            429);
+}
+
+TEST(ServeModelStoreTest, OversizedFieldsAre413) {
+  ScratchDir Scratch("wootz_store_oversize");
+  ModelStoreOptions Tiny;
+  Tiny.MaxPrototxtBytes = 64;
+  Tiny.MaxWeightBytes = 16;
+  StoreHarness Harness(Scratch.str(), Tiny);
+  EXPECT_EQ(Harness.Store.upload({{"model", tinyModelText()}}).Status,
+            413);
+  EXPECT_EQ(Harness.Store
+                .upload({{"model", "x"},
+                         {"weights_b64",
+                          base64Encode(std::string(1024, 'w'))}})
+                .Status,
+            413);
+}
+
+TEST(ServeModelStoreTest, RemoveForgetsRegistryStoreAndDisk) {
+  ScratchDir Scratch("wootz_store_remove");
+  StoreHarness Harness(Scratch.str());
+  ASSERT_EQ(Harness.Store.upload({{"model", tinyModelText()},
+                                  {"id", "gone"}})
+                .Status,
+            201);
+  ASSERT_NE(Harness.Registry.find("gone"), nullptr);
+  ASSERT_TRUE(fs::exists(Scratch.str() + "/gone/model.prototxt"));
+
+  Error Removed = Harness.Store.remove("gone");
+  ASSERT_FALSE(static_cast<bool>(Removed)) << Removed.message();
+  EXPECT_FALSE(Harness.Store.has("gone"));
+  EXPECT_EQ(Harness.Registry.find("gone"), nullptr);
+  EXPECT_FALSE(fs::exists(Scratch.str() + "/gone"));
+
+  Error Again = Harness.Store.remove("gone");
+  EXPECT_TRUE(static_cast<bool>(Again));
+}
+
+TEST(ServeModelStoreTest, RestartRestoresBitIdentically) {
+  ScratchDir Scratch("wootz_store_restart");
+  const Tensor Sample = uploadSampleInput();
+  Tensor Before;
+  {
+    StoreHarness First(Scratch.str());
+    ASSERT_EQ(First.Store.upload({{"model", tinyModelText()},
+                                  {"id", "persist1"},
+                                  {"seed", "31"}})
+                  .Status,
+              201);
+    Before = predictLogits(First.Registry, "persist1", Sample);
+    ASSERT_GT(Before.size(), 0u);
+  }
+
+  StoreHarness Second(Scratch.str());
+  EXPECT_EQ(Second.Store.loadFromDisk(), 1u);
+  EXPECT_TRUE(Second.Store.has("persist1"));
+  EXPECT_EQ(Second.counter("serve.models.restored"), 1);
+  ServableModel *Model = Second.Registry.find("persist1");
+  ASSERT_NE(Model, nullptr);
+  EXPECT_EQ(Model->Origin, "restored upload");
+
+  // Random-init uploads persist their materialized weights, so the
+  // restored model is bit-identical, not merely same-architecture.
+  const Tensor After = predictLogits(Second.Registry, "persist1", Sample);
+  ASSERT_EQ(After.shape(), Before.shape());
+  for (size_t I = 0; I < Before.size(); ++I)
+    EXPECT_EQ(After.data()[I], Before.data()[I]) << "logit " << I;
+}
+
+TEST(ServeModelStoreTest, RestoreSkipsCorruptEntries) {
+  ScratchDir Scratch("wootz_store_corrupt");
+  {
+    StoreHarness First(Scratch.str());
+    ASSERT_EQ(First.Store.upload({{"model", tinyModelText()},
+                                  {"id", "healthy"}})
+                  .Status,
+              201);
+  }
+  fs::create_directories(Scratch.str() + "/broken");
+  ASSERT_FALSE(static_cast<bool>(writeFile(
+      Scratch.str() + "/broken/model.prototxt", tinyModelText())));
+  ASSERT_FALSE(static_cast<bool>(writeFile(
+      Scratch.str() + "/broken/weights.ck", "not a checkpoint")));
+
+  StoreHarness Second(Scratch.str());
+  EXPECT_EQ(Second.Store.loadFromDisk(), 1u);
+  EXPECT_TRUE(Second.Store.has("healthy"));
+  EXPECT_FALSE(Second.Store.has("broken"));
+  EXPECT_EQ(Second.counter("serve.models.restore_failed"), 1);
+}
+
+TEST(ServeEndToEndTest, UploadPruneAndPredictOverHttp) {
+  ScratchDir Scratch("wootz_upload_e2e");
+  ServerOptions Options;
+  Options.Jobs.BlockCacheDir = Scratch.str() + "/blocks";
+  Options.Uploads.Dir = Scratch.str() + "/models";
+  WootzServer Server(Options);
+  ASSERT_FALSE(static_cast<bool>(Server.start()));
+  const int Port = Server.port();
+
+  // Upload.
+  JsonObject Upload;
+  Upload.field("model", tinyModelText()).field("id", "uploaded-net");
+  Result<std::string> Created = rawRequest(
+      Port, makeRequest("POST", "/v1/models", Upload.str()));
+  ASSERT_TRUE(static_cast<bool>(Created)) << Created.message();
+  ASSERT_EQ(statusOf(*Created), 201) << *Created;
+  EXPECT_NE(bodyOf(*Created).find(
+                "\"predict_url\":\"/v1/models/uploaded-net/predict\""),
+            std::string::npos);
+
+  // Listed alongside any other servable model.
+  Result<std::string> Models =
+      rawRequest(Port, makeRequest("GET", "/v1/models", ""));
+  ASSERT_TRUE(static_cast<bool>(Models));
+  EXPECT_NE(bodyOf(*Models).find("\"id\":\"uploaded-net\""),
+            std::string::npos);
+
+  // Immediately predictable.
+  Result<ModelSpec> Spec = parseModelSpec(tinyModelText());
+  std::string Input;
+  const int Count =
+      Spec->InputChannels * Spec->InputHeight * Spec->InputWidth;
+  for (int I = 0; I < Count; ++I)
+    Input += (I ? " " : "") + formatDouble(0.02 * (I % 7), 3);
+  JsonObject PredictBody;
+  PredictBody.field("input", Input);
+  Result<std::string> Predicted = rawRequest(
+      Port, makeRequest("POST", "/v1/models/uploaded-net/predict",
+                        PredictBody.str()));
+  ASSERT_TRUE(static_cast<bool>(Predicted)) << Predicted.message();
+  ASSERT_EQ(statusOf(*Predicted), 200) << *Predicted;
+
+  // A pruning job can target the upload by id.
+  JsonObject JobBody;
+  for (const auto &[Key, Value] : tinyJobBody())
+    JobBody.field(Key == "model" ? "model" : Key,
+                  Key == "model" ? "uploaded-net" : Value);
+  Result<std::string> Accepted = rawRequest(
+      Port, makeRequest("POST", "/v1/jobs", JobBody.str()));
+  ASSERT_TRUE(static_cast<bool>(Accepted)) << Accepted.message();
+  ASSERT_EQ(statusOf(*Accepted), 202) << *Accepted;
+  const std::string AcceptedBody = bodyOf(*Accepted);
+  const size_t IdAt = AcceptedBody.find("\"id\":\"");
+  ASSERT_NE(IdAt, std::string::npos);
+  const std::string JobId = AcceptedBody.substr(
+      IdAt + 6, AcceptedBody.find('"', IdAt + 6) - (IdAt + 6));
+  EXPECT_EQ(waitForTerminal(Server.jobs(), JobId), "done");
+
+  // Malformed uploads are clean 4xx.
+  JsonObject Bad;
+  Bad.field("model", "layer { garbage");
+  Result<std::string> Rejected = rawRequest(
+      Port, makeRequest("POST", "/v1/models", Bad.str()));
+  ASSERT_TRUE(static_cast<bool>(Rejected));
+  EXPECT_EQ(statusOf(*Rejected), 400);
+  Result<std::string> Duplicate = rawRequest(
+      Port, makeRequest("POST", "/v1/models", Upload.str()));
+  ASSERT_TRUE(static_cast<bool>(Duplicate));
+  EXPECT_EQ(statusOf(*Duplicate), 409);
+
+  // The ingestion counters surface in /metrics.
+  Result<std::string> Metrics =
+      rawRequest(Port, makeRequest("GET", "/metrics", ""));
+  ASSERT_TRUE(static_cast<bool>(Metrics));
+  EXPECT_NE(bodyOf(*Metrics).find("name=\"serve.models.uploaded\"} 1"),
+            std::string::npos);
+  EXPECT_NE(bodyOf(*Metrics).find(
+                "name=\"serve.models.upload_rejected\"} 2"),
+            std::string::npos);
+
+  // DELETE unregisters: predict then answers 404.
+  Result<std::string> Deleted = rawRequest(
+      Port, makeRequest("DELETE", "/v1/models/uploaded-net", ""));
+  ASSERT_TRUE(static_cast<bool>(Deleted));
+  EXPECT_EQ(statusOf(*Deleted), 200) << *Deleted;
+  Result<std::string> Gone = rawRequest(
+      Port, makeRequest("POST", "/v1/models/uploaded-net/predict",
+                        PredictBody.str()));
+  ASSERT_TRUE(static_cast<bool>(Gone));
+  EXPECT_EQ(statusOf(*Gone), 404);
+  Result<std::string> DeleteAgain = rawRequest(
+      Port, makeRequest("DELETE", "/v1/models/uploaded-net", ""));
+  ASSERT_TRUE(static_cast<bool>(DeleteAgain));
+  EXPECT_EQ(statusOf(*DeleteAgain), 404);
+
   Server.drain();
 }
 

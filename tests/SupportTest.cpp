@@ -504,4 +504,71 @@ TEST(JsonTest, ParserRejectsStructuralDamage) {
   EXPECT_FALSE(static_cast<bool>(parseFlatJsonObject("{\"a\":\"\\x\"}")));
 }
 
+//===----------------------------------------------------------------------===//
+// Numeric parsing hardening (appended tests)
+//===----------------------------------------------------------------------===//
+
+// The parsers moved from strtoll/strtod (locale-sensitive, permissive)
+// to std::from_chars; these pin the exact acceptance set.
+TEST(StringUtilsTest, ParseIntegerIsLocaleIndependentAndStrict) {
+  EXPECT_EQ(*parseInteger("+42"), 42);
+  EXPECT_EQ(*parseInteger("0"), 0);
+  EXPECT_FALSE(static_cast<bool>(parseInteger("1,000")));
+  EXPECT_FALSE(static_cast<bool>(parseInteger("0x10")));
+  EXPECT_FALSE(static_cast<bool>(parseInteger("++1")));
+  EXPECT_FALSE(static_cast<bool>(parseInteger("+-1")));
+  EXPECT_FALSE(static_cast<bool>(parseInteger("+")));
+  EXPECT_FALSE(static_cast<bool>(parseInteger("1e3")));
+  Result<long long> Overflow = parseInteger("99999999999999999999");
+  ASSERT_FALSE(static_cast<bool>(Overflow));
+  EXPECT_NE(Overflow.message().find("range"), std::string::npos)
+      << Overflow.message();
+}
+
+TEST(StringUtilsTest, ParseDoubleIsLocaleIndependentAndStrict) {
+  EXPECT_DOUBLE_EQ(*parseDouble("+0.5"), 0.5);
+  EXPECT_DOUBLE_EQ(*parseDouble("-1.25e2"), -125.0);
+  EXPECT_FALSE(static_cast<bool>(parseDouble("1,5")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("+-1.0")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("1e999")));
+  EXPECT_FALSE(static_cast<bool>(parseDouble("")));
+}
+
+//===----------------------------------------------------------------------===//
+// Base64 (appended tests)
+//===----------------------------------------------------------------------===//
+
+TEST(Base64Test, EncodesRfc4648Vectors) {
+  EXPECT_EQ(base64Encode(""), "");
+  EXPECT_EQ(base64Encode("f"), "Zg==");
+  EXPECT_EQ(base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, RoundTripsEveryByteValue) {
+  std::string Bytes;
+  for (int Value = 0; Value < 256; ++Value)
+    Bytes.push_back(static_cast<char>(Value));
+  // Every residue mod 3, so every padding shape is exercised.
+  for (size_t Length : {256u, 255u, 254u}) {
+    const std::string Input = Bytes.substr(0, Length);
+    Result<std::string> Decoded = base64Decode(base64Encode(Input));
+    ASSERT_TRUE(static_cast<bool>(Decoded)) << Decoded.message();
+    EXPECT_EQ(*Decoded, Input);
+  }
+}
+
+TEST(Base64Test, RejectsMalformedText) {
+  EXPECT_FALSE(static_cast<bool>(base64Decode("abc")));      // Length.
+  EXPECT_FALSE(static_cast<bool>(base64Decode("a@bc")));     // Alphabet.
+  EXPECT_FALSE(static_cast<bool>(base64Decode("ab=c")));     // Mid-pad.
+  EXPECT_FALSE(static_cast<bool>(base64Decode("====")));
+  EXPECT_FALSE(static_cast<bool>(base64Decode("Zg==Zg=="))); // Data after pad.
+  EXPECT_FALSE(static_cast<bool>(base64Decode("Zm9v\nZm9v"))); // Raw newline.
+  EXPECT_TRUE(static_cast<bool>(base64Decode("")));
+}
+
 } // namespace
