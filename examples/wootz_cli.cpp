@@ -3,7 +3,13 @@
 // A small command-line front end over the whole framework, driven
 // entirely by the four Figure-2 input files:
 //
-//   wootz_cli [model.prototxt subspace.txt meta.txt objective.txt [outdir]]
+//   wootz_cli [model.prototxt subspace.txt meta.txt objective.txt
+//              [outdir [strategy]]]
+//
+// `strategy` is "fixed" (default: sweep the whole promising subspace),
+// "greedy", or "adaptive" — the latter two propose configurations
+// round by round from observed results (see DESIGN.md "Exploration
+// strategies") and take their rate alphabet from the subspace file.
 //
 // With no arguments it writes a self-contained sample input set to
 // ./wootz_run/inputs and runs on that. Outputs (in outdir, default
@@ -178,11 +184,14 @@ int main(int ArgCount, char **Args) {
     return runWeights(ArgCount, Args);
 
   std::string OutDir = "wootz_run";
+  StrategyKind Strategy = StrategyKind::Fixed;
   std::vector<std::string> Inputs;
   if (ArgCount >= 5) {
     Inputs = {Args[1], Args[2], Args[3], Args[4]};
     if (ArgCount >= 6)
       OutDir = Args[5];
+    if (ArgCount >= 7)
+      Strategy = orDie(parseStrategyKind(Args[6]), "parsing strategy");
   } else {
     std::printf("no input files given; writing samples under %s/inputs\n",
                 OutDir.c_str());
@@ -243,6 +252,40 @@ int main(int ArgCount, char **Args) {
   // kept — entries are written atomically as each group finishes).
   Options.BlockCacheConfig.Directory = OutDir + "/block_cache";
   Rng Generator(Meta.Seed);
+
+  if (Strategy != StrategyKind::Fixed) {
+    // Strategy-driven exploration: proposal rounds instead of a fixed
+    // sweep. The rate alphabet comes from the subspace file.
+    StrategyKnobs Knobs;
+    Knobs.Rates = subspaceRateAlphabet(Subspace);
+    std::unique_ptr<ExplorationStrategy> Explorer =
+        orDie(makeStrategy(Strategy, Spec, Subspace, Objective, Knobs),
+              "building the strategy");
+    Options.CancelObjective = &Objective;
+    const StrategyRunResult Search =
+        orDie(runStrategyExploration(Spec, Data, *Explorer, Meta, Options,
+                                     Objective, Generator),
+              "running the strategy exploration");
+    orDie(writeFile(OutDir + "/evaluations.csv",
+                    renderEvaluationsCsv(Search.Run)),
+          "writing evaluations CSV");
+    std::printf("\nstrategy %s: %d proposals over %d rounds, %d tuning "
+                "block reuses\n",
+                strategyKindName(Strategy), Search.Proposals,
+                Search.Rounds, Search.BlocksReused);
+    if (Search.WinnerIndex >= 0) {
+      const EvaluatedConfig &Winner =
+          Search.Run.Evaluations[static_cast<size_t>(Search.WinnerIndex)];
+      std::printf("winner %s: size %.1f%%, accuracy %.3f\n",
+                  formatConfig(Winner.Config).c_str(),
+                  100.0 * Winner.SizeFraction, Winner.FinalAccuracy);
+    } else {
+      std::printf("no configuration met the objective\n");
+    }
+    std::printf("outputs written under %s/\n", OutDir.c_str());
+    return 0;
+  }
+
   const PipelineResult Run = orDie(
       runPruningPipeline(Spec, Data, Subspace, Meta, Options, Generator),
       "running the pipeline");

@@ -1,0 +1,91 @@
+//===- explore/Engine.cpp -----------------------------------------------------===//
+
+#include "src/explore/Engine.h"
+
+using namespace wootz;
+
+ExplorationEngine::ExplorationEngine(const ModelSpec &Spec,
+                                     const Dataset &Data,
+                                     const TrainMeta &Meta,
+                                     const PipelineOptions &Options)
+    : Spec(Spec), Data(Data), Meta(Meta), Options(Options), Model(Spec),
+      Log(Options.Log ? *Options.Log : OwnLog),
+      Cache(Options.BlockCacheConfig, &Log) {}
+
+Error ExplorationEngine::prepare(PipelineResult &Run, Rng &Generator) {
+  // Cooperative cancellation: polled at every task boundary. The fixed
+  // message lets callers that handed us the token tell an intentional
+  // abort from a real failure.
+  if (cancelRequested())
+    return Error::failure("job cancelled before it started");
+
+  // The trained full model every pruned network derives from.
+  Result<FullModel> Prepared =
+      prepareFullModel(Model, Data, Meta, Options.CacheDir, Generator);
+  if (!Prepared)
+    return Prepared.takeError();
+  Full.emplace(Prepared.take());
+  Run.FullAccuracy = Full->Accuracy;
+  FullWeightCount = modelWeightCount(Spec, unprunedConfig(Spec));
+  Run.FullWeightCount = FullWeightCount;
+
+  // Filter importances are a property of the trained full model; score
+  // once and reuse for every configuration and tuning block.
+  Result<FilterScores> Scored = scoreFilters(
+      Spec, Full->Network, "full", Options.Criterion, &Data);
+  if (!Scored)
+    return Scored.takeError();
+  ScoreMap = Scored.take();
+
+  // The cross-run block cache is only meaningful once the teacher
+  // exists: its entry addresses incorporate the teacher fingerprint and
+  // the pre-training hyperparameters, so a different teacher or recipe
+  // simply misses instead of resurrecting stale blocks.
+  if (Cache.enabled())
+    Cache.bindContext(BlockCache::fingerprintTeacher(Full->Network),
+                      BlockCache::hashPretrainMeta(Meta));
+  return Error::success();
+}
+
+Result<EvaluatedConfig> ExplorationEngine::evaluateConfig(
+    const PruneConfig &Config, const std::vector<TuningBlock> *Composite,
+    uint64_t Seed) {
+  if (cancelRequested())
+    return Error::failure("job cancelled");
+
+  Rng ConfigGen(Seed);
+  Result<AssembledNetwork> Assembled = buildPrunedNetwork(
+      Model, Config, Full->Network, "full", Composite ? &Store : nullptr,
+      Composite, ConfigGen, &ScoreMap);
+  if (!Assembled)
+    return Assembled.takeError();
+
+  const TrainResult Trained =
+      Options.DistillAlpha > 0.0f
+          ? trainClassifierDistilled(
+                Assembled->Network, Assembled->InputNode,
+                Assembled->LogitsNode, Full->Network, Assembled->InputNode,
+                "full/" + Spec.Layers.back().Name, Data, Meta,
+                Meta.FinetuneSteps, Meta.FinetuneLearningRate,
+                Options.DistillAlpha, Options.DistillTemperature, ConfigGen)
+          : trainClassifier(Assembled->Network, Assembled->InputNode,
+                            Assembled->LogitsNode, Data, Meta,
+                            Meta.FinetuneSteps, Meta.FinetuneLearningRate,
+                            ConfigGen);
+
+  EvaluatedConfig Evaluated;
+  Evaluated.Config = Config;
+  Evaluated.WeightCount = modelWeightCount(Spec, Config);
+  Evaluated.SizeFraction = static_cast<double>(Evaluated.WeightCount) /
+                           static_cast<double>(FullWeightCount);
+  Evaluated.InitAccuracy = Trained.InitialAccuracy;
+  Evaluated.FinalAccuracy = Trained.FinalAccuracy;
+  Evaluated.StepsToBest = Trained.StepsToBest;
+  Evaluated.TrainSeconds = Trained.Seconds;
+  if (Options.KeepCurves)
+    Evaluated.Curve = Trained.Curve;
+  Evaluated.BlocksUsed = Assembled->BlocksUsed;
+  if (Options.KeepNetworks)
+    Evaluated.Network = std::make_shared<AssembledNetwork>(Assembled.take());
+  return Evaluated;
+}

@@ -2,10 +2,9 @@
 
 #include "src/explore/Iterative.h"
 
+#include "src/explore/strategy/Driver.h"
+#include "src/explore/strategy/GreedySensitivity.h"
 #include "src/support/Stopwatch.h"
-#include "src/train/Assembly.h"
-#include "src/train/ModelZoo.h"
-#include "src/train/Pretrainer.h"
 
 #include <algorithm>
 
@@ -21,89 +20,64 @@ Result<IterativeResult> wootz::runIterativeExploration(
     return Error::failure("the rate alphabet must be ascending");
 
   Stopwatch Timer;
-  const MultiplexingModel Model(Spec);
+
+  // The greedy search behind the strategy interface: the objective is
+  // "smallest model holding the accuracy threshold", and the driver
+  // supplies the composability harvest — a (module, rate) tuning block
+  // pre-trains the first time any candidate needs it and is reused by
+  // every later candidate that shares it.
+  const PruningObjective Objective =
+      smallestMeetingAccuracy(Options.AccuracyThreshold);
+  StrategyKnobs Knobs;
+  Knobs.Rates = Options.Rates;
+  Knobs.MaxRounds = Options.MaxIterations;
+  GreedySensitivityStrategy Strategy(Spec, Objective, Knobs);
+
+  PipelineOptions PipeOptions;
+  PipeOptions.UseComposability = true;
+  PipeOptions.UseIdentifier = false; // Per-(module, rate) blocks.
+  PipeOptions.CacheDir = Options.CacheDir;
+  PipeOptions.Workers = 1;
+  PipeOptions.Schedule = PipelineSchedule::EvalOnly;
+
+  Result<StrategyRunResult> Search = runStrategyExploration(
+      Spec, Data, Strategy, Meta, PipeOptions, Objective, Generator);
+  if (!Search)
+    return Search.takeError();
+
   IterativeResult Out;
-
-  Result<FullModel> Full =
-      prepareFullModel(Model, Data, Meta, Options.CacheDir, Generator);
-  if (!Full)
-    return Full.takeError();
-  Out.FullAccuracy = Full->Accuracy;
-  Out.FullWeightCount = modelWeightCount(Spec, unprunedConfig(Spec));
-
-  CheckpointStore Store;
-  const int ModuleCount = Spec.moduleCount();
-  std::vector<int> RateIndex(ModuleCount, 0); // Index into Options.Rates.
-  PruneConfig Current = unprunedConfig(Spec);
-  Out.BestConfig = Current;
-  Out.BestAccuracy = Full->Accuracy;
+  Out.FullAccuracy = Search->Run.FullAccuracy;
+  Out.FullWeightCount = Search->Run.FullWeightCount;
+  Out.BestConfig = unprunedConfig(Spec);
+  Out.BestAccuracy = Out.FullAccuracy;
   Out.BestWeightCount = Out.FullWeightCount;
+  Out.TotalCandidates = Search->Proposals;
+  Out.TotalBlockReuses = Search->BlocksReused;
 
-  for (int Iteration = 0; Iteration < Options.MaxIterations; ++Iteration) {
+  // Commit i digests round i's candidates, so the trajectory pairs the
+  // strategy's commits with the driver's per-round bookkeeping.
+  const std::vector<GreedySensitivityStrategy::Commit> &Commits =
+      Strategy.commits();
+  for (size_t I = 0; I < Commits.size(); ++I) {
+    const GreedySensitivityStrategy::Commit &C = Commits[I];
+    const StrategyRoundInfo &Round = Search->RoundsInfo[I];
+    const EvaluatedConfig &Winner = Search->Run.Evaluations[C.ObservedIndex];
     IterativeStep Step;
-    double BestCandidateAccuracy = -1.0;
-    int BestModule = -1;
-    PruneConfig BestCandidate;
-
-    for (int Module = 0; Module < ModuleCount; ++Module) {
-      if (RateIndex[Module] + 1 >= static_cast<int>(Options.Rates.size()))
-        continue; // Already at the heaviest rate.
-      PruneConfig Candidate = Current;
-      const float NewRate = Options.Rates[RateIndex[Module] + 1];
-      Candidate[Module] = NewRate;
-      ++Step.CandidatesTried;
-      ++Out.TotalCandidates;
-
-      // Composability harvest: pre-train only the blocks this candidate
-      // is missing; everything already in the store is reused.
-      std::vector<TuningBlock> Composite;
-      for (int M = 0; M < ModuleCount; ++M)
-        if (Candidate[M] != 0.0f)
-          Composite.push_back(TuningBlock{M, {Candidate[M]}});
-      Result<PretrainStats> Stats =
-          pretrainBlocks(Model, Full->Network, "full", Composite, Data,
-                         Meta, Store, Generator);
-      if (!Stats)
-        return Stats.takeError();
-      const int Reused =
-          static_cast<int>(Composite.size()) - Stats->BlockCount;
-      Step.BlocksTrained += Stats->BlockCount;
-      Out.TotalBlocksTrained += Stats->BlockCount;
-      Step.BlocksReused += Reused;
-      Out.TotalBlockReuses += Reused;
-
-      Result<AssembledNetwork> Assembled =
-          buildPrunedNetwork(Model, Candidate, Full->Network, "full",
-                             &Store, &Composite, Generator);
-      if (!Assembled)
-        return Assembled.takeError();
-      const TrainResult Trial = trainClassifier(
-          Assembled->Network, Assembled->InputNode, Assembled->LogitsNode,
-          Data, Meta, Meta.FinetuneSteps, Meta.FinetuneLearningRate,
-          Generator);
-      if (Trial.FinalAccuracy >= Options.AccuracyThreshold &&
-          Trial.FinalAccuracy > BestCandidateAccuracy) {
-        BestCandidateAccuracy = Trial.FinalAccuracy;
-        BestModule = Module;
-        BestCandidate = Candidate;
-      }
-    }
-
-    if (BestModule < 0)
-      break; // No bump keeps the constraint: the search has converged.
-    ++RateIndex[BestModule];
-    Current = BestCandidate;
-    Step.Config = Current;
-    Step.Module = BestModule;
-    Step.Rate = Options.Rates[RateIndex[BestModule]];
-    Step.Accuracy = BestCandidateAccuracy;
-    Step.WeightCount = modelWeightCount(Spec, Current);
+    Step.Config = C.Config;
+    Step.Module = C.Module;
+    Step.Rate = C.Rate;
+    Step.Accuracy = Winner.FinalAccuracy;
+    Step.WeightCount = Winner.WeightCount;
+    Step.CandidatesTried = Round.Proposals;
+    Step.BlocksTrained = Round.BlocksTrained;
+    Step.BlocksReused = Round.BlocksReused;
     Out.Trajectory.push_back(Step);
-
-    Out.BestConfig = Current;
-    Out.BestAccuracy = BestCandidateAccuracy;
-    Out.BestWeightCount = Step.WeightCount;
+    Out.BestConfig = C.Config;
+    Out.BestAccuracy = Winner.FinalAccuracy;
+    Out.BestWeightCount = Winner.WeightCount;
   }
+  for (const StrategyRoundInfo &Round : Search->RoundsInfo)
+    Out.TotalBlocksTrained += Round.BlocksTrained;
   Out.Seconds = Timer.seconds();
   return Out;
 }

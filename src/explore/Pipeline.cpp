@@ -2,6 +2,7 @@
 
 #include "src/explore/Pipeline.h"
 
+#include "src/explore/Engine.h"
 #include "src/identifier/Identifier.h"
 #include "src/identifier/TuningBlock.h"
 #include "src/runtime/TaskGraph.h"
@@ -12,19 +13,6 @@
 #include <thread>
 
 using namespace wootz;
-
-/// Distinct rates used by \p Subspace (always including 0), the rate
-/// alphabet handed to the identifier.
-static std::vector<float>
-rateAlphabet(const std::vector<PruneConfig> &Subspace) {
-  std::vector<float> Rates{0.0f};
-  for (const PruneConfig &Config : Subspace)
-    for (float Rate : Config)
-      if (std::find(Rates.begin(), Rates.end(), Rate) == Rates.end())
-        Rates.push_back(Rate);
-  std::sort(Rates.begin(), Rates.end());
-  return Rates;
-}
 
 Result<PipelineResult> wootz::runPruningPipeline(
     const ModelSpec &Spec, const Dataset &Data,
@@ -46,35 +34,15 @@ Result<PipelineResult> wootz::runPruningPipeline(
   // the teacher through a private ExecContext (see trainClassifier-
   // Distilled), so there is no shared activation state to race on.
 
-  const MultiplexingModel Model(Spec);
   PipelineResult Run;
-  // Telemetry goes to the caller's log when one is supplied (live
-  // observers sample it mid-run); otherwise to a run-local one.
-  RunLog OwnLog;
-  RunLog &Log = Options.Log ? *Options.Log : OwnLog;
-  // Cooperative cancellation: polled at every task boundary. The fixed
-  // message lets callers that handed us the token tell an intentional
-  // abort from a real failure.
-  auto cancelRequested = [&Options] {
-    return Options.Cancel && Options.Cancel->cancelled();
-  };
-  if (cancelRequested())
-    return Error::failure("job cancelled before it started");
-
-  // Phase 0: the trained full model every pruned network derives from.
-  Result<FullModel> Full =
-      prepareFullModel(Model, Data, Meta, Options.CacheDir, Generator);
-  if (!Full)
-    return Full.takeError();
-  Run.FullAccuracy = Full->Accuracy;
-  Run.FullWeightCount = modelWeightCount(Spec, unprunedConfig(Spec));
-
-  // Filter importances are a property of the trained full model; score
-  // once and reuse for every configuration and tuning block.
-  Result<FilterScores> Scores = scoreFilters(
-      Spec, Full->Network, "full", Options.Criterion, &Data);
-  if (!Scores)
-    return Scores.takeError();
+  // Phase 0 — trained full model, filter scores, block-cache binding —
+  // lives in the engine, shared with the strategy driver
+  // (runStrategyExploration).
+  ExplorationEngine Engine(Spec, Data, Meta, Options);
+  RunLog &Log = Engine.log();
+  auto cancelRequested = [&Engine] { return Engine.cancelRequested(); };
+  if (Error E = Engine.prepare(Run, Generator))
+    return E;
 
   // Exploration order: ascending model size (min-ModelSize objective).
   std::sort(Subspace.begin(), Subspace.end(),
@@ -82,24 +50,16 @@ Result<PipelineResult> wootz::runPruningPipeline(
               return modelWeightCount(Spec, A) < modelWeightCount(Spec, B);
             });
 
-  // The cross-run block cache is only meaningful once the teacher
-  // exists: its entry addresses incorporate the teacher fingerprint and
-  // the pre-training hyperparameters, so a different teacher or recipe
-  // simply misses instead of resurrecting stale blocks.
-  BlockCache Cache(Options.BlockCacheConfig, &Log);
-  if (Cache.enabled())
-    Cache.bindContext(BlockCache::fingerprintTeacher(Full->Network),
-                      BlockCache::hashPretrainMeta(Meta));
-
   // Phase 1 (composability only): choose tuning blocks. With the
   // EvalOnly schedule the blocks pre-train right here, serially; with
   // Overlap they become tasks on the same graph as the evaluations.
-  CheckpointStore Store;
+  CheckpointStore &Store = Engine.store();
+  BlockCache &Cache = Engine.blockCache();
   std::vector<std::vector<int>> CompositeVectors;
   if (Options.UseComposability) {
     if (Options.UseIdentifier) {
       IdentifierResult Identified = identifyTuningBlocks(
-          Spec.moduleCount(), Subspace, rateAlphabet(Subspace));
+          Spec.moduleCount(), Subspace, subspaceRateAlphabet(Subspace));
       Run.Blocks = std::move(Identified.Blocks);
       CompositeVectors = std::move(Identified.CompositeVectors);
     } else {
@@ -109,9 +69,9 @@ Result<PipelineResult> wootz::runPruningPipeline(
     if (!Overlap) {
       if (cancelRequested())
         return Error::failure("job cancelled");
-      Result<PretrainStats> Stats =
-          pretrainBlocks(Model, Full->Network, "full", Run.Blocks, Data,
-                         Meta, Store, Generator, &*Scores, &Log, &Cache);
+      Result<PretrainStats> Stats = pretrainBlocks(
+          Engine.model(), Engine.teacher(), "full", Run.Blocks, Data, Meta,
+          Store, Generator, &Engine.scores(), &Log, &Cache);
       if (!Stats)
         return Stats.takeError();
       Run.Pretrain = *Stats;
@@ -157,53 +117,17 @@ Result<PipelineResult> wootz::runPruningPipeline(
   Run.Evaluations.resize(ConfigCount);
 
   auto evaluateOne = [&](size_t Index) -> Error {
-    if (cancelRequested())
-      return Error::failure("job cancelled");
     const PruneConfig &Config = Subspace[Index];
     std::vector<TuningBlock> Composite;
     if (Options.UseComposability)
       for (int BlockIndex : CompositeVectors[Index])
         Composite.push_back(Run.Blocks[BlockIndex]);
-
-    Rng ConfigGen(Seeds[Index]);
-    Result<AssembledNetwork> Assembled = buildPrunedNetwork(
-        Model, Config, Full->Network, "full",
-        Options.UseComposability ? &Store : nullptr,
-        Options.UseComposability ? &Composite : nullptr, ConfigGen,
-        &*Scores);
-    if (!Assembled)
-      return Assembled.takeError();
-
-    const TrainResult Trained =
-        Options.DistillAlpha > 0.0f
-            ? trainClassifierDistilled(
-                  Assembled->Network, Assembled->InputNode,
-                  Assembled->LogitsNode, Full->Network, Assembled->InputNode,
-                  "full/" + Spec.Layers.back().Name, Data, Meta,
-                  Meta.FinetuneSteps, Meta.FinetuneLearningRate,
-                  Options.DistillAlpha, Options.DistillTemperature,
-                  ConfigGen)
-            : trainClassifier(Assembled->Network, Assembled->InputNode,
-                              Assembled->LogitsNode, Data, Meta,
-                              Meta.FinetuneSteps,
-                              Meta.FinetuneLearningRate, ConfigGen);
-
-    EvaluatedConfig Evaluated;
-    Evaluated.Config = Config;
-    Evaluated.WeightCount = modelWeightCount(Spec, Config);
-    Evaluated.SizeFraction = static_cast<double>(Evaluated.WeightCount) /
-                             static_cast<double>(Run.FullWeightCount);
-    Evaluated.InitAccuracy = Trained.InitialAccuracy;
-    Evaluated.FinalAccuracy = Trained.FinalAccuracy;
-    Evaluated.StepsToBest = Trained.StepsToBest;
-    Evaluated.TrainSeconds = Trained.Seconds;
-    if (Options.KeepCurves)
-      Evaluated.Curve = Trained.Curve;
-    Evaluated.BlocksUsed = Assembled->BlocksUsed;
-    if (Options.KeepNetworks)
-      Evaluated.Network =
-          std::make_shared<AssembledNetwork>(Assembled.take());
-    Run.Evaluations[Index] = std::move(Evaluated);
+    Result<EvaluatedConfig> Evaluated = Engine.evaluateConfig(
+        Config, Options.UseComposability ? &Composite : nullptr,
+        Seeds[Index]);
+    if (!Evaluated)
+      return Evaluated.takeError();
+    Run.Evaluations[Index] = Evaluated.take();
     return Error::success();
   };
 
@@ -251,8 +175,8 @@ Result<PipelineResult> wootz::runPruningPipeline(
             if (cancelRequested())
               return Error::failure("job cancelled");
             Result<GroupPretrainStats> Stats = pretrainGroup(
-                Model, Full->Network, "full", Groups[G], Data, Meta,
-                Store, GroupRngs[G], &*Scores, &Cache);
+                Engine.model(), Engine.teacher(), "full", Groups[G], Data,
+                Meta, Store, GroupRngs[G], &Engine.scores(), &Cache);
             if (!Stats)
               return Stats.takeError();
             GroupStats[G] = *Stats;

@@ -1,0 +1,137 @@
+//===- explore/strategy/Adaptive.cpp ------------------------------------------===//
+
+#include "src/explore/strategy/Adaptive.h"
+
+#include <algorithm>
+
+using namespace wootz;
+
+AdaptiveStrategy::AdaptiveStrategy(const ModelSpec &Spec,
+                                   const PruningObjective &Objective,
+                                   const StrategyKnobs &Knobs)
+    : Objective(Objective), ModuleCount(Spec.moduleCount()),
+      Rates(Knobs.Rates.empty() ? standardRates() : Knobs.Rates),
+      MaxRounds(Knobs.MaxRounds), Margin(Knobs.AccuracyMargin),
+      Threshold(objectiveAccuracyFloor(Objective)),
+      RateIndex(ModuleCount, 0), Penalty(ModuleCount, 0.0) {}
+
+PruneConfig
+AdaptiveStrategy::configBumping(const std::vector<int> &Modules) const {
+  PruneConfig Config(ModuleCount);
+  for (int M = 0; M < ModuleCount; ++M)
+    Config[M] = Rates[RateIndex[M]];
+  for (int M : Modules)
+    Config[M] = Rates[RateIndex[M] + 1];
+  return Config;
+}
+
+Result<std::vector<PruneConfig>>
+AdaptiveStrategy::propose(const ObservedResults &Observed) {
+  if (Finished)
+    return std::vector<PruneConfig>{};
+
+  if (Round > 0) {
+    // Digest the previous round. Proposals descend in aggressiveness, so
+    // the first one holding the accuracy floor is the most aggressive
+    // acceptable move.
+    int AcceptedAt = -1;
+    double AcceptedAccuracy = 0.0;
+    bool SawSatisfied = false;
+    for (size_t I = 0; I < RoundBumped.size(); ++I) {
+      const EvaluatedConfig &E = Observed[RoundStart + I];
+      if (E.Cancelled)
+        continue;
+      if (Objective.satisfied(E.WeightCount, E.FinalAccuracy))
+        SawSatisfied = true;
+      if (AcceptedAt < 0 && E.FinalAccuracy >= Threshold) {
+        AcceptedAt = static_cast<int>(I);
+        AcceptedAccuracy = E.FinalAccuracy;
+      }
+    }
+    if (AcceptedAt >= 0) {
+      for (int M : RoundBumped[AcceptedAt]) {
+        ++RateIndex[M];
+        // Surviving a bump halves the module's blame: it earned trust.
+        Penalty[M] *= 0.5;
+      }
+      Step = static_cast<int>(RoundBumped[AcceptedAt].size());
+      FailStreak = 0;
+      LastAcceptedAccuracy = AcceptedAccuracy;
+    } else {
+      ++FailStreak;
+      Step = std::max(1, Step / 2);
+      // Blame every bumped module for its proposal's accuracy deficit —
+      // high-penalty modules are tried last from now on.
+      for (size_t I = 0; I < RoundBumped.size(); ++I) {
+        const EvaluatedConfig &E = Observed[RoundStart + I];
+        if (E.Cancelled || RoundBumped[I].empty())
+          continue;
+        const double Deficit =
+            std::max(Threshold - E.FinalAccuracy, 1e-6);
+        for (int M : RoundBumped[I])
+          Penalty[M] += Deficit / static_cast<double>(RoundBumped[I].size());
+      }
+    }
+    // An observed result satisfied the full objective (including any
+    // model-size cap): the driver will pick the winner; stop proposing.
+    if (SawSatisfied || FailStreak >= 3) {
+      Finished = true;
+      return std::vector<PruneConfig>{};
+    }
+  }
+
+  if (Round >= MaxRounds) {
+    Finished = true;
+    return std::vector<PruneConfig>{};
+  }
+
+  // Modules with alphabet headroom, least-blamed first (ties: later
+  // modules first — deeper layers are heuristically safer to prune).
+  std::vector<int> Available;
+  for (int M = 0; M < ModuleCount; ++M)
+    if (RateIndex[M] + 1 < static_cast<int>(Rates.size()))
+      Available.push_back(M);
+  if (Available.empty()) {
+    Finished = true;
+    return std::vector<PruneConfig>{};
+  }
+  std::stable_sort(Available.begin(), Available.end(), [&](int A, int B) {
+    if (Penalty[A] != Penalty[B])
+      return Penalty[A] < Penalty[B];
+    return A > B;
+  });
+
+  // The beam: up to three nested moves of decreasing aggressiveness.
+  // The 2K probe runs only while the last accepted accuracy clears the
+  // floor by the confidence margin (and never right after a failure).
+  const int Avail = static_cast<int>(Available.size());
+  std::vector<int> Levels;
+  const bool Confident =
+      Round == 0 ||
+      (FailStreak == 0 && LastAcceptedAccuracy >= Threshold + Margin);
+  for (int Level : {Confident ? Step * 2 : 0, Step, std::max(1, Step / 2)}) {
+    Level = std::min(Level, Avail);
+    if (Level >= 1 &&
+        std::find(Levels.begin(), Levels.end(), Level) == Levels.end())
+      Levels.push_back(Level);
+  }
+
+  std::vector<PruneConfig> Proposals;
+  RoundBumped.clear();
+  for (int Level : Levels) {
+    std::vector<int> Modules(Available.begin(), Available.begin() + Level);
+    PruneConfig Candidate = configBumping(Modules);
+    if (!ProposedEver.insert(Candidate).second)
+      continue; // Already tried (and evidently not accepted).
+    Proposals.push_back(std::move(Candidate));
+    RoundBumped.push_back(std::move(Modules));
+  }
+  if (Proposals.empty()) {
+    // Every move at the current pace was already tried and rejected.
+    Finished = true;
+    return std::vector<PruneConfig>{};
+  }
+  RoundStart = Observed.size();
+  ++Round;
+  return Proposals;
+}

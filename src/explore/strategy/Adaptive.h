@@ -1,0 +1,88 @@
+//===- explore/strategy/Adaptive.h - Result-driven adaptive explorer --------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Play-and-Prune-style adaptive explorer (Singh et al.): no
+/// pre-specified per-layer rates — each round proposes a small beam of
+/// pruning moves of decreasing aggressiveness, derived from what the
+/// observed accuracies earned so far:
+///
+///  * a per-module penalty tracks how much accuracy past bumps of that
+///    module cost; the lowest-penalty modules are bumped next;
+///  * a step size K (modules bumped at once) adapts to the results —
+///    it follows the most aggressive accepted proposal and halves after
+///    a failed round, and the 2K probe is only proposed while the last
+///    accepted accuracy clears the constraint floor by AccuracyMargin;
+///  * the most aggressive (smallest) proposal whose accuracy holds the
+///    floor is committed; the search ends when an observed result
+///    satisfies the full objective (size cap included), when rounds run
+///    out, when every module is at the heaviest rate, or after three
+///    consecutive rounds with no acceptable proposal.
+///
+/// Proposals within a round are nested (the K-module bump extends the
+/// K/2-module bump), so they are emitted smallest-model-first — the
+/// driver can cancel the rest of a round once an earlier proposal
+/// satisfies a min-ModelSize cancellation objective. Tuning blocks are
+/// (module, rate) pairs, so every proposal that keeps a module's
+/// committed rate reuses the block pre-trained when that rate was first
+/// tried — the cross-proposal reuse the paper's subspace pipeline gets,
+/// harvested without a subspace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_EXPLORE_STRATEGY_ADAPTIVE_H
+#define WOOTZ_EXPLORE_STRATEGY_ADAPTIVE_H
+
+#include "src/explore/strategy/Strategy.h"
+
+#include <set>
+
+namespace wootz {
+
+class AdaptiveStrategy : public ExplorationStrategy {
+public:
+  /// \p Knobs.Rates must be validated by the caller (makeStrategy does);
+  /// \p Knobs.MaxRounds bounds the proposal rounds and
+  /// \p Knobs.AccuracyMargin gates the aggressive 2K probe.
+  AdaptiveStrategy(const ModelSpec &Spec,
+                   const PruningObjective &Objective,
+                   const StrategyKnobs &Knobs);
+
+  const char *name() const override { return "adaptive"; }
+  /// Nested beams descend in model size, so the order matches a
+  /// smallest-first objective's preference; for a max-Accuracy objective
+  /// it does not, and the driver must not cancel within a round.
+  bool proposalsPreferenceOrdered() const override {
+    return Objective.exploreSmallestFirst();
+  }
+  Result<std::vector<PruneConfig>>
+  propose(const ObservedResults &Observed) override;
+
+private:
+  PruneConfig configBumping(const std::vector<int> &Modules) const;
+
+  PruningObjective Objective;
+  int ModuleCount;
+  std::vector<float> Rates;
+  int MaxRounds;
+  double Margin;
+  double Threshold;
+
+  std::vector<int> RateIndex;   ///< Committed rate index per module.
+  std::vector<double> Penalty;  ///< Accumulated accuracy blame per module.
+  int Step = 1;                 ///< Modules bumped by the accepted pace.
+  int Round = 0;
+  int FailStreak = 0;
+  double LastAcceptedAccuracy = 0.0;
+  std::vector<std::vector<int>> RoundBumped; ///< Per live proposal.
+  size_t RoundStart = 0;
+  std::set<PruneConfig> ProposedEver; ///< Never re-propose a config.
+  bool Finished = false;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_EXPLORE_STRATEGY_ADAPTIVE_H

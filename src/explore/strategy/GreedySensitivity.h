@@ -1,0 +1,71 @@
+//===- explore/strategy/GreedySensitivity.h - Greedy sensitivity search -----===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The greedy sensitivity search of explore/Iterative.h refactored
+/// behind the strategy interface. Starting from the unpruned
+/// configuration, each round proposes every single-module rate bump
+/// along the alphabet; after observing the round it commits the bump
+/// with the highest fine-tuned accuracy that stays at or above the
+/// objective's accuracy floor, and stops when no bump qualifies, the
+/// commit budget is spent, or every module sits at the heaviest rate.
+/// runIterativeExploration() is now a thin wrapper over this strategy
+/// plus the driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_EXPLORE_STRATEGY_GREEDYSENSITIVITY_H
+#define WOOTZ_EXPLORE_STRATEGY_GREEDYSENSITIVITY_H
+
+#include "src/explore/strategy/Strategy.h"
+
+namespace wootz {
+
+class GreedySensitivityStrategy : public ExplorationStrategy {
+public:
+  /// One committed rate bump.
+  struct Commit {
+    int Module = 0;          ///< Module whose rate was bumped.
+    float Rate = 0.0f;       ///< New rate of that module.
+    size_t ObservedIndex = 0;///< The winning proposal's observed index.
+    PruneConfig Config;      ///< Configuration after the commit.
+  };
+
+  /// \p Knobs.Rates must be validated by the caller (makeStrategy does);
+  /// \p Knobs.MaxRounds bounds the committed bumps.
+  GreedySensitivityStrategy(const ModelSpec &Spec,
+                            const PruningObjective &Objective,
+                            const StrategyKnobs &Knobs);
+
+  const char *name() const override { return "greedy"; }
+  // A greedy round needs EVERY candidate's accuracy before it can pick
+  // the best — proposals carry no preference order, so the driver must
+  // not cancel within a round (the default false says so).
+  Result<std::vector<PruneConfig>>
+  propose(const ObservedResults &Observed) override;
+
+  /// The committed trajectory so far (runIterativeExploration rebuilds
+  /// its IterativeResult from this).
+  const std::vector<Commit> &commits() const { return Commits; }
+
+private:
+  int ModuleCount;
+  std::vector<float> Rates;
+  int MaxCommits;
+  double Threshold;
+
+  std::vector<int> RateIndex; ///< Per module, index into Rates.
+  PruneConfig Current;
+  std::vector<int> RoundModules; ///< Module bumped by each live proposal.
+  size_t RoundStart = 0;
+  std::vector<Commit> Commits;
+  bool Started = false;
+  bool Finished = false;
+};
+
+} // namespace wootz
+
+#endif // WOOTZ_EXPLORE_STRATEGY_GREEDYSENSITIVITY_H

@@ -19,6 +19,8 @@ const char *wootz::importanceCriterionName(ImportanceCriterion Criterion) {
     return "l2";
   case ImportanceCriterion::Taylor:
     return "taylor";
+  case ImportanceCriterion::TaylorExpansion:
+    return "taylor_expansion";
   case ImportanceCriterion::Apoz:
     return "apoz";
   }
@@ -33,10 +35,13 @@ wootz::parseImportanceCriterion(const std::string &Name) {
     return ImportanceCriterion::L2Norm;
   if (Name == "taylor")
     return ImportanceCriterion::Taylor;
+  if (Name == "taylor_expansion")
+    return ImportanceCriterion::TaylorExpansion;
   if (Name == "apoz")
     return ImportanceCriterion::Apoz;
   return Error::failure("unknown importance criterion '" + Name +
-                        "' (expected l1, l2, taylor or apoz)");
+                        "' (expected l1, l2, taylor, taylor_expansion or "
+                        "apoz)");
 }
 
 /// Weight-magnitude scores: per-filter lp norm of the convolution weight.
@@ -98,6 +103,11 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
                                int CalibrationBatches, int BatchSize,
                                FilterScores &Scores) {
   const bool Taylor = Criterion == ImportanceCriterion::Taylor;
+  const bool TaylorExpansion =
+      Criterion == ImportanceCriterion::TaylorExpansion;
+  // Both Taylor variants need a backward pass over training-mode
+  // forwards.
+  const bool NeedsGradients = Taylor || TaylorExpansion;
 
   // Conv layer -> node carrying its post-activation map (Apoz).
   std::map<std::string, std::string> ActivationNode;
@@ -112,7 +122,7 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
   // exact); snapshot the running statistics to leave the teacher
   // untouched.
   std::map<std::string, Tensor> Snapshot;
-  if (Taylor)
+  if (NeedsGradients)
     for (auto &[Name, State] : FullGraph.namedState())
       Snapshot[Name] = State->Value;
 
@@ -127,8 +137,8 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
   for (int BatchIndex = 0; BatchIndex < CalibrationBatches; ++BatchIndex) {
     Batch Mini = Sampler.next();
     Ctx.setInput(Spec.InputName, std::move(Mini.Images));
-    Ctx.forward(FullGraph, /*Training=*/Taylor);
-    if (Taylor) {
+    Ctx.forward(FullGraph, /*Training=*/NeedsGradients);
+    if (NeedsGradients) {
       FullGraph.zeroGrads();
       softmaxCrossEntropy(Ctx.activation(LogitsNode), Mini.Labels,
                           GradLogits);
@@ -159,6 +169,23 @@ static Result<int> scoreByData(const ModelSpec &Spec, Graph &FullGraph,
                      (*Grad)[Offset + I];
           }
           LayerScores[C] += std::fabs(Sum);
+        }
+      } else if (TaylorExpansion) {
+        // Weight-gradient variant: squared first-order loss change from
+        // zeroing the whole filter, (sum_j w_j * g_j)^2 per batch. The
+        // backward pass above accumulated this batch's weight gradients
+        // into the graph parameters (zeroGrads() reset them first).
+        Layer &Node = FullGraph.layer(FullPrefix + "/" + L.Name);
+        const Tensor &Weight = Node.state()[0]->Value;
+        const Tensor &Grad = Node.state()[0]->Grad;
+        const size_t FilterSize = Weight.size() / Channels;
+        for (int C = 0; C < Channels; ++C) {
+          const float *W = Weight.data() + C * FilterSize;
+          const float *G = Grad.data() + C * FilterSize;
+          double Sum = 0.0;
+          for (size_t J = 0; J < FilterSize; ++J)
+            Sum += static_cast<double>(W[J]) * G[J];
+          LayerScores[C] += Sum * Sum;
         }
       } else {
         // Apoz: score = fraction of *active* (nonzero) outputs.
@@ -203,6 +230,7 @@ Result<FilterScores> wootz::scoreFilters(const ModelSpec &Spec,
     scoreByWeightNorm(Spec, FullGraph, FullPrefix, 2, Scores);
     return Scores;
   case ImportanceCriterion::Taylor:
+  case ImportanceCriterion::TaylorExpansion:
   case ImportanceCriterion::Apoz: {
     if (!Calibration)
       return Error::failure(

@@ -13,13 +13,17 @@
 ///
 ///  * L1Norm / L2Norm — weight-magnitude criteria (Li et al.);
 ///  * Taylor — |activation x gradient| averaged over calibration batches
-///    (Molchanov et al.), a first-order estimate of the loss change from
-///    removing the filter;
+///    (Molchanov et al. 2017), a first-order estimate of the loss change
+///    from removing the filter;
+///  * TaylorExpansion — the weight-gradient variant (Molchanov et al.
+///    2019): per filter, the squared first-order expansion
+///    (sum_j w_j * g_j)^2 accumulated over calibration batches. Needs no
+///    activation maps, only the weight gradients of a backward pass;
 ///  * Apoz — Average Percentage of Zeros of the filter's post-ReLU
 ///    activations (Hu et al.); filters that are mostly inactive go first.
 ///
-/// Data-driven criteria (Taylor, Apoz) run a few calibration batches
-/// through the trained full model.
+/// Data-driven criteria (Taylor, TaylorExpansion, Apoz) run a few
+/// calibration batches through the trained full model.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,13 +40,16 @@ enum class ImportanceCriterion {
   L1Norm,
   L2Norm,
   Taylor,
+  TaylorExpansion,
   Apoz,
 };
 
-/// Name for specs and diagnostics ("l1", "l2", "taylor", "apoz").
+/// Name for specs and diagnostics ("l1", "l2", "taylor",
+/// "taylor_expansion", "apoz").
 const char *importanceCriterionName(ImportanceCriterion Criterion);
 
-/// Parses a criterion name.
+/// Parses a criterion name. Unknown names fail with an error that lists
+/// every valid name (the serve API surfaces it verbatim as a 400).
 Result<ImportanceCriterion>
 parseImportanceCriterion(const std::string &Name);
 

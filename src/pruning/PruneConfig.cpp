@@ -13,6 +13,17 @@ using namespace wootz;
 
 std::vector<float> wootz::standardRates() { return {0.0f, 0.3f, 0.5f, 0.7f}; }
 
+std::vector<float>
+wootz::subspaceRateAlphabet(const std::vector<PruneConfig> &Configs) {
+  std::vector<float> Rates{0.0f};
+  for (const PruneConfig &Config : Configs)
+    for (float Rate : Config)
+      if (std::find(Rates.begin(), Rates.end(), Rate) == Rates.end())
+        Rates.push_back(Rate);
+  std::sort(Rates.begin(), Rates.end());
+  return Rates;
+}
+
 int wootz::keptFilters(int FullCount, float Rate) {
   assert(FullCount > 0 && "keptFilters on an empty layer");
   assert(Rate >= 0.0f && Rate < 1.0f && "pruning rate out of [0, 1)");

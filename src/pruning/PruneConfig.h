@@ -32,6 +32,12 @@ using PruneConfig = std::vector<float>;
 /// The paper's rate alphabet T = {30%, 50%, 70%} plus the unpruned 0%.
 std::vector<float> standardRates();
 
+/// The distinct rates \p Configs use, ascending and always including 0 —
+/// the rate alphabet handed to the hierarchical identifier and to the
+/// on-the-fly exploration strategies (explore/strategy/).
+std::vector<float>
+subspaceRateAlphabet(const std::vector<PruneConfig> &Configs);
+
 /// Number of filters kept when pruning \p FullCount filters at \p Rate;
 /// never below one.
 int keptFilters(int FullCount, float Rate);

@@ -3,6 +3,7 @@
 #include "src/serve/JobManager.h"
 
 #include "src/data/Synthetic.h"
+#include "src/explore/strategy/Driver.h"
 #include "src/plan/Plan.h"
 #include "src/serve/ModelStore.h"
 #include "src/support/File.h"
@@ -182,6 +183,36 @@ JobManager::submit(const std::map<std::string, std::string> &Body) {
   if (J->DistillAlpha < 0.0f || J->DistillAlpha > 1.0f)
     return badRequest("distill_alpha must be in [0, 1]");
 
+  // Unknown strategy/criterion names are a 400 listing the valid names,
+  // never a silent fallback to the default.
+  if (auto It = Body.find("strategy"); It != Body.end()) {
+    Result<StrategyKind> Kind = parseStrategyKind(It->second);
+    if (!Kind)
+      return badRequest("strategy: " + Kind.message());
+    J->Strategy = *Kind;
+  }
+  if (auto It = Body.find("criterion"); It != Body.end()) {
+    Result<ImportanceCriterion> Criterion =
+        parseImportanceCriterion(It->second);
+    if (!Criterion)
+      return badRequest("criterion: " + Criterion.message());
+    J->Criterion = *Criterion;
+  }
+
+  Result<long long> MaxRounds = integerField(Body, "max_rounds", 24);
+  if (!MaxRounds)
+    return badRequest(MaxRounds.message());
+  if (*MaxRounds < 1 || *MaxRounds > 256)
+    return badRequest("max_rounds must be in [1, 256]");
+  J->MaxRounds = static_cast<int>(*MaxRounds);
+
+  Result<double> Margin = doubleField(Body, "accuracy_margin", 0.02);
+  if (!Margin)
+    return badRequest(Margin.message());
+  if (*Margin < 0.0 || *Margin > 0.5)
+    return badRequest("accuracy_margin must be in [0, 0.5]");
+  J->AccuracyMargin = *Margin;
+
   Result<long long> Seed = integerField(Body, "seed", 7);
   if (!Seed)
     return badRequest(Seed.message());
@@ -273,6 +304,8 @@ void JobManager::finishJob(Job &J, JobState Terminal, std::string Message) {
     Summary.field("id", J.Id)
         .field("state", jobStateName(Terminal))
         .field("message", Message)
+        .field("strategy", strategyKindName(J.Strategy))
+        .field("criterion", importanceCriterionName(J.Criterion))
         .field("configs_evaluated", J.ConfigsEvaluated)
         .field("winner_index", J.WinnerIndex)
         .field("winner_accuracy", J.WinnerAccuracy, 6)
@@ -323,37 +356,84 @@ void JobManager::runJob(Job &J) {
   Options.Cancel = &J.Token;
   Options.Log = &J.Log;
   Options.KeepNetworks = true;
+  Options.Criterion = J.Criterion;
 
   Rng Generator(J.Seed);
-  Result<PipelineResult> Run = runPruningPipeline(
-      J.Spec, Data, J.Subspace, J.Meta, Options, Generator);
 
-  if (!Run) {
-    if (J.Token.cancelled()) {
-      finishJob(J, JobState::Cancelled, "cancelled while running");
+  // Either the classic fixed-subspace sweep or a strategy-driven round
+  // loop; both land in Outcome plus a winner storage index.
+  PipelineResult Outcome;
+  int WinnerStorage = -1;  ///< Index into Outcome.Evaluations.
+  int WinnerPosition = -1; ///< Exploration position reported to clients.
+  if (J.Strategy == StrategyKind::Fixed) {
+    Result<PipelineResult> Run = runPruningPipeline(
+        J.Spec, Data, J.Subspace, J.Meta, Options, Generator);
+    if (!Run) {
+      if (J.Token.cancelled()) {
+        finishJob(J, JobState::Cancelled, "cancelled while running");
+        return;
+      }
+      finishJob(J, JobState::Failed, Run.message());
       return;
     }
-    finishJob(J, JobState::Failed, Run.message());
-    return;
+    Outcome = Run.take();
+    const ExplorationSummary Summary =
+        summarizeMeasuredRun(Outcome, J.Objective);
+    J.ConfigsEvaluated = Summary.ConfigsEvaluated;
+    J.WinnerSizeFraction = Summary.WinnerSizeFraction;
+    WinnerPosition = Summary.WinnerIndex;
+    if (Summary.WinnerIndex >= 0) {
+      // Exploration position -> storage index (storage ascends model
+      // size; a max-Accuracy objective walks it backwards).
+      const size_t Count = Outcome.Evaluations.size();
+      WinnerStorage = static_cast<int>(
+          J.Objective.exploreSmallestFirst()
+              ? static_cast<size_t>(Summary.WinnerIndex)
+              : Count - 1 - static_cast<size_t>(Summary.WinnerIndex));
+    }
+  } else {
+    StrategyKnobs Knobs;
+    Knobs.Rates = subspaceRateAlphabet(J.Subspace);
+    Knobs.MaxRounds = J.MaxRounds;
+    Knobs.AccuracyMargin = J.AccuracyMargin;
+    Result<std::unique_ptr<ExplorationStrategy>> Strategy =
+        makeStrategy(J.Strategy, J.Spec, J.Subspace, J.Objective, Knobs);
+    if (!Strategy) {
+      finishJob(J, JobState::Failed, Strategy.message());
+      return;
+    }
+    Result<StrategyRunResult> Run = runStrategyExploration(
+        J.Spec, Data, **Strategy, J.Meta, Options, J.Objective, Generator);
+    if (!Run) {
+      if (J.Token.cancelled()) {
+        finishJob(J, JobState::Cancelled, "cancelled while running");
+        return;
+      }
+      finishJob(J, JobState::Failed, Run.message());
+      return;
+    }
+    J.Rounds = Run->Rounds;
+    J.Proposals = Run->Proposals;
+    Outcome = std::move(Run->Run);
+    for (const EvaluatedConfig &E : Outcome.Evaluations)
+      if (!E.Cancelled)
+        ++J.ConfigsEvaluated;
+    // Strategy results are stored in proposal order, so the storage
+    // index is also the position clients see.
+    WinnerStorage = Run->WinnerIndex;
+    WinnerPosition = Run->WinnerIndex;
+    if (WinnerStorage >= 0)
+      J.WinnerSizeFraction =
+          Outcome.Evaluations[static_cast<size_t>(WinnerStorage)]
+              .SizeFraction;
   }
 
-  const PipelineResult &Outcome = *Run;
-  const ExplorationSummary Summary =
-      summarizeMeasuredRun(Outcome, J.Objective);
   J.FullAccuracy = Outcome.FullAccuracy;
-  J.ConfigsEvaluated = Summary.ConfigsEvaluated;
-  J.WinnerIndex = Summary.WinnerIndex;
-  J.WinnerSizeFraction = Summary.WinnerSizeFraction;
+  J.WinnerIndex = WinnerPosition;
 
-  if (Summary.WinnerIndex >= 0) {
-    // Exploration position -> storage index (storage ascends model
-    // size; a max-Accuracy objective walks it backwards).
-    const size_t Count = Outcome.Evaluations.size();
-    const size_t Index =
-        J.Objective.exploreSmallestFirst()
-            ? static_cast<size_t>(Summary.WinnerIndex)
-            : Count - 1 - static_cast<size_t>(Summary.WinnerIndex);
-    const EvaluatedConfig &Winner = Outcome.Evaluations[Index];
+  if (WinnerStorage >= 0) {
+    const EvaluatedConfig &Winner =
+        Outcome.Evaluations[static_cast<size_t>(WinnerStorage)];
     J.WinnerAccuracy = Winner.FinalAccuracy;
     // Freeze the winner into a static inference plan and persist the
     // compiler's decisions (step list, fusions, arena layout) next to
@@ -384,7 +464,7 @@ void JobManager::runJob(Job &J) {
     }
     finishJob(J, JobState::Done,
               "winner at exploration position " +
-                  std::to_string(Summary.WinnerIndex));
+                  std::to_string(WinnerPosition));
     return;
   }
   finishJob(J, JobState::Done, "no configuration met the objective");
@@ -400,6 +480,8 @@ std::string JobManager::jobJsonLocked(const Job &J,
   Out.field("id", J.Id)
       .field("state", jobStateName(J.State))
       .field("configs", J.Subspace.size())
+      .field("strategy", strategyKindName(J.Strategy))
+      .field("criterion", importanceCriterionName(J.Criterion))
       .field("model_name", J.Spec.Name)
       .field("submitted_at", J.SubmitAt, 3);
   if (J.State != JobState::Queued)
@@ -414,6 +496,8 @@ std::string JobManager::jobJsonLocked(const Job &J,
   if (!J.Message.empty())
     Out.field("message", J.Message);
   if (J.State == JobState::Done) {
+    if (J.Strategy != StrategyKind::Fixed)
+      Out.field("rounds", J.Rounds).field("proposals", J.Proposals);
     Out.field("configs_evaluated", J.ConfigsEvaluated)
         .field("winner_index", J.WinnerIndex)
         .field("winner_accuracy", J.WinnerAccuracy, 6)

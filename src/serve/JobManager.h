@@ -30,6 +30,7 @@
 #define WOOTZ_SERVE_JOBMANAGER_H
 
 #include "src/explore/Pipeline.h"
+#include "src/explore/strategy/Strategy.h"
 #include "src/serve/Batcher.h"
 
 #include <condition_variable>
@@ -97,7 +98,14 @@ public:
   /// the corresponding Figure-2 text format. Optional: "composability"
   /// (bool, default true), "identifier" (bool, default true), "schedule"
   /// ("overlap"|"evalonly", default overlap), "workers" (int, default 2),
-  /// "seed" (int), "dataset_scale" (float), "distill_alpha" (float).
+  /// "seed" (int), "dataset_scale" (float), "distill_alpha" (float),
+  /// "strategy" ("fixed"|"greedy"|"adaptive", default fixed; the
+  /// on-the-fly strategies take their rate alphabet from the subspace),
+  /// "criterion" ("l1"|"l2"|"taylor"|"taylor_expansion"|"apoz", default
+  /// l1), "max_rounds" (int in [1, 256], default 24), "accuracy_margin"
+  /// (float in [0, 0.5], default 0.02). Unknown strategy or criterion
+  /// names are answered 400 with the valid names listed — never a
+  /// silent default.
   SubmitOutcome submit(const std::map<std::string, std::string> &Body);
 
   /// Renders one job as a JSON object (live counters for running jobs);
@@ -145,6 +153,10 @@ private:
     float DistillAlpha = 0.0f;
     uint64_t Seed = 7;
     double DatasetScale = 0.25;
+    StrategyKind Strategy = StrategyKind::Fixed;
+    ImportanceCriterion Criterion = ImportanceCriterion::L1Norm;
+    int MaxRounds = 24;
+    double AccuracyMargin = 0.02;
 
     // Execution state.
     CancelToken Token;
@@ -153,6 +165,8 @@ private:
 
     // Results.
     int ConfigsEvaluated = 0;
+    int Rounds = 0;    ///< Strategy proposal rounds (non-fixed only).
+    int Proposals = 0; ///< Strategy proposals (non-fixed only).
     int WinnerIndex = -1;
     double WinnerAccuracy = 0.0;
     double WinnerSizeFraction = 0.0;

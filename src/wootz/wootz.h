@@ -31,6 +31,8 @@
 #include "src/explore/Iterative.h"
 #include "src/explore/Pipeline.h"
 #include "src/explore/Report.h"
+#include "src/explore/strategy/Driver.h"
+#include "src/explore/strategy/Strategy.h"
 #include "src/identifier/Identifier.h"
 #include "src/identifier/Optimal.h"
 #include "src/models/MiniModels.h"

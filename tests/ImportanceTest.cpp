@@ -17,7 +17,8 @@ namespace {
 TEST(ImportanceNameTest, RoundTrip) {
   for (ImportanceCriterion Criterion :
        {ImportanceCriterion::L1Norm, ImportanceCriterion::L2Norm,
-        ImportanceCriterion::Taylor, ImportanceCriterion::Apoz}) {
+        ImportanceCriterion::Taylor, ImportanceCriterion::TaylorExpansion,
+        ImportanceCriterion::Apoz}) {
     Result<ImportanceCriterion> Parsed =
         parseImportanceCriterion(importanceCriterionName(Criterion));
     ASSERT_TRUE(static_cast<bool>(Parsed)) << Parsed.message();
@@ -90,8 +91,46 @@ TEST_F(ImportanceFixture, WeightNormScoresOrderCraftedFilters) {
 TEST_F(ImportanceFixture, DataDrivenCriteriaNeedCalibration) {
   EXPECT_FALSE(static_cast<bool>(
       scoreFilters(Spec, Full, "full", ImportanceCriterion::Taylor)));
+  EXPECT_FALSE(static_cast<bool>(scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::TaylorExpansion)));
   EXPECT_FALSE(static_cast<bool>(
       scoreFilters(Spec, Full, "full", ImportanceCriterion::Apoz)));
+}
+
+TEST_F(ImportanceFixture, TaylorExpansionScoresAreFiniteAndCoverAllConvs) {
+  Result<FilterScores> Scores =
+      scoreFilters(Spec, Full, "full", ImportanceCriterion::TaylorExpansion,
+                   &Data, 2, 8);
+  ASSERT_TRUE(static_cast<bool>(Scores)) << Scores.message();
+  int ConvCount = 0;
+  for (const LayerSpec &L : Spec.Layers)
+    ConvCount += L.Kind == LayerKind::Convolution;
+  EXPECT_EQ(static_cast<int>(Scores->size()), ConvCount);
+  // Squared weight-gradient dot products: non-negative by construction,
+  // and the trained-from-random network has no exactly-dead layer.
+  for (const auto &[Name, LayerScores] : *Scores) {
+    double Total = 0.0;
+    for (double Score : LayerScores) {
+      EXPECT_TRUE(std::isfinite(Score)) << Name;
+      EXPECT_GE(Score, 0.0) << Name;
+      Total += Score;
+    }
+    EXPECT_GT(Total, 0.0) << Name << ": all-zero TaylorExpansion scores";
+  }
+}
+
+TEST_F(ImportanceFixture, TaylorExpansionDiffersFromActivationTaylor) {
+  // The 2019 weight-gradient variant and the 2017 activation-gradient
+  // variant measure different quantities; on a trained network their
+  // score vectors must not coincide.
+  Result<FilterScores> Weights =
+      scoreFilters(Spec, Full, "full", ImportanceCriterion::TaylorExpansion,
+                   &Data, 2, 8);
+  Result<FilterScores> Activations = scoreFilters(
+      Spec, Full, "full", ImportanceCriterion::Taylor, &Data, 2, 8);
+  ASSERT_TRUE(static_cast<bool>(Weights)) << Weights.message();
+  ASSERT_TRUE(static_cast<bool>(Activations)) << Activations.message();
+  EXPECT_NE(*Weights, *Activations);
 }
 
 TEST_F(ImportanceFixture, TaylorScoresAreFiniteAndCoverAllConvs) {
