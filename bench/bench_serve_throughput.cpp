@@ -20,6 +20,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -127,9 +130,11 @@ struct LoadResult {
 };
 
 /// Closed-loop load: each client thread sends RequestsPerClient requests
-/// back to back and records per-request wall latency.
-LoadResult runLoad(int Port, const std::string &Raw, int Clients,
-                   int RequestsPerClient) {
+/// back to back and records per-request wall latency. With several
+/// ports the clients spread round-robin over them — the multi-daemon
+/// sweep's stand-in for a front-end load balancer.
+LoadResult runLoad(const std::vector<int> &Ports, const std::string &Raw,
+                   int Clients, int RequestsPerClient) {
   std::vector<std::vector<double>> Latencies(Clients);
   std::atomic<int> Ok{0};
   std::atomic<int> Errors{0};
@@ -137,6 +142,7 @@ LoadResult runLoad(int Port, const std::string &Raw, int Clients,
   std::vector<std::thread> Threads;
   for (int Client = 0; Client < Clients; ++Client)
     Threads.emplace_back([&, Client] {
+      const int Port = Ports[Client % Ports.size()];
       Latencies[Client].reserve(RequestsPerClient);
       for (int I = 0; I < RequestsPerClient; ++I) {
         Stopwatch One;
@@ -241,7 +247,7 @@ int main() {
         "POST", "/v1/models/" + JobId + "/predict", PredictJson);
     for (int Clients : {1, 2, 4, 8}) {
       const LoadResult Load =
-          runLoad(Port, PredictRaw, Clients, RequestsPerClient);
+          runLoad({Port}, PredictRaw, Clients, RequestsPerClient);
       Out.addRow({Engine, std::to_string(MaxBatch),
                std::to_string(Clients), std::to_string(Load.Ok),
                formatDouble(Load.requestsPerSecond(), 1),
@@ -278,5 +284,165 @@ int main() {
                 WriteErr.message().c_str());
   else
     std::printf("wrote %s\n", JsonPath.c_str());
+
+  // --- multi-daemon sweep: N in-process daemons over one artifact root.
+  //
+  // Jobs: four identical explorations submitted round-robin. The fleet
+  // shares one block cache, one teacher cache, and one durable queue,
+  // so however the jobs land, blocks train once and every later job
+  // (or daemon) fetches them. Predictions: a fixed client pool spread
+  // round-robin over the daemons against a model uploaded through
+  // daemon 1 — every other daemon restores it lazily from the shared
+  // models tier.
+  std::printf("\n=== multi-daemon: one artifact root, jobs + predictions "
+              "===\n\n");
+  std::string ShardRows;
+  auto pushShardRow = [&ShardRows](const JsonObject &Row) {
+    if (!ShardRows.empty())
+      ShardRows += ",\n  ";
+    ShardRows += Row.str();
+  };
+  Table Shard({"daemons", "jobs", "jobs wall s", "cache hit", "cache miss",
+               "req/s", "p50 ms", "p99 ms", "errors"});
+  const std::string Root = wootz::bench::cacheDir() + "/serve_shard_root";
+  const int JobCount = 4;
+  const int PredictClients = 8;
+  for (int Daemons : {1, 2, 4}) {
+    // Cold fleet per cell: comparing daemon counts only makes sense
+    // when each starts from an empty shared tier.
+    std::error_code FsError;
+    std::filesystem::remove_all(Root, FsError);
+
+    std::vector<std::unique_ptr<WootzServer>> Fleet;
+    std::vector<int> Ports;
+    for (int I = 0; I < Daemons; ++I) {
+      ServerOptions Options;
+      Options.Http.Workers = 4;
+      Options.Artifacts.Root = Root;
+      Options.Artifacts.ProcessName = "shard-" + std::to_string(I + 1) +
+                                      "-of-" + std::to_string(Daemons);
+      Options.Jobs.PollSeconds = 0.05;
+      Fleet.push_back(std::make_unique<WootzServer>(Options));
+      if (Error Started = Fleet.back()->start()) {
+        std::fprintf(stderr, "bench shard daemon error: %s\n",
+                     Started.message().c_str());
+        return 1;
+      }
+      Ports.push_back(Fleet.back()->port());
+    }
+
+    JsonObject Upload;
+    Upload.field("id", "bench-model").field("model", ModelText);
+    std::string Uploaded;
+    if (!exchange(Ports[0],
+                  makeRequest("POST", "/v1/models", Upload.str()),
+                  Uploaded) ||
+        Uploaded.find(" 201 ") == std::string::npos) {
+      std::fprintf(stderr, "bench shard upload failed:\n%s\n",
+                   Uploaded.c_str());
+      return 1;
+    }
+
+    JsonObject SubmitBody;
+    for (const auto &[Key, Value] : tinyJobBody(*Spec, "bench-model"))
+      SubmitBody.field(Key, Value);
+    Stopwatch JobsWall;
+    std::vector<std::string> JobIds;
+    for (int J = 0; J < JobCount; ++J) {
+      std::string Accepted;
+      if (!exchange(Ports[J % Daemons],
+                    makeRequest("POST", "/v1/jobs", SubmitBody.str()),
+                    Accepted) ||
+          Accepted.find(" 202 ") == std::string::npos) {
+        std::fprintf(stderr, "bench shard submit failed:\n%s\n",
+                     Accepted.c_str());
+        return 1;
+      }
+      const size_t IdAt = Accepted.find("\"id\":\"");
+      JobIds.push_back(Accepted.substr(
+          IdAt + 6, Accepted.find('"', IdAt + 6) - (IdAt + 6)));
+    }
+    // Any daemon can observe any durable job; poll through the first.
+    for (const std::string &Id : JobIds)
+      for (;;) {
+        Result<std::string> Status = Fleet[0]->jobs().statusJson(Id);
+        if (!Status) {
+          std::fprintf(stderr, "bench shard status error: %s\n",
+                       Status.message().c_str());
+          return 1;
+        }
+        if (Status->find("\"state\":\"done\"") != std::string::npos)
+          break;
+        if (Status->find("\"state\":\"failed\"") != std::string::npos ||
+            Status->find("\"state\":\"cancelled\"") != std::string::npos) {
+          std::fprintf(stderr, "bench shard job %s did not finish:\n%s\n",
+                       Id.c_str(), Status->c_str());
+          return 1;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+    const double JobSeconds = JobsWall.seconds();
+
+    // Per-job counters live with whichever daemon executed the job.
+    int64_t CacheHits = 0;
+    int64_t CacheMisses = 0;
+    for (const std::string &Id : JobIds)
+      for (const std::unique_ptr<WootzServer> &Daemon : Fleet) {
+        const std::map<std::string, int64_t> Counters =
+            Daemon->jobs().executor().countersFor(Id);
+        const auto Hit = Counters.find("cache.hit");
+        if (Hit != Counters.end())
+          CacheHits += Hit->second;
+        const auto Miss = Counters.find("cache.miss");
+        if (Miss != Counters.end())
+          CacheMisses += Miss->second;
+      }
+
+    const std::string PredictRaw = makeRequest(
+        "POST", "/v1/models/bench-model/predict", PredictJson);
+    const LoadResult Load =
+        runLoad(Ports, PredictRaw, PredictClients, RequestsPerClient);
+
+    Shard.addRow({std::to_string(Daemons), std::to_string(JobCount),
+                  formatDouble(JobSeconds, 2), std::to_string(CacheHits),
+                  std::to_string(CacheMisses),
+                  formatDouble(Load.requestsPerSecond(), 1),
+                  formatDouble(Load.P50 * 1e3, 3),
+                  formatDouble(Load.P99 * 1e3, 3),
+                  std::to_string(Load.Errors)});
+    JsonObject Row;
+    Row.field("path", "shard")
+        .field("daemons", Daemons)
+        .field("jobs", JobCount)
+        .field("job_wall_seconds", JobSeconds, 3)
+        .field("cache_hits", static_cast<int>(CacheHits))
+        .field("cache_misses", static_cast<int>(CacheMisses))
+        .field("clients", PredictClients)
+        .field("requests", Load.Ok)
+        .field("errors", Load.Errors)
+        .field("requests_per_second", Load.requestsPerSecond(), 1)
+        .field("p50_seconds", Load.P50, 6)
+        .field("p99_seconds", Load.P99, 6);
+    pushShardRow(Row);
+
+    for (const std::unique_ptr<WootzServer> &Daemon : Fleet)
+      Daemon->drain();
+  }
+
+  std::printf("%s", Shard.render().c_str());
+  std::printf("\nexpected shape: identical jobs share one block cache, so "
+              "the first execution\npays the training and the rest fetch "
+              "(hits grow with the job count); spreading\njobs over more "
+              "daemons overlaps the cold work, and predict req/s scales "
+              "with the\nfleet because each daemon restores the uploaded "
+              "model once and serves locally.\n");
+
+  const std::string ShardPath = "BENCH_shard.json";
+  Error ShardErr = writeFile(ShardPath, "[\n  " + ShardRows + "\n]\n");
+  if (ShardErr)
+    std::printf("warning: could not write %s: %s\n", ShardPath.c_str(),
+                ShardErr.message().c_str());
+  else
+    std::printf("wrote %s\n", ShardPath.c_str());
   return 0;
 }

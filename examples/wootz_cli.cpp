@@ -101,33 +101,88 @@ std::vector<std::string> writeSampleInputs(const std::string &Directory) {
 std::atomic<int> PendingSignal{0};
 void onShutdownSignal(int Signal) { PendingSignal.store(Signal); }
 
-/// `wootz_cli serve [port [state-dir]]`: run the daemon until
-/// SIGTERM/SIGINT, then drain gracefully (finish in-flight requests and
-/// every accepted job before exiting).
+/// `wootz_cli serve [port [state-dir]] [--artifact-root DIR]
+/// [--shard I/N]`: run the daemon until SIGTERM/SIGINT, then drain
+/// gracefully (finish in-flight requests and every accepted job before
+/// exiting).
+///
+/// With --artifact-root every daemon pointed at DIR shares one model
+/// store, block cache, job queue and artifact tier: a job submitted to
+/// any of them can execute on any of them, and tuning blocks trained by
+/// one warm the others. --shard I/N (1-based I) gives the process the
+/// stable identity "shard-I-of-N" so rendezvous placement survives
+/// restarts; without it the identity is derived from the pid.
 int runServe(int ArgCount, char **Args) {
   int Port = 8080;
   std::string StateDir = "wootz_serve";
-  if (ArgCount >= 3)
+  std::string ArtifactRoot;
+  std::string ProcessName;
+  std::vector<std::string> Positional;
+  for (int I = 2; I < ArgCount; ++I) {
+    const std::string Arg = Args[I];
+    if (Arg == "--artifact-root" && I + 1 < ArgCount) {
+      ArtifactRoot = Args[++I];
+    } else if (Arg == "--shard" && I + 1 < ArgCount) {
+      const std::string Spec = Args[++I];
+      const size_t Slash = Spec.find('/');
+      long long Index = 0, Total = 0;
+      if (Slash != std::string::npos) {
+        Index = orDie(parseInteger(Spec.substr(0, Slash)),
+                      "parsing the shard index");
+        Total = orDie(parseInteger(Spec.substr(Slash + 1)),
+                      "parsing the shard count");
+      }
+      if (Slash == std::string::npos || Index < 1 || Total < 1 ||
+          Index > Total) {
+        std::fprintf(stderr, "serve: --shard wants I/N with 1 <= I <= N "
+                             "(got '%s')\n",
+                     Spec.c_str());
+        std::exit(1);
+      }
+      ProcessName = "shard-" + std::to_string(Index) + "-of-" +
+                    std::to_string(Total);
+    } else {
+      Positional.push_back(Arg);
+    }
+  }
+  if (Positional.size() >= 1)
     Port = static_cast<int>(
-        orDie(parseInteger(Args[2]), "parsing the port"));
-  if (ArgCount >= 4)
-    StateDir = Args[3];
+        orDie(parseInteger(Positional[0]), "parsing the port"));
+  if (Positional.size() >= 2)
+    StateDir = Positional[1];
+  if (!ProcessName.empty() && ArtifactRoot.empty()) {
+    std::fprintf(stderr,
+                 "serve: --shard only makes sense with --artifact-root\n");
+    std::exit(1);
+  }
 
   serve::ServerOptions Options;
   Options.Http.Port = Port;
-  Options.Jobs.BlockCacheDir = StateDir + "/block_cache";
-  Options.Jobs.CacheDir = StateDir + "/cache";
-  Options.Jobs.ArtifactDir = StateDir + "/artifacts";
-  Options.Uploads.Dir = StateDir + "/models";
+  if (!ArtifactRoot.empty()) {
+    // The shared tier supersedes the per-daemon state directory.
+    Options.Artifacts.Root = ArtifactRoot;
+    Options.Artifacts.ProcessName = ProcessName;
+  } else {
+    Options.Jobs.BlockCacheDir = StateDir + "/block_cache";
+    Options.Jobs.CacheDir = StateDir + "/cache";
+    Options.Jobs.ArtifactDir = StateDir + "/artifacts";
+    Options.Uploads.Dir = StateDir + "/models";
+  }
 
   serve::WootzServer Server(Options);
   orDie(Server.start(), "starting the server");
   std::signal(SIGTERM, onShutdownSignal);
   std::signal(SIGINT, onShutdownSignal);
 
-  std::printf("wootz serve: listening on http://127.0.0.1:%d "
-              "(state under %s/)\n",
-              Server.port(), StateDir.c_str());
+  if (!ArtifactRoot.empty())
+    std::printf("wootz serve: listening on http://127.0.0.1:%d "
+                "(process '%s' on shared artifact root %s/)\n",
+                Server.port(), Server.artifacts().processName().c_str(),
+                ArtifactRoot.c_str());
+  else
+    std::printf("wootz serve: listening on http://127.0.0.1:%d "
+                "(state under %s/)\n",
+                Server.port(), StateDir.c_str());
   std::printf("  POST /v1/jobs, GET /v1/jobs/<id>, POST /v1/models, "
               "POST /v1/models/<id>/predict, GET /metrics\n");
   std::printf("  SIGTERM/Ctrl-C drains: accepted jobs finish first\n");

@@ -41,9 +41,13 @@ Error ExplorationEngine::prepare(PipelineResult &Run, Rng &Generator) {
   // exists: its entry addresses incorporate the teacher fingerprint and
   // the pre-training hyperparameters, so a different teacher or recipe
   // simply misses instead of resurrecting stale blocks.
-  if (Cache.enabled())
+  if (Cache.enabled()) {
     Cache.bindContext(BlockCache::fingerprintTeacher(Full->Network),
                       BlockCache::hashPretrainMeta(Meta));
+    // One bump per bound context: a run that rebinds (fresh teacher)
+    // shows up, and a shared-cache fleet can compare counts to hits.
+    Log.bump("cache.context_bound");
+  }
   return Error::success();
 }
 

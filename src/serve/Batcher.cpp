@@ -16,9 +16,9 @@ using namespace wootz::serve;
 Batcher::Batcher(std::shared_ptr<AssembledNetwork> Network,
                  BatcherOptions Options, RunLog *Log,
                  LatencyHistogram *Latency,
-                 std::shared_ptr<const ExecPlan> Plan)
+                 std::shared_ptr<const ExecPlan> Plan, ContextPool *Pool)
     : Network(std::move(Network)), Plan(std::move(Plan)), Options(Options),
-      Log(Log), Latency(Latency) {
+      Log(Log), Latency(Latency), Pool(Pool) {
   assert(this->Network && "batcher needs a network");
   const int Count = std::max(1, Options.Workers);
   Workers.reserve(static_cast<size_t>(Count));
@@ -63,15 +63,20 @@ Result<Prediction> Batcher::predict(const Tensor &Sample) {
 }
 
 void Batcher::loop() {
-  // Each worker owns a private execution context over the shared model:
-  // the Graph's parameters are read-only during serving, so workers run
-  // concurrent forwards without copying a single weight. When the model
-  // was frozen into a static plan the same pattern holds with a private
-  // PlanContext over the shared immutable ExecPlan.
-  ExecContext Ctx(Network->Network);
+  // Each worker forwards through a private execution context over the
+  // shared model: the Graph's parameters are read-only during serving,
+  // so workers run concurrent forwards without copying a single weight.
+  // When the model was frozen into a static plan the same pattern holds
+  // with a private PlanContext over the shared immutable ExecPlan. With
+  // a registry pool the contexts are borrowed per batch instead of
+  // pinned per thread, so idle models release their buffers.
+  ExecContext Ctx;
   PlanContext PlanCtx;
-  if (Plan)
-    PlanCtx.bind(*Plan);
+  if (!Pool) {
+    Ctx.bind(Network->Network);
+    if (Plan)
+      PlanCtx.bind(*Plan);
+  }
   std::unique_lock<std::mutex> Lock(Mutex);
   for (;;) {
     WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
@@ -108,10 +113,17 @@ void Batcher::loop() {
       Queue.pop_front();
     }
     Lock.unlock();
-    if (Plan)
+    if (Pool) {
+      ContextPool::Lease Lease = Pool->acquire(Network, Plan.get());
+      if (Plan)
+        runBatch(Lease.plan(), Batch);
+      else
+        runBatch(Lease.exec(), Batch);
+    } else if (Plan) {
       runBatch(PlanCtx, Batch);
-    else
+    } else {
       runBatch(Ctx, Batch);
+    }
     Lock.lock();
     for (Pending *P : Batch)
       P->Done = true;
@@ -281,8 +293,9 @@ Error ModelRegistry::add(const std::string &Id,
       Log->bump("serve.models.weights_packed",
                 static_cast<int64_t>(Warmed));
   }
-  Model->Engine = std::make_unique<Batcher>(std::move(Network), Batching,
-                                            Log, Latency, Model->Plan);
+  Model->Engine = std::make_unique<Batcher>(
+      std::move(Network), Batching, Log, Latency, Model->Plan,
+      Batching.PoolContexts ? &Contexts : nullptr);
   std::lock_guard<std::mutex> Lock(Mutex);
   auto [It, Inserted] = Models.emplace(Id, std::move(Model));
   (void)It;

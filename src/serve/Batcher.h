@@ -27,6 +27,7 @@
 
 #include "src/plan/Plan.h"
 #include "src/runtime/RunLog.h"
+#include "src/serve/ContextPool.h"
 #include "src/serve/Metrics.h"
 #include "src/support/Error.h"
 #include "src/train/Assembly.h"
@@ -59,6 +60,13 @@ struct BatcherOptions {
   /// Models whose graphs fail to compile fall back to the interpreter
   /// (the registry bumps `serve.models.plan_fallback`).
   bool UsePlans = false;
+  /// Acquire execution contexts from the registry-wide ContextPool per
+  /// batch instead of pinning one to every worker thread. Identical
+  /// outputs (contexts are scratch state); bounds idle memory via the
+  /// pool's trim policy.
+  bool PoolContexts = true;
+  /// Pool trim policy (meaningful with PoolContexts).
+  ContextPoolOptions Pool;
 };
 
 /// What one prediction returns.
@@ -77,9 +85,12 @@ public:
   /// forward latencies. When \p Plan is non-null every worker executes
   /// it through a private PlanContext instead of interpreting the
   /// Graph; the network is still kept alive for provenance.
+  /// \p Pool (optional) supplies per-batch execution contexts; without
+  /// it every worker owns its contexts for its whole lifetime.
   Batcher(std::shared_ptr<AssembledNetwork> Network, BatcherOptions Options,
           RunLog *Log, LatencyHistogram *Latency,
-          std::shared_ptr<const ExecPlan> Plan = nullptr);
+          std::shared_ptr<const ExecPlan> Plan = nullptr,
+          ContextPool *Pool = nullptr);
   ~Batcher();
 
   Batcher(const Batcher &) = delete;
@@ -116,6 +127,7 @@ private:
   BatcherOptions Options;
   RunLog *Log = nullptr;
   LatencyHistogram *Latency = nullptr;
+  ContextPool *Pool = nullptr;
 
   std::mutex Mutex;
   std::condition_variable WorkReady; ///< Signals the worker threads.
@@ -149,7 +161,16 @@ class ModelRegistry {
 public:
   explicit ModelRegistry(BatcherOptions Batching, RunLog *Log,
                          LatencyHistogram *Latency)
-      : Batching(Batching), Log(Log), Latency(Latency) {}
+      : Batching(Batching), Log(Log), Latency(Latency),
+        Contexts(Batching.Pool) {}
+
+  /// Engines stop (joining the worker threads that use the context
+  /// pool) before the pool's contexts are torn down, which in turn
+  /// happens while the model graphs are still alive.
+  ~ModelRegistry() {
+    stopAll();
+    Contexts.clear();
+  }
 
   /// Registers \p Network under \p Id with the given input geometry.
   /// Fails if the id is taken.
@@ -174,10 +195,18 @@ public:
   /// Stops every batcher (drain step). Idempotent.
   void stopAll();
 
+  /// serve.contexts.* counters of the shared pool (the /metrics feed).
+  std::map<std::string, int64_t> contextCounters() const {
+    return Contexts.counters();
+  }
+
 private:
   BatcherOptions Batching;
   RunLog *Log = nullptr;
   LatencyHistogram *Latency = nullptr;
+  /// Declared before the model tables: destroyed after them in reverse
+  /// order, but the destructor clears it explicitly first — see above.
+  ContextPool Contexts;
   mutable std::mutex Mutex;
   std::vector<std::string> Order;
   std::map<std::string, std::unique_ptr<ServableModel>> Models;

@@ -2,512 +2,126 @@
 
 #include "src/serve/JobManager.h"
 
-#include "src/data/Synthetic.h"
-#include "src/explore/strategy/Driver.h"
-#include "src/plan/Plan.h"
+#include "src/serve/ArtifactStore.h"
 #include "src/serve/ModelStore.h"
-#include "src/support/File.h"
 #include "src/support/Json.h"
-#include "src/support/StringUtils.h"
 
 #include <algorithm>
+#include <thread>
 
 using namespace wootz;
 using namespace wootz::serve;
 
-const char *wootz::serve::jobStateName(JobState State) {
-  switch (State) {
-  case JobState::Queued:
-    return "queued";
-  case JobState::Running:
-    return "running";
-  case JobState::Done:
-    return "done";
-  case JobState::Failed:
-    return "failed";
-  case JobState::Cancelled:
-    return "cancelled";
-  }
-  return "unknown";
-}
-
-JobManager::JobManager(JobManagerOptions Options, ModelRegistry *Registry,
-                       RunLog *Log, const ModelStore *Store)
-    : Options(Options), Registry(Registry), Log(Log), Store(Store) {
-  const int Count = std::max(1, Options.Workers);
-  Workers.reserve(static_cast<size_t>(Count));
-  for (int I = 0; I < Count; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
-}
-
-JobManager::~JobManager() {
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    Stopping = true;
-    WorkReady.notify_all();
-  }
-  for (std::thread &T : Workers)
-    T.join();
-}
-
-//===----------------------------------------------------------------------===//
-// Submission
-//===----------------------------------------------------------------------===//
-
 namespace {
 
-/// "true"/"false" (the tokens the flat parser hands back for JSON
-/// booleans) with a default for absent keys.
-Result<bool> boolField(const std::map<std::string, std::string> &Body,
-                       const std::string &Key, bool Default) {
-  auto It = Body.find(Key);
-  if (It == Body.end())
-    return Default;
-  if (It->second == "true")
-    return true;
-  if (It->second == "false")
-    return false;
-  return Error::failure("field '" + Key + "' must be true or false");
-}
-
-Result<long long>
-integerField(const std::map<std::string, std::string> &Body,
-             const std::string &Key, long long Default) {
-  auto It = Body.find(Key);
-  if (It == Body.end())
-    return Default;
-  Result<long long> Value = parseInteger(It->second);
-  if (!Value)
-    return Error::failure("field '" + Key + "' must be an integer");
-  return *Value;
-}
-
-Result<double> doubleField(const std::map<std::string, std::string> &Body,
-                           const std::string &Key, double Default) {
-  auto It = Body.find(Key);
-  if (It == Body.end())
-    return Default;
-  Result<double> Value = parseDouble(It->second);
-  if (!Value)
-    return Error::failure("field '" + Key + "' must be a number");
-  return *Value;
-}
-
-SubmitOutcome badRequest(std::string Message) {
-  SubmitOutcome Out;
-  Out.Status = 400;
-  Out.Error = std::move(Message);
+JobQueueOptions queueOptionsFor(const JobManagerOptions &Options) {
+  JobQueueOptions Out;
+  Out.Dir = Options.QueueDir;
+  Out.MaxQueuedJobs = Options.MaxQueuedJobs;
+  Out.LeaseSeconds = Options.LeaseSeconds;
+  Out.Owner = Options.Owner;
   return Out;
 }
 
 } // namespace
 
+JobManager::JobManager(JobManagerOptions Options, ModelRegistry *Registry,
+                       RunLog *Log, const ModelStore *Store,
+                       ArtifactStore *Artifacts)
+    : Options(Options), Log(Log), Store(Store),
+      Queue(queueOptionsFor(Options), Log) {
+  // Worker validation mirrors the runtime convention: 0 means one
+  // executor per hardware thread, negative is a configuration error
+  // (reported via optionsError(); construction degrades to one worker
+  // so the object stays usable in tests that probe the error).
+  int Workers = Options.Workers;
+  if (Workers < 0) {
+    OptionsError = "JobManagerOptions::Workers must be non-negative "
+                   "(0 means one worker per hardware thread)";
+    Workers = 1;
+  } else if (Workers == 0) {
+    Workers =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  JobExecutorOptions ExecOptions;
+  ExecOptions.Workers = Workers;
+  ExecOptions.BlockCacheDir = Options.BlockCacheDir;
+  ExecOptions.BlockCacheMaxBytes = Options.BlockCacheMaxBytes;
+  ExecOptions.CacheDir = Options.CacheDir;
+  ExecOptions.ArtifactDir = Options.ArtifactDir;
+  ExecOptions.DatasetScale = Options.DatasetScale;
+  ExecOptions.ExecuteJobs = Options.ExecuteJobs;
+  ExecOptions.PollSeconds = Options.PollSeconds;
+  Executor = std::make_unique<JobExecutor>(ExecOptions, Queue, Registry,
+                                           Log, Store, Artifacts);
+}
+
+JobManager::~JobManager() = default;
+
 SubmitOutcome
 JobManager::submit(const std::map<std::string, std::string> &Body) {
-  auto J = std::make_unique<Job>();
-
-  for (const char *Key : {"model", "subspace", "meta", "objective"})
-    if (!Body.count(Key))
-      return badRequest(std::string("missing required field '") + Key +
-                        "'");
-
-  // "model" is either inline Prototxt or the id of an uploaded model;
-  // ids are checked first (a bare id is never valid Prototxt, so the two
-  // cannot collide).
-  std::string ModelText = Body.at("model");
-  if (Store) {
-    Result<std::string> Stored = Store->prototxtFor(ModelText);
-    if (Stored)
-      ModelText = Stored.take();
+  Result<JobSpec> Parsed = parseJobSpec(Body, Store, Options.DatasetScale);
+  if (!Parsed) {
+    SubmitOutcome Out;
+    Out.Status = 400;
+    Out.Error = Parsed.message();
+    return Out;
   }
-  Result<ModelSpec> Spec = parseModelSpec(ModelText);
-  if (!Spec)
-    return badRequest("model: " + Spec.message());
-  J->Spec = Spec.take();
-  Result<std::vector<PruneConfig>> Subspace =
-      parseSubspaceSpec(Body.at("subspace"));
-  if (!Subspace)
-    return badRequest("subspace: " + Subspace.message());
-  J->Subspace = Subspace.take();
-  Result<TrainMeta> Meta = parseTrainMeta(Body.at("meta"));
-  if (!Meta)
-    return badRequest("meta: " + Meta.message());
-  J->Meta = Meta.take();
-  Result<PruningObjective> Objective =
-      parseObjective(Body.at("objective"));
-  if (!Objective)
-    return badRequest("objective: " + Objective.message());
-  J->Objective = Objective.take();
-
-  // Subspace rates must fit the model: every configuration carries one
-  // rate per convolution module.
-  for (const PruneConfig &Config : J->Subspace)
-    if (static_cast<int>(Config.size()) != J->Spec.moduleCount())
-      return badRequest(
-          "subspace configurations carry " +
-          std::to_string(Config.size()) + " rates but the model has " +
-          std::to_string(J->Spec.moduleCount()) + " modules");
-
-  Result<bool> Composability = boolField(Body, "composability", true);
-  if (!Composability)
-    return badRequest(Composability.message());
-  J->UseComposability = *Composability;
-  Result<bool> Identifier = boolField(Body, "identifier", true);
-  if (!Identifier)
-    return badRequest(Identifier.message());
-  J->UseIdentifier = *Identifier;
-
-  if (auto It = Body.find("schedule"); It != Body.end()) {
-    if (It->second == "overlap")
-      J->Schedule = PipelineSchedule::Overlap;
-    else if (It->second == "evalonly")
-      J->Schedule = PipelineSchedule::EvalOnly;
-    else
-      return badRequest("schedule must be \"overlap\" or \"evalonly\"");
-  }
-
-  Result<long long> PipelineWorkers = integerField(Body, "workers", 2);
-  if (!PipelineWorkers)
-    return badRequest(PipelineWorkers.message());
-  if (*PipelineWorkers < 0 || *PipelineWorkers > 64)
-    return badRequest("workers must be in [0, 64]");
-  J->PipelineWorkers = static_cast<int>(*PipelineWorkers);
-
-  Result<double> DistillAlpha = doubleField(Body, "distill_alpha", 0.0);
-  if (!DistillAlpha)
-    return badRequest(DistillAlpha.message());
-  J->DistillAlpha = static_cast<float>(*DistillAlpha);
-  // Any schedule composes with distillation (concurrent fine-tunes give
-  // the shared teacher private execution contexts); only the weight's
-  // range needs validating.
-  if (J->DistillAlpha < 0.0f || J->DistillAlpha > 1.0f)
-    return badRequest("distill_alpha must be in [0, 1]");
-
-  // Unknown strategy/criterion names are a 400 listing the valid names,
-  // never a silent fallback to the default.
-  if (auto It = Body.find("strategy"); It != Body.end()) {
-    Result<StrategyKind> Kind = parseStrategyKind(It->second);
-    if (!Kind)
-      return badRequest("strategy: " + Kind.message());
-    J->Strategy = *Kind;
-  }
-  if (auto It = Body.find("criterion"); It != Body.end()) {
-    Result<ImportanceCriterion> Criterion =
-        parseImportanceCriterion(It->second);
-    if (!Criterion)
-      return badRequest("criterion: " + Criterion.message());
-    J->Criterion = *Criterion;
-  }
-
-  Result<long long> MaxRounds = integerField(Body, "max_rounds", 24);
-  if (!MaxRounds)
-    return badRequest(MaxRounds.message());
-  if (*MaxRounds < 1 || *MaxRounds > 256)
-    return badRequest("max_rounds must be in [1, 256]");
-  J->MaxRounds = static_cast<int>(*MaxRounds);
-
-  Result<double> Margin = doubleField(Body, "accuracy_margin", 0.02);
-  if (!Margin)
-    return badRequest(Margin.message());
-  if (*Margin < 0.0 || *Margin > 0.5)
-    return badRequest("accuracy_margin must be in [0, 0.5]");
-  J->AccuracyMargin = *Margin;
-
-  Result<long long> Seed = integerField(Body, "seed", 7);
-  if (!Seed)
-    return badRequest(Seed.message());
-  J->Seed = static_cast<uint64_t>(*Seed);
-
-  Result<double> Scale =
-      doubleField(Body, "dataset_scale", Options.DatasetScale);
-  if (!Scale)
-    return badRequest(Scale.message());
-  if (*Scale <= 0.0 || *Scale > 4.0)
-    return badRequest("dataset_scale must be in (0, 4]");
-  J->DatasetScale = *Scale;
-
-  std::lock_guard<std::mutex> Lock(Mutex);
-  if (Draining || Stopping) {
+  if (Draining.load()) {
     SubmitOutcome Out;
     Out.Status = 503;
     Out.Error = "server is draining";
     return Out;
   }
-  if (Queue.size() >= Options.MaxQueuedJobs) {
+  Result<std::string> Id = Queue.submit(
+      Body, Parsed->Spec.Name, strategyKindName(Parsed->Strategy),
+      importanceCriterionName(Parsed->Criterion), Parsed->Subspace.size());
+  if (!Id) {
     SubmitOutcome Out;
     Out.Status = 429;
-    Out.Error = "job queue is full (" +
-                std::to_string(Options.MaxQueuedJobs) + " queued)";
+    Out.Error = Id.message();
     if (Log)
       Log->bump("serve.jobs.rejected");
     return Out;
   }
-  J->Id = "job-" + std::to_string(NextId++);
-  J->SubmitAt = Clock.now();
-  Job *Raw = J.get();
-  Order.push_back(J->Id);
-  Jobs.emplace(J->Id, std::move(J));
-  Queue.push_back(Raw);
-  WorkReady.notify_one();
-  if (Log)
-    Log->bump("serve.jobs.submitted");
-
   SubmitOutcome Out;
   Out.Status = 202;
-  Out.Id = Raw->Id;
+  Out.Id = Id.take();
   return Out;
 }
 
-//===----------------------------------------------------------------------===//
-// Execution
-//===----------------------------------------------------------------------===//
-
-void JobManager::workerLoop() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  for (;;) {
-    WorkReady.wait(Lock, [&] { return Stopping || !Queue.empty(); });
-    if (Queue.empty()) {
-      if (Stopping)
-        return;
-      continue;
-    }
-    Job *J = Queue.front();
-    Queue.pop_front();
-    if (J->Token.cancelled()) {
-      J->State = JobState::Cancelled;
-      J->Message = "cancelled while queued";
-      J->EndAt = Clock.now();
-      JobSettled.notify_all();
-      if (Log)
-        Log->bump("serve.jobs.cancelled");
-      continue;
-    }
-    J->State = JobState::Running;
-    J->StartAt = Clock.now();
-    ++Running;
-    Lock.unlock();
-    runJob(*J);
-    Lock.lock();
-  }
-}
-
-void JobManager::finishJob(Job &J, JobState Terminal, std::string Message) {
-  // Persist the run artifacts before flipping the state, so a poller
-  // that sees "done" can already read them.
-  if (!Options.ArtifactDir.empty()) {
-    const std::string Dir = Options.ArtifactDir + "/" + J.Id;
-    Error TelemetryError = writeFileAtomic(
-        Dir + "/telemetry.jsonl", telemetryJsonl(J.Log.snapshot()));
-    // Artifacts are best-effort: a full disk must not fail the job.
-    (void)static_cast<bool>(TelemetryError);
-    JsonObject Summary;
-    Summary.field("id", J.Id)
-        .field("state", jobStateName(Terminal))
-        .field("message", Message)
-        .field("strategy", strategyKindName(J.Strategy))
-        .field("criterion", importanceCriterionName(J.Criterion))
-        .field("configs_evaluated", J.ConfigsEvaluated)
-        .field("winner_index", J.WinnerIndex)
-        .field("winner_accuracy", J.WinnerAccuracy, 6)
-        .field("winner_size_fraction", J.WinnerSizeFraction, 6)
-        .field("full_accuracy", J.FullAccuracy, 6)
-        .field("model", J.ModelId);
-    Error SummaryError =
-        writeFileAtomic(Dir + "/result.json", Summary.str() + "\n");
-    (void)static_cast<bool>(SummaryError);
-  }
-
-  std::lock_guard<std::mutex> Lock(Mutex);
-  J.State = Terminal;
-  J.Message = std::move(Message);
-  J.EndAt = Clock.now();
-  --Running;
-  JobSettled.notify_all();
-  if (Log)
-    Log->bump(Terminal == JobState::Done
-                  ? "serve.jobs.completed"
-                  : (Terminal == JobState::Cancelled
-                         ? "serve.jobs.cancelled"
-                         : "serve.jobs.failed"));
-}
-
-void JobManager::runJob(Job &J) {
-  // The dataset: the CUB200 analogue sized to the model's class count,
-  // deterministic in the job seed.
-  const Dataset Data = generateSynthetic([&] {
-    SyntheticSpec DataSpec = standardDatasetSpecs(J.DatasetScale)[1];
-    DataSpec.Classes = J.Spec.Layers.back().NumOutput;
-    DataSpec.Height = J.Spec.InputHeight;
-    DataSpec.Width = J.Spec.InputWidth;
-    DataSpec.Seed = J.Seed * 2654435761u + 1;
-    return DataSpec;
-  }());
-
-  PipelineOptions Options;
-  Options.UseComposability = J.UseComposability;
-  Options.UseIdentifier = J.UseIdentifier;
-  Options.Schedule = J.Schedule;
-  Options.Workers = J.PipelineWorkers;
-  Options.DistillAlpha = J.DistillAlpha;
-  Options.CacheDir = this->Options.CacheDir;
-  Options.BlockCacheConfig.Directory = this->Options.BlockCacheDir;
-  Options.CancelObjective =
-      J.Schedule == PipelineSchedule::Overlap ? &J.Objective : nullptr;
-  Options.Cancel = &J.Token;
-  Options.Log = &J.Log;
-  Options.KeepNetworks = true;
-  Options.Criterion = J.Criterion;
-
-  Rng Generator(J.Seed);
-
-  // Either the classic fixed-subspace sweep or a strategy-driven round
-  // loop; both land in Outcome plus a winner storage index.
-  PipelineResult Outcome;
-  int WinnerStorage = -1;  ///< Index into Outcome.Evaluations.
-  int WinnerPosition = -1; ///< Exploration position reported to clients.
-  if (J.Strategy == StrategyKind::Fixed) {
-    Result<PipelineResult> Run = runPruningPipeline(
-        J.Spec, Data, J.Subspace, J.Meta, Options, Generator);
-    if (!Run) {
-      if (J.Token.cancelled()) {
-        finishJob(J, JobState::Cancelled, "cancelled while running");
-        return;
-      }
-      finishJob(J, JobState::Failed, Run.message());
-      return;
-    }
-    Outcome = Run.take();
-    const ExplorationSummary Summary =
-        summarizeMeasuredRun(Outcome, J.Objective);
-    J.ConfigsEvaluated = Summary.ConfigsEvaluated;
-    J.WinnerSizeFraction = Summary.WinnerSizeFraction;
-    WinnerPosition = Summary.WinnerIndex;
-    if (Summary.WinnerIndex >= 0) {
-      // Exploration position -> storage index (storage ascends model
-      // size; a max-Accuracy objective walks it backwards).
-      const size_t Count = Outcome.Evaluations.size();
-      WinnerStorage = static_cast<int>(
-          J.Objective.exploreSmallestFirst()
-              ? static_cast<size_t>(Summary.WinnerIndex)
-              : Count - 1 - static_cast<size_t>(Summary.WinnerIndex));
-    }
-  } else {
-    StrategyKnobs Knobs;
-    Knobs.Rates = subspaceRateAlphabet(J.Subspace);
-    Knobs.MaxRounds = J.MaxRounds;
-    Knobs.AccuracyMargin = J.AccuracyMargin;
-    Result<std::unique_ptr<ExplorationStrategy>> Strategy =
-        makeStrategy(J.Strategy, J.Spec, J.Subspace, J.Objective, Knobs);
-    if (!Strategy) {
-      finishJob(J, JobState::Failed, Strategy.message());
-      return;
-    }
-    Result<StrategyRunResult> Run = runStrategyExploration(
-        J.Spec, Data, **Strategy, J.Meta, Options, J.Objective, Generator);
-    if (!Run) {
-      if (J.Token.cancelled()) {
-        finishJob(J, JobState::Cancelled, "cancelled while running");
-        return;
-      }
-      finishJob(J, JobState::Failed, Run.message());
-      return;
-    }
-    J.Rounds = Run->Rounds;
-    J.Proposals = Run->Proposals;
-    Outcome = std::move(Run->Run);
-    for (const EvaluatedConfig &E : Outcome.Evaluations)
-      if (!E.Cancelled)
-        ++J.ConfigsEvaluated;
-    // Strategy results are stored in proposal order, so the storage
-    // index is also the position clients see.
-    WinnerStorage = Run->WinnerIndex;
-    WinnerPosition = Run->WinnerIndex;
-    if (WinnerStorage >= 0)
-      J.WinnerSizeFraction =
-          Outcome.Evaluations[static_cast<size_t>(WinnerStorage)]
-              .SizeFraction;
-  }
-
-  J.FullAccuracy = Outcome.FullAccuracy;
-  J.WinnerIndex = WinnerPosition;
-
-  if (WinnerStorage >= 0) {
-    const EvaluatedConfig &Winner =
-        Outcome.Evaluations[static_cast<size_t>(WinnerStorage)];
-    J.WinnerAccuracy = Winner.FinalAccuracy;
-    // Freeze the winner into a static inference plan and persist the
-    // compiler's decisions (step list, fusions, arena layout) next to
-    // result.json. Best-effort like every other artifact; a graph the
-    // plan compiler cannot lower simply skips the file.
-    if (!this->Options.ArtifactDir.empty() && Winner.Network) {
-      Result<ExecPlan> Frozen = ExecPlan::compile(
-          Winner.Network->Network, Winner.Network->InputNode,
-          Winner.Network->LogitsNode, J.Spec.InputChannels,
-          J.Spec.InputHeight, J.Spec.InputWidth);
-      if (Frozen) {
-        Error PlanError = writeFileAtomic(
-            this->Options.ArtifactDir + "/" + J.Id + "/plan.json",
-            Frozen->describeJson() + "\n");
-        (void)static_cast<bool>(PlanError);
-        J.Log.bump("serve.jobs.plan_frozen");
-      }
-    }
-    if (Registry && Winner.Network) {
-      Error AddError = Registry->add(
-          J.Id, Winner.Network, J.Spec.InputChannels, J.Spec.InputHeight,
-          J.Spec.InputWidth, J.Spec.Layers.back().NumOutput,
-          "job " + J.Id + " winner (size " +
-              formatDouble(100.0 * Winner.SizeFraction, 1) + "%, acc " +
-              formatDouble(Winner.FinalAccuracy, 3) + ")");
-      if (!AddError)
-        J.ModelId = J.Id;
-    }
-    finishJob(J, JobState::Done,
-              "winner at exploration position " +
-                  std::to_string(WinnerPosition));
-    return;
-  }
-  finishJob(J, JobState::Done, "no configuration met the objective");
-}
-
-//===----------------------------------------------------------------------===//
-// Introspection
-//===----------------------------------------------------------------------===//
-
-std::string JobManager::jobJsonLocked(const Job &J,
-                                      bool WithCounters) const {
+std::string JobManager::jobJson(const JobRecord &R,
+                                bool WithCounters) const {
   JsonObject Out;
-  Out.field("id", J.Id)
-      .field("state", jobStateName(J.State))
-      .field("configs", J.Subspace.size())
-      .field("strategy", strategyKindName(J.Strategy))
-      .field("criterion", importanceCriterionName(J.Criterion))
-      .field("model_name", J.Spec.Name)
-      .field("submitted_at", J.SubmitAt, 3);
-  if (J.State != JobState::Queued)
-    Out.field("started_at", J.StartAt, 3);
-  const bool Terminal = J.State == JobState::Done ||
-                        J.State == JobState::Failed ||
-                        J.State == JobState::Cancelled;
-  if (Terminal) {
-    Out.field("finished_at", J.EndAt, 3)
-        .field("seconds", J.EndAt - J.StartAt, 3);
+  Out.field("id", R.Id)
+      .field("state", jobStateName(R.State))
+      .field("configs", R.SubspaceConfigs)
+      .field("strategy", R.StrategyName)
+      .field("criterion", R.CriterionName)
+      .field("model_name", R.ModelName)
+      .field("submitted_at", R.SubmitAt, 3);
+  if (R.State != JobState::Queued)
+    Out.field("started_at", R.StartAt, 3);
+  if (R.terminal()) {
+    Out.field("finished_at", R.EndAt, 3)
+        .field("seconds", R.EndAt - R.StartAt, 3);
   }
-  if (!J.Message.empty())
-    Out.field("message", J.Message);
-  if (J.State == JobState::Done) {
-    if (J.Strategy != StrategyKind::Fixed)
-      Out.field("rounds", J.Rounds).field("proposals", J.Proposals);
-    Out.field("configs_evaluated", J.ConfigsEvaluated)
-        .field("winner_index", J.WinnerIndex)
-        .field("winner_accuracy", J.WinnerAccuracy, 6)
-        .field("winner_size_fraction", J.WinnerSizeFraction, 6)
-        .field("full_accuracy", J.FullAccuracy, 6)
-        .field("model", J.ModelId);
+  if (!R.Message.empty())
+    Out.field("message", R.Message);
+  if (R.State == JobState::Done) {
+    if (R.StrategyName != "fixed")
+      Out.field("rounds", R.Rounds).field("proposals", R.Proposals);
+    Out.field("configs_evaluated", R.ConfigsEvaluated)
+        .field("winner_index", R.WinnerIndex)
+        .field("winner_accuracy", R.WinnerAccuracy, 6)
+        .field("winner_size_fraction", R.WinnerSizeFraction, 6)
+        .field("full_accuracy", R.FullAccuracy, 6)
+        .field("model", R.ModelId);
   }
   if (WithCounters) {
     JsonObject Counters;
-    for (const auto &[Name, Value] : J.Log.counters())
+    for (const auto &[Name, Value] : Executor->countersFor(R.Id))
       Counters.field(Name, Value);
     Out.fieldRaw("counters", Counters.str());
   }
@@ -515,84 +129,59 @@ std::string JobManager::jobJsonLocked(const Job &J,
 }
 
 Result<std::string> JobManager::statusJson(const std::string &Id) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Jobs.find(Id);
-  if (It == Jobs.end())
-    return Error::failure("no such job '" + Id + "'");
-  return jobJsonLocked(*It->second, /*WithCounters=*/true) + "\n";
+  Result<JobRecord> R = Queue.get(Id);
+  if (!R)
+    return Error::failure(R.message());
+  return jobJson(*R, /*WithCounters=*/true) + "\n";
 }
 
 std::string JobManager::listJson() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
   std::string Items;
-  for (const std::string &Id : Order) {
+  size_t Queued = 0, Running = 0;
+  for (const JobRecord &R : Queue.snapshot()) {
+    if (R.State == JobState::Queued)
+      ++Queued;
+    if (R.State == JobState::Running)
+      ++Running;
     if (!Items.empty())
       Items += ",";
-    Items += jobJsonLocked(*Jobs.at(Id), /*WithCounters=*/false);
+    Items += jobJson(R, /*WithCounters=*/false);
   }
   JsonObject Out;
   Out.fieldRaw("jobs", "[" + Items + "]")
-      .field("queued", Queue.size())
+      .field("queued", Queued)
       .field("running", Running);
   return Out.str() + "\n";
 }
 
 Result<std::string> JobManager::cancel(const std::string &Id) {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Jobs.find(Id);
-  if (It == Jobs.end())
-    return Error::failure("no such job '" + Id + "'");
-  Job &J = *It->second;
-  J.Token.cancel();
-  if (J.State == JobState::Queued) {
-    // Remove from the queue so a worker never picks it up.
-    Queue.erase(std::remove(Queue.begin(), Queue.end(), &J), Queue.end());
-    J.State = JobState::Cancelled;
-    J.Message = "cancelled while queued";
-    J.EndAt = Clock.now();
-    JobSettled.notify_all();
-    if (Log)
-      Log->bump("serve.jobs.cancelled");
-  }
-  // Running jobs flip to Cancelled at their next task boundary; terminal
-  // jobs stay terminal (cancel is then a no-op).
-  return std::string(jobStateName(J.State));
+  // Flip the local token first (covers jobs this process is running),
+  // then mark the queue — which flips still-queued jobs immediately and
+  // leaves a durable marker for a remote owner.
+  Executor->cancelLocal(Id);
+  Result<JobState> After = Queue.requestCancel(Id);
+  if (!After)
+    return Error::failure(After.message());
+  return std::string(jobStateName(*After));
 }
 
 void JobManager::drain() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  Draining = true;
-  JobSettled.wait(Lock, [&] { return Queue.empty() && Running == 0; });
+  Draining.store(true);
+  Executor->waitSettled();
 }
 
 std::map<std::string, int64_t> JobManager::jobCounters() const {
-  std::vector<const RunLog *> Logs;
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    for (const std::string &Id : Order)
-      Logs.push_back(&Jobs.at(Id)->Log);
-  }
-  std::map<std::string, int64_t> Out;
-  for (const RunLog *JobLog : Logs)
-    for (const auto &[Name, Value] : JobLog->counters())
-      Out[Name] += Value;
-  return Out;
+  return Executor->aggregateCounters();
 }
 
-size_t JobManager::queuedCount() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Queue.size();
-}
+size_t JobManager::queuedCount() const { return Queue.queuedCount(); }
 
-size_t JobManager::runningCount() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  return Running;
-}
+size_t JobManager::runningCount() const { return Queue.runningCount(); }
 
 std::map<std::string, int64_t> JobManager::stateCounts() const {
-  std::lock_guard<std::mutex> Lock(Mutex);
   std::map<std::string, int64_t> Out;
-  for (const auto &[Id, J] : Jobs)
-    ++Out[jobStateName(J->State)];
+  for (const auto &[Name, Count] : Queue.stateCounts())
+    if (Count > 0)
+      Out[Name] = Count;
   return Out;
 }

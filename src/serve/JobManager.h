@@ -1,60 +1,56 @@
-//===- serve/JobManager.h - Prune-exploration job execution ----------------===//
+//===- serve/JobManager.h - Prune-exploration job facade -------------------===//
 //
 // Part of the Wootz reproduction. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The job half of the serve daemon: accepts prune-exploration requests
-/// (model spec + promising subspace + solver meta + objective, the same
-/// four Figure-2 inputs the CLI takes), queues them behind a bounded
-/// admission gate (429 beyond it), and runs them on worker threads via
-/// runPruningPipeline with
+/// The job half of the serve daemon, as the HTTP layer sees it. The
+/// actual machinery lives one layer down — serve/JobQueue.h holds the
+/// (optionally durable, multi-process) job table, serve/JobExecutor.h
+/// the worker threads that claim and run jobs — and JobManager is the
+/// thin facade that keeps the original single-daemon API: submit with
+/// 202/400/429/503 semantics, status/list JSON with live counters,
+/// cancel, drain, and the /metrics gauges.
 ///
-///  - a per-job RunLog, so GET /v1/jobs/<id> serves *live* counters
-///    (cache.*, tasks_*) for a running job via RunLog::counters();
-///  - a per-job CancelToken, so DELETE cancels a queued job instantly
-///    and a running one at its next task boundary (the TaskGraph then
-///    cascade-cancels everything not yet started);
-///  - a shared BlockCache directory, so tuning blocks stay warm across
-///    jobs: a job whose (teacher, hyperparameters) context matches a
-///    previous one pre-trains nothing.
-///
-/// A finished job registers its winning pruned network (per the job's
-/// objective) in the ModelRegistry under the job id, which is what
-/// POST /v1/models/<id>/predict serves.
+/// With JobManagerOptions::QueueDir empty the behavior is bit-identical
+/// to the pre-split manager: in-memory FIFO queue, "job-N" ids, same
+/// messages, same JSON. With QueueDir set (normally
+/// ArtifactStore::jobsDir()), jobs are journaled to disk and any daemon
+/// sharing the directory can execute them — a job submitted here may
+/// finish on another process, and vice versa.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef WOOTZ_SERVE_JOBMANAGER_H
 #define WOOTZ_SERVE_JOBMANAGER_H
 
-#include "src/explore/Pipeline.h"
-#include "src/explore/strategy/Strategy.h"
-#include "src/serve/Batcher.h"
+#include "src/serve/JobExecutor.h"
+#include "src/serve/JobQueue.h"
 
-#include <condition_variable>
-#include <deque>
+#include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
-#include <vector>
 
 namespace wootz {
 namespace serve {
 
+class ArtifactStore;
 class ModelStore;
 
 /// Job-side knobs.
 struct JobManagerOptions {
   /// Job executor threads — how many explorations run concurrently.
+  /// 0 means one per hardware thread; negative is rejected (the daemon
+  /// refuses to start, see JobManager::optionsError()).
   int Workers = 1;
   /// Queued-job cap; submissions beyond it are answered 429.
   size_t MaxQueuedJobs = 8;
   /// Cross-job tuning-block cache directory (empty disables).
   std::string BlockCacheDir;
+  /// Size cap for the tuning-block cache (0 = unlimited).
+  uint64_t BlockCacheMaxBytes = 0;
   /// Trained-full-model cache directory (empty disables).
   std::string CacheDir;
   /// When non-empty, each finished job writes telemetry.jsonl and
@@ -64,13 +60,19 @@ struct JobManagerOptions {
   std::string ArtifactDir;
   /// Per-class example multiplier of the synthetic dataset jobs train on.
   double DatasetScale = 0.25;
+  /// Durable job-journal directory; empty keeps the queue in memory
+  /// (the classic single-daemon mode).
+  std::string QueueDir;
+  /// Claim-lease TTL for durable queues.
+  double LeaseSeconds = 30.0;
+  /// Durable-mode poll/heartbeat period.
+  double PollSeconds = 0.25;
+  /// Executor identity for durable claims; empty generates one.
+  std::string Owner;
+  /// When false this daemon only submits and observes; peers sharing
+  /// the queue directory execute.
+  bool ExecuteJobs = true;
 };
-
-/// Job life cycle. Queued -> Running -> {Done, Failed, Cancelled};
-/// Queued -> Cancelled directly when cancelled before starting.
-enum class JobState { Queued, Running, Done, Failed, Cancelled };
-
-const char *jobStateName(JobState State);
 
 /// How a submission attempt resolved, with the HTTP status to answer.
 struct SubmitOutcome {
@@ -79,18 +81,25 @@ struct SubmitOutcome {
   std::string Error; ///< Set on failure.
 };
 
-/// Runs exploration jobs and publishes their winners.
+/// Facade over JobQueue + JobExecutor preserving the original API.
 class JobManager {
 public:
   /// \p Registry (optional) receives winning networks; \p Log (optional)
   /// gets `serve.jobs.*` counters; \p Store (optional) resolves "model"
-  /// values that name uploaded models.
+  /// values that name uploaded models; \p Artifacts (optional) gets its
+  /// registration heartbeat from the executor's maintenance thread.
   JobManager(JobManagerOptions Options, ModelRegistry *Registry,
-             RunLog *Log, const ModelStore *Store = nullptr);
+             RunLog *Log, const ModelStore *Store = nullptr,
+             ArtifactStore *Artifacts = nullptr);
   ~JobManager();
 
   JobManager(const JobManager &) = delete;
   JobManager &operator=(const JobManager &) = delete;
+
+  /// Non-empty when the options were invalid (negative Workers). The
+  /// manager still constructs — degraded to one worker — but the server
+  /// refuses to start, mirroring runtime worker validation.
+  const std::string &optionsError() const { return OptionsError; }
 
   /// Parses and enqueues one job from a flat-JSON request body. Required
   /// fields: "model" (Prototxt text, or the id of an uploaded model —
@@ -116,12 +125,13 @@ public:
   std::string listJson() const;
 
   /// Cancels a job: queued jobs terminate immediately, running jobs at
-  /// their next task boundary. Returns the post-cancel state name, or an
-  /// error for unknown ids. Cancelling a finished job is a no-op that
-  /// reports its terminal state.
+  /// their next task boundary (on whichever process runs them). Returns
+  /// the post-cancel state name, or an error for unknown ids.
+  /// Cancelling a finished job is a no-op that reports its terminal
+  /// state.
   Result<std::string> cancel(const std::string &Id);
 
-  /// Stops accepting new jobs and blocks until every accepted job has
+  /// Stops accepting new jobs and blocks until every known job has
   /// reached a terminal state. Does not stop the worker threads (the
   /// destructor does); callable once or many times.
   void drain();
@@ -135,67 +145,22 @@ public:
   size_t runningCount() const;
   std::map<std::string, int64_t> stateCounts() const;
 
+  // Direct access for tests.
+  JobQueue &queue() { return Queue; }
+  JobExecutor &executor() { return *Executor; }
+
 private:
-  struct Job {
-    std::string Id;
-    JobState State = JobState::Queued;
-    std::string Message; ///< Failure/cancel detail.
-
-    // Parsed inputs.
-    ModelSpec Spec;
-    std::vector<PruneConfig> Subspace;
-    TrainMeta Meta;
-    PruningObjective Objective;
-    bool UseComposability = true;
-    bool UseIdentifier = true;
-    PipelineSchedule Schedule = PipelineSchedule::Overlap;
-    int PipelineWorkers = 2;
-    float DistillAlpha = 0.0f;
-    uint64_t Seed = 7;
-    double DatasetScale = 0.25;
-    StrategyKind Strategy = StrategyKind::Fixed;
-    ImportanceCriterion Criterion = ImportanceCriterion::L1Norm;
-    int MaxRounds = 24;
-    double AccuracyMargin = 0.02;
-
-    // Execution state.
-    CancelToken Token;
-    RunLog Log; ///< Live telemetry; sampled by status/metrics readers.
-    double SubmitAt = 0.0, StartAt = 0.0, EndAt = 0.0;
-
-    // Results.
-    int ConfigsEvaluated = 0;
-    int Rounds = 0;    ///< Strategy proposal rounds (non-fixed only).
-    int Proposals = 0; ///< Strategy proposals (non-fixed only).
-    int WinnerIndex = -1;
-    double WinnerAccuracy = 0.0;
-    double WinnerSizeFraction = 0.0;
-    double FullAccuracy = 0.0;
-    std::string ModelId; ///< Registered model id (empty if none).
-  };
-
-  void workerLoop();
-  void runJob(Job &J);
-  void finishJob(Job &J, JobState Terminal, std::string Message);
-  std::string jobJsonLocked(const Job &J, bool WithCounters) const;
+  std::string jobJson(const JobRecord &R, bool WithCounters) const;
 
   JobManagerOptions Options;
-  ModelRegistry *Registry = nullptr;
   RunLog *Log = nullptr;
   const ModelStore *Store = nullptr;
-  RunLog Clock; ///< Timestamps only (now()).
-
-  mutable std::mutex Mutex;
-  std::condition_variable WorkReady;  ///< Wakes job workers.
-  std::condition_variable JobSettled; ///< Signals drain().
-  std::map<std::string, std::unique_ptr<Job>> Jobs;
-  std::vector<std::string> Order; ///< Submission order, for listJson().
-  std::deque<Job *> Queue;
-  size_t Running = 0;
-  uint64_t NextId = 1;
-  bool Draining = false;
-  bool Stopping = false;
-  std::vector<std::thread> Workers;
+  std::string OptionsError;
+  // Executor is declared after (so destroyed before) the queue it
+  // consumes.
+  JobQueue Queue;
+  std::unique_ptr<JobExecutor> Executor;
+  std::atomic<bool> Draining{false};
 };
 
 } // namespace serve

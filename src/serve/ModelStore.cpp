@@ -4,6 +4,7 @@
 
 #include "src/compiler/GraphBuilder.h"
 #include "src/nn/Serialize.h"
+#include "src/serve/ArtifactStore.h"
 #include "src/support/File.h"
 #include "src/support/StringUtils.h"
 
@@ -99,12 +100,22 @@ ModelStore::uploadChecked(const std::map<std::string, std::string> &Body) {
         return reject(400, "id must be 1-64 characters of [A-Za-z0-9_-]");
       Id = It->second;
     } else {
+      // Generated ids must also dodge ids persisted by *other* daemons
+      // sharing the directory, which this process has never loaded.
+      std::error_code FsError;
       do
         Id = "model-" + std::to_string(NextId++);
-      while (Known.count(Id));
+      while (Known.count(Id) ||
+             (!Options.Dir.empty() &&
+              std::filesystem::exists(modelDir(Id), FsError)));
     }
     if (Known.count(Id))
       return reject(409, "model id '" + Id + "' is already uploaded");
+    if (!Options.Dir.empty()) {
+      std::error_code FsError;
+      if (std::filesystem::exists(modelDir(Id), FsError))
+        return reject(409, "model id '" + Id + "' is already uploaded");
+    }
   }
   // The registry also holds job winners and preloads; their ids are taken
   // too (answered before the expensive build below).
@@ -195,11 +206,20 @@ Error ModelStore::remove(const std::string &Id) {
 }
 
 Result<std::string> ModelStore::prototxtFor(const std::string &Id) const {
-  std::lock_guard<std::mutex> Lock(Mutex);
-  auto It = Known.find(Id);
-  if (It == Known.end())
-    return Error::failure("no uploaded model '" + Id + "'");
-  return It->second;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Known.find(Id);
+    if (It != Known.end())
+      return It->second;
+  }
+  // Shared-store fallback: a peer daemon may have persisted the model.
+  // Read-only — registration (if wanted) is tryRestore()'s job.
+  if (!Options.Dir.empty() && isValidModelId(Id)) {
+    Result<std::string> Text = readFile(modelDir(Id) + "/model.prototxt");
+    if (Text)
+      return Text.take();
+  }
+  return Error::failure("no uploaded model '" + Id + "'");
 }
 
 bool ModelStore::has(const std::string &Id) const {
@@ -212,7 +232,7 @@ size_t ModelStore::count() const {
   return Known.size();
 }
 
-size_t ModelStore::loadFromDisk() {
+size_t ModelStore::loadFromDisk(const ArtifactStore *Placement) {
   if (Options.Dir.empty())
     return 0;
   std::error_code FsError;
@@ -233,6 +253,17 @@ size_t ModelStore::loadFromDisk() {
 
   size_t Restored = 0;
   for (const std::string &Id : Ids) {
+    // Placement-aware startup: in a shared store each daemon eagerly
+    // restores (and compiles/warms) only the models rendezvous hashing
+    // assigns to it; everything else loads lazily on first use. Any
+    // single daemon — or one whose peers all died — still owns every
+    // key, so nothing is ever unreachable.
+    if (Placement && Placement->enabled() &&
+        !Placement->ownsLocally("model/" + Id)) {
+      if (Log)
+        Log->bump("serve.models.restore_deferred");
+      continue;
+    }
     Result<std::string> Prototxt =
         readFile(modelDir(Id) + "/model.prototxt");
     Result<std::string> Weights = readFile(modelDir(Id) + "/weights.ck");
@@ -252,4 +283,36 @@ size_t ModelStore::loadFromDisk() {
     }
   }
   return Restored;
+}
+
+bool ModelStore::tryRestore(const std::string &Id) {
+  if (Options.Dir.empty() || !isValidModelId(Id))
+    return false;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Known.count(Id))
+      return true;
+  }
+  Result<std::string> Prototxt = readFile(modelDir(Id) + "/model.prototxt");
+  Result<std::string> Weights = readFile(modelDir(Id) + "/weights.ck");
+  if (!Prototxt || !Weights)
+    return false;
+  UploadOutcome Out = ingest(Id, *Prototxt, *Weights, 7, "restored upload");
+  if (Out.Status == 201) {
+    if (Log)
+      Log->bump("serve.models.restored");
+    return true;
+  }
+  // Two request threads can race to restore the same model; the loser's
+  // registry add comes back 409, and "already registered" is a success
+  // for the caller's purposes.
+  if (Registry && Registry->find(Id)) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Known.count(Id))
+      Known[Id] = *Prototxt;
+    return true;
+  }
+  if (Log)
+    Log->bump("serve.models.restore_failed");
+  return false;
 }

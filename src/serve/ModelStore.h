@@ -35,6 +35,8 @@
 namespace wootz {
 namespace serve {
 
+class ArtifactStore;
+
 /// Ingestion knobs. The byte caps are per-field application-level limits
 /// under the transport-level HttpLimits::MaxBodyBytes.
 struct ModelStoreOptions {
@@ -78,7 +80,9 @@ public:
   Error remove(const std::string &Id);
 
   /// The stored Prototxt of uploaded model \p Id — what a pruning job
-  /// with "model": "<id>" targets.
+  /// with "model": "<id>" targets. Falls back to the on-disk copy when
+  /// the id is not in memory: in a shared artifact store another
+  /// process may have uploaded it.
   Result<std::string> prototxtFor(const std::string &Id) const;
 
   /// True if \p Id names an uploaded model.
@@ -89,8 +93,18 @@ public:
 
   /// Scans Options.Dir and re-registers every persisted model (server
   /// restart). Returns how many came back; corrupt entries are skipped
-  /// with a `serve.models.restore_failed` bump, never a crash.
-  size_t loadFromDisk();
+  /// with a `serve.models.restore_failed` bump, never a crash. With
+  /// \p Placement, only models this process places (rendezvous hash
+  /// over the registered daemons) are restored eagerly — the rest stay
+  /// on disk until a request pulls them in via tryRestore().
+  size_t loadFromDisk(const ArtifactStore *Placement = nullptr);
+
+  /// On-demand restore of one persisted model that is not (yet) in
+  /// memory — the lazy half of shared-store serving: any daemon can
+  /// serve any uploaded model the moment it is asked to, regardless of
+  /// which daemon took the upload or what placement says. Returns true
+  /// when \p Id is registered afterwards.
+  bool tryRestore(const std::string &Id);
 
 private:
   /// upload() body; the wrapper adds the uploaded / upload_rejected

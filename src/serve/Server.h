@@ -29,6 +29,7 @@
 #ifndef WOOTZ_SERVE_SERVER_H
 #define WOOTZ_SERVE_SERVER_H
 
+#include "src/serve/ArtifactStore.h"
 #include "src/serve/Http.h"
 #include "src/serve/JobManager.h"
 #include "src/serve/ModelStore.h"
@@ -46,6 +47,11 @@ struct ServerOptions {
   JobManagerOptions Jobs;
   BatcherOptions Batching;
   ModelStoreOptions Uploads;
+  /// Shared multi-process tier. When Artifacts.Root is set it overrides
+  /// the per-daemon directory options: uploads, caches, job journals
+  /// and artifacts all live under the one root, and any daemon pointed
+  /// at it serves the same models and executes the same job queue.
+  ArtifactStoreOptions Artifacts;
 };
 
 /// The assembled daemon.
@@ -75,6 +81,7 @@ public:
   JobManager &jobs() { return Jobs; }
   ModelRegistry &models() { return Registry; }
   ModelStore &uploads() { return Store; }
+  ArtifactStore &artifacts() { return Artifacts; }
   RunLog &log() { return Log; }
 
 private:
@@ -93,7 +100,9 @@ private:
   // Destruction order matters: Http first (joins request threads, which
   // touch Jobs/Store/Registry), then Jobs (joins job workers, which
   // publish into Registry and read the Store), then Store, then
-  // Registry. Members are declared in reverse.
+  // Registry, then Artifacts (whose destructor unregisters the process
+  // from the shared tier). Members are declared in reverse.
+  ArtifactStore Artifacts;
   ModelRegistry Registry;
   ModelStore Store;
   JobManager Jobs;

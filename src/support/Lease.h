@@ -1,0 +1,72 @@
+//===- support/Lease.h - Expiring file-based ownership leases --------------===//
+//
+// Part of the Wootz reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small cross-process mutual-exclusion primitive for directory-backed
+/// queues: an *owner lease* is a file whose presence means "this resource
+/// is claimed", whose contents name the owner and an absolute expiry
+/// time, and whose creation is exclusive (link(2) of a unique temporary,
+/// which fails with EEXIST instead of overwriting). A live owner renews
+/// the lease well before expiry (heartbeat); a crashed owner simply stops
+/// renewing, and once the expiry passes any other process may steal the
+/// lease and take over the resource.
+///
+/// The protocol is safe under the heartbeat invariant: renewals happen at
+/// a period much shorter than the TTL, so a lease is only ever stolen
+/// from an owner that has been dead (or wedged) for a full TTL. Stealing
+/// verifies ownership by reading the file back after acquisition, which
+/// closes the unlink/link race between two concurrent stealers: exactly
+/// one sees its own name in the file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef WOOTZ_SUPPORT_LEASE_H
+#define WOOTZ_SUPPORT_LEASE_H
+
+#include "src/support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace wootz {
+
+/// Milliseconds since the Unix epoch (system clock — the one clock
+/// concurrent processes on a machine share).
+int64_t unixMillisNow();
+
+/// What a lease file says.
+struct LeaseInfo {
+  std::string Owner;
+  int64_t ExpiresUnixMs = 0;
+
+  bool expired(int64_t NowMs) const { return NowMs >= ExpiresUnixMs; }
+};
+
+/// Reads and parses the lease at \p Path. A missing or unparseable file
+/// is an error (a torn write cannot occur: leases are created via
+/// link(2) of a fully written temporary and renewed via atomic rename).
+Result<LeaseInfo> readLease(const std::string &Path);
+
+/// Tries to acquire the lease at \p Path for \p Owner, valid for
+/// \p TtlMillis from now. Returns true when acquired (including by
+/// stealing an expired lease), false when another owner holds an
+/// unexpired lease. Errors only on I/O failure.
+Result<bool> tryAcquireLease(const std::string &Path,
+                             const std::string &Owner, int64_t TtlMillis);
+
+/// Extends the lease at \p Path by \p TtlMillis from now. Fails when the
+/// lease is missing or held by someone else (the caller lost it — it
+/// must stop touching the resource).
+Error renewLease(const std::string &Path, const std::string &Owner,
+                 int64_t TtlMillis);
+
+/// Releases the lease at \p Path if (and only if) \p Owner holds it.
+/// Releasing a lease someone else stole is a silent no-op.
+void releaseLease(const std::string &Path, const std::string &Owner);
+
+} // namespace wootz
+
+#endif // WOOTZ_SUPPORT_LEASE_H

@@ -3,6 +3,7 @@
 #include "src/support/Rng.h"
 
 #include <cmath>
+#include <cstring>
 
 using namespace wootz;
 
@@ -81,3 +82,23 @@ float Rng::nextGaussian() {
 }
 
 Rng Rng::fork() { return Rng(next()); }
+
+std::vector<uint64_t> Rng::saveState() const {
+  uint32_t SpareBits;
+  static_assert(sizeof(SpareBits) == sizeof(SpareGaussian));
+  std::memcpy(&SpareBits, &SpareGaussian, sizeof(SpareBits));
+  return {State[0], State[1], State[2], State[3],
+          HasSpareGaussian ? 1ull : 0ull, SpareBits};
+}
+
+bool Rng::restoreState(const std::vector<uint64_t> &Words) {
+  if (Words.size() != 6 || Words[4] > 1 ||
+      Words[5] > 0xffffffffull)
+    return false;
+  for (size_t I = 0; I < 4; ++I)
+    State[I] = Words[I];
+  HasSpareGaussian = Words[4] == 1;
+  const uint32_t SpareBits = static_cast<uint32_t>(Words[5]);
+  std::memcpy(&SpareGaussian, &SpareBits, sizeof(SpareGaussian));
+  return true;
+}

@@ -70,6 +70,15 @@ public:
   /// parallel task its own deterministic stream.
   Rng fork();
 
+  /// Captures the complete generator state — stream position included —
+  /// so a checkpoint can resume the exact stream later. The encoding is
+  /// opaque; feed it back through restoreState().
+  std::vector<uint64_t> saveState() const;
+
+  /// Restores a state captured by saveState(). Returns false (leaving
+  /// the generator untouched) if \p Words is not a valid capture.
+  bool restoreState(const std::vector<uint64_t> &Words);
+
 private:
   uint64_t State[4];
   bool HasSpareGaussian = false;

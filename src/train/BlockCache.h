@@ -95,6 +95,15 @@ public:
     this->MetaHash = MetaHash;
   }
 
+  /// A stable digest of the bound (teacher, hyperparameter) context —
+  /// the part of every entry address that is not the block id. Two
+  /// processes sharing a cache directory reuse each other's blocks
+  /// exactly when their context ids match, which is what multi-process
+  /// serving tests assert.
+  uint64_t contextId() const {
+    return TeacherFingerprint * 0x9e3779b97f4a7c15ull ^ MetaHash;
+  }
+
   /// The on-disk path serving \p BlockId under the bound context.
   std::string entryPath(const std::string &BlockId) const;
 

@@ -7,8 +7,46 @@
 
 #include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 
 using namespace wootz;
+
+// The teacher checkpoint carries a sidecar with the generator state as it
+// stood right after training. Restoring it on a cache hit keeps the
+// caller's RNG stream position identical to the run that trained the
+// teacher, so everything seeded downstream (pre-train groups, per-config
+// fine-tunes) reproduces the cold run bit-for-bit. Without it a warm run
+// silently drifts: the restore path skips training's draws.
+static void saveRngSidecar(const std::string &CachePath, const Rng &Generator) {
+  std::ostringstream Text;
+  for (uint64_t Word : Generator.saveState())
+    Text << Word << "\n";
+  const std::string TmpPath = CachePath + ".rng.tmp";
+  {
+    std::ofstream Out(TmpPath, std::ios::trunc);
+    if (!Out)
+      return;
+    Out << Text.str();
+    if (!Out.flush())
+      return;
+  }
+  std::error_code FsError;
+  std::filesystem::rename(TmpPath, CachePath + ".rng", FsError);
+}
+
+static void restoreRngSidecar(const std::string &CachePath, Rng &Generator) {
+  std::ifstream In(CachePath + ".rng");
+  if (!In)
+    return;
+  std::vector<uint64_t> Words;
+  uint64_t Word;
+  while (In >> Word)
+    Words.push_back(Word);
+  // An invalid or truncated sidecar leaves the stream alone; the warm
+  // run still works, it just cannot promise cold-run bit-exactness.
+  (void)Generator.restoreState(Words);
+}
 
 Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
                                           const Dataset &Data,
@@ -72,6 +110,7 @@ Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
               evaluateAccuracy(Out.Network, Out.InputNode, Out.LogitsNode,
                                Data.Test, 64, Meta.EvalThreads);
           Out.FromCache = true;
+          restoreRngSidecar(CachePath, Generator);
           return Out;
         }
         // Stale cache (e.g. model shape changed): retrain below.
@@ -102,6 +141,8 @@ Result<FullModel> wootz::prepareFullModel(const MultiplexingModel &Model,
     // A failed cache write is not fatal; the model is already trained.
     if (Error E = saveTensors(CachePath, Bundle))
       (void)static_cast<bool>(E);
+    else
+      saveRngSidecar(CachePath, Generator);
   }
   return Out;
 }
